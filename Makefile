@@ -1,0 +1,26 @@
+# Convenience targets for the sealpaa-py reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex > /dev/null && echo OK || exit 1; \
+	done
+
+all: test bench examples
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

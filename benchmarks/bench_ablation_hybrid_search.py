@@ -1,0 +1,88 @@
+"""Ablation: hybrid-chain search strategies.
+
+DESIGN.md S16 claims the value-vector DP finds the *optimal* hybrid
+assignment at negligible cost.  This bench compares the three searchers
+-- exact vector DP, brute-force enumeration, per-stage greedy -- on
+quality and wall-clock, and shows the paper-motivated scenario where a
+hybrid beats every uniform chain.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.hybrid import HybridChain
+from repro.explore.hybrid_search import (
+    brute_force_hybrid,
+    greedy_hybrid,
+    optimal_hybrid,
+)
+from repro.reporting import ascii_table
+
+from conftest import emit
+
+CELLS = [f"LPAA {i}" for i in range(1, 8)]
+#: low-probability LSBs, high-probability MSBs -- the paper's hybrid case
+SPLIT_P = [0.1] * 3 + [0.9] * 3
+
+
+def test_ablation_search_strategies(benchmark):
+    rows = []
+    start = time.perf_counter()
+    opt = optimal_hybrid(CELLS, 6, SPLIT_P, SPLIT_P)
+    opt_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    brute = brute_force_hybrid(CELLS, 6, SPLIT_P, SPLIT_P)
+    brute_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    greedy = greedy_hybrid(CELLS, 6, SPLIT_P, SPLIT_P)
+    greedy_seconds = time.perf_counter() - start
+
+    rows = [
+        ["vector DP (exact)", opt.p_error, opt.chain.describe(),
+         opt_seconds * 1e3],
+        ["brute force 7^6", brute.p_error, brute.chain.describe(),
+         brute_seconds * 1e3],
+        ["greedy", greedy.p_error, greedy.chain.describe(),
+         greedy_seconds * 1e3],
+    ]
+    emit(ascii_table(
+        ["strategy", "P(E)", "chain", "ms"],
+        rows, digits=5,
+        title="Ablation: hybrid search strategies (split probabilities)",
+    ))
+
+    assert opt.p_error == pytest.approx(brute.p_error, abs=1e-12)
+    assert greedy.p_error >= opt.p_error - 1e-12
+    assert opt_seconds < brute_seconds / 10  # DP must crush enumeration
+
+    benchmark(lambda: optimal_hybrid(CELLS, 6, SPLIT_P, SPLIT_P))
+
+
+def test_ablation_hybrid_beats_uniform(benchmark):
+    opt = optimal_hybrid(CELLS, 6, SPLIT_P, SPLIT_P)
+    rows = [["optimal hybrid", opt.chain.describe(), opt.p_error]]
+    for name in CELLS:
+        uniform = HybridChain.uniform(name, 6)
+        err = float(uniform.error_probability(SPLIT_P, SPLIT_P))
+        rows.append([f"uniform {name}", uniform.describe(), err])
+        assert opt.p_error <= err + 1e-12
+    emit(ascii_table(
+        ["design", "chain", "P(E)"],
+        rows, digits=5,
+        title="Ablation: optimal hybrid vs every uniform chain",
+    ))
+    assert len(opt.chain.cell_histogram()) >= 2  # genuinely hybrid
+
+    benchmark(lambda: optimal_hybrid(CELLS, 6, SPLIT_P, SPLIT_P))
+
+
+def test_ablation_dp_scales_where_brute_force_cannot(benchmark):
+    """Exact optimum at width 24 (7^24 assignments for brute force)."""
+    result = benchmark(lambda: optimal_hybrid(CELLS, 24, 0.2, 0.2))
+    assert result.exact
+    assert result.chain.width == 24

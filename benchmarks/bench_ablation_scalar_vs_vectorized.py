@@ -1,0 +1,64 @@
+"""Ablation: scalar reference engine vs NumPy batch engine.
+
+DESIGN.md keeps two engines -- the readable scalar Algorithm 1 and the
+vectorised batch version -- on the claim that the batch engine pays off
+for sweeps.  This bench quantifies the claim: at a 256-point probability
+grid the vectorised engine must beat per-point scalar calls comfortably,
+while agreeing to 1e-12.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.recursive import analyze_chain
+from repro.core.vectorized import analyze_batch
+from repro.reporting import ascii_table
+
+from conftest import emit
+
+WIDTH = 16
+GRID = np.linspace(0.0, 1.0, 256)
+
+
+def _scalar_sweep():
+    return [
+        analyze_chain("LPAA 6", width=WIDTH, p_a=float(p), p_b=float(p)).p_success
+        for p in GRID
+    ]
+
+
+def _vector_sweep():
+    return analyze_batch("LPAA 6", width=WIDTH, p_a=GRID, p_b=GRID)
+
+
+def test_ablation_engines_agree_and_vectorized_wins(benchmark):
+    start = time.perf_counter()
+    scalar = _scalar_sweep()
+    scalar_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    vector = _vector_sweep()
+    vector_seconds = time.perf_counter() - start
+
+    assert np.allclose(scalar, vector, atol=1e-12)
+    speedup = scalar_seconds / max(vector_seconds, 1e-9)
+    emit(ascii_table(
+        ["engine", "seconds for 256-point sweep"],
+        [["scalar (per point)", scalar_seconds],
+         ["vectorised (one batch)", vector_seconds],
+         ["speedup", speedup]],
+        digits=4,
+        title="Ablation: scalar vs vectorised recursion",
+    ))
+    assert speedup > 3.0, f"vectorised engine only {speedup:.1f}x faster"
+
+    benchmark(_vector_sweep)
+
+
+def test_ablation_scalar_reference_kernel(benchmark):
+    result = benchmark(
+        lambda: analyze_chain("LPAA 6", width=WIDTH, p_a=0.3, p_b=0.7)
+    )
+    assert 0.0 <= float(result.p_success) <= 1.0

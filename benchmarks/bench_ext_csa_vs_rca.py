@@ -1,0 +1,98 @@
+"""Extension bench: CSA-tree vs sequential-RCA accumulation.
+
+The paper's §2.1 names RCA and CSA as the two multi-bit topologies LPAAs
+get cascaded into.  This bench compares, for an 8-operand accumulation
+with the same approximate cell:
+
+* error probability (Monte-Carlo over the exact functional models) of
+  (a) a CSA tree with approximate compressors, (b) a CSA tree with an
+  approximate final adder, (c) sequential accumulation on an
+  approximate RCA;
+* the exact one-layer CSA success probability (analytical, column
+  product) against the simulated single-layer figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multiop.analysis import (
+    csa_layer_success_probability,
+    multi_operand_error_probability_mc,
+)
+from repro.multiop.compressor import csa_compress_array
+from repro.multiop.mac import Accumulator
+from repro.reporting import ascii_table
+
+from conftest import emit
+
+WIDTH = 6
+OPERANDS = 8
+P = 0.5
+CELL = "LPAA 6"
+
+
+def _sequential_rca_error(samples: int, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    wrong = 0
+    # accumulator wide enough for 8 operands of WIDTH bits
+    acc_width = WIDTH + 3
+    for _ in range(samples):
+        acc = Accumulator(acc_width, CELL)
+        values = rng.integers(0, 1 << WIDTH, OPERANDS)
+        for v in values:
+            acc.add(int(v))
+        if acc.drift != 0:
+            wrong += 1
+    return wrong / samples
+
+
+def test_ext_csa_vs_rca_error(benchmark):
+    p_rows = [[P] * WIDTH] * OPERANDS
+    tree_compress = multi_operand_error_probability_mc(
+        p_rows, WIDTH, compress_cell=CELL, samples=100_000, seed=0
+    )
+    tree_final = multi_operand_error_probability_mc(
+        p_rows, WIDTH, final_adder=CELL, samples=100_000, seed=1
+    )
+    rca = _sequential_rca_error(samples=4_000, seed=2)
+    emit(ascii_table(
+        ["accumulation topology", "P(Error)"],
+        [
+            [f"CSA tree, {CELL} compressors", tree_compress],
+            [f"CSA tree, {CELL} final adder", tree_final],
+            [f"sequential RCA of {CELL}", rca],
+        ],
+        digits=4,
+        title=f"Ext: {OPERANDS}-operand accumulation, {WIDTH}-bit inputs, "
+              f"p = {P}",
+    ))
+    # every approximate topology errs; the 7-stage sequential chain of
+    # approximate adds errs most (it applies the cell 7x full-width).
+    assert 0 < tree_compress < 1
+    assert 0 < tree_final < 1
+    assert rca > 0.5
+
+    benchmark.pedantic(
+        lambda: multi_operand_error_probability_mc(
+            p_rows, WIDTH, compress_cell=CELL, samples=20_000, seed=0
+        ),
+        rounds=3, iterations=1,
+    )
+
+
+def test_ext_csa_layer_analytic_vs_simulation(benchmark):
+    analytic = csa_layer_success_probability(CELL, P, P, P, WIDTH)
+    rng = np.random.default_rng(3)
+    samples = 200_000
+    x = rng.integers(0, 1 << WIDTH, samples)
+    y = rng.integers(0, 1 << WIDTH, samples)
+    z = rng.integers(0, 1 << WIDTH, samples)
+    s, c = csa_compress_array(CELL, x, y, z, WIDTH)
+    s_ref, c_ref = csa_compress_array("accurate", x, y, z, WIDTH)
+    simulated = float(((s == s_ref) & (c == c_ref)).mean())
+    emit(f"Ext: one 3:2 layer of {CELL}: analytic P(ok) = {analytic:.5f}, "
+         f"simulated = {simulated:.5f}")
+    assert abs(analytic - simulated) < 3e-3
+
+    benchmark(lambda: csa_layer_success_probability(CELL, P, P, P, WIDTH))

@@ -1,0 +1,119 @@
+"""Extension bench: accelerator datapaths, approximate multipliers, VOS.
+
+Three §1/§2.1 threads of the paper made measurable:
+
+* an adder-tree accelerator stage, with node-sensitivity analysis
+  showing where approximation hurts;
+* an array multiplier with approximate/truncated accumulation
+  (the ref-[16] direction);
+* voltage over-scaling of an exact RCA: the error-vs-energy signature.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.ripple import build_ripple_netlist
+from repro.circuits.vos import vos_quality_energy_sweep
+from repro.datapath import (
+    Datapath,
+    datapath_error_metrics,
+    node_sensitivity,
+)
+from repro.multiop.multiplier import (
+    exhaustive_multiplier_check,
+    multiplier_error_metrics,
+)
+from repro.reporting import ascii_table
+
+from conftest import emit
+
+
+def _tree(cell):
+    dp = Datapath("tree")
+    for name in "abcd":
+        dp.add_input(name, 8)
+    dp.add_add("s0", "a", "b", cell=cell)
+    dp.add_add("s1", "c", "d", cell=cell)
+    dp.add_add("total", "s0", "s1", cell=cell)
+    dp.mark_output("total")
+    return dp
+
+
+def test_ext_datapath_sensitivity(benchmark):
+    dp = _tree("LPAA 6")
+    metrics = datapath_error_metrics(dp, samples=30_000, seed=0)
+    sens = node_sensitivity(dp, samples=30_000, seed=0)
+    emit(ascii_table(
+        ["node", "lone error rate"],
+        sorted(sens.items(), key=lambda kv: -kv[1]),
+        digits=4,
+        title=f"Ext: adder-tree sensitivity "
+              f"(full graph P(E) = {metrics.error_rate:.4f})",
+    ))
+    # the final (widest) adder must be the most sensitive node
+    assert max(sens, key=sens.get) == "total"
+    # and no single node explains the full error (they compound)
+    assert max(sens.values()) < metrics.error_rate
+
+    benchmark.pedantic(
+        lambda: node_sensitivity(dp, samples=10_000, seed=0),
+        rounds=3, iterations=1,
+    )
+
+
+def test_ext_approximate_multiplier(benchmark):
+    rows = []
+    for compress, truncate in (("accurate", 0), ("LPAA 6", 0),
+                               ("accurate", 2), ("accurate", 4)):
+        errors, total = exhaustive_multiplier_check(
+            4, compress_cell=compress, truncate_bits=truncate
+        )
+        rows.append([f"compress={compress}, truncate={truncate}",
+                     errors / total])
+    emit(ascii_table(
+        ["multiplier variant", "P(Error) (exhaustive, 4x4)"],
+        rows, digits=4,
+        title="Ext: approximate array multipliers",
+    ))
+    assert rows[0][1] == 0.0                  # fully exact
+    assert all(r[1] > 0 for r in rows[1:])    # every approximation errs
+    # truncating more columns errs more
+    assert rows[3][1] > rows[2][1]
+
+    benchmark.pedantic(
+        lambda: multiplier_error_metrics(6, truncate_bits=2,
+                                         samples=5_000, seed=1),
+        rounds=3, iterations=1,
+    )
+
+
+def test_ext_vos_signature(benchmark):
+    netlist = build_ripple_netlist("accurate", 8)
+    sweep = vos_quality_energy_sweep(
+        netlist, list(netlist.outputs),
+        supplies=[1.0, 0.9, 0.8, 0.7, 0.6],
+        samples=8_000, seed=3,
+    )
+    emit(ascii_table(
+        ["supply", "delay x", "power x", "failing", "P(Error)"],
+        [[r["supply"], r["delay_scale"], r["power_scale"],
+          int(r["failing_outputs"]), r["error_rate"]] for r in sweep],
+        digits=3,
+        title="Ext: VOS error/energy signature (exact 8-bit RCA)",
+    ))
+    assert sweep[0]["error_rate"] == 0.0          # nominal is clean
+    powers = [r["power_scale"] for r in sweep]
+    assert powers == sorted(powers, reverse=True)  # energy falls
+    errors = [r["error_rate"] for r in sweep]
+    assert errors[-1] > errors[1] > 0.0            # quality collapses
+    failing = [r["failing_outputs"] for r in sweep]
+    assert failing == sorted(failing)              # more paths miss
+
+    benchmark.pedantic(
+        lambda: vos_quality_energy_sweep(
+            netlist, list(netlist.outputs), supplies=[0.8],
+            samples=4_000, seed=3,
+        ),
+        rounds=3, iterations=1,
+    )

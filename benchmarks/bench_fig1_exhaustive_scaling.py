@@ -1,0 +1,81 @@
+"""Figure 1: exhaustive simulation cost explodes with adder width while
+the proposed analysis stays flat.
+
+The paper's plot (Intel i7) shows simulation time and operation count
+growing exponentially in N.  We regenerate both series: the closed-form
+operation counts to N = 32, and *measured* wall-clock of this repo's
+exhaustive simulator up to a tractable width, against the measured
+(sub-millisecond) analytical time at the same and much larger widths.
+"""
+
+from __future__ import annotations
+
+from repro.core.recursive import analyze_chain
+from repro.reporting import ascii_table
+from repro.simulation.cost_model import (
+    exhaustive_case_count,
+    exhaustive_operation_count,
+    measure_analytical_time,
+    measure_exhaustive_time,
+)
+from repro.simulation.exhaustive import exhaustive_error_count
+
+from conftest import emit
+
+MEASURED_WIDTHS = [2, 4, 6, 8, 10]
+MODELED_WIDTHS = [2, 4, 8, 12, 16, 20, 24, 28, 32]
+
+
+def test_fig1_operation_count_model(benchmark):
+    """The modelled op-count series (x-axis of Fig. 1 out to 32 bits)."""
+    rows = [
+        [n, exhaustive_case_count(n), exhaustive_operation_count(n)]
+        for n in MODELED_WIDTHS
+    ]
+    emit(ascii_table(
+        ["N", "Simulation cases 2^(2N+1)", "Arithmetic ops"],
+        rows,
+        title="Fig. 1 (modelled): exhaustive simulation cost vs width",
+    ))
+    # Exponential shape: each +4 bits multiplies the cases by 256.
+    for (n1, c1, _), (n2, c2, _) in zip(rows, rows[1:]):
+        assert c2 == c1 * (1 << (2 * (n2 - n1)))
+    benchmark(lambda: [exhaustive_operation_count(n) for n in MODELED_WIDTHS])
+
+
+def test_fig1_measured_simulation_time(benchmark):
+    """Measured exhaustive-simulation seconds on this machine."""
+    points = measure_exhaustive_time("LPAA 1", MEASURED_WIDTHS)
+    analytical = measure_analytical_time("LPAA 1", MEASURED_WIDTHS + [32, 64])
+    rows = [
+        [p.width, p.cases, p.seconds * 1e3] for p in points
+    ]
+    emit(ascii_table(
+        ["N", "cases", "exhaustive ms"],
+        rows, digits=3,
+        title="Fig. 1 (measured): exhaustive simulation wall-clock",
+    ))
+    emit(ascii_table(
+        ["N", "analytical ms"],
+        [[p.width, p.seconds * 1e3] for p in analytical],
+        digits=4,
+        title="Fig. 1 (measured): proposed method wall-clock",
+    ))
+    # Shape: simulation time grows super-linearly (>= 30x from N=2 to
+    # N=10 despite vectorisation); analytical stays < 1 ms at any width
+    # (the paper's claim in §5).
+    assert points[-1].seconds > 30 * max(points[0].seconds, 1e-7)
+    assert all(p.seconds < 1e-3 for p in analytical)
+    # Timed kernel: one mid-size exhaustive run.
+    benchmark.pedantic(
+        lambda: exhaustive_error_count("LPAA 1", 8), rounds=3, iterations=1
+    )
+
+
+def test_fig1_analytical_kernel(benchmark):
+    """The proposed method's kernel at 32 bits (the width the paper
+    calls practically impossible for the traditional analysis)."""
+    result = benchmark(
+        lambda: analyze_chain("LPAA 1", width=32, p_a=0.3, p_b=0.7)
+    )
+    assert 0.0 <= float(result.p_success) <= 1.0

@@ -1,0 +1,43 @@
+"""Table 1: truth tables of AccuFA and LPAA 1-7 with error cases marked.
+
+Regenerates the table from the library's cell registry and asserts the
+published error-case counts (bold-red rows in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.adders import PAPER_LPAAS
+from repro.core.truth_table import ACCURATE
+from repro.reporting import ascii_table
+
+from conftest import emit
+
+EXPECTED_ERROR_CASES = {
+    "LPAA 1": 2, "LPAA 2": 2, "LPAA 3": 3, "LPAA 4": 3,
+    "LPAA 5": 4, "LPAA 6": 2, "LPAA 7": 2,
+}
+
+
+def _render() -> str:
+    headers = ["A B Cin", "AccuFA"] + [cell.name for cell in PAPER_LPAAS]
+    rows = []
+    for idx in range(8):
+        a, b, cin = (idx >> 2) & 1, (idx >> 1) & 1, idx & 1
+        row = [f"{a} {b} {cin}", "{} {}".format(*ACCURATE.rows[idx])]
+        for cell in PAPER_LPAAS:
+            s, c = cell.rows[idx]
+            marker = "*" if (s, c) != ACCURATE.rows[idx] else " "
+            row.append(f"{s} {c}{marker}")
+        rows.append(row)
+    return ascii_table(
+        headers, rows,
+        title="Table 1: single-bit LPAA truth tables (* = error case)",
+    )
+
+
+def test_table1_truth_tables(benchmark):
+    emit(_render())
+    for cell in PAPER_LPAAS:
+        assert cell.num_error_cases() == EXPECTED_ERROR_CASES[cell.name]
+    assert ACCURATE.num_error_cases() == 0
+    benchmark(_render)

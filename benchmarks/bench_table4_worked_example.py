@@ -1,0 +1,47 @@
+"""Table 4: the paper's 4-bit LPAA 1 worked example, stage by stage.
+
+Regenerates every printed value of the table -- the per-stage
+success-conditioned carry probabilities and the final P(Succ) =
+0.738476 -- from the traced recursion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stages import format_trace_table, trace_chain
+
+from conftest import emit
+
+P_A = [0.9, 0.5, 0.4, 0.8]
+P_B = [0.8, 0.7, 0.6, 0.9]
+P_CIN = 0.5
+
+#: (stage, P(~C_next & Succ), P(C_next & Succ)) as printed in the paper.
+PAPER_CARRY_ROWS = [
+    (0, 0.02, 0.85),
+    (1, 0.1305, 0.7295),
+    (2, 0.2064, 0.58574),
+]
+PAPER_P_SUCC = 0.738476
+
+
+def _run():
+    return trace_chain("LPAA 1", width=4, p_a=P_A, p_b=P_B, p_cin=P_CIN)
+
+
+def test_table4_worked_example(benchmark):
+    result = _run()
+    emit("Table 4: 4-bit multistage LPAA 1 error analysis")
+    emit(format_trace_table(result))
+
+    for stage, c0, c1 in PAPER_CARRY_ROWS:
+        record = result.trace[stage]
+        assert record.p_c0_next_succ == pytest.approx(c0, abs=5e-6)
+        assert record.p_c1_next_succ == pytest.approx(c1, abs=5e-6)
+    assert result.p_success == pytest.approx(PAPER_P_SUCC, abs=5e-7)
+    # the "NR" cells: no carry-out at the last stage, P(Succ) only there.
+    assert result.trace[-1].p_c1_next_succ is None
+    assert all(r.p_success is None for r in result.trace[:-1])
+
+    benchmark(_run)

@@ -1,0 +1,43 @@
+"""Table 5: the M / K / L analysis matrices for LPAA 1-7.
+
+Derives every mask from the Table 1 truth tables and checks it against
+the constants printed in the paper (kept as golden data in
+``repro.core.matrices.TABLE5_MATRICES``).
+"""
+
+from __future__ import annotations
+
+from repro.core.adders import PAPER_LPAAS
+from repro.core.matrices import TABLE5_MATRICES, derive_matrices
+from repro.reporting import ascii_table
+
+from conftest import emit
+
+
+def _fmt(mask) -> str:
+    return "[" + ",".join(str(bit) for bit in mask) + "]"
+
+
+def test_table5_mkl_matrices(benchmark):
+    rows = []
+    for cell in PAPER_LPAAS:
+        mkl = derive_matrices(cell)
+        rows.append([cell.name, _fmt(mkl.m), _fmt(mkl.k), _fmt(mkl.l)])
+    emit(ascii_table(
+        ["LPAA", "M matrix", "K matrix", "L matrix"],
+        rows,
+        title="Table 5: derived M/K/L matrices",
+    ))
+
+    for cell in PAPER_LPAAS:
+        derived = derive_matrices(cell)
+        golden = TABLE5_MATRICES[cell.name]
+        assert derived.m == golden.m
+        assert derived.k == golden.k
+        assert derived.l == golden.l
+        # structural identities
+        assert derived.l == tuple(
+            m | k for m, k in zip(derived.m, derived.k)
+        )
+
+    benchmark(lambda: [derive_matrices(cell) for cell in PAPER_LPAAS])

@@ -1,0 +1,75 @@
+"""Table 8: resource utilisation of the proposed method.
+
+Prints the paper's published per-iteration hardware resources verbatim
+(32/48 multipliers, 21 adders, 3 / N+1 memory units) next to an
+*instrumented* count of what this implementation actually executes, and
+asserts the scaling claims: per-stage cost is width-independent, total
+cost is linear in N, and both are exponentially below the Table 3
+inclusion-exclusion numbers.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.operation_counter import (
+    TABLE8_EQUAL_PROBABILITIES,
+    TABLE8_VARYING_PROBABILITIES,
+    count_recursion_operations,
+    inclusion_exclusion_additions,
+    inclusion_exclusion_multiplications,
+    table8_memory_units,
+)
+from repro.reporting import ascii_table
+
+from conftest import emit
+
+WIDTH = 32
+
+
+def test_table8_published_and_measured(benchmark):
+    equal = TABLE8_EQUAL_PROBABILITIES
+    varying = TABLE8_VARYING_PROBABILITIES
+    emit(ascii_table(
+        ["Scenario", "Multipliers", "Adders", "Memory units"],
+        [
+            ["equal probabilities (paper)", equal["multipliers"],
+             equal["adders"], equal["memory_units"]],
+            ["varying probabilities (paper)", varying["multipliers"],
+             varying["adders"], f"N+1 = {table8_memory_units(WIDTH, True)}"],
+        ],
+        title="Table 8 (published): per-iteration hardware resources",
+    ))
+
+    measured_eq = count_recursion_operations(
+        "LPAA 1", WIDTH, share_operand_products=True
+    )
+    measured_var = count_recursion_operations("LPAA 1", WIDTH)
+    per_stage_eq = measured_eq.per_stage()
+    per_stage_var = measured_var.per_stage()
+    emit(ascii_table(
+        ["Scenario", "mults/stage", "adds/stage", "total mults", "total adds"],
+        [
+            ["equal (this impl.)", per_stage_eq.multiplications,
+             per_stage_eq.additions, measured_eq.multiplications,
+             measured_eq.additions],
+            ["varying (this impl.)", per_stage_var.multiplications,
+             per_stage_var.additions, measured_var.multiplications,
+             measured_var.additions],
+        ],
+        title="Table 8 (measured on this implementation)",
+    ))
+
+    # published constants carried verbatim
+    assert equal == {"multipliers": 32, "adders": 21, "memory_units": 3}
+    assert varying["multipliers"] == 48 and varying["adders"] == 21
+    assert table8_memory_units(WIDTH, True) == WIDTH + 1
+
+    # measured: same order of magnitude per stage, strictly linear total,
+    # exponentially below Table 3 at 32 stages.
+    assert per_stage_var.multiplications <= 48
+    assert per_stage_var.additions <= 21
+    double = count_recursion_operations("LPAA 1", 2 * WIDTH)
+    assert abs(double.total - 2 * measured_var.total) <= 4
+    assert measured_var.multiplications < inclusion_exclusion_multiplications(WIDTH)
+    assert measured_var.additions < inclusion_exclusion_additions(WIDTH)
+
+    benchmark(lambda: count_recursion_operations("LPAA 1", WIDTH))

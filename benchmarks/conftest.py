@@ -1,0 +1,17 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper, prints it in a
+paper-like layout (visible with ``pytest benchmarks/ --benchmark-only -s``
+or in the captured output), asserts the qualitative *shape* the paper
+reports, and times the computational kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table so it lands in the bench log."""
+    print(text)
+    sys.stdout.flush()

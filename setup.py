@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists only so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip's legacy editable path needs a ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""sealpaa-py: statistical error analysis for low-power approximate adders.
+
+A from-scratch Python reproduction of *"Statistical Error Analysis for
+Low Power Approximate Adders"* (Ayub, Hasan, Shafique -- DAC 2017),
+including the recursive matrix-based analysis method, the seven LPAA
+cells it evaluates, the simulation and inclusion-exclusion baselines it
+compares against, GeAr low-latency adder analysis, a gate-level
+power/area substrate, and design-space exploration for hybrid adders.
+
+Quick taste::
+
+    >>> import repro
+    >>> result = repro.analyze_chain("LPAA 6", width=8, p_a=0.1, p_b=0.1,
+    ...                              p_cin=0.1)
+    >>> round(result.p_error, 5)
+    0.16953
+
+See ``examples/quickstart.py`` and the README for more.
+"""
+
+from ._version import __version__
+from .core import *  # noqa: F401,F403 -- curated re-export, see core.__all__
+from .core import __all__ as _core_all
+
+__all__ = ["__version__", *_core_all]

@@ -1,0 +1,31 @@
+"""Application substrates exercising approximate adders end-to-end."""
+
+from .dsp import (
+    fir_filter,
+    fir_quality_experiment,
+    lowpass_taps,
+    quantize,
+    snr_db,
+    make_tone,
+)
+from .imaging import (
+    approximate_blend,
+    approximate_box_blur,
+    lsb_approximate_chain,
+    psnr,
+    synthetic_image,
+)
+
+__all__ = [
+    "synthetic_image",
+    "approximate_blend",
+    "approximate_box_blur",
+    "lsb_approximate_chain",
+    "psnr",
+    "quantize",
+    "lowpass_taps",
+    "fir_filter",
+    "snr_db",
+    "make_tone",
+    "fir_quality_experiment",
+]

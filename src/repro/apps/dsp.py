@@ -1,0 +1,156 @@
+"""DSP workloads on approximate accumulation (the paper's §1 domain).
+
+A fixed-point FIR filter whose multiply results are exact but whose
+*accumulation* runs on the library's approximate adders -- the precise
+architecture the paper motivates ("single-bit adders cascaded to form
+any multi-bit adder topology ... building blocks of digital signal
+processors").  Signal quality is scored as SNR against the exact filter
+so adder-level error probabilities connect to application-level dB.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.exceptions import AnalysisError
+from ..core.recursive import CellSpec
+from ..multiop.mac import dot_product
+
+
+def quantize(signal: np.ndarray, bits: int) -> np.ndarray:
+    """Quantise a float signal in [-1, 1] to unsigned *bits*-bit samples.
+
+    Offset-binary: -1.0 -> 0, +1.0 -> 2^bits - 1.
+    """
+    if bits < 2:
+        raise AnalysisError(f"need >= 2 bits, got {bits}")
+    signal = np.asarray(signal, dtype=np.float64)
+    if np.abs(signal).max(initial=0.0) > 1.0:
+        raise AnalysisError("signal must lie in [-1, 1]")
+    levels = (1 << bits) - 1
+    return np.clip(np.rint((signal + 1.0) * levels / 2.0), 0, levels).astype(
+        np.int64
+    )
+
+
+def lowpass_taps(num_taps: int, cutoff: float, bits: int) -> np.ndarray:
+    """Windowed-sinc low-pass taps quantised to unsigned *bits*-bit ints.
+
+    *cutoff* is the normalised frequency in (0, 0.5).  Taps are scaled so
+    the largest is ``2^bits - 1`` (gain is normalised away by the SNR
+    metric, which compares like against like).
+    """
+    if not 0.0 < cutoff < 0.5:
+        raise AnalysisError(f"cutoff must be in (0, 0.5), got {cutoff}")
+    if num_taps < 1:
+        raise AnalysisError(f"need >= 1 tap, got {num_taps}")
+    n = np.arange(num_taps) - (num_taps - 1) / 2.0
+    taps = np.sinc(2.0 * cutoff * n) * np.hamming(num_taps)
+    taps = np.abs(taps)  # keep the filter in the unsigned domain
+    taps = taps / taps.max() * ((1 << bits) - 1)
+    return np.rint(taps).astype(np.int64)
+
+
+def fir_filter(
+    samples: np.ndarray,
+    taps: np.ndarray,
+    input_bits: int,
+    compress_cell: CellSpec = "accurate",
+    final_adder: Union[CellSpec, Sequence[CellSpec], None] = None,
+) -> np.ndarray:
+    """Run a FIR filter with approximate accumulation.
+
+    Each output is the dot product of the tap vector with a window of
+    the sample stream, accumulated on a CSA tree (*compress_cell*) and a
+    final carry-propagate adder (*final_adder*).  Returns the raw
+    (unnormalised) accumulator outputs, length ``len(samples) -
+    len(taps) + 1``.
+    """
+    samples = np.asarray(samples, dtype=np.int64)
+    taps = np.asarray(taps, dtype=np.int64)
+    if samples.ndim != 1 or taps.ndim != 1:
+        raise AnalysisError("samples and taps must be 1-D")
+    if len(samples) < len(taps):
+        raise AnalysisError("signal shorter than the filter")
+    limit = 1 << input_bits
+    if samples.max(initial=0) >= limit or taps.max(initial=0) >= limit:
+        raise AnalysisError(f"samples/taps must fit in {input_bits} bits")
+    outputs = np.zeros(len(samples) - len(taps) + 1, dtype=np.int64)
+    tap_list = [int(t) for t in taps]
+    for i in range(outputs.size):
+        window = [int(v) for v in samples[i:i + len(taps)]]
+        outputs[i] = dot_product(
+            window, tap_list, input_bits,
+            compress_cell=compress_cell, final_adder=final_adder,
+        )
+    return outputs
+
+
+def snr_db(reference: np.ndarray, test: np.ndarray) -> float:
+    """Signal-to-noise ratio of *test* against *reference*, in dB."""
+    ref = np.asarray(reference, dtype=np.float64)
+    got = np.asarray(test, dtype=np.float64)
+    if ref.shape != got.shape:
+        raise AnalysisError(f"shape mismatch: {ref.shape} vs {got.shape}")
+    noise = float(((ref - got) ** 2).sum())
+    power = float((ref ** 2).sum())
+    if noise == 0.0:
+        return float("inf")
+    if power == 0.0:
+        raise AnalysisError("reference signal has zero power")
+    return 10.0 * np.log10(power / noise)
+
+
+def make_tone(
+    length: int,
+    frequency: float,
+    noise_level: float = 0.0,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """A unit sine at normalised *frequency* with optional uniform noise."""
+    if length < 1:
+        raise AnalysisError(f"length must be >= 1, got {length}")
+    t = np.arange(length)
+    signal = np.sin(2.0 * np.pi * frequency * t)
+    if noise_level > 0.0:
+        rng = np.random.default_rng(seed)
+        signal = signal + rng.uniform(-noise_level, noise_level, length)
+        signal = np.clip(signal, -1.0, 1.0)
+    return signal
+
+
+def fir_quality_experiment(
+    cell: CellSpec,
+    approx_bits: int,
+    input_bits: int = 8,
+    num_taps: int = 8,
+    signal_length: int = 200,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """One end-to-end data point: (adder chain RMS, filter SNR dB).
+
+    Builds a low-pass FIR, runs a noisy tone through it with the low
+    *approx_bits* of the final accumulation adder approximated, and
+    returns the analytical RMS error of that adder chain next to the
+    measured output SNR -- the pairing the imaging app also exposes.
+    """
+    from ..apps.imaging import lsb_approximate_chain
+    from ..core.magnitude import error_moments
+    from ..multiop.compressor import reduction_final_width
+
+    samples = quantize(
+        make_tone(signal_length, 0.05, noise_level=0.2, seed=seed),
+        input_bits,
+    )
+    taps = lowpass_taps(num_taps, 0.1, input_bits)
+    # the final carry-propagate adder's exact width after reduction
+    final_width = reduction_final_width(num_taps, 2 * input_bits)
+    chain = lsb_approximate_chain(cell, final_width, approx_bits)
+    reference = fir_filter(samples, taps, input_bits)
+    approximate = fir_filter(
+        samples, taps, input_bits, final_adder=chain
+    )
+    rms = error_moments(chain, None, 0.5, 0.5, 0.0).rms
+    return rms, snr_db(reference, approximate)

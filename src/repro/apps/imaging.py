@@ -1,0 +1,159 @@
+"""Error-resilient image processing on approximate adders.
+
+The paper's motivation (§1) is image/video-class workloads that tolerate
+arithmetic error.  This module provides that workload end-to-end without
+external data: synthetic grayscale images, pixel arithmetic routed
+through the library's approximate adders, and the standard PSNR quality
+metric, so the error-probability numbers can be connected to actual
+output quality (see ``examples/image_processing.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.exceptions import AnalysisError
+from ..core.recursive import CellSpec
+from ..simulation.functional import ripple_add_array
+
+
+def synthetic_image(
+    shape: Tuple[int, int] = (64, 64),
+    kind: str = "gradient",
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Generate a deterministic 8-bit grayscale test image.
+
+    Kinds: ``gradient`` (diagonal ramp), ``checker`` (8px checkerboard),
+    ``noise`` (uniform random), ``disk`` (bright disk on dark ground).
+    """
+    rows, cols = shape
+    if rows < 1 or cols < 1:
+        raise AnalysisError(f"bad image shape {shape}")
+    y, x = np.mgrid[0:rows, 0:cols]
+    if kind == "gradient":
+        img = (x + y) * 255.0 / max(rows + cols - 2, 1)
+    elif kind == "checker":
+        img = ((x // 8 + y // 8) % 2) * 255.0
+    elif kind == "noise":
+        rng = np.random.default_rng(seed)
+        img = rng.integers(0, 256, size=shape).astype(np.float64)
+    elif kind == "disk":
+        cy, cx = (rows - 1) / 2, (cols - 1) / 2
+        r = min(rows, cols) / 3
+        img = np.where((y - cy) ** 2 + (x - cx) ** 2 <= r * r, 220.0, 30.0)
+    else:
+        raise AnalysisError(f"unknown image kind {kind!r}")
+    return np.clip(np.rint(img), 0, 255).astype(np.uint8)
+
+
+def lsb_approximate_chain(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: int,
+    approx_bits: Optional[int],
+) -> list:
+    """Per-stage cell list: approximate low bits, accurate high bits.
+
+    This is how LPAAs are deployed in practice (and the point of the
+    paper's hybrid adders): magnitude-critical MSBs stay exact while the
+    LSBs absorb the error.  ``approx_bits=None`` approximates every
+    stage.
+    """
+    from ..core.recursive import resolve_chain
+    from ..core.truth_table import ACCURATE
+
+    if approx_bits is None:
+        approx_bits = width
+    if not 0 <= approx_bits <= width:
+        raise AnalysisError(
+            f"approx_bits must be in [0, {width}], got {approx_bits}"
+        )
+    approx = resolve_chain(cell, approx_bits) if approx_bits else []
+    return approx + [ACCURATE] * (width - approx_bits)
+
+
+def approximate_blend(
+    image_a: np.ndarray,
+    image_b: np.ndarray,
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: int = 8,
+    approx_bits: Optional[int] = 4,
+) -> np.ndarray:
+    """Average two 8-bit images, with the addition done approximately.
+
+    ``(a + b) / 2`` where the ``+`` runs through a chain whose low
+    *approx_bits* stages use *cell* and whose high stages stay accurate
+    (``approx_bits=None`` approximates the full width).
+    """
+    a = _check_image(image_a, width)
+    b = _check_image(image_b, width)
+    if a.shape != b.shape:
+        raise AnalysisError(f"image shapes differ: {a.shape} vs {b.shape}")
+    chain = lsb_approximate_chain(cell, width, approx_bits)
+    sums = ripple_add_array(chain, a.ravel().astype(np.int64),
+                            b.ravel().astype(np.int64), 0, width)
+    out = (sums >> 1).reshape(a.shape)
+    return np.clip(out, 0, (1 << width) - 1).astype(np.uint8)
+
+
+def approximate_box_blur(
+    image: np.ndarray,
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: int = 12,
+    approx_bits: Optional[int] = 4,
+) -> np.ndarray:
+    """3x3 box blur whose accumulations run on an approximate adder.
+
+    The nine pixel values are summed pairwise through *width*-bit
+    additions (wide enough to hold the exact 9*255 maximum) whose low
+    *approx_bits* stages are approximate, then divided by 9 exactly.
+    """
+    img = _check_image(image, 8)
+    if (1 << width) - 1 < 9 * 255:
+        raise AnalysisError(
+            f"width {width} cannot hold a 3x3 sum; need >= 12 bits "
+            "(or accept wraparound by passing width explicitly)"
+        )
+    padded = np.pad(img.astype(np.int64), 1, mode="edge")
+    rows, cols = img.shape
+    shifted = [
+        padded[dy:dy + rows, dx:dx + cols].ravel()
+        for dy in range(3)
+        for dx in range(3)
+    ]
+    mask = (1 << width) - 1
+    chain = lsb_approximate_chain(cell, width, approx_bits)
+
+    def approx_add(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # operands are clipped into range; overflow keeps low bits like
+        # real fixed-width hardware would.
+        return ripple_add_array(chain, x & mask, y & mask, 0, width) & mask
+
+    total = shifted[0]
+    for other in shifted[1:]:
+        total = approx_add(total, other)
+    out = total // 9
+    return np.clip(out.reshape(img.shape), 0, 255).astype(np.uint8)
+
+
+def psnr(reference: np.ndarray, test: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (infinity for identical images)."""
+    ref = np.asarray(reference, dtype=np.float64)
+    got = np.asarray(test, dtype=np.float64)
+    if ref.shape != got.shape:
+        raise AnalysisError(f"image shapes differ: {ref.shape} vs {got.shape}")
+    mse = float(((ref - got) ** 2).mean())
+    if mse == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(peak * peak / mse)
+
+
+def _check_image(image: np.ndarray, width: int) -> np.ndarray:
+    img = np.asarray(image)
+    if img.ndim != 2:
+        raise AnalysisError(f"expected a 2-D grayscale image, got {img.ndim}-D")
+    if img.min() < 0 or img.max() >= 1 << width:
+        raise AnalysisError(f"pixel values must fit in {width} bits")
+    return img

@@ -1,0 +1,122 @@
+"""Gate-level substrate: synthesis, netlists, activity and power models.
+
+Stands in for the transistor-level cell designs of the paper's sources
+([7], [1]): every LPAA cell is re-synthesised from its Table 1 truth
+table (Quine-McCluskey), verified, composed into multi-bit ripple
+netlists, and costed with an activity-based power model calibrated to
+the published Table 2 numbers.
+"""
+
+from .activity import (
+    MAX_EXACT_INPUTS,
+    exact_probabilities,
+    measured_activity,
+    propagate_probabilities,
+    switching_activity,
+    total_activity,
+)
+from .cells import (
+    INPUT_NETS,
+    OUTPUT_NETS,
+    SynthesizedCell,
+    synthesis_report,
+    synthesize_cell,
+)
+from .netlist import GATE_KINDS, Gate, Netlist, fresh_namer
+from .power import CellCost, PowerModel, gate_area_ge, published_characteristics
+from .qm import (
+    Implicant,
+    cover_cost,
+    evaluate_cover,
+    minimize,
+    minimum_cover,
+    prime_implicants,
+)
+from .ripple import (
+    build_ripple_netlist,
+    netlist_add,
+    netlist_add_array,
+    stage_gate_counts,
+)
+from .csa import build_csa_tree_netlist, csa_netlist_add, csa_vs_rca_report
+from .vos import (
+    VoltageModel,
+    evaluate_with_timing,
+    failing_outputs,
+    vos_error_rate,
+    vos_quality_energy_sweep,
+)
+from .faults import (
+    FaultImpact,
+    StuckAtFault,
+    enumerate_faults,
+    exhaustive_test_set,
+    fault_coverage,
+    fault_detectability,
+    faulted_truth_table,
+)
+from .timing import (
+    DEFAULT_GATE_DELAYS,
+    CriticalPath,
+    arrival_times,
+    cell_delay,
+    critical_path,
+    gear_delay_model,
+    latency_error_tradeoff,
+    ripple_delay,
+)
+
+__all__ = [
+    "Implicant",
+    "prime_implicants",
+    "minimum_cover",
+    "minimize",
+    "evaluate_cover",
+    "cover_cost",
+    "Gate",
+    "Netlist",
+    "GATE_KINDS",
+    "fresh_namer",
+    "SynthesizedCell",
+    "synthesize_cell",
+    "synthesis_report",
+    "INPUT_NETS",
+    "OUTPUT_NETS",
+    "build_ripple_netlist",
+    "netlist_add",
+    "netlist_add_array",
+    "stage_gate_counts",
+    "propagate_probabilities",
+    "exact_probabilities",
+    "switching_activity",
+    "total_activity",
+    "measured_activity",
+    "MAX_EXACT_INPUTS",
+    "PowerModel",
+    "CellCost",
+    "gate_area_ge",
+    "published_characteristics",
+    "DEFAULT_GATE_DELAYS",
+    "CriticalPath",
+    "arrival_times",
+    "critical_path",
+    "cell_delay",
+    "ripple_delay",
+    "gear_delay_model",
+    "latency_error_tradeoff",
+    "StuckAtFault",
+    "FaultImpact",
+    "enumerate_faults",
+    "faulted_truth_table",
+    "fault_detectability",
+    "fault_coverage",
+    "exhaustive_test_set",
+    "build_csa_tree_netlist",
+    "csa_netlist_add",
+    "csa_vs_rca_report",
+    "VoltageModel",
+    "failing_outputs",
+    "evaluate_with_timing",
+    "vos_error_rate",
+    "vos_quality_energy_sweep",
+]

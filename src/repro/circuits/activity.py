@@ -1,0 +1,149 @@
+"""Signal probability and switching activity on gate-level netlists.
+
+Dynamic power of CMOS logic is proportional to the switching activity of
+its nets; under the standard temporal-independence model a net with
+one-probability ``p`` toggles with activity ``alpha = 2 p (1 - p)``.
+Two estimators for the one-probabilities:
+
+* :func:`propagate_probabilities` -- fast structural propagation
+  assuming spatially independent gate inputs (the classic first-order
+  model; exact on fanout-free trees, approximate under reconvergence);
+* :func:`exact_probabilities` -- exact by weighted enumeration over the
+  primary inputs (exponential; guarded), used to quantify the
+  independence error in tests and benches.
+
+Both take per-input one-probabilities, so the adder-chain power model
+can feed each stage its true carry distribution from
+:func:`repro.core.sum_analysis.carry_profile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from ..core.exceptions import AnalysisError, NetlistError
+from .netlist import Netlist
+
+#: Enumerating more than this many primary inputs is refused.
+MAX_EXACT_INPUTS = 20
+
+
+def _gate_probability(kind: str, probs: Sequence[float]) -> float:
+    """P(output = 1) of one gate under input independence."""
+    if kind == "ZERO":
+        return 0.0
+    if kind == "ONE":
+        return 1.0
+    if kind == "BUF":
+        return probs[0]
+    if kind == "NOT":
+        return 1.0 - probs[0]
+    if kind in ("AND", "NAND"):
+        p = 1.0
+        for q in probs:
+            p *= q
+        return 1.0 - p if kind == "NAND" else p
+    if kind in ("OR", "NOR"):
+        p = 1.0
+        for q in probs:
+            p *= 1.0 - q
+        return p if kind == "NOR" else 1.0 - p
+    if kind in ("XOR", "XNOR"):
+        p = probs[0]
+        for q in probs[1:]:
+            p = p * (1.0 - q) + q * (1.0 - p)
+        return 1.0 - p if kind == "XNOR" else p
+    raise NetlistError(f"unknown gate kind {kind!r}")
+
+
+def propagate_probabilities(
+    netlist: Netlist,
+    input_probabilities: Mapping[str, float],
+) -> Dict[str, float]:
+    """One-probability of every net via independent-signal propagation."""
+    probs: Dict[str, float] = {}
+    for net in netlist.inputs:
+        if net not in input_probabilities:
+            raise AnalysisError(f"missing probability for input {net!r}")
+        p = float(input_probabilities[net])
+        if not 0.0 <= p <= 1.0:
+            raise AnalysisError(f"probability for {net!r} out of range: {p}")
+        probs[net] = p
+    for gate in netlist.topological_order():
+        probs[gate.output] = _gate_probability(
+            gate.kind, [probs[i] for i in gate.inputs]
+        )
+    return probs
+
+
+def exact_probabilities(
+    netlist: Netlist,
+    input_probabilities: Mapping[str, float],
+) -> Dict[str, float]:
+    """Exact net one-probabilities by weighted input enumeration."""
+    inputs = netlist.inputs
+    if len(inputs) > MAX_EXACT_INPUTS:
+        raise AnalysisError(
+            f"exact enumeration over {len(inputs)} inputs refused "
+            f"(> {MAX_EXACT_INPUTS})"
+        )
+    n = len(inputs)
+    assignments = np.arange(1 << n)
+    stimulus = {
+        net: (assignments >> i) & 1 for i, net in enumerate(inputs)
+    }
+    values = netlist.evaluate_array(stimulus)
+    weights = np.ones(1 << n)
+    for i, net in enumerate(inputs):
+        p = float(input_probabilities[net])
+        bit = (assignments >> i) & 1
+        weights *= np.where(bit == 1, p, 1.0 - p)
+    return {
+        net: float((values[net] * weights).sum()) for net in values
+    }
+
+
+def switching_activity(probabilities: Mapping[str, float]) -> Dict[str, float]:
+    """Per-net toggle activity ``alpha = 2 p (1 - p)``."""
+    return {net: 2.0 * p * (1.0 - p) for net, p in probabilities.items()}
+
+
+def total_activity(
+    netlist: Netlist,
+    input_probabilities: Mapping[str, float],
+    exact: bool = False,
+) -> float:
+    """Sum of switching activity over all *gate output* nets.
+
+    Primary inputs are excluded: their toggling is charged to the
+    upstream producer, matching how cell-level power is usually quoted.
+    """
+    estimator = exact_probabilities if exact else propagate_probabilities
+    probs = estimator(netlist, input_probabilities)
+    alphas = switching_activity(probs)
+    input_set = set(netlist.inputs)
+    return sum(a for net, a in alphas.items() if net not in input_set)
+
+
+def measured_activity(
+    netlist: Netlist,
+    stimulus: Mapping[str, np.ndarray],
+) -> Dict[str, float]:
+    """Empirical toggle rates from a concrete stimulus sequence.
+
+    Each input array is a time series of 0/1 values; the toggle rate of
+    a net is the fraction of adjacent cycles in which it changes.
+    """
+    values = netlist.evaluate_array(
+        {k: np.asarray(v) for k, v in stimulus.items()}
+    )
+    rates: Dict[str, float] = {}
+    for net, series in values.items():
+        if series.ndim != 1 or series.size < 2:
+            raise AnalysisError(
+                "measured_activity needs 1-D stimulus series of length >= 2"
+            )
+        rates[net] = float((series[1:] != series[:-1]).mean())
+    return rates

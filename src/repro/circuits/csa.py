@@ -1,0 +1,207 @@
+"""Structural carry-save reduction trees (the CSA topology, in gates).
+
+Complements :mod:`repro.multiop` (behavioural) with an actual netlist:
+one synthesised full-adder cell per compressor column, Wallace levels
+matching :func:`repro.multiop.compressor.wallace_reduce` exactly, and a
+final ripple adder.  Bit positions that a shifted word does not populate
+are tied off with ``ZERO`` constant drivers (0 GE, 0 delay).
+
+With a netlist in hand, the whole circuits toolbox applies: gate
+histograms, activity-based power, static timing, stuck-at faults -- so
+CSA-vs-RCA comparisons can be made structurally, not just statistically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.exceptions import ChainLengthError
+from ..core.recursive import CellSpec, resolve_cell, resolve_chain
+from .cells import SynthesizedCell, synthesize_cell
+from .netlist import Netlist
+
+
+class _TreeBuilder:
+    """Shared state while flattening one reduction tree."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.instance = 0
+        self._zero: Optional[str] = None
+
+    def zero(self) -> str:
+        if self._zero is None:
+            self._zero = self.netlist.add_gate("ZERO", (), "const0")
+        return self._zero
+
+    def instantiate(
+        self,
+        cell: SynthesizedCell,
+        a: str,
+        b: str,
+        cin: str,
+        tag: str,
+    ) -> Tuple[str, str]:
+        """Copy one synthesised cell; returns its (sum, cout) nets."""
+        prefix = f"{tag}{self.instance}"
+        self.instance += 1
+        local: Dict[str, str] = {"a": a, "b": b, "cin": cin}
+        for gate in cell.netlist.topological_order():
+            out_net = f"{prefix}_{gate.output}"
+            self.netlist.add_gate(
+                gate.kind, tuple(local[p] for p in gate.inputs), out_net
+            )
+            local[gate.output] = out_net
+        return local["sum"], local["cout"]
+
+
+def build_csa_tree_netlist(
+    operand_count: int,
+    width: int,
+    compress_cell: CellSpec = "accurate",
+    final_adder: Union[CellSpec, Sequence[CellSpec], None] = None,
+    name: str = "csa_tree",
+) -> Netlist:
+    """Flatten a full multi-operand adder: CSA levels + final ripple.
+
+    Primary inputs: ``op{k}_{i}`` for operand ``k`` bit ``i``.
+    Primary outputs: ``out0 .. out{W}`` where ``W`` is the final adder
+    width (``out{W}`` is its carry-out).
+
+    Grouping and level order replicate
+    :func:`repro.multiop.compressor.wallace_reduce`, so the netlist is
+    bit-identical to the behavioural model (tested exhaustively).
+    """
+    if operand_count < 2:
+        raise ChainLengthError("need at least two operands", operand_count)
+    if width < 1:
+        raise ChainLengthError(f"width must be >= 1, got {width}", width)
+    compress_impl = synthesize_cell(resolve_cell(compress_cell))
+
+    inputs = [
+        f"op{k}_{i}" for k in range(operand_count) for i in range(width)
+    ]
+    netlist = Netlist(name=name, inputs=inputs)
+    builder = _TreeBuilder(netlist)
+
+    # Each word is {bit position: net}; missing positions read as 0.
+    words: List[Dict[int, str]] = [
+        {i: f"op{k}_{i}" for i in range(width)} for k in range(operand_count)
+    ]
+    current_width = width
+    while len(words) > 2:
+        next_words: List[Dict[int, str]] = []
+        for j in range(0, len(words) - 2, 3):
+            x, y, z = words[j], words[j + 1], words[j + 2]
+            sum_word: Dict[int, str] = {}
+            carry_word: Dict[int, str] = {}
+            for pos in range(current_width):
+                nets = [
+                    w.get(pos, None) for w in (x, y, z)
+                ]
+                nets = [n if n is not None else builder.zero() for n in nets]
+                s_net, c_net = builder.instantiate(
+                    compress_impl, nets[0], nets[1], nets[2], "u"
+                )
+                sum_word[pos] = s_net
+                carry_word[pos + 1] = c_net
+            next_words.extend([sum_word, carry_word])
+        if len(words) % 3:
+            next_words.extend(words[len(words) - len(words) % 3:])
+        words = next_words
+        current_width += 1
+
+    # Final carry-propagate addition over [0, current_width).
+    final_cells = resolve_chain(
+        final_adder if final_adder is not None else "accurate", current_width
+    )
+    final_impls = {
+        table.name: synthesize_cell(table) for table in set(final_cells)
+    }
+    if len(words) == 1:
+        words.append({})
+    w0, w1 = words
+    carry_net = builder.zero()
+    for pos in range(current_width):
+        a_net = w0.get(pos) or builder.zero()
+        b_net = w1.get(pos) or builder.zero()
+        impl = final_impls[final_cells[pos].name]
+        s_net, carry_net = builder.instantiate(
+            impl, a_net, b_net, carry_net, "f"
+        )
+        netlist.add_gate("BUF", (s_net,), f"out{pos}")
+        netlist.mark_output(f"out{pos}")
+    netlist.add_gate("BUF", (carry_net,), f"out{current_width}")
+    netlist.mark_output(f"out{current_width}")
+    return netlist
+
+
+def csa_netlist_add(
+    netlist: Netlist,
+    operands: Sequence[int],
+    width: int,
+) -> int:
+    """Drive a CSA-tree netlist with integer operands."""
+    stimulus: Dict[str, int] = {}
+    for k, value in enumerate(operands):
+        if value < 0 or value >= 1 << width:
+            raise ChainLengthError(
+                f"operand {value} must fit in {width} bits"
+            )
+        for i in range(width):
+            stimulus[f"op{k}_{i}"] = (value >> i) & 1
+    missing = set(netlist.inputs) - set(stimulus)
+    if missing:
+        raise ChainLengthError(
+            f"netlist expects {len(netlist.inputs) // width} operands, "
+            f"got {len(operands)}"
+        )
+    out = netlist.evaluate_outputs(stimulus)
+    result = 0
+    for net, value in out.items():
+        result |= value << int(net[3:])
+    return result
+
+
+def csa_vs_rca_report(
+    operand_count: int,
+    width: int,
+    compress_cell: CellSpec = "accurate",
+) -> Dict[str, Dict[str, float]]:
+    """Structural comparison: CSA tree vs a cascade of ripple adders.
+
+    Both sum *operand_count* words of *width* bits.  The RCA cascade
+    adds operands one at a time with growing width (the low-area serial
+    architecture); the CSA tree is the parallel one.  Returns gate
+    count, depth and critical-path delay for each.
+    """
+    from .ripple import build_ripple_netlist
+    from .timing import critical_path
+
+    tree = build_csa_tree_netlist(operand_count, width, compress_cell)
+
+    # serial cascade: (count - 1) ripple adders of growing width; model
+    # its cost as the sum of parts and its delay as their sum (worst
+    # case: each addition waits for the previous).
+    total_gates = 0
+    total_delay = 0.0
+    depth = 0
+    acc_width = width
+    for _ in range(operand_count - 1):
+        stage = build_ripple_netlist(compress_cell, acc_width)
+        total_gates += stage.num_gates()
+        total_delay += critical_path(stage).delay
+        depth += stage.depth()
+        acc_width += 1
+    return {
+        "csa_tree": {
+            "gates": float(tree.num_gates()),
+            "depth": float(tree.depth()),
+            "delay": critical_path(tree).delay,
+        },
+        "rca_cascade": {
+            "gates": float(total_gates),
+            "depth": float(depth),
+            "delay": total_delay,
+        },
+    }

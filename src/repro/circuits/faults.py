@@ -1,0 +1,181 @@
+"""Stuck-at fault injection and statistical fault analysis.
+
+Connects the classic EDA test view (stuck-at-0/1 faults on nets) to the
+paper's statistical machinery: a fault inside a full-adder cell turns it
+into a *different* approximate cell, whose multi-bit error probability
+the recursive engine computes directly.  That gives a purely analytical
+"statistical detectability" of each fault -- how much it shifts the
+chain's error probability at a given input distribution -- alongside the
+traditional test-vector fault coverage.
+
+* :func:`enumerate_faults` -- every stuck-at-0/1 on inputs and gate
+  outputs;
+* :func:`faulted_truth_table` -- the cell's behaviour with one fault
+  injected (via evaluation overrides, no netlist surgery);
+* :func:`fault_detectability` -- per-fault |ΔP(Error)| of an N-bit
+  chain under the paper's analysis;
+* :func:`fault_coverage` -- fraction of faults detected by a test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.exceptions import AnalysisError
+from ..core.recursive import CellSpec, error_probability
+from ..core.truth_table import FullAdderTruthTable
+from ..core.types import Probability
+from .cells import synthesize_cell
+from .netlist import Netlist
+
+
+@dataclass(frozen=True, order=True)
+class StuckAtFault:
+    """A single stuck-at fault: *net* permanently reads *value*."""
+
+    net: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise AnalysisError(f"stuck-at value must be 0/1, got {self.value}")
+
+    def describe(self) -> str:
+        """Canonical name, e.g. ``"n_cin/SA1"``."""
+        return f"{self.net}/SA{self.value}"
+
+
+def enumerate_faults(netlist: Netlist) -> List[StuckAtFault]:
+    """All stuck-at-0/1 faults on primary inputs and gate outputs."""
+    nets = list(netlist.inputs) + [g.output for g in netlist.gates]
+    return [StuckAtFault(net, v) for net in nets for v in (0, 1)]
+
+
+def faulted_truth_table(
+    cell: CellSpec,
+    fault: StuckAtFault,
+    name: Optional[str] = None,
+) -> FullAdderTruthTable:
+    """The single-bit behaviour of *cell* with *fault* injected.
+
+    Evaluates the synthesised netlist under the stuck net for all eight
+    input rows and returns the resulting (possibly weirder) approximate
+    cell.
+    """
+    impl = synthesize_cell(cell)
+    known = set(impl.netlist.nets())
+    if fault.net not in known:
+        raise AnalysisError(
+            f"net {fault.net!r} does not exist in {impl.table.name} "
+            f"(known: {sorted(known)})"
+        )
+    rows = []
+    for idx in range(8):
+        a, b, cin = (idx >> 2) & 1, (idx >> 1) & 1, idx & 1
+        out = impl.netlist.evaluate(
+            {"a": a, "b": b, "cin": cin}, overrides={fault.net: fault.value}
+        )
+        rows.append((out["sum"], out["cout"]))
+    return FullAdderTruthTable(
+        rows, name=name or f"{impl.table.name}+{fault.describe()}"
+    )
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """Statistical impact of one fault on an N-bit chain."""
+
+    fault: StuckAtFault
+    p_error_healthy: float
+    p_error_faulty: float
+
+    @property
+    def delta(self) -> float:
+        """Shift in word-level error probability caused by the fault."""
+        return self.p_error_faulty - self.p_error_healthy
+
+    @property
+    def statistically_silent(self) -> bool:
+        """The fault does not move P(Error) at this input distribution
+        (it may still be functionally present -- e.g. masked rows)."""
+        return abs(self.delta) < 1e-12
+
+
+def fault_detectability(
+    cell: CellSpec,
+    width: int,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+    faults: Optional[Sequence[StuckAtFault]] = None,
+) -> List[FaultImpact]:
+    """Analytical P(Error) shift of every fault in an N-bit chain.
+
+    For each stuck-at fault the faulted truth table is fed to the
+    paper's recursion (fault present in **all** stages -- the
+    manufacturing-defect-in-the-cell-library scenario), and the impact is
+    compared against the healthy chain.
+    """
+    impl = synthesize_cell(cell)
+    healthy = float(error_probability(impl.table, width, p_a, p_b, p_cin))
+    impacts = []
+    for fault in faults if faults is not None else enumerate_faults(impl.netlist):
+        faulty_table = faulted_truth_table(impl.table, fault)
+        faulty = float(
+            error_probability(faulty_table, width, p_a, p_b, p_cin)
+        )
+        impacts.append(
+            FaultImpact(
+                fault=fault,
+                p_error_healthy=healthy,
+                p_error_faulty=faulty,
+            )
+        )
+    impacts.sort(key=lambda fi: -abs(fi.delta))
+    return impacts
+
+
+def fault_coverage(
+    netlist: Netlist,
+    test_vectors: Sequence[Dict[str, int]],
+    faults: Optional[Sequence[StuckAtFault]] = None,
+) -> Tuple[float, List[StuckAtFault]]:
+    """Classic stuck-at coverage of a test set.
+
+    A fault is *detected* when at least one vector makes any primary
+    output differ from the fault-free response.  Returns the coverage
+    ratio and the list of undetected faults.
+    """
+    if not test_vectors:
+        raise AnalysisError("need at least one test vector")
+    all_faults = list(faults) if faults is not None else enumerate_faults(netlist)
+    golden = [netlist.evaluate_outputs(v) for v in test_vectors]
+    undetected: List[StuckAtFault] = []
+    for fault in all_faults:
+        detected = False
+        for vector, reference in zip(test_vectors, golden):
+            got = netlist.evaluate(vector, overrides={fault.net: fault.value})
+            if any(got[net] != reference[net] for net in netlist.outputs):
+                detected = True
+                break
+        if not detected:
+            undetected.append(fault)
+    covered = len(all_faults) - len(undetected)
+    return covered / len(all_faults), undetected
+
+
+def exhaustive_test_set(netlist: Netlist) -> List[Dict[str, int]]:
+    """All input assignments of a small netlist (for coverage upper
+    bounds; refuses beyond 16 inputs)."""
+    inputs = netlist.inputs
+    if len(inputs) > 16:
+        raise AnalysisError(
+            f"exhaustive test set over {len(inputs)} inputs refused"
+        )
+    vectors = []
+    for assignment in range(1 << len(inputs)):
+        vectors.append(
+            {net: (assignment >> i) & 1 for i, net in enumerate(inputs)}
+        )
+    return vectors

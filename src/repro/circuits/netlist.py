@@ -1,0 +1,278 @@
+"""Gate-level netlist IR with topological evaluation.
+
+A minimal but real structural representation: named nets, primitive
+gates (NOT/AND/OR/NAND/NOR/XOR/XNOR/BUF), validation (missing drivers,
+multiple drivers, combinational cycles) and bit-true evaluation for both
+scalar and NumPy-array stimuli.  Used to materialise the LPAA cells
+(:mod:`repro.circuits.cells`) and multi-bit ripple adders
+(:mod:`repro.circuits.ripple`), and consumed by the switching-activity
+and power models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..core.exceptions import NetlistError
+
+
+def _fold(ufunc: Callable, xs: Tuple) -> np.ndarray:
+    """Reduce with pairwise ufunc application so mixed scalar/array
+    operands broadcast (``ufunc.reduce`` would require a homogeneous
+    stack and chokes when a ZERO/ONE scalar meets array stimuli)."""
+    out = xs[0]
+    for x in xs[1:]:
+        out = ufunc(out, x)
+    return out
+
+
+#: Gate kind -> (min inputs, max inputs, vectorised evaluator).
+#: ZERO/ONE are zero-input constant drivers (tie-off cells); they
+#: evaluate to NumPy scalars, which broadcast against any stimulus shape.
+_GATE_DEFS: Dict[str, Tuple[int, int, Callable[..., np.ndarray]]] = {
+    "ZERO": (0, 0, lambda: np.int64(0)),
+    "ONE": (0, 0, lambda: np.int64(1)),
+    "BUF": (1, 1, lambda a: a),
+    "NOT": (1, 1, lambda a: 1 - a),
+    "AND": (2, 8, lambda *xs: _fold(np.bitwise_and, xs)),
+    "OR": (2, 8, lambda *xs: _fold(np.bitwise_or, xs)),
+    "NAND": (2, 8, lambda *xs: 1 - _fold(np.bitwise_and, xs)),
+    "NOR": (2, 8, lambda *xs: 1 - _fold(np.bitwise_or, xs)),
+    "XOR": (2, 8, lambda *xs: _fold(np.bitwise_xor, xs)),
+    "XNOR": (2, 8, lambda *xs: 1 - _fold(np.bitwise_xor, xs)),
+}
+
+GATE_KINDS = tuple(sorted(_GATE_DEFS))
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One primitive gate instance."""
+
+    kind: str
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in _GATE_DEFS:
+            raise NetlistError(
+                f"unknown gate kind {self.kind!r}; known: {GATE_KINDS}"
+            )
+        lo, hi, _ = _GATE_DEFS[self.kind]
+        if not lo <= len(self.inputs) <= hi:
+            raise NetlistError(
+                f"{self.kind} takes {lo}..{hi} inputs, got {len(self.inputs)}"
+            )
+        if self.output in self.inputs:
+            raise NetlistError(
+                f"gate output {self.output!r} feeds back into its own inputs"
+            )
+
+
+class Netlist:
+    """A combinational netlist: primary inputs, gates, primary outputs."""
+
+    def __init__(self, name: str, inputs: Sequence[str]):
+        if len(set(inputs)) != len(inputs):
+            raise NetlistError(f"duplicate primary inputs in {list(inputs)}")
+        self.name = str(name)
+        self._inputs: Tuple[str, ...] = tuple(inputs)
+        self._outputs: List[str] = []
+        self._gates: List[Gate] = []
+        self._drivers: Dict[str, Gate] = {}
+        self._order: List[Gate] | None = None  # cached topological order
+
+    # -- construction -------------------------------------------------------------
+
+    def add_gate(self, kind: str, inputs: Sequence[str], output: str) -> str:
+        """Add a gate; returns the output net name for chaining."""
+        gate = Gate(kind=kind, inputs=tuple(inputs), output=output)
+        if output in self._drivers or output in self._inputs:
+            raise NetlistError(f"net {output!r} already driven")
+        self._gates.append(gate)
+        self._drivers[output] = gate
+        self._order = None
+        return output
+
+    def mark_output(self, net: str) -> None:
+        """Declare *net* a primary output (must exist by evaluation time)."""
+        if net in self._outputs:
+            raise NetlistError(f"output {net!r} declared twice")
+        self._outputs.append(net)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Primary input nets, in declaration order."""
+        return self._inputs
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Primary output nets, in declaration order."""
+        return tuple(self._outputs)
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """All gate instances."""
+        return tuple(self._gates)
+
+    def nets(self) -> List[str]:
+        """Every net name: inputs first, then gate outputs in topo order."""
+        return list(self._inputs) + [g.output for g in self.topological_order()]
+
+    def gate_histogram(self) -> Dict[str, int]:
+        """``{kind: count}`` over all gates."""
+        histogram: Dict[str, int] = {}
+        for gate in self._gates:
+            histogram[gate.kind] = histogram.get(gate.kind, 0) + 1
+        return histogram
+
+    def num_gates(self) -> int:
+        """Total primitive gate count."""
+        return len(self._gates)
+
+    def depth(self) -> int:
+        """Logic depth: longest input-to-output gate chain."""
+        level: Dict[str, int] = {net: 0 for net in self._inputs}
+        deepest = 0
+        for gate in self.topological_order():
+            if gate.inputs:
+                lvl = 1 + max(level[i] for i in gate.inputs)
+            else:
+                lvl = 0  # constant tie-offs sit at the input rank
+            level[gate.output] = lvl
+            deepest = max(deepest, lvl)
+        return deepest
+
+    # -- validation / ordering ------------------------------------------------------
+
+    def topological_order(self) -> List[Gate]:
+        """Gates in dependency order; raises on cycles or missing drivers."""
+        if self._order is not None:
+            return self._order
+        ready = set(self._inputs)
+        remaining = list(self._gates)
+        order: List[Gate] = []
+        while remaining:
+            progress = []
+            stuck = []
+            for gate in remaining:
+                if all(i in ready for i in gate.inputs):
+                    progress.append(gate)
+                else:
+                    stuck.append(gate)
+            if not progress:
+                undriven = sorted(
+                    {
+                        i
+                        for g in stuck
+                        for i in g.inputs
+                        if i not in ready and i not in self._drivers
+                    }
+                )
+                if undriven:
+                    raise NetlistError(
+                        f"{self.name}: nets {undriven} have no driver"
+                    )
+                raise NetlistError(
+                    f"{self.name}: combinational cycle among "
+                    f"{sorted(g.output for g in stuck)}"
+                )
+            for gate in progress:
+                order.append(gate)
+                ready.add(gate.output)
+            remaining = stuck
+        for net in self._outputs:
+            if net not in ready:
+                raise NetlistError(f"{self.name}: output {net!r} undriven")
+        self._order = order
+        return order
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        stimulus: Mapping[str, int],
+        overrides: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate all nets for one scalar input assignment.
+
+        Returns ``{net: 0/1}`` for every net in the design.  *overrides*
+        pins nets to constants (stuck-at fault injection).
+        """
+        values = self.evaluate_array(
+            {k: np.asarray(v) for k, v in stimulus.items()},
+            overrides=overrides,
+        )
+        return {net: int(arr) for net, arr in values.items()}
+
+    def evaluate_array(
+        self,
+        stimulus: Mapping[str, np.ndarray],
+        overrides: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Vectorised evaluation: each input maps to a 0/1 array.
+
+        *overrides* maps net names to constant 0/1 values that replace
+        whatever the net would carry -- the hook
+        :mod:`repro.circuits.faults` uses for stuck-at injection.
+        """
+        overrides = dict(overrides or {})
+        for net, value in overrides.items():
+            if value not in (0, 1):
+                raise NetlistError(f"override for {net!r} must be 0/1")
+        values: Dict[str, np.ndarray] = {}
+        for net in self._inputs:
+            if net not in stimulus:
+                raise NetlistError(f"missing stimulus for input {net!r}")
+            arr = np.asarray(stimulus[net])
+            if ((arr != 0) & (arr != 1)).any():
+                raise NetlistError(f"stimulus for {net!r} must be 0/1")
+            if net in overrides:
+                arr = np.broadcast_to(
+                    np.asarray(overrides[net], dtype=arr.dtype), arr.shape
+                )
+            values[net] = arr
+        for gate in self.topological_order():
+            _, _, fn = _GATE_DEFS[gate.kind]
+            out = fn(*(values[i] for i in gate.inputs))
+            if gate.output in overrides:
+                out = np.broadcast_to(
+                    np.asarray(overrides[gate.output], dtype=out.dtype),
+                    out.shape,
+                )
+            values[gate.output] = out
+        return values
+
+    def evaluate_outputs(self, stimulus: Mapping[str, int]) -> Dict[str, int]:
+        """Like :meth:`evaluate` but restricted to the primary outputs."""
+        values = self.evaluate(stimulus)
+        return {net: values[net] for net in self._outputs}
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, inputs={len(self._inputs)}, "
+            f"gates={len(self._gates)}, outputs={len(self._outputs)})"
+        )
+
+
+def fresh_namer(prefix: str) -> Callable[[], str]:
+    """A monotonic net-name generator (``prefix0``, ``prefix1``, ...)."""
+    counter = iter(range(10 ** 9))
+
+    def next_name() -> str:
+        return f"{prefix}{next(counter)}"
+
+    return next_name

@@ -1,0 +1,188 @@
+"""Exact two-level logic minimisation (Quine-McCluskey + Petrick).
+
+The paper's LPAA cells are defined at transistor level in their source
+works; this reproduction re-synthesises each cell from its truth table.
+A small, exact Quine-McCluskey implementation is entirely adequate at
+full-adder scale (3 inputs) and doubles as a reusable EDA utility for
+user-defined cells:
+
+* :func:`prime_implicants` -- iterative combination of implicants;
+* :func:`minimum_cover` -- exact minimum cover via Petrick's method;
+* :func:`minimize` -- the end-to-end SOP minimiser.
+
+An :class:`Implicant` is a cube over ``n`` variables encoded as
+``(value, mask)`` -- bit *i* of *mask* set means variable *i* is a
+don't-care in the cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from ..core.exceptions import SynthesisError
+
+
+@dataclass(frozen=True, order=True)
+class Implicant:
+    """A product term (cube): ``value`` on the non-masked positions.
+
+    Variable *i* (bit *i*) appears complemented when ``value`` bit is 0,
+    uncomplemented when 1, and not at all when masked.
+    """
+
+    value: int
+    mask: int
+
+    def covers(self, minterm: int) -> bool:
+        """``True`` when *minterm* lies inside this cube."""
+        return (minterm & ~self.mask) == (self.value & ~self.mask)
+
+    def literals(self, n_vars: int) -> List[Tuple[int, bool]]:
+        """The cube's literals as ``(variable index, complemented)``."""
+        return [
+            (i, not (self.value >> i) & 1)
+            for i in range(n_vars)
+            if not (self.mask >> i) & 1
+        ]
+
+    def num_literals(self, n_vars: int) -> int:
+        """Number of literals (cost measure for minimisation)."""
+        return n_vars - bin(self.mask & ((1 << n_vars) - 1)).count("1")
+
+    def expand(self, n_vars: int) -> List[int]:
+        """All minterms covered by the cube."""
+        free = [i for i in range(n_vars) if (self.mask >> i) & 1]
+        minterms = []
+        for choice in range(1 << len(free)):
+            m = self.value & ~self.mask
+            for j, var in enumerate(free):
+                if (choice >> j) & 1:
+                    m |= 1 << var
+            minterms.append(m)
+        return sorted(minterms)
+
+    def to_string(self, names: Sequence[str]) -> str:
+        """Readable product term, e.g. ``"a & ~b"``; ``"1"`` if empty."""
+        parts = [
+            ("~" if complemented else "") + names[i]
+            for i, complemented in self.literals(len(names))
+        ]
+        return " & ".join(parts) if parts else "1"
+
+
+def _try_combine(a: Implicant, b: Implicant) -> Implicant | None:
+    """Combine two cubes differing in exactly one cared bit, else None."""
+    if a.mask != b.mask:
+        return None
+    diff = (a.value ^ b.value) & ~a.mask
+    if diff == 0 or diff & (diff - 1):
+        return None  # identical, or differ in more than one bit
+    return Implicant(value=a.value & ~diff, mask=a.mask | diff)
+
+
+def prime_implicants(minterms: Sequence[int], n_vars: int) -> List[Implicant]:
+    """All prime implicants of the function given by its *minterms*."""
+    limit = 1 << n_vars
+    unique = sorted(set(minterms))
+    if any(m < 0 or m >= limit for m in unique):
+        raise SynthesisError(
+            f"minterms must lie in [0, {limit}) for {n_vars} variables"
+        )
+    current: Set[Implicant] = {Implicant(value=m, mask=0) for m in unique}
+    primes: Set[Implicant] = set()
+    while current:
+        combined_sources: Set[Implicant] = set()
+        produced: Set[Implicant] = set()
+        items = sorted(current)
+        for a, b in combinations(items, 2):
+            merged = _try_combine(a, b)
+            if merged is not None:
+                produced.add(merged)
+                combined_sources.add(a)
+                combined_sources.add(b)
+        primes.update(current - combined_sources)
+        current = produced
+    return sorted(primes)
+
+
+def _petrick_cover(
+    primes: Sequence[Implicant],
+    minterms: Sequence[int],
+    n_vars: int,
+) -> List[Implicant]:
+    """Exact minimum cover by Petrick's method (product-of-sums expansion).
+
+    The sums are kept as frozensets of prime indices; multiplying two
+    sums unions the index sets, with absorption pruning to keep the
+    product small.  At full-adder scale this is instantaneous.
+    """
+    sums: List[FrozenSet[int]] = []
+    for m in minterms:
+        covering = frozenset(
+            i for i, p in enumerate(primes) if p.covers(m)
+        )
+        if not covering:
+            raise SynthesisError(f"minterm {m} not covered by any prime")
+        sums.append(covering)
+
+    products: Set[FrozenSet[int]] = {frozenset()}
+    for clause in sums:
+        expanded: Set[FrozenSet[int]] = set()
+        for product in products:
+            for idx in clause:
+                expanded.add(product | {idx})
+        # absorption: drop supersets of other products
+        pruned: Set[FrozenSet[int]] = set()
+        for candidate in sorted(expanded, key=len):
+            if not any(kept < candidate for kept in pruned):
+                pruned.add(candidate)
+        products = pruned
+
+    def cost(selection: FrozenSet[int]) -> Tuple[int, int]:
+        return (
+            len(selection),
+            sum(primes[i].num_literals(n_vars) for i in selection),
+        )
+
+    best = min(products, key=cost)
+    return [primes[i] for i in sorted(best)]
+
+
+def minimum_cover(
+    primes: Sequence[Implicant],
+    minterms: Sequence[int],
+    n_vars: int,
+) -> List[Implicant]:
+    """Exact minimum subset of *primes* covering all *minterms*."""
+    return _petrick_cover(primes, sorted(set(minterms)), n_vars)
+
+
+def minimize(minterms: Sequence[int], n_vars: int) -> List[Implicant]:
+    """Minimum sum-of-products cover of the given *minterms*.
+
+    Returns an empty list for the constant-0 function; a single
+    fully-masked implicant for constant-1.
+
+    >>> [i.to_string("ab") for i in minimize([1, 3], 2)]
+    ['a']
+    """
+    unique = sorted(set(minterms))
+    if not unique:
+        return []
+    if len(unique) == 1 << n_vars:
+        return [Implicant(value=0, mask=(1 << n_vars) - 1)]
+    primes = prime_implicants(unique, n_vars)
+    return _petrick_cover(primes, unique, n_vars)
+
+
+def evaluate_cover(cover: Sequence[Implicant], assignment: int) -> int:
+    """Evaluate a SOP cover on a packed input *assignment* (bit i = var i)."""
+    return int(any(term.covers(assignment) for term in cover))
+
+
+def cover_cost(cover: Sequence[Implicant], n_vars: int) -> Tuple[int, int]:
+    """``(product terms, total literals)`` of a cover -- the classic
+    two-level cost pair."""
+    return len(cover), sum(term.num_literals(n_vars) for term in cover)

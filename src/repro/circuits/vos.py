@@ -1,0 +1,187 @@
+"""Voltage over-scaling (VOS) error modelling.
+
+Paper §2.1 lists "non uniform Voltage Over Scaling" among the
+error-tolerant design styles around approximate adders.  VOS lowers the
+supply below the point where the critical path meets the clock; paths
+that no longer fit produce *timing errors*.  This module provides a
+first-order, gate-level model of that mechanism:
+
+* **voltage -> delay/power scaling** via the alpha-power law
+  (``delay ~ V / (V - Vth)^alpha``, ``dynamic power ~ V^2``), with the
+  standard-ish constants documented on :class:`VoltageModel`;
+* **failure model**: an output whose (scaled) STA arrival time exceeds
+  the clock period latches its *previous-cycle* value -- the classic
+  stale-data abstraction of timing errors;
+* :func:`vos_error_rate` -- Monte-Carlo word-level error rate of a
+  netlist at a given supply, driven by back-to-back random vectors;
+* :func:`vos_quality_energy_sweep` -- the VOS signature curve: error
+  rate vs energy across supply levels (errors stay at zero until the
+  critical path crosses the clock, then climb while power falls).
+
+The model is topological (per-output worst-case arrival), so it is
+pessimistic about *which* cycles fail but exact about *which outputs
+can* fail -- adequate for the architecture-level trade-off the paper
+gestures at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.exceptions import AnalysisError
+from .netlist import Netlist
+from .timing import arrival_times
+
+
+@dataclass(frozen=True)
+class VoltageModel:
+    """Alpha-power-law supply scaling.
+
+    Attributes
+    ----------
+    v_nominal:
+        Supply at which the gate delays of
+        :mod:`repro.circuits.timing` are calibrated (scale = 1).
+    v_threshold:
+        Device threshold; delays diverge as V approaches it.
+    alpha:
+        Velocity-saturation exponent (1.3 is typical for short-channel
+        CMOS; 2.0 recovers the classic long-channel law).
+    """
+
+    v_nominal: float = 1.0
+    v_threshold: float = 0.3
+    alpha: float = 1.3
+
+    def delay_scale(self, v: float) -> float:
+        """Gate-delay multiplier at supply *v* (1.0 at nominal)."""
+        if v <= self.v_threshold:
+            raise AnalysisError(
+                f"supply {v} is at/below threshold {self.v_threshold}"
+            )
+        nominal = self.v_nominal / (
+            (self.v_nominal - self.v_threshold) ** self.alpha
+        )
+        scaled = v / ((v - self.v_threshold) ** self.alpha)
+        return scaled / nominal
+
+    def power_scale(self, v: float) -> float:
+        """Dynamic-power multiplier at constant frequency: ``(V/Vnom)^2``."""
+        if v <= 0:
+            raise AnalysisError(f"supply must be positive, got {v}")
+        return (v / self.v_nominal) ** 2
+
+
+def failing_outputs(
+    netlist: Netlist,
+    clock_period: float,
+    delay_scale: float = 1.0,
+) -> List[str]:
+    """Primary outputs whose scaled arrival time exceeds the clock."""
+    if clock_period <= 0:
+        raise AnalysisError(f"clock period must be > 0, got {clock_period}")
+    if delay_scale <= 0:
+        raise AnalysisError(f"delay scale must be > 0, got {delay_scale}")
+    arrivals = arrival_times(netlist)
+    return [
+        net for net in netlist.outputs
+        if arrivals[net] * delay_scale > clock_period + 1e-12
+    ]
+
+
+def evaluate_with_timing(
+    netlist: Netlist,
+    previous: Dict[str, np.ndarray],
+    current: Dict[str, np.ndarray],
+    clock_period: float,
+    delay_scale: float = 1.0,
+) -> Dict[str, np.ndarray]:
+    """Outputs under the stale-data timing-error model.
+
+    Failing outputs return their value for the *previous* stimulus;
+    passing outputs return the current-cycle value.
+    """
+    stale = set(failing_outputs(netlist, clock_period, delay_scale))
+    now = netlist.evaluate_array(current)
+    if not stale:
+        return {net: now[net] for net in netlist.outputs}
+    before = netlist.evaluate_array(previous)
+    return {
+        net: (before[net] if net in stale else now[net])
+        for net in netlist.outputs
+    }
+
+
+def vos_error_rate(
+    netlist: Netlist,
+    word_outputs: Sequence[str],
+    clock_period: float,
+    delay_scale: float,
+    samples: int = 20_000,
+    seed: Optional[int] = None,
+) -> float:
+    """Monte-Carlo probability that the output word is wrong under VOS.
+
+    Drives the netlist with back-to-back uniform random vectors; the
+    reference is the full-period (non-scaled) evaluation of the current
+    vector.
+    """
+    if samples < 1:
+        raise AnalysisError(f"samples must be >= 1, got {samples}")
+    rng = np.random.default_rng(seed)
+    stim_prev = {
+        net: rng.integers(0, 2, samples) for net in netlist.inputs
+    }
+    stim_curr = {
+        net: rng.integers(0, 2, samples) for net in netlist.inputs
+    }
+    got = evaluate_with_timing(
+        netlist, stim_prev, stim_curr, clock_period, delay_scale
+    )
+    reference = netlist.evaluate_array(stim_curr)
+    wrong = np.zeros(samples, dtype=bool)
+    for net in word_outputs:
+        wrong |= np.asarray(got[net]) != np.asarray(reference[net])
+    return float(wrong.mean())
+
+
+def vos_quality_energy_sweep(
+    netlist: Netlist,
+    word_outputs: Sequence[str],
+    supplies: Sequence[float],
+    model: Optional[VoltageModel] = None,
+    clock_period: Optional[float] = None,
+    samples: int = 20_000,
+    seed: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """The VOS signature: per-supply error rate and power.
+
+    The clock defaults to the nominal-voltage critical path, so the
+    first row (V = Vnom) is error-free by construction and quality
+    degrades as the supply drops.
+    """
+    model = model or VoltageModel()
+    arrivals = arrival_times(netlist)
+    nominal_critical = max(arrivals[net] for net in netlist.outputs)
+    period = clock_period if clock_period is not None else nominal_critical
+    rows = []
+    for v in supplies:
+        scale = model.delay_scale(v)
+        rows.append(
+            {
+                "supply": float(v),
+                "delay_scale": scale,
+                "power_scale": model.power_scale(v),
+                "failing_outputs": float(
+                    len(failing_outputs(netlist, period, scale))
+                ),
+                "error_rate": vos_error_rate(
+                    netlist, word_outputs, period, scale,
+                    samples=samples, seed=seed,
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,505 @@
+"""Command-line interface: ``sealpaa`` (or ``python -m repro``).
+
+Mirrors the paper's open-source-library goal: every headline analysis is
+one command away.
+
+Sub-commands
+------------
+analyze   error probability of one chain at one probability point
+sweep     error-vs-width curves for several cells (Fig. 5 style)
+compare   analytical vs exhaustive vs Monte-Carlo cross-validation
+gear      GeAr(N, R, P) error analysis (DP + IE + MC)
+hybrid    optimal hybrid chain search
+power     calibrated power/area estimates (Table 2 style)
+cells     list registered cells and their truth tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import __version__
+from .core.adders import registry
+from .core.hybrid import HybridChain
+from .core.masking import chain_is_exact
+from .core.recursive import analyze_chain
+from .core.stages import format_trace_table, trace_chain
+from .core.vectorized import error_by_width
+from .reporting import ascii_table
+
+
+def _probability(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"probability out of [0,1]: {text}")
+    return value
+
+
+def _prob_list(text: str) -> object:
+    """Scalar probability or comma-separated per-bit list."""
+    if "," in text:
+        return [_probability(chunk) for chunk in text.split(",") if chunk]
+    return _probability(text)
+
+
+def _chain_from_args(args) -> HybridChain:
+    if getattr(args, "cells_file", None):
+        from .io import load_cell_library
+
+        load_cell_library(args.cells_file)
+    if getattr(args, "spec", None):
+        return HybridChain.from_spec(args.spec)
+    if args.cell is None or args.width is None:
+        raise SystemExit("either --spec or both --cell and --width required")
+    return HybridChain.uniform(args.cell, args.width)
+
+
+def _cmd_analyze(args) -> int:
+    chain = _chain_from_args(args)
+    if args.trace:
+        result = trace_chain(list(chain.cells), None, args.pa, args.pb, args.pcin)
+        print(format_trace_table(result))
+    else:
+        result = chain.analyze(args.pa, args.pb, args.pcin)
+    print(f"chain      : {chain.describe()}")
+    print(f"P(Succ)    : {float(result.p_success):.6f}")
+    print(f"P(Error)   : {float(result.p_error):.6f}")
+    if not chain_is_exact(list(chain.cells)):
+        print("note       : this chain can mask internal errors; the value")
+        print("             above is an upper bound on the true P(Error).")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    cells = args.cells or registry.names()
+    rows = []
+    for name in cells:
+        curve = error_by_width(name, args.max_width, args.p, args.pcin)
+        rows.append([name, *[float(v) for v in curve]])
+    headers = ["Cell", *[f"N={n}" for n in range(1, args.max_width + 1)]]
+    print(ascii_table(headers, rows, digits=args.digits,
+                      title=f"P(Error) vs width at p = {args.p}"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .simulation.exhaustive import (
+        MAX_EXHAUSTIVE_WIDTH,
+        exhaustive_error_probability,
+    )
+    from .simulation.montecarlo import simulate_error_probability
+
+    chain = _chain_from_args(args)
+    cells = list(chain.cells)
+    analytical = float(
+        analyze_chain(cells, None, args.pa, args.pb, args.pcin).p_error
+    )
+    rows = [["analytical (recursion)", analytical]]
+    if chain.width <= MAX_EXHAUSTIVE_WIDTH:
+        rows.append([
+            "exhaustive (weighted enumeration)",
+            exhaustive_error_probability(cells, None, args.pa, args.pb,
+                                         args.pcin),
+        ])
+    mc = simulate_error_probability(
+        cells, None, args.pa, args.pb, args.pcin,
+        samples=args.samples, seed=args.seed,
+    )
+    rows.append([f"monte-carlo ({args.samples} samples)", mc.p_error])
+    print(ascii_table(["Method", "P(Error)"], rows, digits=6,
+                      title=chain.describe()))
+    return 0
+
+
+def _cmd_gear(args) -> int:
+    from .gear.analysis import (
+        gear_error_probability,
+        gear_inclusion_exclusion,
+        gear_monte_carlo,
+        gear_subadder_error_probabilities,
+    )
+    from .gear.config import GeArConfig
+
+    config = GeArConfig(args.n, args.r, args.p)
+    print(config.describe())
+    dp = gear_error_probability(config, args.pa, args.pb)
+    print(f"P(Error) [linear DP]     : {dp:.6f}")
+    if config.num_subadders - 1 <= 20:
+        ie = gear_inclusion_exclusion(config, args.pa, args.pb)
+        print(
+            f"P(Error) [inclusion-exc] : {ie.p_error:.6f} "
+            f"({ie.terms_evaluated} terms)"
+        )
+    if args.samples:
+        mc = gear_monte_carlo(config, args.pa, args.pb,
+                              samples=args.samples, seed=args.seed)
+        print(f"P(Error) [monte-carlo]   : {mc:.6f}")
+    marginals = gear_subadder_error_probabilities(config, args.pa, args.pb)
+    for i, marginal in enumerate(marginals, start=1):
+        print(f"  P(sub-adder {i} errs)   : {marginal:.6f}")
+    return 0
+
+
+def _cmd_hybrid(args) -> int:
+    from .explore.hybrid_search import greedy_hybrid, optimal_hybrid
+
+    cells = args.cells or [f"LPAA {i}" for i in range(1, 8)]
+    result = optimal_hybrid(cells, args.width, args.pa, args.pb, args.pcin,
+                            power_weight=args.power_weight)
+    print(f"optimal chain : {result.chain.describe()}")
+    print(f"P(Error)      : {result.p_error:.6f}  (exact={result.exact})")
+    if result.power_nw is not None:
+        print(f"power (model) : {result.power_nw:.1f} nW")
+    if args.show_greedy:
+        greedy = greedy_hybrid(cells, args.width, args.pa, args.pb, args.pcin)
+        print(f"greedy chain  : {greedy.chain.describe()} "
+              f"(P(Error) = {greedy.p_error:.6f})")
+    return 0
+
+
+def _cmd_power(args) -> int:
+    from .circuits.power import PowerModel
+
+    model = PowerModel()
+    chain = _chain_from_args(args)
+    rows = []
+    for name in sorted({cell.name for cell in chain.cells}):
+        cost = model.cell_cost(name, args.p)
+        rows.append([
+            cost.name, cost.area_ge, cost.published_area_ge,
+            cost.power_nw, cost.published_power_nw,
+        ])
+    print(ascii_table(
+        ["Cell", "Area GE (model)", "Area GE (paper)",
+         "Power nW (model)", "Power nW (paper)"],
+        rows, digits=2,
+    ))
+    print(f"chain area  : {model.chain_area_ge(list(chain.cells)):.2f} GE")
+    print(
+        "chain power : "
+        f"{model.chain_power_nw(list(chain.cells), None, args.p, args.p):.1f} nW"
+    )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .circuits.power import PowerModel
+    from .explore.design_space import sweep_design_space
+    from .io import export_design_points
+
+    model = PowerModel() if args.power else None
+    points = sweep_design_space(
+        args.cells or registry.names(),
+        args.widths,
+        args.probabilities,
+        power_model=model,
+    )
+    export_design_points(points, args.output, fmt=args.format)
+    print(f"wrote {len(points)} design points to {args.output}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    """Reproduce a paper table on stdout (subset of the bench suite)."""
+    from .core.adders import PAPER_LPAAS
+    from .core.matrices import derive_matrices
+    from .core.recursive import error_probability
+
+    table_id = args.id
+    if table_id == "4":
+        result = trace_chain(
+            "LPAA 1", width=4, p_a=[0.9, 0.5, 0.4, 0.8],
+            p_b=[0.8, 0.7, 0.6, 0.9], p_cin=0.5,
+        )
+        print(format_trace_table(result))
+    elif table_id == "5":
+        rows = []
+        for cell in PAPER_LPAAS:
+            mkl = derive_matrices(cell)
+            fmt = lambda m: "[" + ",".join(map(str, m)) + "]"
+            rows.append([cell.name, fmt(mkl.m), fmt(mkl.k), fmt(mkl.l)])
+        print(ascii_table(["LPAA", "M", "K", "L"], rows))
+    elif table_id == "3":
+        from .baselines.operation_counter import table3_row
+
+        rows = [
+            [k, *table3_row(k).values()] for k in (4, 8, 12, 16, 20, 24, 28, 32)
+        ]
+        print(ascii_table(
+            ["Stages", "Terms", "Mults", "Adds", "Memory"], rows
+        ))
+    elif table_id == "7":
+        rows = []
+        for width in (2, 4, 6, 8, 10, 12):
+            rows.append([
+                width,
+                *[
+                    float(error_probability(cell, width, 0.1, 0.1, 0.1))
+                    for cell in PAPER_LPAAS
+                ],
+            ])
+        print(ascii_table(
+            ["N", *[c.name for c in PAPER_LPAAS]], rows, digits=5
+        ))
+    else:
+        raise SystemExit(
+            f"table {table_id!r} not supported here (use the benchmark "
+            "suite for the full set); supported: 3, 4, 5, 7"
+        )
+    return 0
+
+
+def _cmd_symbolic(args) -> int:
+    from .core.symbolic import symbolic_error_probability
+
+    chain = _chain_from_args(args)
+    poly = symbolic_error_probability(list(chain.cells), None, mode=args.mode)
+    print(f"chain      : {chain.describe()}")
+    print(f"P(Error)   = {poly.to_string()}")
+    print(f"degree {poly.degree()}, {len(poly.terms)} terms, "
+          f"variables {poly.variables()}")
+    return 0
+
+
+def _cmd_timing(args) -> int:
+    from .circuits.timing import cell_delay, ripple_delay
+    from .gear.variants import variant_comparison
+
+    if args.llaa:
+        rows = [
+            [r["name"], r["l"], r["subadders"], r["delay"], r["p_error"]]
+            for r in variant_comparison(args.width)
+        ]
+        print(ascii_table(
+            ["adder", "L", "k", "delay", "P(Error)"], rows, digits=4,
+            title=f"named LLAA variants at N = {args.width}",
+        ))
+        return 0
+    chain = _chain_from_args(args)
+    rows = []
+    for name in sorted({cell.name for cell in chain.cells}):
+        delays = cell_delay(name)
+        rows.append([name, delays["sum"], delays["cout"],
+                     delays["cin_to_cout"]])
+    print(ascii_table(
+        ["cell", "sum delay", "cout delay", "carry increment"],
+        rows, digits=2,
+    ))
+    print(f"chain critical path: "
+          f"{ripple_delay(list(chain.cells)):.1f} unit gates")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from .circuits.faults import fault_detectability
+
+    impacts = fault_detectability(
+        args.cell, width=args.width, p_a=args.pa, p_b=args.pb,
+        p_cin=args.pcin,
+    )
+    rows = [
+        [fi.fault.describe(), fi.p_error_faulty, fi.delta]
+        for fi in impacts[:args.top]
+    ]
+    print(ascii_table(
+        ["fault", "P(Error) faulty", "delta"], rows, digits=4,
+        title=f"top {args.top} stuck-at faults of {args.cell} in a "
+              f"{args.width}-bit chain "
+              f"(healthy P(E) = {impacts[0].p_error_healthy:.4f})",
+    ))
+    silent = [fi for fi in impacts if fi.statistically_silent]
+    if silent:
+        print(f"{len(silent)} fault(s) are statistically silent at this "
+              "input distribution.")
+    return 0
+
+
+def _cmd_ant(args) -> int:
+    from .ant import AntAdder, ant_quality_experiment
+
+    adder = AntAdder(args.width, args.cell, args.truncation,
+                     threshold=args.threshold)
+    main, ant, usage = ant_quality_experiment(
+        args.width, args.cell, args.truncation, p=args.p,
+        samples=args.samples, seed=args.seed, threshold=args.threshold,
+    )
+    print(ascii_table(
+        ["datapath", "ER", "MED", "MSE", "WCE"],
+        [
+            [f"raw {args.cell} x{args.width}", main.error_rate, main.med,
+             main.mse, main.wce],
+            [f"ANT(k={args.truncation})", ant.error_rate, ant.med,
+             ant.mse, ant.wce],
+        ],
+        digits=4,
+    ))
+    print(f"replica usage     : {usage:.2%}")
+    print(f"hard WCE bound    : {adder.worst_case_error_bound()}")
+    return 0
+
+
+def _cmd_cells(args) -> int:
+    rows = []
+    for cell in registry:
+        rows.append([
+            cell.name,
+            cell.num_error_cases(),
+            "".join(str(s) for s, _ in cell.rows),
+            "".join(str(c) for _, c in cell.rows),
+        ])
+    print(ascii_table(
+        ["Cell", "Error cases", "Sum row (000..111)", "Cout row"],
+        rows,
+    ))
+    return 0
+
+
+def _add_point_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pa", type=_prob_list, default=0.5,
+                        help="P(A_i = 1): scalar or comma list (default 0.5)")
+    parser.add_argument("--pb", type=_prob_list, default=0.5,
+                        help="P(B_i = 1): scalar or comma list (default 0.5)")
+    parser.add_argument("--pcin", type=_probability, default=0.5,
+                        help="P(C_in = 1) (default 0.5)")
+
+
+def _add_chain_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cell", help='cell name, e.g. "LPAA 1"')
+    parser.add_argument("--width", type=int, help="number of stages N")
+    parser.add_argument("--spec",
+                        help='hybrid spec, e.g. "LPAA7:4, LPAA1:4"')
+    parser.add_argument("--cells-file",
+                        help="JSON cell library to load first "
+                             "(see repro.io)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sealpaa",
+        description="Statistical error analysis for low-power approximate "
+                    "adders (DAC'17 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="error probability of one chain")
+    _add_chain_arguments(p)
+    _add_point_arguments(p)
+    p.add_argument("--trace", action="store_true",
+                   help="print the per-stage Table-4-style trace")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("sweep", help="error-vs-width curves (Fig. 5 style)")
+    p.add_argument("--cells", nargs="*", help="cells (default: all)")
+    p.add_argument("--max-width", type=int, default=12)
+    p.add_argument("--p", type=_probability, default=0.5,
+                   help="input one-probability for all bits")
+    p.add_argument("--pcin", type=_probability, default=0.5)
+    p.add_argument("--digits", type=int, default=4)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("compare",
+                       help="analytical vs exhaustive vs Monte-Carlo")
+    _add_chain_arguments(p)
+    _add_point_arguments(p)
+    p.add_argument("--samples", type=int, default=1_000_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("gear", help="GeAr(N, R, P) error analysis")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--r", type=int, required=True)
+    p.add_argument("--p", dest="p", type=int, required=True)
+    p.add_argument("--pa", type=_prob_list, default=0.5)
+    p.add_argument("--pb", type=_prob_list, default=0.5)
+    p.add_argument("--samples", type=int, default=0,
+                   help="Monte-Carlo samples (0 = skip)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_gear)
+
+    p = sub.add_parser("hybrid", help="optimal hybrid chain search")
+    p.add_argument("--width", type=int, required=True)
+    p.add_argument("--cells", nargs="*",
+                   help="candidate cells (default: LPAA 1..7)")
+    _add_point_arguments(p)
+    p.add_argument("--power-weight", type=float, default=0.0,
+                   help="objective = P(Succ) - weight * power_nW")
+    p.add_argument("--show-greedy", action="store_true")
+    p.set_defaults(func=_cmd_hybrid)
+
+    p = sub.add_parser("power", help="power/area estimates (Table 2 style)")
+    _add_chain_arguments(p)
+    p.add_argument("--p", type=_probability, default=0.5)
+    p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser("cells", help="list registered cells")
+    p.set_defaults(func=_cmd_cells)
+
+    p = sub.add_parser("export", help="sweep the design space to CSV/JSON")
+    p.add_argument("--cells", nargs="*", help="cells (default: all)")
+    p.add_argument("--widths", nargs="+", type=int, default=[4, 8, 12])
+    p.add_argument("--probabilities", nargs="+", type=_probability,
+                   default=[0.1, 0.5, 0.9])
+    p.add_argument("--power", action="store_true",
+                   help="attach power/area estimates (slower)")
+    p.add_argument("--format", default="", help="csv or json "
+                   "(default: from the file suffix)")
+    p.add_argument("-o", "--output", required=True,
+                   help="output file path")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("table", help="reproduce a paper table (3/4/5/7)")
+    p.add_argument("id", help="paper table number")
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("symbolic",
+                       help="closed-form P(Error) expression of a chain")
+    _add_chain_arguments(p)
+    p.add_argument("--mode", choices=["uniform", "per-bit"],
+                   default="uniform")
+    p.set_defaults(func=_cmd_symbolic)
+
+    p = sub.add_parser("timing", help="cell/chain delays, LLAA comparison")
+    _add_chain_arguments(p)
+    p.add_argument("--llaa", action="store_true",
+                   help="compare named LLAA variants instead")
+    p.set_defaults(func=_cmd_timing)
+
+    p = sub.add_parser("faults",
+                       help="statistical stuck-at fault grading of a cell")
+    p.add_argument("--cell", required=True)
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--top", type=int, default=10)
+    _add_point_arguments(p)
+    p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser("ant", help="ANT protection quality experiment")
+    p.add_argument("--cell", required=True, help="main-block cell")
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--truncation", type=int, default=3,
+                   help="replica truncation bits k")
+    p.add_argument("--threshold", type=int, default=None)
+    p.add_argument("--p", type=_probability, default=0.5)
+    p.add_argument("--samples", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_ant)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .core.exceptions import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

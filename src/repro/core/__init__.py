@@ -1,0 +1,169 @@
+"""Core of the library: the paper's recursive statistical error analysis.
+
+Public surface:
+
+* cells and truth tables -- :mod:`repro.core.truth_table`,
+  :mod:`repro.core.adders`;
+* analysis masks -- :mod:`repro.core.matrices`;
+* the recursion (scalar / traced / vectorised) --
+  :mod:`repro.core.recursive`, :mod:`repro.core.stages`,
+  :mod:`repro.core.vectorized`;
+* extensions -- :mod:`repro.core.sum_analysis`,
+  :mod:`repro.core.magnitude`, :mod:`repro.core.metrics`,
+  :mod:`repro.core.hybrid`, :mod:`repro.core.masking`.
+"""
+
+from .adders import (
+    ACCURATE_CELL,
+    CELL_CHARACTERISTICS,
+    LPAA1,
+    LPAA2,
+    LPAA3,
+    LPAA4,
+    LPAA5,
+    LPAA6,
+    LPAA7,
+    PAPER_LPAAS,
+    CellCharacteristics,
+    CellRegistry,
+    get_cell,
+    paper_cell,
+    registry,
+)
+from .exceptions import (
+    AnalysisError,
+    ChainLengthError,
+    ExplorationError,
+    GeArConfigError,
+    NetlistError,
+    ProbabilityError,
+    RegistryError,
+    ReproError,
+    SynthesisError,
+    TruthTableError,
+)
+from .correlated import (
+    JointBitDistribution,
+    analyze_chain_correlated,
+    error_probability_correlated,
+    self_addition_error,
+)
+from .hybrid import HybridChain
+from .magnitude import ErrorMoments, error_moments, error_pmf
+from .masking import MaskingReport, chain_is_exact, masking_analysis
+from .matrices import (
+    TABLE5_MATRICES,
+    AnalysisMatrices,
+    derive_carry_matrices,
+    derive_matrices,
+    derive_sum_matrix,
+)
+from .metrics import QualityMetrics, metrics_from_pmf, metrics_from_samples
+from .recursive import (
+    ChainAnalysisResult,
+    StageRecord,
+    analyze_chain,
+    error_probability,
+    success_probability,
+)
+from .stages import format_trace_table, trace_chain, trace_rows
+from .symbolic import Polynomial, symbolic_error_probability
+from .sum_analysis import (
+    JointCarryState,
+    bit_error_probabilities,
+    carry_profile,
+    joint_carry_profile,
+    sum_bit_probabilities,
+)
+from .truth_table import ACCURATE, ErrorCase, FullAdderTruthTable
+from .value_distribution import (
+    output_bias,
+    output_mean,
+    output_value_pmf,
+    total_variation_distance,
+)
+from .vectorized import (
+    analyze_batch,
+    error_batch,
+    error_by_width,
+    success_by_width,
+)
+
+__all__ = [
+    # cells / tables
+    "ACCURATE",
+    "ACCURATE_CELL",
+    "FullAdderTruthTable",
+    "ErrorCase",
+    "LPAA1",
+    "LPAA2",
+    "LPAA3",
+    "LPAA4",
+    "LPAA5",
+    "LPAA6",
+    "LPAA7",
+    "PAPER_LPAAS",
+    "CELL_CHARACTERISTICS",
+    "CellCharacteristics",
+    "CellRegistry",
+    "registry",
+    "get_cell",
+    "paper_cell",
+    # masks
+    "AnalysisMatrices",
+    "TABLE5_MATRICES",
+    "derive_matrices",
+    "derive_carry_matrices",
+    "derive_sum_matrix",
+    # recursion
+    "analyze_chain",
+    "error_probability",
+    "success_probability",
+    "ChainAnalysisResult",
+    "StageRecord",
+    "trace_chain",
+    "trace_rows",
+    "format_trace_table",
+    # vectorised
+    "analyze_batch",
+    "error_batch",
+    "success_by_width",
+    "error_by_width",
+    # extensions
+    "carry_profile",
+    "sum_bit_probabilities",
+    "joint_carry_profile",
+    "bit_error_probabilities",
+    "JointCarryState",
+    "error_pmf",
+    "error_moments",
+    "ErrorMoments",
+    "QualityMetrics",
+    "metrics_from_pmf",
+    "metrics_from_samples",
+    "Polynomial",
+    "symbolic_error_probability",
+    "JointBitDistribution",
+    "analyze_chain_correlated",
+    "error_probability_correlated",
+    "self_addition_error",
+    "output_value_pmf",
+    "output_mean",
+    "output_bias",
+    "total_variation_distance",
+    "HybridChain",
+    "chain_is_exact",
+    "masking_analysis",
+    "MaskingReport",
+    # exceptions
+    "ReproError",
+    "ProbabilityError",
+    "TruthTableError",
+    "ChainLengthError",
+    "RegistryError",
+    "GeArConfigError",
+    "NetlistError",
+    "SynthesisError",
+    "AnalysisError",
+    "ExplorationError",
+]

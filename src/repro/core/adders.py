@@ -1,0 +1,177 @@
+"""Built-in approximate adder cells (paper Tables 1 and 2) and a registry.
+
+The seven low-power approximate adder cells analysed in the paper come
+from two prior works:
+
+* **LPAA 1-5** -- Gupta et al., "Low-Power Digital Signal Processing
+  using Approximate Adders", IEEE TCAD 2013 (paper ref [7]).
+* **LPAA 6-7** -- Almurib et al., "Inexact Designs for Approximate Low
+  Power Addition by Cell Replacement", DATE 2016 (paper ref [1]).
+  (That work's "Approximate Adder 3" shares LPAA 2's truth table and is
+  therefore folded into LPAA 2, exactly as the paper does.)
+
+Rows are ordered ``(A, B, Cin) = 000 .. 111`` as everywhere in this
+library.  :data:`CELL_CHARACTERISTICS` carries the published power/area
+numbers of Table 2 verbatim; they are *inputs* to the paper, used here by
+:mod:`repro.circuits.power` for calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .exceptions import RegistryError
+from .truth_table import ACCURATE, FullAdderTruthTable
+
+#: The exact full adder, re-exported for convenience.
+ACCURATE_CELL = ACCURATE
+
+LPAA1 = FullAdderTruthTable(
+    [(0, 0), (1, 0), (0, 1), (0, 1), (0, 0), (0, 1), (0, 1), (1, 1)],
+    name="LPAA 1",
+)
+LPAA2 = FullAdderTruthTable(
+    [(1, 0), (1, 0), (1, 0), (0, 1), (1, 0), (0, 1), (0, 1), (0, 1)],
+    name="LPAA 2",
+)
+LPAA3 = FullAdderTruthTable(
+    [(1, 0), (1, 0), (0, 1), (0, 1), (1, 0), (0, 1), (0, 1), (0, 1)],
+    name="LPAA 3",
+)
+LPAA4 = FullAdderTruthTable(
+    [(0, 0), (1, 0), (0, 0), (1, 0), (0, 1), (0, 1), (0, 1), (1, 1)],
+    name="LPAA 4",
+)
+LPAA5 = FullAdderTruthTable(
+    [(0, 0), (0, 0), (1, 0), (1, 0), (0, 1), (0, 1), (1, 1), (1, 1)],
+    name="LPAA 5",
+)
+LPAA6 = FullAdderTruthTable(
+    [(0, 0), (1, 1), (1, 0), (0, 1), (1, 0), (0, 1), (0, 0), (1, 1)],
+    name="LPAA 6",
+)
+LPAA7 = FullAdderTruthTable(
+    [(0, 0), (1, 0), (1, 0), (1, 1), (1, 0), (1, 1), (0, 1), (1, 1)],
+    name="LPAA 7",
+)
+
+#: The seven paper cells in index order (``PAPER_LPAAS[0]`` is LPAA 1).
+PAPER_LPAAS: Tuple[FullAdderTruthTable, ...] = (
+    LPAA1,
+    LPAA2,
+    LPAA3,
+    LPAA4,
+    LPAA5,
+    LPAA6,
+    LPAA7,
+)
+
+
+@dataclass(frozen=True)
+class CellCharacteristics:
+    """Published single-cell metrics from paper Table 2 (Gupta et al. [7]).
+
+    ``power_nw`` is dynamic power in nanowatts and ``area_ge`` is area in
+    gate equivalents, both as printed in the paper.  LPAA 6/7 come from a
+    different process/flow in [1] and have no Table 2 row, hence
+    ``None``.  LPAA 5's printed 0 nW / 0 GE reflects that the cell
+    degenerates to wiring (sum = Cin is not literally true -- see its
+    table -- but the published figure is kept verbatim).
+    """
+
+    error_cases: int
+    power_nw: Optional[float]
+    area_ge: Optional[float]
+    source: str
+
+
+#: Table 2 of the paper, keyed by canonical cell name.
+CELL_CHARACTERISTICS: Dict[str, CellCharacteristics] = {
+    "LPAA 1": CellCharacteristics(2, 771.0, 4.23, "Gupta et al. [7]"),
+    "LPAA 2": CellCharacteristics(2, 294.0, 1.94, "Gupta et al. [7]"),
+    "LPAA 3": CellCharacteristics(3, 198.0, 1.59, "Gupta et al. [7]"),
+    "LPAA 4": CellCharacteristics(3, 416.0, 1.76, "Gupta et al. [7]"),
+    "LPAA 5": CellCharacteristics(4, 0.0, 0.0, "Gupta et al. [7]"),
+    "LPAA 6": CellCharacteristics(2, None, None, "Almurib et al. [1]"),
+    "LPAA 7": CellCharacteristics(2, None, None, "Almurib et al. [1]"),
+}
+
+
+class CellRegistry:
+    """Name -> :class:`FullAdderTruthTable` registry with alias support.
+
+    The module-level :data:`registry` instance is pre-populated with the
+    accurate adder and the seven paper cells; users may register custom
+    cells to make them addressable from the CLI and exploration tools.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, FullAdderTruthTable] = {}
+
+    @staticmethod
+    def _canonical(name: str) -> str:
+        return "".join(name.lower().split()).replace("_", "").replace("-", "")
+
+    def register(
+        self,
+        cell: FullAdderTruthTable,
+        aliases: Tuple[str, ...] = (),
+        overwrite: bool = False,
+    ) -> None:
+        """Register *cell* under its own name plus any *aliases*."""
+        for name in (cell.name, *aliases):
+            key = self._canonical(name)
+            if not key:
+                raise RegistryError(f"empty cell name {name!r}")
+            existing = self._cells.get(key)
+            if existing is not None and existing != cell and not overwrite:
+                raise RegistryError(f"cell name {name!r} already registered")
+            self._cells[key] = cell
+
+    def get(self, name: str) -> FullAdderTruthTable:
+        """Look up a cell by (case/space/punctuation-insensitive) name."""
+        key = self._canonical(name)
+        try:
+            return self._cells[key]
+        except KeyError:
+            known = ", ".join(sorted({c.name for c in self._cells.values()}))
+            raise RegistryError(
+                f"unknown adder cell {name!r}; known cells: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return self._canonical(name) in self._cells
+
+    def names(self) -> List[str]:
+        """Sorted unique canonical display names of registered cells."""
+        return sorted({cell.name for cell in self._cells.values()})
+
+    def cells(self) -> List[FullAdderTruthTable]:
+        """Unique registered cells sorted by display name."""
+        by_name = {cell.name: cell for cell in self._cells.values()}
+        return [by_name[name] for name in sorted(by_name)]
+
+    def __iter__(self) -> Iterator[FullAdderTruthTable]:
+        return iter(self.cells())
+
+
+#: The default registry with the accurate adder and all paper cells.
+registry = CellRegistry()
+registry.register(ACCURATE_CELL, aliases=("accurate", "exact", "fa"))
+for _i, _cell in enumerate(PAPER_LPAAS, start=1):
+    registry.register(_cell, aliases=(f"lpaa{_i}",))
+
+
+def get_cell(name: str) -> FullAdderTruthTable:
+    """Convenience wrapper around ``registry.get`` (the main public entry)."""
+    return registry.get(name)
+
+
+def paper_cell(index: int) -> FullAdderTruthTable:
+    """Return LPAA *index* (1-based, matching the paper's numbering)."""
+    if not 1 <= index <= len(PAPER_LPAAS):
+        raise RegistryError(
+            f"paper defines LPAA 1..{len(PAPER_LPAAS)}, got {index}"
+        )
+    return PAPER_LPAAS[index - 1]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause
+while still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ProbabilityError(ReproError, ValueError):
+    """A probability argument is outside ``[0, 1]`` or has a wrong shape."""
+
+
+class TruthTableError(ReproError, ValueError):
+    """A truth-table definition is malformed (wrong row count, non-bits...)."""
+
+
+class ChainLengthError(ReproError, ValueError):
+    """A multi-bit adder chain has an invalid or inconsistent length."""
+
+    def __init__(self, message: str, length: int | None = None):
+        super().__init__(message)
+        self.length = length
+
+
+class RegistryError(ReproError, KeyError):
+    """An adder-cell name is unknown to the registry, or already taken."""
+
+
+class GeArConfigError(ReproError, ValueError):
+    """A GeAr (N, R, P) configuration violates the model constraints."""
+
+
+class NetlistError(ReproError, ValueError):
+    """A gate-level netlist is structurally invalid (cycle, missing net...)."""
+
+
+class SynthesisError(ReproError, RuntimeError):
+    """Logic synthesis (Quine-McCluskey / cell construction) failed."""
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """A statistical analysis could not be carried out on the given inputs."""
+
+
+class ExplorationError(ReproError, ValueError):
+    """A design-space exploration request is inconsistent or infeasible."""

@@ -1,0 +1,191 @@
+"""Hybrid multi-stage adders: a different LPAA cell per bit position.
+
+The paper's §5 observes that cells specialise -- LPAA 7 wins at low
+input-one-probability, LPAA 1 at high -- and proposes "hybrid multistage
+low power adders using more than one type of LPAA", analysed with the
+same recursion by swapping the M/K/L masks per stage.
+:class:`HybridChain` is that object: an immutable per-stage cell
+assignment with analysis conveniences on top of
+:mod:`repro.core.recursive`.
+
+A compact spec string builds common layouts:
+
+>>> HybridChain.from_spec("LPAA7:3, LPAA1:2").describe()
+'LPAA 7 x3 | LPAA 1 x2'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .adders import get_cell
+from .exceptions import ChainLengthError
+from .magnitude import ErrorMoments, error_moments, error_pmf
+from .recursive import (
+    CellSpec,
+    ChainAnalysisResult,
+    analyze_chain,
+    resolve_cell,
+)
+from .truth_table import FullAdderTruthTable
+from .types import Probability
+
+
+class HybridChain:
+    """An N-stage ripple adder with an explicit cell choice per stage.
+
+    Stage 0 is the least-significant bit.  Uniform chains are the
+    special case where every stage holds the same cell.
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Sequence[CellSpec]):
+        resolved = [resolve_cell(c) for c in cells]
+        if not resolved:
+            raise ChainLengthError("a hybrid chain needs at least one stage", 0)
+        self._cells: Tuple[FullAdderTruthTable, ...] = tuple(resolved)
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, cell: CellSpec, width: int) -> "HybridChain":
+        """A chain using *cell* at all *width* stages."""
+        if width < 1:
+            raise ChainLengthError(f"width must be >= 1, got {width}", width)
+        return cls([resolve_cell(cell)] * width)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "HybridChain":
+        """Parse ``"name:count, name:count, ..."`` (LSB segment first).
+
+        A bare ``name`` means one stage.  Whitespace is ignored.
+        """
+        cells: List[FullAdderTruthTable] = []
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            name, _, count_text = chunk.partition(":")
+            count = 1
+            if count_text:
+                try:
+                    count = int(count_text)
+                except ValueError:
+                    raise ChainLengthError(
+                        f"bad segment count in spec chunk {chunk!r}"
+                    ) from None
+            if count < 1:
+                raise ChainLengthError(
+                    f"segment count must be >= 1 in chunk {chunk!r}"
+                )
+            cells.extend([get_cell(name)] * count)
+        if not cells:
+            raise ChainLengthError(f"empty hybrid spec {spec!r}", 0)
+        return cls(cells)
+
+    # -- basic protocol ----------------------------------------------------------
+
+    @property
+    def cells(self) -> Tuple[FullAdderTruthTable, ...]:
+        """Per-stage truth tables, LSB first."""
+        return self._cells
+
+    @property
+    def width(self) -> int:
+        """Number of stages N."""
+        return len(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __getitem__(self, index: int) -> FullAdderTruthTable:
+        return self._cells[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HybridChain):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return hash(self._cells)
+
+    def __repr__(self) -> str:
+        return f"HybridChain({self.describe()!r})"
+
+    def is_uniform(self) -> bool:
+        """``True`` when a single cell type is used throughout."""
+        return len(set(self._cells)) == 1
+
+    def segments(self) -> List[Tuple[FullAdderTruthTable, int]]:
+        """Run-length encoding ``[(cell, count), ...]`` from the LSB."""
+        runs: List[Tuple[FullAdderTruthTable, int]] = []
+        for cell in self._cells:
+            if runs and runs[-1][0] == cell:
+                runs[-1] = (cell, runs[-1][1] + 1)
+            else:
+                runs.append((cell, 1))
+        return runs
+
+    def describe(self) -> str:
+        """Human-readable segment summary, e.g. ``'LPAA 7 x3 | LPAA 1 x2'``."""
+        return " | ".join(f"{cell.name} x{n}" for cell, n in self.segments())
+
+    def spec(self) -> str:
+        """Round-trippable spec string (``from_spec(chain.spec()) == chain``)."""
+        return ", ".join(f"{cell.name}:{n}" for cell, n in self.segments())
+
+    def cell_histogram(self) -> Dict[str, int]:
+        """``{cell name: stage count}`` composition of the chain."""
+        histogram: Dict[str, int] = {}
+        for cell in self._cells:
+            histogram[cell.name] = histogram.get(cell.name, 0) + 1
+        return histogram
+
+    def replaced(self, index: int, cell: CellSpec) -> "HybridChain":
+        """A copy with stage *index* swapped for *cell* (supports negatives)."""
+        cells = list(self._cells)
+        cells[index] = resolve_cell(cell)
+        return HybridChain(cells)
+
+    # -- analyses ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        p_a: Union[Probability, Sequence[Probability]] = 0.5,
+        p_b: Union[Probability, Sequence[Probability]] = 0.5,
+        p_cin: Probability = 0.5,
+        keep_trace: bool = False,
+    ) -> ChainAnalysisResult:
+        """Run the paper's recursion on this chain."""
+        return analyze_chain(
+            self._cells, None, p_a, p_b, p_cin, keep_trace=keep_trace
+        )
+
+    def error_probability(
+        self,
+        p_a: Union[Probability, Sequence[Probability]] = 0.5,
+        p_b: Union[Probability, Sequence[Probability]] = 0.5,
+        p_cin: Probability = 0.5,
+    ) -> Probability:
+        """``P(Error)`` of the chain at the given probability point."""
+        return self.analyze(p_a, p_b, p_cin).p_error
+
+    def error_pmf(
+        self,
+        p_a: Union[Probability, Sequence[Probability]] = 0.5,
+        p_b: Union[Probability, Sequence[Probability]] = 0.5,
+        p_cin: Probability = 0.5,
+        **kwargs,
+    ) -> Dict[int, float]:
+        """Exact PMF of the arithmetic error (see :mod:`repro.core.magnitude`)."""
+        return error_pmf(self._cells, None, p_a, p_b, p_cin, **kwargs)
+
+    def error_moments(
+        self,
+        p_a: Union[Probability, Sequence[Probability]] = 0.5,
+        p_b: Union[Probability, Sequence[Probability]] = 0.5,
+        p_cin: Probability = 0.5,
+    ) -> ErrorMoments:
+        """Exact mean/second-moment of the arithmetic error."""
+        return error_moments(self._cells, None, p_a, p_b, p_cin)

@@ -1,0 +1,151 @@
+"""Error-masking analysis: when is the paper's ``P(Error)`` exact?
+
+The recursion computes the probability that *every stage* reproduces the
+accurate full adder's sum and carry.  An adder's final output could in
+principle still be numerically correct after an internal carry
+divergence -- the wrong carry would have to enter the next stage, leave
+that stage's sum bit untouched, and the two carry chains re-converge
+before (or at) the MSB.  When that can happen, the recursion's
+``P(Error)`` is a strict *upper bound* on the true word-level error
+probability rather than exact.
+
+This module decides the question structurally (no probabilities
+involved) with a reachability search over the 8-state space
+``(approx carry, exact carry, any-stage-erred)``:
+
+* :func:`chain_is_exact` -- exactness of the recursion for one concrete
+  (possibly hybrid) chain;
+* :func:`masking_analysis` -- per-cell report, including whether *any*
+  uniform chain width can mask.
+
+For all seven paper LPAAs masking is impossible (each divergence
+immediately corrupts an output bit), which is why the paper's
+exhaustive-simulation validation matches bit-perfectly; the test suite
+pins this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from .recursive import CellSpec, resolve_chain
+from .truth_table import ACCURATE, ErrorCase, FullAdderTruthTable
+
+#: Search state: (carry of the approximate chain, carry of the exact
+#: chain, has any stage so far deviated from the accurate adder).
+_State = Tuple[int, int, bool]
+
+
+def _initial_states() -> Set[_State]:
+    # Both chains share the external carry-in and no stage has run yet.
+    return {(0, 0, False), (1, 1, False)}
+
+
+def _correct_output_transitions(
+    table: FullAdderTruthTable, state: _State
+) -> Set[_State]:
+    """All successor states of one stage that keep the output bit correct.
+
+    A transition exists for each operand pair ``(a, b)`` whose
+    approximate sum (computed with the approximate carry) matches the
+    exact sum (computed with the exact carry).  The *erred* flag is set
+    whenever the stage's behaviour on its own inputs deviates from the
+    accurate adder, i.e. the stage is a non-success in the paper's
+    sense.
+    """
+    ca, ce, erred = state
+    successors: Set[_State] = set()
+    for a in (0, 1):
+        for b in (0, 1):
+            sum_approx, ca_next = table.evaluate(a, b, ca)
+            sum_exact, ce_next = ACCURATE.evaluate(a, b, ce)
+            if sum_approx != sum_exact:
+                continue  # output bit wrong: path cannot be fully correct
+            stage_ok = table.evaluate(a, b, ca) == ACCURATE.evaluate(a, b, ca)
+            successors.add((ca_next, ce_next, erred or not stage_ok))
+    return successors
+
+
+def chain_is_exact(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+) -> bool:
+    """``True`` iff the recursion's ``P(Error)`` is exact for this chain.
+
+    Exactness fails iff some input assignment produces a fully correct
+    (N+1)-bit output even though a stage deviated from the accurate
+    adder.  We search for such an assignment over the 8-state space; the
+    chain is exact when no accepting state (``carry chains converged``
+    and ``erred``) is reachable at the end.
+    """
+    cells = resolve_chain(cell, width)
+    states = _initial_states()
+    for table in cells:
+        states = {
+            succ for state in states
+            for succ in _correct_output_transitions(table, state)
+        }
+        if not states:
+            return True  # no fully-correct path survives at all
+    return not any(ca == ce and erred for ca, ce, erred in states)
+
+
+@dataclass(frozen=True)
+class MaskingReport:
+    """Structural masking analysis of a single cell."""
+
+    cell_name: str
+    #: Error cases whose sum bit is still correct (only these can start
+    #: a silent carry divergence).
+    silent_divergence_cases: Tuple[ErrorCase, ...]
+    #: True iff some uniform chain width of this cell can mask an error,
+    #: making the recursion a strict upper bound at that width.
+    can_mask_at_some_width: bool
+
+    @property
+    def recursion_is_always_exact(self) -> bool:
+        """Recursion == true word-level error at every width."""
+        return not self.can_mask_at_some_width
+
+
+def masking_analysis(cell: CellSpec) -> MaskingReport:
+    """Analyse whether uniform chains of *cell* can ever mask an error.
+
+    Runs the reachability search to a fixpoint: since the state space
+    has only eight elements, the set of states reachable after ``k``
+    stages stabilises quickly, and masking is possible iff an accepting
+    state ``(c, c, erred=True)`` ever appears.
+    """
+    table = resolve_chain(cell, 1)[0]
+    silent = tuple(
+        case for case in table.error_cases()
+        if not case.sum_wrong and case.cout_wrong
+    )
+
+    seen_frontiers: Set[FrozenSet[_State]] = set()
+    states = _initial_states()
+    can_mask = False
+    while True:
+        states = {
+            succ for state in states
+            for succ in _correct_output_transitions(table, state)
+        }
+        if any(ca == ce and erred for ca, ce, erred in states):
+            can_mask = True
+            break
+        frozen = frozenset(states)
+        if frozen in seen_frontiers or not states:
+            break
+        seen_frontiers.add(frozen)
+
+    return MaskingReport(
+        cell_name=table.name,
+        silent_divergence_cases=silent,
+        can_mask_at_some_width=can_mask,
+    )
+
+
+def masking_summary(cells: Sequence[CellSpec]) -> List[MaskingReport]:
+    """Run :func:`masking_analysis` over several cells."""
+    return [masking_analysis(cell) for cell in cells]

@@ -1,0 +1,138 @@
+"""Derivation of the M / K / L analysis masks (paper §4.2, Table 5).
+
+For a cell truth table the three 8-entry 0/1 masks are defined as:
+
+* ``M[i] = 1`` iff row *i* is a **success** (both sum and carry match the
+  accurate adder) *and* its carry-out is 1;
+* ``K[i] = 1`` iff row *i* is a success *and* its carry-out is 0;
+* ``L[i] = 1`` iff row *i* is a success.
+
+Two structural identities always hold and are property-tested:
+``L = M | K`` (element-wise) and ``M & K = 0``.
+
+The masks are derived from the truth table here rather than hard-coded;
+the Table 5 constants are kept (``TABLE5_MATRICES``) purely as golden
+data for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .truth_table import FullAdderTruthTable
+
+MaskRow = Tuple[int, int, int, int, int, int, int, int]
+
+
+@dataclass(frozen=True)
+class AnalysisMatrices:
+    """The constant masks driving the recursive analysis of one cell.
+
+    Attributes
+    ----------
+    m:
+        Success-and-carry-one mask (``P(C_next ∩ Succ) = IPM · m``).
+    k:
+        Success-and-carry-zero mask (``P(C̄_next ∩ Succ) = IPM · k``).
+    l:
+        Success mask (``P(Succ) = IPM · l`` at the last stage).
+    """
+
+    m: MaskRow
+    k: MaskRow
+    l: MaskRow
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the three masks as float64 NumPy vectors (for dot products)."""
+        return (
+            np.asarray(self.m, dtype=np.float64),
+            np.asarray(self.k, dtype=np.float64),
+            np.asarray(self.l, dtype=np.float64),
+        )
+
+    def success_row_count(self) -> int:
+        """Number of success rows; ``8 - error cases`` of the cell."""
+        return int(sum(self.l))
+
+
+def derive_matrices(table: FullAdderTruthTable) -> AnalysisMatrices:
+    """Derive the :class:`AnalysisMatrices` of *table* (paper §4.2 steps 1-3).
+
+    >>> from repro.core.adders import LPAA1
+    >>> derive_matrices(LPAA1).m
+    (0, 0, 0, 1, 0, 1, 1, 1)
+    """
+    success = table.success_rows()
+    m = tuple(
+        1 if ok and cout == 1 else 0
+        for ok, (_, cout) in zip(success, table.rows)
+    )
+    k = tuple(
+        1 if ok and cout == 0 else 0
+        for ok, (_, cout) in zip(success, table.rows)
+    )
+    l = tuple(1 if ok else 0 for ok in success)
+    return AnalysisMatrices(m=m, k=k, l=l)  # type: ignore[arg-type]
+
+
+def derive_carry_matrices(table: FullAdderTruthTable) -> Tuple[MaskRow, MaskRow]:
+    """Unconditioned carry masks: ``(C1, C0)`` where ``C1[i] = 1`` iff the
+    *approximate* carry-out of row *i* is 1 (no success filtering).
+
+    These drive :mod:`repro.core.sum_analysis`, which tracks the actual
+    carry distribution of the approximate chain rather than only the
+    fully-correct executions.
+    """
+    c1 = tuple(cout for _, cout in table.rows)
+    c0 = tuple(1 - cout for _, cout in table.rows)
+    return c1, c0  # type: ignore[return-value]
+
+
+def derive_sum_matrix(table: FullAdderTruthTable) -> MaskRow:
+    """Mask ``S1`` with ``S1[i] = 1`` iff the approximate sum of row *i* is 1."""
+    return tuple(s for s, _ in table.rows)  # type: ignore[return-value]
+
+
+#: Golden copies of paper Table 5 ("M, K and L Matrices Required for
+#: Analysis of LPAA 1-7"), used only by validation tests and the Table 5
+#: reproduction bench.
+TABLE5_MATRICES: Dict[str, AnalysisMatrices] = {
+    "LPAA 1": AnalysisMatrices(
+        m=(0, 0, 0, 1, 0, 1, 1, 1),
+        k=(1, 1, 0, 0, 0, 0, 0, 0),
+        l=(1, 1, 0, 1, 0, 1, 1, 1),
+    ),
+    "LPAA 2": AnalysisMatrices(
+        m=(0, 0, 0, 1, 0, 1, 1, 0),
+        k=(0, 1, 1, 0, 1, 0, 0, 0),
+        l=(0, 1, 1, 1, 1, 1, 1, 0),
+    ),
+    "LPAA 3": AnalysisMatrices(
+        m=(0, 0, 0, 1, 0, 1, 1, 0),
+        k=(0, 1, 0, 0, 1, 0, 0, 0),
+        l=(0, 1, 0, 1, 1, 1, 1, 0),
+    ),
+    "LPAA 4": AnalysisMatrices(
+        m=(0, 0, 0, 0, 0, 1, 1, 1),
+        k=(1, 1, 0, 0, 0, 0, 0, 0),
+        l=(1, 1, 0, 0, 0, 1, 1, 1),
+    ),
+    "LPAA 5": AnalysisMatrices(
+        m=(0, 0, 0, 0, 0, 1, 0, 1),
+        k=(1, 0, 1, 0, 0, 0, 0, 0),
+        l=(1, 0, 1, 0, 0, 1, 0, 1),
+    ),
+    "LPAA 6": AnalysisMatrices(
+        m=(0, 0, 0, 1, 0, 1, 0, 1),
+        k=(1, 0, 1, 0, 1, 0, 0, 0),
+        l=(1, 0, 1, 1, 1, 1, 0, 1),
+    ),
+    "LPAA 7": AnalysisMatrices(
+        m=(0, 0, 0, 0, 0, 0, 1, 1),
+        k=(1, 1, 1, 0, 1, 0, 0, 0),
+        l=(1, 1, 1, 0, 1, 0, 1, 1),
+    ),
+}

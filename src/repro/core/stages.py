@@ -1,0 +1,95 @@
+"""Stage-by-stage analysis traces (reproduces paper Table 4).
+
+Table 4 of the paper walks a 4-bit LPAA 1 chain through the recursion
+and prints, per stage, the operand probabilities, the incoming and
+outgoing success-conditioned carry probabilities, and (at the last
+stage) ``P(Succ)``.  :func:`trace_chain` produces exactly that data and
+:func:`format_trace_table` renders it in the paper's layout with "NR"
+(not required) markers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .recursive import (
+    CellSpec,
+    ChainAnalysisResult,
+    StageRecord,
+    analyze_chain,
+)
+from .types import Probability
+
+
+def trace_chain(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+) -> ChainAnalysisResult:
+    """Run :func:`repro.core.recursive.analyze_chain` with tracing enabled."""
+    return analyze_chain(cell, width, p_a, p_b, p_cin, keep_trace=True)
+
+
+#: Row labels in Table 4's order.
+_ROW_LABELS = (
+    "P(A_i)",
+    "P(B_i)",
+    "P(~C_curr & Succ)",
+    "P(C_curr & Succ)",
+    "P(~C_next & Succ)",
+    "P(C_next & Succ)",
+    "P(Succ)",
+)
+
+
+def _fmt(value: Optional[Probability], digits: int) -> str:
+    if value is None:
+        return "NR"
+    return f"{float(value):.{digits}g}"
+
+
+def trace_rows(
+    result: ChainAnalysisResult, digits: int = 6
+) -> List[Tuple[str, List[str]]]:
+    """Return Table 4's rows as ``(label, per-stage values)`` pairs.
+
+    The final stage's carry-out entries and every non-final ``P(Succ)``
+    are rendered as ``"NR"``, matching the paper's presentation.
+    """
+    if not result.trace:
+        raise ValueError("result carries no trace; use trace_chain()")
+    records: Sequence[StageRecord] = result.trace
+    columns = [
+        [
+            _fmt(r.p_a, digits),
+            _fmt(r.p_b, digits),
+            _fmt(r.p_c0_curr_succ, digits),
+            _fmt(r.p_c1_curr_succ, digits),
+            _fmt(r.p_c0_next_succ, digits),
+            _fmt(r.p_c1_next_succ, digits),
+            _fmt(r.p_success, digits),
+        ]
+        for r in records
+    ]
+    return [
+        (label, [col[row] for col in columns])
+        for row, label in enumerate(_ROW_LABELS)
+    ]
+
+
+def format_trace_table(result: ChainAnalysisResult, digits: int = 6) -> str:
+    """Render a trace as a paper-style ASCII table (Table 4 layout)."""
+    rows = trace_rows(result, digits)
+    header = ["Stage (i)"] + [str(r.index) for r in result.trace]
+    table = [header] + [[label, *values] for label, values in rows]
+    widths = [
+        max(len(line[col]) for line in table) for col in range(len(header))
+    ]
+    lines = []
+    for line in table:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(line, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Full-adder truth-table model (paper Table 1).
+
+A :class:`FullAdderTruthTable` captures the complete behaviour of a
+single-bit (approximate) full adder: for each of the eight input
+combinations ``(A, B, Cin)`` it stores the produced ``(Sum, Cout)`` pair.
+Everything else in the library -- the M/K/L analysis masks, the
+functional simulators, the gate-level synthesis -- is derived from this
+one object, so a user can analyse any custom cell by writing down its
+eight rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from .exceptions import TruthTableError
+from .types import (
+    NUM_ROWS,
+    Bit,
+    RowOutput,
+    all_rows,
+    row_index,
+    row_inputs,
+    validate_bit,
+)
+
+#: The accurate full adder outputs, row-ordered (A,B,Cin) = 000..111.
+_ACCURATE_ROWS: Tuple[RowOutput, ...] = (
+    (0, 0),
+    (1, 0),
+    (1, 0),
+    (0, 1),
+    (1, 0),
+    (0, 1),
+    (0, 1),
+    (1, 1),
+)
+
+
+@dataclass(frozen=True)
+class ErrorCase:
+    """One erroneous truth-table row of an approximate cell."""
+
+    index: int
+    a: Bit
+    b: Bit
+    cin: Bit
+    sum_out: Bit
+    cout: Bit
+    expected_sum: Bit
+    expected_cout: Bit
+
+    @property
+    def sum_wrong(self) -> bool:
+        """``True`` when the sum bit deviates from the accurate adder."""
+        return self.sum_out != self.expected_sum
+
+    @property
+    def cout_wrong(self) -> bool:
+        """``True`` when the carry-out bit deviates from the accurate adder."""
+        return self.cout != self.expected_cout
+
+
+class FullAdderTruthTable:
+    """Behaviour of a single-bit full adder as eight ``(sum, cout)`` rows.
+
+    Parameters
+    ----------
+    rows:
+        Eight ``(sum, cout)`` pairs ordered by ``row_index(a, b, cin)``
+        (i.e. ``000, 001, ..., 111`` with ``Cin`` as the least
+        significant input), exactly like Table 1 of the paper.
+    name:
+        Human-readable cell name used in reports and reprs.
+
+    The instance is immutable and hashable, so tables can key dicts and
+    be shared freely between analyses.
+    """
+
+    __slots__ = ("_rows", "_name")
+
+    def __init__(self, rows: Sequence[RowOutput], name: str = "custom"):
+        rows = tuple(rows)
+        if len(rows) != NUM_ROWS:
+            raise TruthTableError(
+                f"a full-adder truth table needs exactly {NUM_ROWS} rows, "
+                f"got {len(rows)}"
+            )
+        cleaned: List[RowOutput] = []
+        for i, row in enumerate(rows):
+            try:
+                s, c = row
+            except (TypeError, ValueError) as exc:
+                raise TruthTableError(
+                    f"row {i} must be a (sum, cout) pair, got {row!r}"
+                ) from exc
+            cleaned.append(
+                (validate_bit(s, f"row {i} sum"), validate_bit(c, f"row {i} cout"))
+            )
+        object.__setattr__(self, "_rows", tuple(cleaned))
+        object.__setattr__(self, "_name", str(name))
+
+    # -- alternate constructors -------------------------------------------------
+
+    @classmethod
+    def accurate(cls) -> "FullAdderTruthTable":
+        """Return the exact full adder (``sum = a^b^cin``, majority carry)."""
+        return cls(_ACCURATE_ROWS, name="AccuFA")
+
+    @classmethod
+    def from_mapping(
+        cls,
+        mapping: Mapping[Tuple[Bit, Bit, Bit], RowOutput],
+        name: str = "custom",
+    ) -> "FullAdderTruthTable":
+        """Build a table from a ``{(a, b, cin): (sum, cout)}`` mapping.
+
+        The mapping must cover all eight input combinations.
+        """
+        rows: List[RowOutput] = [(0, 0)] * NUM_ROWS
+        seen = set()
+        for key, value in mapping.items():
+            try:
+                a, b, cin = key
+            except (TypeError, ValueError) as exc:
+                raise TruthTableError(f"bad input key {key!r}") from exc
+            idx = row_index(
+                validate_bit(a, "a"), validate_bit(b, "b"), validate_bit(cin, "cin")
+            )
+            rows[idx] = value
+            seen.add(idx)
+        if len(seen) != NUM_ROWS:
+            missing = sorted(set(range(NUM_ROWS)) - seen)
+            raise TruthTableError(
+                f"mapping misses input rows {[row_inputs(i) for i in missing]}"
+            )
+        return cls(rows, name=name)
+
+    @classmethod
+    def from_functions(cls, sum_fn, cout_fn, name: str = "custom") -> "FullAdderTruthTable":
+        """Build a table by evaluating ``sum_fn(a,b,cin)``/``cout_fn(a,b,cin)``."""
+        rows = [
+            (validate_bit(int(bool(sum_fn(a, b, c))), "sum"),
+             validate_bit(int(bool(cout_fn(a, b, c))), "cout"))
+            for _, a, b, c in all_rows()
+        ]
+        return cls(rows, name=name)
+
+    # -- basic protocol ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The cell name (e.g. ``"LPAA 1"``)."""
+        return self._name
+
+    @property
+    def rows(self) -> Tuple[RowOutput, ...]:
+        """The eight ``(sum, cout)`` rows in canonical order."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return NUM_ROWS
+
+    def __iter__(self) -> Iterable[RowOutput]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> RowOutput:
+        return self._rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FullAdderTruthTable):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def __repr__(self) -> str:
+        return f"FullAdderTruthTable(name={self._name!r}, rows={self._rows!r})"
+
+    def renamed(self, name: str) -> "FullAdderTruthTable":
+        """Return a copy of this table carrying a different *name*."""
+        return FullAdderTruthTable(self._rows, name=name)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self, a: Bit, b: Bit, cin: Bit) -> RowOutput:
+        """Return ``(sum, cout)`` for one input combination."""
+        return self._rows[
+            row_index(
+                validate_bit(a, "a"), validate_bit(b, "b"), validate_bit(cin, "cin")
+            )
+        ]
+
+    def sum_bit(self, a: Bit, b: Bit, cin: Bit) -> Bit:
+        """Return only the sum output for one input combination."""
+        return self.evaluate(a, b, cin)[0]
+
+    def carry_out(self, a: Bit, b: Bit, cin: Bit) -> Bit:
+        """Return only the carry output for one input combination."""
+        return self.evaluate(a, b, cin)[1]
+
+    # -- comparison against the accurate adder ------------------------------------
+
+    def is_accurate(self) -> bool:
+        """``True`` when this table equals the exact full adder."""
+        return self._rows == _ACCURATE_ROWS
+
+    def success_rows(self) -> Tuple[bool, ...]:
+        """Per-row success flags: row is a *success* iff both outputs match
+        the accurate full adder (the paper's definition behind M/K/L)."""
+        return tuple(row == acc for row, acc in zip(self._rows, _ACCURATE_ROWS))
+
+    def error_cases(self) -> List[ErrorCase]:
+        """All erroneous rows, in canonical row order (bold-red in Table 1)."""
+        cases: List[ErrorCase] = []
+        for idx, a, b, cin in all_rows():
+            got = self._rows[idx]
+            expected = _ACCURATE_ROWS[idx]
+            if got != expected:
+                cases.append(
+                    ErrorCase(
+                        index=idx,
+                        a=a,
+                        b=b,
+                        cin=cin,
+                        sum_out=got[0],
+                        cout=got[1],
+                        expected_sum=expected[0],
+                        expected_cout=expected[1],
+                    )
+                )
+        return cases
+
+    def num_error_cases(self) -> int:
+        """Number of erroneous rows (the "Error Cases" column of Table 2)."""
+        return sum(1 for ok in self.success_rows() if not ok)
+
+    # -- structural bit-level views ------------------------------------------------
+
+    def sum_minterms(self) -> List[int]:
+        """Row indices where the sum output is 1 (for logic synthesis)."""
+        return [i for i, (s, _) in enumerate(self._rows) if s == 1]
+
+    def cout_minterms(self) -> List[int]:
+        """Row indices where the carry output is 1 (for logic synthesis)."""
+        return [i for i, (_, c) in enumerate(self._rows) if c == 1]
+
+    def as_dict(self) -> Dict[str, Union[str, List[List[int]]]]:
+        """JSON-friendly representation (used by the CLI and exporters)."""
+        return {
+            "name": self._name,
+            "rows": [[s, c] for s, c in self._rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FullAdderTruthTable":
+        """Inverse of :meth:`as_dict`."""
+        try:
+            rows = [(int(s), int(c)) for s, c in data["rows"]]  # type: ignore[index,union-attr]
+            name = str(data.get("name", "custom"))  # type: ignore[union-attr]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TruthTableError(f"bad truth-table dict: {data!r}") from exc
+        return cls(rows, name=name)
+
+
+#: Module-level singleton for the exact adder; cheap to share since immutable.
+ACCURATE = FullAdderTruthTable.accurate()

@@ -1,0 +1,151 @@
+"""Shared primitive types and validation helpers.
+
+This module is deliberately tiny and dependency-light: it owns the two
+conventions the whole library hangs off of:
+
+* **Row ordering** -- every 1-bit full-adder truth table, probability
+  vector (IPM) and mask matrix indexes its 8 rows by
+  ``row_index(a, b, cin) = a*4 + b*2 + cin``, i.e. rows run
+  ``000, 001, 010, ... , 111`` with ``A`` the most significant selector
+  and ``Cin`` the least significant, exactly like Table 1 of the paper.
+
+* **Probability convention** -- ``P(X_i)`` always denotes the
+  probability that bit ``X_i`` equals 1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from .exceptions import ProbabilityError, TruthTableError
+
+#: A probability value.  Floats are the common case; ``fractions.Fraction``
+#: is supported end-to-end by the scalar engine for digit-exact results.
+Probability = Union[float, Fraction]
+
+#: A single bit.
+Bit = int
+
+#: One truth-table row output: ``(sum, carry_out)``.
+RowOutput = Tuple[Bit, Bit]
+
+#: Number of rows in a full-adder truth table (3 inputs -> 2**3).
+NUM_ROWS = 8
+
+
+def row_index(a: Bit, b: Bit, cin: Bit) -> int:
+    """Return the canonical truth-table row index for inputs ``(a, b, cin)``.
+
+    >>> row_index(0, 0, 0), row_index(1, 1, 1), row_index(0, 1, 1)
+    (0, 7, 3)
+    """
+    return (a << 2) | (b << 1) | cin
+
+
+def row_inputs(index: int) -> Tuple[Bit, Bit, Bit]:
+    """Inverse of :func:`row_index`: return ``(a, b, cin)`` for a row index.
+
+    >>> row_inputs(5)
+    (1, 0, 1)
+    """
+    if not 0 <= index < NUM_ROWS:
+        raise TruthTableError(f"row index must be in [0, 8), got {index!r}")
+    return (index >> 2) & 1, (index >> 1) & 1, index & 1
+
+
+def all_rows() -> Iterable[Tuple[int, Bit, Bit, Bit]]:
+    """Yield ``(index, a, b, cin)`` for all eight truth-table rows in order."""
+    for index in range(NUM_ROWS):
+        a, b, cin = row_inputs(index)
+        yield index, a, b, cin
+
+
+def validate_bit(value: object, name: str = "bit") -> Bit:
+    """Validate that *value* is 0 or 1 and return it as an ``int``."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int) and value in (0, 1):
+        return value
+    raise TruthTableError(f"{name} must be 0 or 1, got {value!r}")
+
+
+def validate_probability(value: object, name: str = "probability") -> Probability:
+    """Validate that *value* is a number in ``[0, 1]`` and return it.
+
+    Accepts ``int``, ``float``, ``numpy`` scalars (anything that compares
+    against 0 and 1) and ``fractions.Fraction``.  Rejects NaN.
+    """
+    if isinstance(value, bool):
+        raise ProbabilityError(f"{name} must be numeric, got bool {value!r}")
+    try:
+        in_range = 0 <= value <= 1  # type: ignore[operator]
+    except TypeError as exc:
+        raise ProbabilityError(f"{name} must be numeric, got {value!r}") from exc
+    if not in_range:
+        raise ProbabilityError(f"{name} must be within [0, 1], got {value!r}")
+    if isinstance(value, Fraction):
+        return value
+    return float(value)  # also canonicalises ints and numpy scalars
+
+
+def validate_probability_vector(
+    values: Union[Probability, Sequence[Probability]],
+    length: int,
+    name: str = "probabilities",
+) -> List[Probability]:
+    """Validate and broadcast a probability spec to a list of *length*.
+
+    A scalar is broadcast to every position; a sequence must have exactly
+    *length* elements.  Every element is range-checked.
+    """
+    if length < 1:
+        raise ProbabilityError(f"{name}: length must be >= 1, got {length}")
+    if isinstance(values, (int, float, Fraction)) and not isinstance(values, bool):
+        p = validate_probability(values, name)
+        return [p] * length
+    try:
+        items = list(values)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ProbabilityError(
+            f"{name} must be a number or a sequence, got {values!r}"
+        ) from exc
+    if len(items) != length:
+        raise ProbabilityError(
+            f"{name} must have exactly {length} entries, got {len(items)}"
+        )
+    return [
+        validate_probability(item, f"{name}[{i}]") for i, item in enumerate(items)
+    ]
+
+
+def complement(p: Probability) -> Probability:
+    """Return ``1 - p`` preserving ``Fraction`` exactness."""
+    if isinstance(p, Fraction):
+        return Fraction(1) - p
+    return 1.0 - p
+
+
+def bits_of(value: int, width: int) -> List[Bit]:
+    """Little-endian bit decomposition of *value* over *width* bits.
+
+    >>> bits_of(6, 4)
+    [0, 1, 1, 0]
+    """
+    if value < 0:
+        raise TruthTableError(f"value must be non-negative, got {value}")
+    if value >= 1 << width:
+        raise TruthTableError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def int_of(bits: Sequence[Bit]) -> int:
+    """Inverse of :func:`bits_of`: little-endian bits to integer.
+
+    >>> int_of([0, 1, 1, 0])
+    6
+    """
+    out = 0
+    for i, bit in enumerate(bits):
+        out |= validate_bit(bit, f"bits[{i}]") << i
+    return out

@@ -1,0 +1,135 @@
+"""Exact distribution of the approximate adder's *output value*.
+
+:mod:`repro.core.sum_analysis` gives per-bit marginals and
+:mod:`repro.core.magnitude` the error PMF; this module completes the
+picture with the joint word-level law: ``P(output = v)`` for every
+(N+1)-bit value ``v``.  From it fall out quantities the other views
+cannot provide exactly -- the output mean/bias of the approximate adder
+as a number-producing device, quantiles, and the total-variation
+distance to the exact adder's output law.
+
+The DP runs over ``(carry, partial value)`` exactly like the error-PMF
+DP; support is bounded by ``2^(N+1)`` so it is practical to ~20 bits
+(guarded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from .exceptions import AnalysisError
+from .recursive import CellSpec, resolve_chain
+from .truth_table import ACCURATE
+from .types import (
+    Probability,
+    validate_probability,
+    validate_probability_vector,
+)
+
+
+def output_value_pmf(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+    max_width: int = 20,
+) -> Dict[int, float]:
+    """Exact ``{value: probability}`` of the (N+1)-bit output.
+
+    Pass ``cell="accurate"`` for the exact adder's output law (i.e. the
+    distribution of ``a + b + cin`` itself).
+    """
+    cells = resolve_chain(cell, width)
+    n = len(cells)
+    if n > max_width:
+        raise AnalysisError(
+            f"output-value PMF at width {n} would hold up to 2^{n + 1} "
+            f"entries; raise max_width explicitly if you mean it"
+        )
+    pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
+    pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
+    pc = float(validate_probability(p_cin, "p_cin"))
+
+    # carry -> {partial value: probability}
+    states: Dict[int, Dict[int, float]] = {}
+    if pc < 1.0:
+        states[0] = {0: 1.0 - pc}
+    if pc > 0.0:
+        states[1] = {0: pc}
+
+    for i, table in enumerate(cells):
+        nxt: Dict[int, Dict[int, float]] = {}
+        for carry, dist in states.items():
+            for a in (0, 1):
+                wa = pa[i] if a else 1.0 - pa[i]
+                if wa == 0.0:
+                    continue
+                for b in (0, 1):
+                    wb = pb[i] if b else 1.0 - pb[i]
+                    w = wa * wb
+                    if w == 0.0:
+                        continue
+                    s, c = table.evaluate(a, b, carry)
+                    bucket = nxt.setdefault(c, {})
+                    inc = s << i
+                    for value, prob in dist.items():
+                        key = value + inc
+                        bucket[key] = bucket.get(key, 0.0) + prob * w
+        states = nxt
+
+    pmf: Dict[int, float] = {}
+    for carry, dist in states.items():
+        inc = carry << n
+        for value, prob in dist.items():
+            key = value + inc
+            pmf[key] = pmf.get(key, 0.0) + prob
+    return {v: p for v, p in pmf.items() if p > 0.0}
+
+
+def output_mean(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+) -> float:
+    """Exact expected output value, in O(width) time.
+
+    Linearity of expectation over the per-bit marginals of
+    :func:`repro.core.sum_analysis.sum_bit_probabilities` plus the final
+    carry marginal -- no PMF needed, so any width works.
+    """
+    from .sum_analysis import carry_profile, sum_bit_probabilities
+
+    cells = resolve_chain(cell, width)
+    n = len(cells)
+    sums = sum_bit_probabilities(cells, None, p_a, p_b, p_cin)
+    carries = carry_profile(cells, None, p_a, p_b, p_cin)
+    mean = sum(float(p) * (1 << i) for i, p in enumerate(sums))
+    return mean + float(carries[-1]) * (1 << n)
+
+
+def output_bias(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+) -> float:
+    """Exact mean signed error ``E[approx] - E[exact]`` (the DC offset an
+    approximate adder injects into a datapath)."""
+    cells = resolve_chain(cell, width)
+    approx = output_mean(cells, None, p_a, p_b, p_cin)
+    exact = output_mean([ACCURATE] * len(cells), None, p_a, p_b, p_cin)
+    return approx - exact
+
+
+def total_variation_distance(
+    pmf_a: Dict[int, float], pmf_b: Dict[int, float]
+) -> float:
+    """``TV(P, Q) = 0.5 * sum |P(v) - Q(v)|`` between two value PMFs."""
+    support = set(pmf_a) | set(pmf_b)
+    return 0.5 * sum(
+        abs(pmf_a.get(v, 0.0) - pmf_b.get(v, 0.0)) for v in support
+    )

@@ -1,0 +1,258 @@
+"""Accelerator datapaths built from approximate adders (paper §1.1:
+"the analysis complexity will further aggravate when these adders form
+an accelerator data path").
+
+A :class:`Datapath` is a small DAG of operations -- external inputs,
+additions (each with its own approximate adder configuration, uniform or
+hybrid), exact multiplications and constant shifts -- evaluated
+bit-true through the library's functional simulators.  On top of it:
+
+* :func:`datapath_error_metrics` -- Monte-Carlo quality of the whole
+  graph against its all-exact twin;
+* :func:`node_sensitivity` -- per-adder contribution: error rate with
+  only that node approximate (which adders matter most);
+* :func:`datapath_cost` -- aggregate model power/area of the adder
+  nodes via the calibrated :class:`repro.circuits.power.PowerModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .core.exceptions import AnalysisError, ChainLengthError
+from .core.metrics import QualityMetrics, metrics_from_samples
+from .core.recursive import CellSpec, resolve_chain
+from .simulation.functional import ripple_add_array
+
+
+@dataclass(frozen=True)
+class _Node:
+    name: str
+    kind: str                      # "input" | "add" | "mul" | "shl"
+    operands: Tuple[str, ...]
+    width: int                     # width of this node's OUTPUT
+    cell: Optional[Tuple] = None   # resolved chain for "add" nodes
+    amount: int = 0                # shift amount for "shl"
+
+
+class Datapath:
+    """A DAG of arithmetic operations with per-adder approximation."""
+
+    def __init__(self, name: str = "datapath"):
+        self.name = name
+        self._nodes: Dict[str, _Node] = {}
+        self._order: List[str] = []
+        self._outputs: List[str] = []
+
+    # -- construction ----------------------------------------------------------------
+
+    def _register(self, node: _Node) -> str:
+        if node.name in self._nodes:
+            raise AnalysisError(f"node {node.name!r} already defined")
+        for operand in node.operands:
+            if operand not in self._nodes:
+                raise AnalysisError(
+                    f"node {node.name!r} references unknown node "
+                    f"{operand!r} (define operands first)"
+                )
+        self._nodes[node.name] = node
+        self._order.append(node.name)
+        return node.name
+
+    def add_input(self, name: str, width: int) -> str:
+        """Declare an external operand of *width* bits."""
+        if width < 1:
+            raise ChainLengthError(f"width must be >= 1, got {width}", width)
+        return self._register(_Node(name, "input", (), width))
+
+    def add_add(
+        self,
+        name: str,
+        a: str,
+        b: str,
+        cell: Union[CellSpec, Sequence[CellSpec]] = "accurate",
+    ) -> str:
+        """An adder node; output width = max(operand widths) + 1.
+
+        *cell* configures the ripple chain (uniform spec or per-stage
+        list), exactly as everywhere else in the library.
+        """
+        width = max(self._width_of(a), self._width_of(b)) + 1
+        chain = tuple(resolve_chain(cell, width - 1))
+        return self._register(
+            _Node(name, "add", (a, b), width, cell=chain)
+        )
+
+    def add_mul(self, name: str, a: str, b: str) -> str:
+        """An exact multiplier node; output width = sum of widths."""
+        width = self._width_of(a) + self._width_of(b)
+        return self._register(_Node(name, "mul", (a, b), width))
+
+    def add_shl(self, name: str, a: str, amount: int) -> str:
+        """An exact left shift (constant scaling) node."""
+        if amount < 0:
+            raise AnalysisError(f"shift amount must be >= 0, got {amount}")
+        width = self._width_of(a) + amount
+        return self._register(_Node(name, "shl", (a,), width, amount=amount))
+
+    def mark_output(self, name: str) -> None:
+        """Declare *name* a graph output."""
+        if name not in self._nodes:
+            raise AnalysisError(f"unknown node {name!r}")
+        if name in self._outputs:
+            raise AnalysisError(f"output {name!r} declared twice")
+        self._outputs.append(name)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def _width_of(self, name: str) -> int:
+        try:
+            return self._nodes[name].width
+        except KeyError:
+            raise AnalysisError(f"unknown node {name!r}") from None
+
+    @property
+    def inputs(self) -> List[str]:
+        """Input node names in declaration order."""
+        return [n for n in self._order if self._nodes[n].kind == "input"]
+
+    @property
+    def outputs(self) -> List[str]:
+        """Declared graph outputs."""
+        return list(self._outputs)
+
+    def adder_nodes(self) -> List[str]:
+        """Names of all adder nodes in topological order."""
+        return [n for n in self._order if self._nodes[n].kind == "add"]
+
+    def with_exact_adders(self, except_node: Optional[str] = None) -> "Datapath":
+        """A copy where every adder (except one, optionally) is exact."""
+        clone = Datapath(name=f"{self.name}_exact")
+        for name in self._order:
+            node = self._nodes[name]
+            if node.kind == "input":
+                clone.add_input(name, node.width)
+            elif node.kind == "add":
+                cell = list(node.cell) if name == except_node else "accurate"
+                clone.add_add(name, node.operands[0], node.operands[1],
+                              cell=cell)
+            elif node.kind == "mul":
+                clone.add_mul(name, node.operands[0], node.operands[1])
+            else:
+                clone.add_shl(name, node.operands[0], node.amount)
+        for out in self._outputs:
+            clone.mark_output(out)
+        return clone
+
+    # -- evaluation ------------------------------------------------------------------------
+
+    def evaluate_array(
+        self, stimulus: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Bit-true vectorised evaluation of all declared outputs."""
+        if not self._outputs:
+            raise AnalysisError("datapath has no outputs")
+        values: Dict[str, np.ndarray] = {}
+        for name in self._order:
+            node = self._nodes[name]
+            if node.kind == "input":
+                if name not in stimulus:
+                    raise AnalysisError(f"missing stimulus for input {name!r}")
+                arr = np.asarray(stimulus[name], dtype=np.int64)
+                if (arr < 0).any() or (arr >= 1 << node.width).any():
+                    raise AnalysisError(
+                        f"stimulus for {name!r} must fit in {node.width} bits"
+                    )
+                values[name] = arr
+            elif node.kind == "add":
+                a = values[node.operands[0]]
+                b = values[node.operands[1]]
+                add_width = node.width - 1
+                values[name] = ripple_add_array(
+                    list(node.cell), a, b, 0, add_width
+                )
+            elif node.kind == "mul":
+                values[name] = (
+                    values[node.operands[0]] * values[node.operands[1]]
+                )
+            else:  # shl
+                values[name] = values[node.operands[0]] << node.amount
+        return {out: values[out] for out in self._outputs}
+
+    def evaluate(self, stimulus: Mapping[str, int]) -> Dict[str, int]:
+        """Scalar convenience wrapper around :meth:`evaluate_array`."""
+        arrays = self.evaluate_array(
+            {k: np.asarray([v]) for k, v in stimulus.items()}
+        )
+        return {k: int(v[0]) for k, v in arrays.items()}
+
+
+def _random_stimulus(
+    dp: Datapath, samples: int, rng: np.random.Generator
+) -> Dict[str, np.ndarray]:
+    return {
+        name: rng.integers(0, 1 << dp._width_of(name), samples)
+        for name in dp.inputs
+    }
+
+
+def datapath_error_metrics(
+    dp: Datapath,
+    output: Optional[str] = None,
+    samples: int = 50_000,
+    seed: Optional[int] = None,
+) -> QualityMetrics:
+    """Monte-Carlo quality of the graph against its all-exact twin."""
+    if samples < 1:
+        raise AnalysisError(f"samples must be >= 1, got {samples}")
+    out = output or (dp.outputs[0] if dp.outputs else None)
+    if out is None:
+        raise AnalysisError("datapath has no outputs")
+    rng = np.random.default_rng(seed)
+    stimulus = _random_stimulus(dp, samples, rng)
+    approx = dp.evaluate_array(stimulus)[out]
+    exact = dp.with_exact_adders().evaluate_array(stimulus)[out]
+    width = dp._width_of(out)
+    return metrics_from_samples(approx, exact, max(width - 1, 1))
+
+
+def node_sensitivity(
+    dp: Datapath,
+    output: Optional[str] = None,
+    samples: int = 20_000,
+    seed: Optional[int] = None,
+) -> Dict[str, float]:
+    """Error rate with only one adder approximate at a time.
+
+    Identifies which adder placements dominate the graph's error -- the
+    hybrid-design question at datapath scale.
+    """
+    out = output or (dp.outputs[0] if dp.outputs else None)
+    if out is None:
+        raise AnalysisError("datapath has no outputs")
+    rng = np.random.default_rng(seed)
+    stimulus = _random_stimulus(dp, samples, rng)
+    exact = dp.with_exact_adders().evaluate_array(stimulus)[out]
+    result: Dict[str, float] = {}
+    for node in dp.adder_nodes():
+        lone = dp.with_exact_adders(except_node=node)
+        approx = lone.evaluate_array(stimulus)[out]
+        result[node] = float((approx != exact).mean())
+    return result
+
+
+def datapath_cost(dp: Datapath, power_model=None) -> Dict[str, float]:
+    """Aggregate model power (nW) and area (GE) of the adder nodes."""
+    from .circuits.power import PowerModel
+
+    model = power_model or PowerModel()
+    power = 0.0
+    area = 0.0
+    for name in dp.adder_nodes():
+        chain = list(dp._nodes[name].cell)
+        power += model.chain_power_nw(chain)
+        area += model.chain_area_ge(chain)
+    return {"power_nw": power, "area_ge": area}

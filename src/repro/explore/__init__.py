@@ -1,0 +1,31 @@
+"""Design-space exploration for LPAA configurations (paper §5)."""
+
+from .design_space import (
+    DesignPoint,
+    best_cell_per_probability,
+    sweep_design_space,
+    useful_width_limit,
+)
+from .hybrid_search import (
+    HybridSearchResult,
+    brute_force_hybrid,
+    greedy_hybrid,
+    hybrid_tradeoff_curve,
+    optimal_hybrid,
+)
+from .pareto import dominates, objective_vector, pareto_front
+
+__all__ = [
+    "DesignPoint",
+    "sweep_design_space",
+    "best_cell_per_probability",
+    "useful_width_limit",
+    "pareto_front",
+    "dominates",
+    "objective_vector",
+    "HybridSearchResult",
+    "optimal_hybrid",
+    "brute_force_hybrid",
+    "greedy_hybrid",
+    "hybrid_tradeoff_curve",
+]

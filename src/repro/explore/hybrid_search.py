@@ -1,0 +1,344 @@
+"""Optimal hybrid-chain search (makes paper §5's hybrid proposal concrete).
+
+The paper observes that cells specialise by input probability and
+suggests "optimally designing a hybrid multistage adder using more than
+one type of LPAA", evaluated with the same recursion.  This module
+actually finds such designs.
+
+The key structure: the recursion's per-stage update is *linear* in the
+success-carry state ``v = (P(C̄∩Succ), P(C∩Succ))`` -- stage *i* with
+cell *c* applies a non-negative 2x2 matrix ``T_{c,i}`` (built from the
+cell's K/M masks and the stage's operand probabilities), and the final
+success is a linear functional ``l_{c,N-1} . v``.  Choosing the best
+cell sequence is therefore a deterministic controlled linear system, and
+the classic value-vector backward induction applies:
+
+* carry a set of affine value functions ``f(v) = w . v + k`` from the
+  MSB backwards, expanding each by every cell choice and pruning
+  dominated vectors (sound because ``v >= 0`` componentwise);
+* at the front, pick the maximising vector for the initial state and
+  replay its provenance to recover the cell per stage.
+
+With pointwise domination pruning the exact frontier stays tiny for the
+7-cell paper library (tests cross-check against brute force).  A
+``power_weight`` folds a per-stage power penalty into the constant part,
+giving error/power trade-off designs; greedy and brute-force searchers
+are provided as ablation baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.power import PowerModel
+from ..core.exceptions import ExplorationError
+from ..core.hybrid import HybridChain
+from ..core.matrices import derive_matrices
+from ..core.recursive import CellSpec, resolve_cell
+from ..core.truth_table import FullAdderTruthTable
+from ..core.types import validate_probability, validate_probability_vector
+
+
+def _stage_matrix(
+    table: FullAdderTruthTable, p_a: float, p_b: float
+) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    """2x2 map ``v_next = T v`` of one stage (rows: next c0/c1 mass).
+
+    ``T[out][in]``: contribution of incoming mass with carry *in* to the
+    outgoing success mass with carry *out*.
+    """
+    mkl = derive_matrices(table)
+    qa, qb = 1.0 - p_a, 1.0 - p_b
+    pair = (qa * qb, qa * p_b, p_a * qb, p_a * p_b)
+    t = [[0.0, 0.0], [0.0, 0.0]]
+    for row in range(8):
+        ab = row >> 1  # (a<<1 | b) index into pair products
+        cin = row & 1
+        weight = pair[ab]
+        if mkl.k[row]:
+            t[0][cin] += weight
+        if mkl.m[row]:
+            t[1][cin] += weight
+    return (tuple(t[0]), tuple(t[1]))  # type: ignore[return-value]
+
+
+def _final_vector(
+    table: FullAdderTruthTable, p_a: float, p_b: float
+) -> Tuple[float, float]:
+    """Functional ``l`` with ``P(Succ) = l . v`` at the last stage."""
+    mkl = derive_matrices(table)
+    qa, qb = 1.0 - p_a, 1.0 - p_b
+    pair = (qa * qb, qa * p_b, p_a * qb, p_a * p_b)
+    l0 = l1 = 0.0
+    for row in range(8):
+        if not mkl.l[row]:
+            continue
+        weight = pair[row >> 1]
+        if row & 1:
+            l1 += weight
+        else:
+            l0 += weight
+    return (l0, l1)
+
+
+@dataclass(frozen=True)
+class _ValueVector:
+    """Affine value function ``f(v) = w0*v0 + w1*v1 + const`` with the
+    cell choices (from this stage to the MSB) that realise it."""
+
+    w0: float
+    w1: float
+    const: float
+    choices: Tuple[int, ...]
+
+    def dominated_by(self, other: "_ValueVector") -> bool:
+        return (
+            other.w0 >= self.w0
+            and other.w1 >= self.w1
+            and other.const >= self.const
+            and (other.w0, other.w1, other.const)
+            != (self.w0, self.w1, self.const)
+        )
+
+
+def _prune(
+    vectors: List[_ValueVector], cap: int
+) -> Tuple[List[_ValueVector], bool]:
+    """Drop dominated/duplicate value vectors; cap the frontier size.
+
+    Returns ``(kept, truncated)`` -- *truncated* means the cap forced a
+    lossy cut and the overall search degrades to a wide beam.
+    """
+    kept: List[_ValueVector] = []
+    for vec in vectors:
+        if any(vec.dominated_by(other) for other in vectors):
+            continue
+        kept.append(vec)
+    # Deduplicate identical functionals (keep first provenance).
+    unique: Dict[Tuple[float, float, float], _ValueVector] = {}
+    for vec in kept:
+        unique.setdefault((vec.w0, vec.w1, vec.const), vec)
+    result = list(unique.values())
+    truncated = len(result) > cap
+    if truncated:
+        # Keep the strongest by a fixed probe state.
+        result.sort(key=lambda v: v.w0 + v.w1 + 2 * v.const, reverse=True)
+        result = result[:cap]
+    return result, truncated
+
+
+@dataclass(frozen=True)
+class HybridSearchResult:
+    """Outcome of a hybrid-chain optimisation."""
+
+    chain: HybridChain
+    p_error: float
+    objective: float
+    exact: bool
+    power_nw: Optional[float] = None
+
+
+def optimal_hybrid(
+    cells: Sequence[CellSpec],
+    width: int,
+    p_a: object = 0.5,
+    p_b: object = 0.5,
+    p_cin: float = 0.5,
+    power_weight: float = 0.0,
+    power_model: Optional[PowerModel] = None,
+    max_vectors: int = 4096,
+) -> HybridSearchResult:
+    """Exact optimal per-stage cell assignment by value-vector DP.
+
+    Maximises ``P(Succ) - power_weight * total_power_nw`` (pure error
+    minimisation at the default weight 0).  ``exact`` in the result is
+    False only if the vector frontier had to be truncated
+    (*max_vectors*), which does not occur for the paper's cell library
+    at practical widths.
+    """
+    if width < 1:
+        raise ExplorationError(f"width must be >= 1, got {width}")
+    tables = [resolve_cell(c) for c in cells]
+    if not tables:
+        raise ExplorationError("need at least one candidate cell")
+    if power_weight < 0:
+        raise ExplorationError("power_weight must be >= 0")
+    if power_weight > 0 and power_model is None:
+        power_model = PowerModel()
+    pa = [float(p) for p in validate_probability_vector(p_a, width, "p_a")]
+    pb = [float(p) for p in validate_probability_vector(p_b, width, "p_b")]
+    pc = float(validate_probability(p_cin, "p_cin"))
+
+    def stage_penalty(table: FullAdderTruthTable, i: int) -> float:
+        if power_weight == 0.0:
+            return 0.0
+        return power_weight * power_model.power_nw(table, pa[i], pb[i], 0.5)
+
+    exact = True
+    # Backward induction from the last stage.
+    frontier: List[_ValueVector] = []
+    for ci, table in enumerate(tables):
+        l0, l1 = _final_vector(table, pa[width - 1], pb[width - 1])
+        frontier.append(
+            _ValueVector(
+                w0=l0, w1=l1,
+                const=-stage_penalty(table, width - 1),
+                choices=(ci,),
+            )
+        )
+    frontier, truncated = _prune(frontier, max_vectors)
+    exact = exact and not truncated
+
+    for i in range(width - 2, -1, -1):
+        expanded: List[_ValueVector] = []
+        for ci, table in enumerate(tables):
+            t = _stage_matrix(table, pa[i], pb[i])
+            penalty = stage_penalty(table, i)
+            for vec in frontier:
+                # compose: f(T v) + const - penalty
+                w0 = vec.w0 * t[0][0] + vec.w1 * t[1][0]
+                w1 = vec.w0 * t[0][1] + vec.w1 * t[1][1]
+                expanded.append(
+                    _ValueVector(
+                        w0=w0,
+                        w1=w1,
+                        const=vec.const - penalty,
+                        choices=(ci, *vec.choices),
+                    )
+                )
+        frontier, truncated = _prune(expanded, max_vectors)
+        exact = exact and not truncated
+
+    v0, v1 = 1.0 - pc, pc
+    best = max(frontier, key=lambda vec: vec.w0 * v0 + vec.w1 * v1 + vec.const)
+    chain = HybridChain([tables[ci] for ci in best.choices])
+    p_error = float(chain.error_probability(pa, pb, pc))
+    power = (
+        power_model.chain_power_nw(list(chain.cells), None, pa, pb, pc)
+        if power_model is not None
+        else None
+    )
+    objective = best.w0 * v0 + best.w1 * v1 + best.const
+    return HybridSearchResult(
+        chain=chain, p_error=p_error, objective=objective,
+        exact=exact, power_nw=power,
+    )
+
+
+def brute_force_hybrid(
+    cells: Sequence[CellSpec],
+    width: int,
+    p_a: object = 0.5,
+    p_b: object = 0.5,
+    p_cin: float = 0.5,
+    max_combinations: int = 500_000,
+) -> HybridSearchResult:
+    """Enumerate every cell assignment (ablation oracle for small sizes)."""
+    tables = [resolve_cell(c) for c in cells]
+    total = len(tables) ** width
+    if total > max_combinations:
+        raise ExplorationError(
+            f"{len(tables)}^{width} = {total} assignments exceeds "
+            f"max_combinations={max_combinations}"
+        )
+    pa = [float(p) for p in validate_probability_vector(p_a, width, "p_a")]
+    pb = [float(p) for p in validate_probability_vector(p_b, width, "p_b")]
+    pc = float(validate_probability(p_cin, "p_cin"))
+    best_chain = None
+    best_error = float("inf")
+    for assignment in product(range(len(tables)), repeat=width):
+        chain = [tables[i] for i in assignment]
+        err = float(HybridChain(chain).error_probability(pa, pb, pc))
+        if err < best_error - 1e-15:
+            best_error = err
+            best_chain = chain
+    assert best_chain is not None
+    return HybridSearchResult(
+        chain=HybridChain(best_chain),
+        p_error=best_error,
+        objective=1.0 - best_error,
+        exact=True,
+    )
+
+
+def hybrid_tradeoff_curve(
+    cells: Sequence[CellSpec],
+    width: int,
+    power_weights: Sequence[float],
+    p_a: object = 0.5,
+    p_b: object = 0.5,
+    p_cin: float = 0.5,
+    power_model: Optional[PowerModel] = None,
+) -> List[HybridSearchResult]:
+    """Sweep the power weight to trace an error/power trade-off frontier.
+
+    Each weight yields the optimal chain for the scalarised objective
+    ``P(Succ) - weight * power``; collectively the distinct results
+    sample the Pareto frontier of (error, power) over hybrid designs.
+    Duplicate chains from adjacent weights are collapsed.
+    """
+    if not power_weights:
+        raise ExplorationError("need at least one power weight")
+    model = power_model or PowerModel()
+    results: List[HybridSearchResult] = []
+    seen = set()
+    for weight in sorted(float(w) for w in power_weights):
+        result = optimal_hybrid(
+            cells, width, p_a, p_b, p_cin,
+            power_weight=weight, power_model=model,
+        )
+        key = result.chain
+        if key not in seen:
+            seen.add(key)
+            results.append(result)
+    return results
+
+
+def greedy_hybrid(
+    cells: Sequence[CellSpec],
+    width: int,
+    p_a: object = 0.5,
+    p_b: object = 0.5,
+    p_cin: float = 0.5,
+) -> HybridSearchResult:
+    """Stage-by-stage greedy: maximise surviving success mass per stage.
+
+    A fast heuristic ablation baseline; not optimal in general (the
+    tests exhibit its gap against :func:`optimal_hybrid`).
+    """
+    tables = [resolve_cell(c) for c in cells]
+    pa = [float(p) for p in validate_probability_vector(p_a, width, "p_a")]
+    pb = [float(p) for p in validate_probability_vector(p_b, width, "p_b")]
+    pc = float(validate_probability(p_cin, "p_cin"))
+    v = (1.0 - pc, pc)
+    chosen: List[FullAdderTruthTable] = []
+    for i in range(width):
+        last = i == width - 1
+        best_table = None
+        best_score = -1.0
+        best_state = v
+        for table in tables:
+            if last:
+                l0, l1 = _final_vector(table, pa[i], pb[i])
+                score = l0 * v[0] + l1 * v[1]
+                state = v
+            else:
+                t = _stage_matrix(table, pa[i], pb[i])
+                state = (
+                    t[0][0] * v[0] + t[0][1] * v[1],
+                    t[1][0] * v[0] + t[1][1] * v[1],
+                )
+                score = state[0] + state[1]
+            if score > best_score:
+                best_score = score
+                best_table = table
+                best_state = state
+        chosen.append(best_table)
+        v = best_state
+    chain = HybridChain(chosen)
+    p_error = float(chain.error_probability(pa, pb, pc))
+    return HybridSearchResult(
+        chain=chain, p_error=p_error, objective=1.0 - p_error, exact=False
+    )

@@ -1,0 +1,71 @@
+"""Pareto-front extraction over design points.
+
+The interesting LPAA trade-off is multi-objective: error probability
+versus power versus area.  :func:`pareto_front` returns the
+non-dominated subset of a design-point list under an arbitrary selection
+of minimised objectives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.exceptions import ExplorationError
+from .design_space import DesignPoint
+
+#: Named objectives -> extractor.  All are minimised.
+_OBJECTIVES = {
+    "error": lambda p: p.p_error,
+    "power": lambda p: p.power_nw,
+    "area": lambda p: p.area_ge,
+    "width": lambda p: -p.width,  # wider is better: minimise the negation
+}
+
+
+def objective_vector(
+    point: DesignPoint, objectives: Sequence[str]
+) -> Tuple[float, ...]:
+    """The point's objective values, raising on missing data."""
+    values = []
+    for name in objectives:
+        try:
+            extractor = _OBJECTIVES[name]
+        except KeyError:
+            raise ExplorationError(
+                f"unknown objective {name!r}; known: {sorted(_OBJECTIVES)}"
+            ) from None
+        value = extractor(point)
+        if value is None:
+            raise ExplorationError(
+                f"point {point.cell_name}/w{point.width} lacks {name!r} data "
+                "(sweep without a power model?)"
+            )
+        values.append(float(value))
+    return tuple(values)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """``True`` when *a* is no worse everywhere and better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    points: Sequence[DesignPoint],
+    objectives: Sequence[str] = ("error", "power"),
+) -> List[DesignPoint]:
+    """Non-dominated subset of *points* under the given minimised
+    objectives, in input order."""
+    if not points:
+        return []
+    vectors = [objective_vector(p, objectives) for p in points]
+    front = []
+    for i, (point, vec) in enumerate(zip(points, vectors)):
+        if not any(
+            dominates(other, vec)
+            for j, other in enumerate(vectors)
+            if j != i
+        ):
+            front.append(point)
+    return front

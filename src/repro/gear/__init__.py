@@ -1,0 +1,59 @@
+"""GeAr low-latency approximate adder: model and error analysis.
+
+The paper's §2.2 substrate (ref [17]) plus the analysis its §1.1 claims:
+an exact linear-time error probability without inclusion-exclusion,
+alongside the traditional IE baseline and Monte-Carlo validation.
+"""
+
+from .analysis import (
+    MAX_IE_SUBADDERS,
+    GeArIEReport,
+    gear_error_probability,
+    gear_exhaustive,
+    gear_inclusion_exclusion,
+    gear_monte_carlo,
+    gear_subadder_error_probabilities,
+    gear_success_probability,
+)
+from .config import GeArConfig, SubAdder
+from .correction import (
+    corrected_error_probability,
+    detect_errors,
+    error_count_distribution,
+    expected_corrections,
+    gear_add_corrected,
+)
+from .functional import gear_add, gear_add_array, gear_error_positions
+from .variants import (
+    aca_i,
+    accurate_rca,
+    etaii,
+    named_variants,
+    variant_comparison,
+)
+
+__all__ = [
+    "GeArConfig",
+    "SubAdder",
+    "gear_add",
+    "gear_add_array",
+    "gear_error_positions",
+    "gear_success_probability",
+    "gear_error_probability",
+    "gear_subadder_error_probabilities",
+    "gear_inclusion_exclusion",
+    "gear_monte_carlo",
+    "gear_exhaustive",
+    "GeArIEReport",
+    "MAX_IE_SUBADDERS",
+    "detect_errors",
+    "gear_add_corrected",
+    "error_count_distribution",
+    "expected_corrections",
+    "corrected_error_probability",
+    "aca_i",
+    "etaii",
+    "accurate_rca",
+    "named_variants",
+    "variant_comparison",
+]

@@ -1,0 +1,260 @@
+"""Statistical error analysis of GeAr adders.
+
+The paper (§1.1) claims its recursion philosophy -- propagate exactly
+the state you need, never expand inclusion-exclusion -- also covers
+low-latency adders.  This module realises that for GeAr:
+
+**Error event.** Sub-adder ``i >= 1`` produces a wrong contribution iff
+the true carry into its window base ``i*R`` is 1 *and* all ``P`` of its
+prediction bit pairs propagate (``a_j xor b_j = 1``); only then does the
+missing carry survive the prediction window and corrupt the first result
+bit.  Since a propagating position hands its carry through unchanged,
+the condition is equivalent to: *at checkpoint position ``i*R + P`` the
+running propagate-run length is >= P and the current true carry is 1*.
+
+**Linear DP** (:func:`gear_error_probability`).  Track the joint
+distribution of ``(true carry, propagate-run length capped at P)`` one
+bit at a time -- ``2*(P+1)`` states -- and at each checkpoint discard
+the mass where the event fires.  The survivor mass is ``P(no sub-adder
+errs)`` = probability the GeAr output is exact.  O(N*P) time, exact for
+arbitrary per-bit input probabilities.
+
+**Baselines.**  :func:`gear_inclusion_exclusion` evaluates the same
+probability the traditional way (paper ref [12]): all ``2^(k-1) - 1``
+joint error-event terms, each via a constrained DP.
+:func:`gear_monte_carlo` samples the functional model.  All three agree
+(tests pin it); only their costs differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.exceptions import AnalysisError
+from ..core.types import Probability, validate_probability_vector
+from .config import GeArConfig
+from .functional import gear_add_array
+
+#: IE over more than this many sub-adder events is refused.
+MAX_IE_SUBADDERS = 20
+
+# DP state: (carry, run) -> probability, with run capped at config.p.
+
+
+def _normalise_probs(
+    config: GeArConfig,
+    p_a: Union[Probability, Sequence[Probability]],
+    p_b: Union[Probability, Sequence[Probability]],
+) -> Tuple[List[float], List[float]]:
+    pa = [float(p) for p in validate_probability_vector(p_a, config.n, "p_a")]
+    pb = [float(p) for p in validate_probability_vector(p_b, config.n, "p_b")]
+    return pa, pb
+
+
+def _advance_bit(
+    state: Dict[Tuple[int, int], float],
+    p_a: float,
+    p_b: float,
+    run_cap: int,
+) -> Dict[Tuple[int, int], float]:
+    """One DP step over the four (a, b) combinations of the current bit."""
+    nxt: Dict[Tuple[int, int], float] = {}
+    for (carry, run), mass in state.items():
+        if mass == 0.0:
+            continue
+        for a in (0, 1):
+            wa = p_a if a else 1.0 - p_a
+            if wa == 0.0:
+                continue
+            for b in (0, 1):
+                wb = p_b if b else 1.0 - p_b
+                w = wa * wb
+                if w == 0.0:
+                    continue
+                total = a + b + carry
+                new_carry = total >> 1
+                if a ^ b:  # propagate position: run grows
+                    new_run = min(run + 1, run_cap)
+                else:
+                    new_run = 0
+                key = (new_carry, new_run)
+                nxt[key] = nxt.get(key, 0.0) + mass * w
+    return nxt
+
+
+def _checkpoint_filter(
+    state: Dict[Tuple[int, int], float],
+    run_cap: int,
+    require_event: bool,
+) -> Dict[Tuple[int, int], float]:
+    """Split the DP mass at a sub-adder checkpoint.
+
+    ``require_event=False`` keeps only no-error mass (carry 0, or run
+    shorter than P); ``require_event=True`` keeps only the event mass.
+    """
+    out: Dict[Tuple[int, int], float] = {}
+    for (carry, run), mass in state.items():
+        fired = carry == 1 and run >= run_cap
+        if fired == require_event:
+            out[(carry, run)] = out.get((carry, run), 0.0) + mass
+    return out
+
+
+def gear_success_probability(
+    config: GeArConfig,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+) -> float:
+    """Exact ``P(GeAr output == a + b)`` in O(N * P) time."""
+    pa, pb = _normalise_probs(config, p_a, p_b)
+    checkpoints = set(config.error_checkpoints())
+    run_cap = config.p
+    state: Dict[Tuple[int, int], float] = {(0, 0): 1.0}
+    for j in range(config.n):
+        if j in checkpoints:
+            state = _checkpoint_filter(state, run_cap, require_event=False)
+        state = _advance_bit(state, pa[j], pb[j], run_cap)
+    # A checkpoint can sit at position N exactly when P = L - R spans to
+    # the top of the last window... it cannot: checkpoints are
+    # i*R + P <= (k-1)R + P = N - R < N.  All filtered already.
+    return sum(state.values())
+
+
+def gear_error_probability(
+    config: GeArConfig,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+) -> float:
+    """``1 - gear_success_probability(...)``."""
+    return 1.0 - gear_success_probability(config, p_a, p_b)
+
+
+def gear_subadder_error_probabilities(
+    config: GeArConfig,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+) -> List[float]:
+    """Marginal ``P(E_i)`` for each sub-adder ``i >= 1``.
+
+    Each marginal is one DP pass that filters for the event at exactly
+    one checkpoint and marginalises everywhere else.
+    """
+    pa, pb = _normalise_probs(config, p_a, p_b)
+    run_cap = config.p
+    marginals = []
+    for checkpoint in config.error_checkpoints():
+        state: Dict[Tuple[int, int], float] = {(0, 0): 1.0}
+        for j in range(checkpoint):
+            state = _advance_bit(state, pa[j], pb[j], run_cap)
+        fired = _checkpoint_filter(state, run_cap, require_event=True)
+        marginals.append(sum(fired.values()))
+    return marginals
+
+
+@dataclass(frozen=True)
+class GeArIEReport:
+    """Inclusion-exclusion result with term accounting."""
+
+    p_error: float
+    terms_evaluated: int
+    num_subadders: int
+
+
+def _joint_event_probability(
+    config: GeArConfig,
+    checkpoints: Sequence[int],
+    subset: frozenset,
+    pa: Sequence[float],
+    pb: Sequence[float],
+) -> float:
+    """``P(AND of the chosen sub-adder error events)`` by constrained DP."""
+    run_cap = config.p
+    state: Dict[Tuple[int, int], float] = {(0, 0): 1.0}
+    checkpoint_set = {cp: (idx in subset) for idx, cp in enumerate(checkpoints)}
+    last_required = max(
+        (cp for idx, cp in enumerate(checkpoints) if idx in subset), default=0
+    )
+    for j in range(last_required + 1):
+        if j in checkpoint_set and checkpoint_set[j]:
+            state = _checkpoint_filter(state, run_cap, require_event=True)
+        if j == last_required:
+            break
+        state = _advance_bit(state, pa[j], pb[j], run_cap)
+    return sum(state.values())
+
+
+def gear_inclusion_exclusion(
+    config: GeArConfig,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+) -> GeArIEReport:
+    """The traditional IE analysis of GeAr (paper ref [12] style).
+
+    Expands ``P(U E_i)`` over all non-empty subsets of the ``k - 1``
+    error events.  Exponential in ``k``; numerically identical to
+    :func:`gear_error_probability`.
+    """
+    events = config.error_checkpoints()
+    k = len(events)
+    if k > MAX_IE_SUBADDERS:
+        raise AnalysisError(
+            f"IE over {k} sub-adder events needs 2^{k} - 1 terms; "
+            "use gear_error_probability instead"
+        )
+    pa, pb = _normalise_probs(config, p_a, p_b)
+    p_union = 0.0
+    terms = 0
+    for size in range(1, k + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for subset in combinations(range(k), size):
+            terms += 1
+            p_union += sign * _joint_event_probability(
+                config, events, frozenset(subset), pa, pb
+            )
+    return GeArIEReport(
+        p_error=min(max(p_union, 0.0), 1.0),
+        terms_evaluated=terms,
+        num_subadders=config.num_subadders,
+    )
+
+
+def gear_monte_carlo(
+    config: GeArConfig,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    samples: int = 1_000_000,
+    seed: Optional[int] = None,
+) -> float:
+    """Monte-Carlo estimate of the GeAr error probability."""
+    if samples < 1:
+        raise AnalysisError(f"samples must be >= 1, got {samples}")
+    pa, pb = _normalise_probs(config, p_a, p_b)
+    rng = np.random.default_rng(seed)
+    a = np.zeros(samples, dtype=np.int64)
+    b = np.zeros(samples, dtype=np.int64)
+    for i in range(config.n):
+        a |= (rng.random(samples) < pa[i]).astype(np.int64) << i
+        b |= (rng.random(samples) < pb[i]).astype(np.int64) << i
+    wrong = gear_add_array(config, a, b) != (a + b)
+    return float(wrong.mean())
+
+
+def gear_exhaustive(config: GeArConfig) -> Tuple[int, int]:
+    """Exhaustive equiprobable error count: ``(errors, total)``.
+
+    Total is ``2^(2N)`` (GeAr has no external carry-in).
+    """
+    if config.n > 12:
+        raise AnalysisError(
+            f"exhaustive GeAr check at N={config.n} would visit "
+            f"2^{2 * config.n} cases"
+        )
+    values = np.arange(1 << config.n, dtype=np.int64)
+    a, b = np.meshgrid(values, values, indexing="ij")
+    a, b = a.ravel(), b.ravel()
+    errors = int((gear_add_array(config, a, b) != (a + b)).sum())
+    return errors, a.size

@@ -1,0 +1,134 @@
+"""GeAr adder configuration algebra (paper §2.2, ref [17]).
+
+A GeAr(N, R, P) adder splits an N-bit addition into ``k`` overlapping
+L-bit sub-adders with ``L = R + P``: each sub-adder computes its window
+``[i*R, i*R + L - 1]`` independently with carry-in 0; the low ``P`` bits
+of the window are *prediction* bits (they approximate the incoming
+carry), the high ``R`` bits contribute to the result.  Sub-adder 0
+contributes all of its ``L`` bits.  Valid configurations satisfy
+``k = (N - L) / R + 1`` with integral ``k`` -- exactly the constraint in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.exceptions import GeArConfigError
+
+
+@dataclass(frozen=True)
+class SubAdder:
+    """One GeAr sub-adder window."""
+
+    index: int
+    low: int          # lowest operand bit of the window
+    high: int         # highest operand bit (inclusive)
+    result_low: int   # lowest bit this sub-adder contributes to the result
+
+    @property
+    def width(self) -> int:
+        """Window width L (or less is impossible -- always L)."""
+        return self.high - self.low + 1
+
+    @property
+    def prediction_bits(self) -> Tuple[int, int]:
+        """Half-open operand-bit range ``[low, result_low)`` used only
+        for carry prediction (empty for sub-adder 0)."""
+        return (self.low, self.result_low)
+
+
+@dataclass(frozen=True)
+class GeArConfig:
+    """A validated GeAr(N, R, P) configuration.
+
+    Parameters follow the paper: *n* total operand bits, *r* result bits
+    per sub-adder, *p* overlapping prediction bits.
+
+    >>> GeArConfig(8, 2, 2).num_subadders
+    3
+    """
+
+    n: int
+    r: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise GeArConfigError(f"N must be >= 1, got {self.n}")
+        if self.r < 1:
+            raise GeArConfigError(f"R must be >= 1, got {self.r}")
+        if self.p < 0:
+            raise GeArConfigError(f"P must be >= 0, got {self.p}")
+        if self.l > self.n:
+            raise GeArConfigError(
+                f"sub-adder length L=R+P={self.l} exceeds N={self.n}"
+            )
+        if (self.n - self.l) % self.r != 0:
+            raise GeArConfigError(
+                f"GeAr({self.n},{self.r},{self.p}): (N - L) = "
+                f"{self.n - self.l} is not a multiple of R = {self.r}; "
+                "k = (N - L)/R + 1 must be integral"
+            )
+
+    @property
+    def l(self) -> int:
+        """Sub-adder length ``L = R + P``."""
+        return self.r + self.p
+
+    @property
+    def num_subadders(self) -> int:
+        """``k = (N - L)/R + 1`` (paper §2.2)."""
+        return (self.n - self.l) // self.r + 1
+
+    @property
+    def is_exact(self) -> bool:
+        """A single sub-adder covers everything: no approximation."""
+        return self.num_subadders == 1
+
+    def subadders(self) -> List[SubAdder]:
+        """All sub-adder windows, LSB-first."""
+        subs = []
+        for i in range(self.num_subadders):
+            low = i * self.r
+            subs.append(
+                SubAdder(
+                    index=i,
+                    low=low,
+                    high=low + self.l - 1,
+                    result_low=low if i == 0 else low + self.p,
+                )
+            )
+        return subs
+
+    def error_checkpoints(self) -> List[int]:
+        """Bit positions where a sub-adder's prediction may fail.
+
+        Sub-adder ``i >= 1`` produces a wrong result iff the true carry
+        into bit ``i*R`` is 1 *and* all its ``P`` prediction bit pairs
+        propagate; that condition is testable at position ``i*R + P``
+        (see :mod:`repro.gear.analysis`).  Returns those positions.
+        """
+        return [
+            sub.low + self.p for sub in self.subadders() if sub.index >= 1
+        ]
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``'GeAr(N=8, R=2, P=2), k=4'``."""
+        return (
+            f"GeAr(N={self.n}, R={self.r}, P={self.p}), "
+            f"k={self.num_subadders}, L={self.l}"
+        )
+
+    @classmethod
+    def valid_configs(cls, n: int) -> List["GeArConfig"]:
+        """Every valid (R, P) combination for an N-bit GeAr adder."""
+        configs = []
+        for r in range(1, n + 1):
+            for p in range(0, n - r + 1):
+                try:
+                    configs.append(cls(n, r, p))
+                except GeArConfigError:
+                    continue
+        return configs

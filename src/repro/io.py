@@ -1,0 +1,95 @@
+"""Serialisation: cell libraries and result exports.
+
+JSON is the interchange format for user-defined cells (so custom adders
+can be analysed from the CLI without writing Python) and for exporting
+sweep/exploration results to downstream tooling.
+
+Cell-library file format::
+
+    {
+      "format": "sealpaa-cells-v1",
+      "cells": [
+        {"name": "MyAdder", "rows": [[0,0], [1,0], ... 8 rows ...]},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Mapping, Sequence, Union
+
+from .core.adders import CellRegistry, registry
+from .core.exceptions import TruthTableError
+from .core.truth_table import FullAdderTruthTable
+from .explore.design_space import DesignPoint
+from .reporting import records_to_csv, records_to_json
+
+CELL_FORMAT = "sealpaa-cells-v1"
+
+
+def cells_to_json(cells: Iterable[FullAdderTruthTable]) -> str:
+    """Serialise cells as a library document."""
+    return json.dumps(
+        {
+            "format": CELL_FORMAT,
+            "cells": [cell.as_dict() for cell in cells],
+        },
+        indent=2,
+    )
+
+
+def cells_from_json(text: str) -> List[FullAdderTruthTable]:
+    """Parse a cell-library document."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TruthTableError(f"invalid JSON cell library: {exc}") from exc
+    if not isinstance(data, Mapping) or data.get("format") != CELL_FORMAT:
+        raise TruthTableError(
+            f"expected a {CELL_FORMAT!r} document, got "
+            f"{data.get('format') if isinstance(data, Mapping) else type(data).__name__!r}"
+        )
+    cells_field = data.get("cells")
+    if not isinstance(cells_field, list) or not cells_field:
+        raise TruthTableError("cell library contains no cells")
+    return [FullAdderTruthTable.from_dict(entry) for entry in cells_field]
+
+
+def save_cell_library(
+    cells: Iterable[FullAdderTruthTable],
+    path: Union[str, Path],
+) -> None:
+    """Write a cell library to *path*."""
+    Path(path).write_text(cells_to_json(cells))
+
+
+def load_cell_library(
+    path: Union[str, Path],
+    target: CellRegistry = registry,
+    register: bool = True,
+) -> List[FullAdderTruthTable]:
+    """Read a cell library; optionally register every cell for lookup."""
+    cells = cells_from_json(Path(path).read_text())
+    if register:
+        for cell in cells:
+            target.register(cell, overwrite=True)
+    return cells
+
+
+def export_design_points(
+    points: Sequence[DesignPoint],
+    path: Union[str, Path],
+    fmt: str = "csv",
+) -> None:
+    """Write design points as CSV or JSON (by *fmt* or file suffix)."""
+    records = [point.as_dict() for point in points]
+    fmt = (fmt or Path(path).suffix.lstrip(".")).lower()
+    if fmt == "csv":
+        Path(path).write_text(records_to_csv(records))
+    elif fmt == "json":
+        Path(path).write_text(records_to_json(records))
+    else:
+        raise ValueError(f"unknown export format {fmt!r} (csv or json)")

@@ -1,0 +1,51 @@
+"""Carry-save / multi-operand structures (paper §2.1's CSA topology)."""
+
+from .analysis import (
+    csa_layer_success_probability,
+    csa_tree_success_product,
+    multi_operand_error_exact,
+    multi_operand_error_probability_mc,
+)
+from .compressor import (
+    ReductionTrace,
+    csa_compress,
+    csa_compress_array,
+    multi_operand_add,
+    multi_operand_add_array,
+    wallace_reduce,
+)
+from .mac import (
+    Accumulator,
+    accumulator_drift_profile,
+    dot_product,
+    mean_accumulator_drift,
+)
+from .multiplier import (
+    approx_multiply,
+    exhaustive_multiplier_check,
+    multiplier_error_metrics,
+    multiplier_final_width,
+    partial_products,
+)
+
+__all__ = [
+    "csa_compress",
+    "csa_compress_array",
+    "wallace_reduce",
+    "multi_operand_add",
+    "multi_operand_add_array",
+    "ReductionTrace",
+    "csa_layer_success_probability",
+    "csa_tree_success_product",
+    "multi_operand_error_probability_mc",
+    "multi_operand_error_exact",
+    "dot_product",
+    "Accumulator",
+    "accumulator_drift_profile",
+    "mean_accumulator_drift",
+    "partial_products",
+    "approx_multiply",
+    "multiplier_final_width",
+    "multiplier_error_metrics",
+    "exhaustive_multiplier_check",
+]

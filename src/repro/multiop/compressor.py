@@ -1,0 +1,196 @@
+"""Carry-save (3:2 compressor) structures built from approximate cells.
+
+The paper's §2.1 names the Carry-Save Adder next to the Ripple-Carry
+Adder as the multi-bit topology LPAAs get cascaded into ("building
+blocks of digital signal processors").  A CSA row applies one full-adder
+cell per column with **no intra-row carry chain**: three operands
+compress into a sum word and a carry word (shifted left by one).  A
+Wallace-style tree of such rows reduces any number of operands to two,
+which a final (possibly approximate) ripple adder resolves.
+
+Everything here is bit-true and works with any
+:class:`repro.core.truth_table.FullAdderTruthTable`, so the same LPAA
+cells drive RCA chains and CSA trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.exceptions import ChainLengthError
+from ..core.recursive import CellSpec, resolve_cell
+from ..core.truth_table import FullAdderTruthTable
+from ..simulation.functional import ripple_add, ripple_add_array
+
+
+def csa_compress(
+    cell: CellSpec,
+    x: int,
+    y: int,
+    z: int,
+    width: int,
+) -> Tuple[int, int]:
+    """One 3:2 compression: three *width*-bit words -> (sum, carry).
+
+    Column *i* evaluates the cell on ``(x_i, y_i, z_i)``; its sum bit
+    lands at weight ``i`` and its carry bit at weight ``i + 1``.  With
+    the accurate cell, ``sum + carry == x + y + z`` always.
+
+    >>> csa_compress("accurate", 0b011, 0b001, 0b001, 3)
+    (3, 2)
+    """
+    table = resolve_cell(cell)
+    if width < 1:
+        raise ChainLengthError(f"width must be >= 1, got {width}", width)
+    for name, value in (("x", x), ("y", y), ("z", z)):
+        if value < 0 or value >= 1 << width:
+            raise ChainLengthError(
+                f"operand {name}={value} must fit in {width} bits"
+            )
+    sum_word = 0
+    carry_word = 0
+    for i in range(width):
+        s, c = table.evaluate((x >> i) & 1, (y >> i) & 1, (z >> i) & 1)
+        sum_word |= s << i
+        carry_word |= c << (i + 1)
+    return sum_word, carry_word
+
+
+def csa_compress_array(
+    cell: CellSpec,
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    width: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`csa_compress` over operand arrays."""
+    table = resolve_cell(cell)
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    z = np.asarray(z, dtype=np.int64)
+    if not (x.shape == y.shape == z.shape):
+        raise ChainLengthError("operand arrays must share a shape")
+    for arr in (x, y, z):
+        if (arr < 0).any() or (arr >= 1 << width).any():
+            raise ChainLengthError(f"operands must fit in {width} bits")
+    lut = np.asarray(table.rows, dtype=np.int64)
+    sum_word = np.zeros_like(x)
+    carry_word = np.zeros_like(x)
+    for i in range(width):
+        idx = (((x >> i) & 1) << 2) | (((y >> i) & 1) << 1) | ((z >> i) & 1)
+        sum_word |= lut[idx, 0] << i
+        carry_word |= lut[idx, 1] << (i + 1)
+    return sum_word, carry_word
+
+
+@dataclass(frozen=True)
+class ReductionTrace:
+    """Record of one Wallace-style reduction for inspection/benches."""
+
+    levels: int
+    compressions: int
+    final_width: int
+
+
+def wallace_reduce(
+    cell: CellSpec,
+    operands: Sequence[int],
+    width: int,
+) -> Tuple[List[int], ReductionTrace]:
+    """Reduce >= 1 operands to at most two partial words via 3:2 rows.
+
+    Words grow as carries shift left; the returned words (and the trace's
+    ``final_width``) are wide enough to hold every intermediate exactly
+    when the cell is accurate.
+    """
+    words = [int(v) for v in operands]
+    if not words:
+        raise ChainLengthError("need at least one operand", 0)
+    if any(v < 0 or v >= 1 << width for v in words):
+        raise ChainLengthError(f"operands must fit in {width} bits")
+    current_width = width
+    levels = 0
+    compressions = 0
+    while len(words) > 2:
+        next_words: List[int] = []
+        for j in range(0, len(words) - 2, 3):
+            s, c = csa_compress(
+                cell, words[j], words[j + 1], words[j + 2], current_width
+            )
+            next_words.extend([s, c])
+            compressions += 1
+        next_words.extend(words[len(words) - len(words) % 3:]
+                          if len(words) % 3 else [])
+        words = next_words
+        current_width += 1  # carries shift one position left per level
+        levels += 1
+    return words, ReductionTrace(
+        levels=levels, compressions=compressions, final_width=current_width
+    )
+
+
+def reduction_final_width(operand_count: int, width: int) -> int:
+    """Width of the final two words after Wallace reduction.
+
+    Mirrors :func:`wallace_reduce` exactly (one extra bit per level), so
+    callers can pre-size hybrid final-adder chains.
+    """
+    if operand_count < 1:
+        raise ChainLengthError("need at least one operand", 0)
+    count = operand_count
+    levels = 0
+    while count > 2:
+        count = 2 * (count // 3) + count % 3
+        levels += 1
+    return width + levels
+
+
+def multi_operand_add(
+    operands: Sequence[int],
+    width: int,
+    compress_cell: CellSpec = "accurate",
+    final_adder: Union[CellSpec, Sequence[CellSpec], None] = None,
+) -> int:
+    """Sum many operands: CSA tree + final ripple addition.
+
+    *compress_cell* drives the 3:2 rows, *final_adder* the carry-
+    propagating last step (defaults to the accurate cell).  With both
+    accurate the result equals ``sum(operands)``.
+    """
+    words, trace = wallace_reduce(compress_cell, operands, width)
+    if len(words) == 1:
+        return words[0]
+    final_cell = final_adder if final_adder is not None else "accurate"
+    return ripple_add(final_cell, words[0], words[1], 0, trace.final_width)
+
+
+def multi_operand_add_array(
+    operands: Sequence[np.ndarray],
+    width: int,
+    compress_cell: CellSpec = "accurate",
+    final_adder: Union[CellSpec, Sequence[CellSpec], None] = None,
+) -> np.ndarray:
+    """Vectorised :func:`multi_operand_add` (one tree, array operands)."""
+    words = [np.asarray(v, dtype=np.int64) for v in operands]
+    if not words:
+        raise ChainLengthError("need at least one operand", 0)
+    current_width = width
+    while len(words) > 2:
+        next_words: List[np.ndarray] = []
+        for j in range(0, len(words) - 2, 3):
+            s, c = csa_compress_array(
+                compress_cell, words[j], words[j + 1], words[j + 2],
+                current_width,
+            )
+            next_words.extend([s, c])
+        if len(words) % 3:
+            next_words.extend(words[len(words) - len(words) % 3:])
+        words = next_words
+        current_width += 1
+    if len(words) == 1:
+        return words[0]
+    final_cell = final_adder if final_adder is not None else "accurate"
+    return ripple_add_array(final_cell, words[0], words[1], 0, current_width)

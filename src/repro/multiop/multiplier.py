@@ -1,0 +1,141 @@
+"""Approximate array multipliers built on approximate adders.
+
+The paper cites architectural exploration of approximate *multipliers*
+(ref [16]) as the sibling problem; structurally a multiplier is exactly
+this library's territory, because an unsigned array multiplier is
+nothing but partial products + a large multi-operand addition.  Here:
+
+* partial products are exact AND rows (approximating the adders, not
+  the AND gates, mirrors the paper's adder-centric focus);
+* their accumulation runs on the configurable CSA tree / final adder of
+  :mod:`repro.multiop.compressor` -- so every LPAA cell and hybrid chain
+  becomes a multiplier flavour.
+
+Includes truncated (fixed-width) multiplication with the standard
+LSB-column dropping, the other classic approximate-multiplier knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.exceptions import AnalysisError, ChainLengthError
+from ..core.recursive import CellSpec
+from .compressor import multi_operand_add, reduction_final_width
+
+
+def partial_products(a: int, b: int, width: int) -> list:
+    """The *width* shifted partial products of ``a * b``.
+
+    Row *j* is ``(a & mask) << j`` if bit *j* of *b* is set, else 0 --
+    already aligned, ready for multi-operand addition over
+    ``2 * width`` bits.
+    """
+    if a < 0 or b < 0 or a >= 1 << width or b >= 1 << width:
+        raise ChainLengthError(
+            f"operands must fit in {width} bits, got {a}, {b}"
+        )
+    return [((a << j) if (b >> j) & 1 else 0) for j in range(width)]
+
+
+def approx_multiply(
+    a: int,
+    b: int,
+    width: int,
+    compress_cell: CellSpec = "accurate",
+    final_adder: Union[CellSpec, Sequence[CellSpec], None] = None,
+    truncate_bits: int = 0,
+) -> int:
+    """Multiply through an approximate accumulation datapath.
+
+    Parameters
+    ----------
+    truncate_bits:
+        Drop this many LSB columns of every partial product before
+        accumulation (the classic truncated-multiplier approximation);
+        the result keeps full weight (low bits simply read 0).
+    """
+    if truncate_bits < 0 or truncate_bits > 2 * width:
+        raise AnalysisError(
+            f"truncate_bits must be in [0, {2 * width}], got {truncate_bits}"
+        )
+    rows = partial_products(a, b, width)
+    if truncate_bits:
+        keep = ~((1 << truncate_bits) - 1)
+        rows = [row & keep for row in rows]
+        rows = [row >> truncate_bits for row in rows]
+        total = multi_operand_add(
+            rows, 2 * width - truncate_bits,
+            compress_cell=compress_cell, final_adder=final_adder,
+        )
+        return total << truncate_bits
+    return multi_operand_add(
+        rows, 2 * width,
+        compress_cell=compress_cell, final_adder=final_adder,
+    )
+
+
+def multiplier_final_width(width: int, truncate_bits: int = 0) -> int:
+    """Width of the final carry-propagate adder inside the multiplier."""
+    return reduction_final_width(width, 2 * width - truncate_bits)
+
+
+def multiplier_error_metrics(
+    width: int,
+    compress_cell: CellSpec = "accurate",
+    final_adder: Union[CellSpec, Sequence[CellSpec], None] = None,
+    truncate_bits: int = 0,
+    samples: int = 20_000,
+    seed: Optional[int] = None,
+) -> Tuple[float, float, int]:
+    """Monte-Carlo ``(error rate, mean |error|, worst |error|)``.
+
+    Uniform random operands; exact products as reference.
+    """
+    if samples < 1:
+        raise AnalysisError(f"samples must be >= 1, got {samples}")
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << width, samples)
+    b = rng.integers(0, 1 << width, samples)
+    errors = np.zeros(samples, dtype=np.int64)
+    for j in range(samples):
+        approx = approx_multiply(
+            int(a[j]), int(b[j]), width,
+            compress_cell=compress_cell, final_adder=final_adder,
+            truncate_bits=truncate_bits,
+        )
+        errors[j] = approx - int(a[j]) * int(b[j])
+    abs_err = np.abs(errors)
+    return (
+        float((errors != 0).mean()),
+        float(abs_err.mean()),
+        int(abs_err.max()),
+    )
+
+
+def exhaustive_multiplier_check(
+    width: int,
+    compress_cell: CellSpec = "accurate",
+    final_adder: Union[CellSpec, Sequence[CellSpec], None] = None,
+    truncate_bits: int = 0,
+) -> Tuple[int, int]:
+    """``(errors, total)`` over every operand pair (small widths only)."""
+    if width > 6:
+        raise AnalysisError(
+            f"exhaustive multiplier check at width {width} would visit "
+            f"4^{width} pairs"
+        )
+    errors = 0
+    total = 0
+    for a in range(1 << width):
+        for b in range(1 << width):
+            total += 1
+            approx = approx_multiply(
+                a, b, width, compress_cell=compress_cell,
+                final_adder=final_adder, truncate_bits=truncate_bits,
+            )
+            if approx != a * b:
+                errors += 1
+    return errors, total

@@ -1,0 +1,104 @@
+"""Report rendering: paper-style ASCII tables and CSV/JSON export.
+
+All benchmark scripts print through these helpers so their output lines
+up with the paper's tables visually and is machine-readable on request.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_value(value: Cell, digits: int = 5) -> str:
+    """Paper-style cell formatting: fixed decimals for probabilities,
+    plain text otherwise, em-dash for missing values."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1e7:
+            return f"{value:.3g}"
+        return f"{value:.{digits}f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    digits: int = 5,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table with a rule under the header."""
+    text_rows = [
+        [format_value(cell, digits) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in text_rows))
+        if text_rows
+        else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(w) for h, w in zip(headers, widths)
+    ).rstrip()
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def records_to_csv(records: Sequence[Mapping[str, Cell]]) -> str:
+    """Serialise homogeneous record dicts as CSV text."""
+    if not records:
+        return ""
+    fieldnames = list(records[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for record in records:
+        writer.writerow({k: record.get(k) for k in fieldnames})
+    return buffer.getvalue()
+
+
+def records_to_json(records: Sequence[Mapping[str, Cell]], indent: int = 2) -> str:
+    """Serialise record dicts as pretty JSON."""
+    return json.dumps(list(records), indent=indent, sort_keys=False)
+
+
+def write_text(path: str, content: str) -> None:
+    """Write *content* to *path* (tiny wrapper kept for symmetry)."""
+    with open(path, "w") as handle:
+        handle.write(content)
+
+
+def comparison_table(
+    labels: Sequence[str],
+    analytical: Sequence[float],
+    simulated: Sequence[float],
+    digits: int = 5,
+    label_header: str = "Case",
+) -> str:
+    """Two-column "Analyt. vs Sim." table in the paper's Table 7 style."""
+    if not (len(labels) == len(analytical) == len(simulated)):
+        raise ValueError("labels/analytical/simulated lengths differ")
+    rows: List[List[Cell]] = [
+        [label, a, s, abs(a - s)]
+        for label, a, s in zip(labels, analytical, simulated)
+    ]
+    return ascii_table(
+        [label_header, "Analyt.", "Sim.", "|diff|"], rows, digits=digits
+    )

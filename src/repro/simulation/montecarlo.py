@@ -1,0 +1,127 @@
+"""Monte-Carlo simulation of approximate adders (paper Table 6, row 2).
+
+For non-equiprobable inputs the paper could not enumerate exhaustively
+and instead averaged 1 million random cases ("can be increased for
+better precision match").  This module reproduces that estimator with a
+vectorised, seeded sampler:
+
+* :func:`simulate_error_probability` -- the Table 7 "Sim." column;
+* :func:`simulate_samples` -- raw (approx, exact) sample arrays for
+  quality-metric estimation;
+* :class:`MonteCarloResult` -- point estimate plus a normal-approximation
+  confidence half-width, making the "matches to the 3rd decimal place"
+  claim quantitative.
+
+The default of one million samples matches the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.exceptions import AnalysisError
+from ..core.recursive import CellSpec, resolve_chain
+from ..core.types import Probability, validate_probability, validate_probability_vector
+from .functional import ripple_add_array
+
+#: Sample count used throughout the paper's inequiprobable validation.
+PAPER_SAMPLE_COUNT = 1_000_000
+
+
+def _sample_operands(
+    rng: np.random.Generator,
+    probs: Sequence[float],
+    samples: int,
+) -> np.ndarray:
+    """Draw operand values with independent per-bit one-probabilities."""
+    values = np.zeros(samples, dtype=np.int64)
+    for i, p in enumerate(probs):
+        bits = rng.random(samples) < p
+        values |= bits.astype(np.int64) << i
+    return values
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of a Monte-Carlo error-probability estimation."""
+
+    p_error: float
+    samples: int
+    errors: int
+    seed: Optional[int]
+
+    def half_width(self, z: float = 1.96) -> float:
+        """Normal-approximation confidence half-width at quantile *z*
+        (default 1.96 == 95%)."""
+        p = self.p_error
+        return z * (p * (1.0 - p) / self.samples) ** 0.5
+
+    @property
+    def p_success(self) -> float:
+        """Complement estimate ``1 - p_error``."""
+        return 1.0 - self.p_error
+
+
+def simulate_samples(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+    samples: int = PAPER_SAMPLE_COUNT,
+    seed: Optional[int] = None,
+    batch_size: int = 1 << 20,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw random additions and return ``(approx, exact)`` result arrays.
+
+    Sampling is batched so arbitrarily large *samples* keep bounded
+    memory.
+    """
+    cells = resolve_chain(cell, width)
+    n = len(cells)
+    if samples < 1:
+        raise AnalysisError(f"samples must be >= 1, got {samples}")
+    pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
+    pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
+    pc = float(validate_probability(p_cin, "p_cin"))
+
+    rng = np.random.default_rng(seed)
+    approx_parts = []
+    exact_parts = []
+    remaining = samples
+    while remaining > 0:
+        chunk = min(remaining, batch_size)
+        a = _sample_operands(rng, pa, chunk)
+        b = _sample_operands(rng, pb, chunk)
+        cin = (rng.random(chunk) < pc).astype(np.int64)
+        approx_parts.append(ripple_add_array(cells, a, b, cin))
+        exact_parts.append(a + b + cin)
+        remaining -= chunk
+    return np.concatenate(approx_parts), np.concatenate(exact_parts)
+
+
+def simulate_error_probability(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+    samples: int = PAPER_SAMPLE_COUNT,
+    seed: Optional[int] = None,
+) -> MonteCarloResult:
+    """Estimate ``P(Error)`` from *samples* random additions.
+
+    With the paper's one million samples the estimate agrees with the
+    analytical value to about the 3rd decimal place (Table 6), since the
+    standard error is ``sqrt(p(1-p)/1e6) <= 5e-4``.
+    """
+    approx, exact = simulate_samples(
+        cell, width, p_a, p_b, p_cin, samples=samples, seed=seed
+    )
+    errors = int((approx != exact).sum())
+    return MonteCarloResult(
+        p_error=errors / samples, samples=samples, errors=errors, seed=seed
+    )

@@ -1,0 +1,111 @@
+"""Tests for the DSP (FIR filter) application substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dsp import (
+    fir_filter,
+    fir_quality_experiment,
+    lowpass_taps,
+    quantize,
+    snr_db,
+    make_tone,
+)
+from repro.core.exceptions import AnalysisError
+
+
+class TestQuantize:
+    def test_range_mapping(self):
+        q = quantize(np.array([-1.0, 0.0, 1.0]), 8)
+        assert q[0] == 0 and q[2] == 255
+        assert q[1] in (127, 128)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AnalysisError):
+            quantize(np.array([1.5]), 8)
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(AnalysisError):
+            quantize(np.zeros(4), 1)
+
+
+class TestTaps:
+    def test_peak_is_full_scale(self):
+        taps = lowpass_taps(9, 0.1, 8)
+        assert taps.max() == 255
+        assert taps.min() >= 0
+
+    def test_symmetry(self):
+        taps = lowpass_taps(9, 0.1, 8)
+        assert np.array_equal(taps, taps[::-1])
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            lowpass_taps(9, 0.6, 8)
+        with pytest.raises(AnalysisError):
+            lowpass_taps(0, 0.1, 8)
+
+
+class TestFirFilter:
+    def test_accurate_filter_matches_numpy_correlate(self):
+        samples = quantize(make_tone(64, 0.07), 6)
+        taps = lowpass_taps(5, 0.15, 6)
+        got = fir_filter(samples, taps, 6)
+        expected = np.correlate(samples, taps[::-1], mode="valid")
+        # np.correlate(x, t_reversed) == sliding dot product with taps
+        assert np.array_equal(got, expected)
+
+    def test_output_length(self):
+        samples = quantize(make_tone(50, 0.1), 6)
+        taps = lowpass_taps(8, 0.2, 6)
+        assert fir_filter(samples, taps, 6).size == 50 - 8 + 1
+
+    def test_signal_shorter_than_filter(self):
+        with pytest.raises(AnalysisError, match="shorter"):
+            fir_filter(np.zeros(3, dtype=np.int64),
+                       np.ones(5, dtype=np.int64), 6)
+
+    def test_approximate_accumulation_differs(self):
+        samples = quantize(make_tone(60, 0.08, noise_level=0.1, seed=2), 6)
+        taps = lowpass_taps(6, 0.15, 6)
+        exact = fir_filter(samples, taps, 6)
+        approx = fir_filter(samples, taps, 6, compress_cell="LPAA 6")
+        assert not np.array_equal(exact, approx)
+
+
+class TestSnr:
+    def test_identical_signals_infinite(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert snr_db(x, x) == float("inf")
+
+    def test_known_value(self):
+        ref = np.array([2.0, 2.0])
+        noisy = np.array([3.0, 2.0])
+        assert snr_db(ref, noisy) == pytest.approx(10 * np.log10(8.0 / 1.0))
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(AnalysisError):
+            snr_db(np.zeros(3), np.ones(3))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            snr_db(np.zeros(3), np.zeros(4))
+
+
+class TestQualityExperiment:
+    def test_fewer_approx_bits_give_better_snr(self):
+        points = {
+            bits: fir_quality_experiment("LPAA 6", bits, input_bits=6,
+                                         num_taps=5, signal_length=80)
+            for bits in (2, 6, 10)
+        }
+        rms_values = [points[b][0] for b in (2, 6, 10)]
+        snr_values = [points[b][1] for b in (2, 6, 10)]
+        assert rms_values == sorted(rms_values)           # RMS grows
+        assert snr_values == sorted(snr_values, reverse=True)  # SNR falls
+
+    def test_zero_approx_bits_is_lossless(self):
+        rms, snr = fir_quality_experiment("LPAA 2", 0, input_bits=6,
+                                          num_taps=5, signal_length=60)
+        assert rms == 0.0
+        assert snr == float("inf")

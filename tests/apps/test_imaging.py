@@ -1,0 +1,130 @@
+"""Unit tests for the imaging application substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.imaging import (
+    approximate_blend,
+    approximate_box_blur,
+    psnr,
+    synthetic_image,
+)
+from repro.core.exceptions import AnalysisError
+
+
+class TestSyntheticImages:
+    @pytest.mark.parametrize("kind", ["gradient", "checker", "noise", "disk"])
+    def test_generated_shapes_and_range(self, kind):
+        img = synthetic_image((32, 48), kind, seed=1)
+        assert img.shape == (32, 48)
+        assert img.dtype == np.uint8
+
+    def test_noise_is_seeded(self):
+        a = synthetic_image((16, 16), "noise", seed=7)
+        b = synthetic_image((16, 16), "noise", seed=7)
+        assert np.array_equal(a, b)
+
+    def test_unknown_kind(self):
+        with pytest.raises(AnalysisError, match="unknown image kind"):
+            synthetic_image((8, 8), "plasma")
+
+    def test_bad_shape(self):
+        with pytest.raises(AnalysisError):
+            synthetic_image((0, 8))
+
+
+class TestBlend:
+    def test_accurate_blend_is_exact_average(self):
+        a = synthetic_image((16, 16), "gradient")
+        b = synthetic_image((16, 16), "checker")
+        out = approximate_blend(a, b, "accurate")
+        expected = (a.astype(np.int64) + b.astype(np.int64)) // 2
+        assert np.array_equal(out, expected)
+
+    def test_approximate_blend_differs_but_is_close(self):
+        a = synthetic_image((32, 32), "gradient")
+        b = synthetic_image((32, 32), "disk")
+        exact = approximate_blend(a, b, "accurate")
+        approx = approximate_blend(a, b, "LPAA 6")
+        assert not np.array_equal(exact, approx)
+        # error-resilient: still recognisably the same image
+        assert psnr(exact, approx) > 15.0
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(AnalysisError, match="shapes differ"):
+            approximate_blend(
+                synthetic_image((8, 8)), synthetic_image((8, 9)), "accurate"
+            )
+
+    def test_fewer_approximate_bits_give_better_psnr(self):
+        a = synthetic_image((32, 32), "noise", seed=3)
+        b = synthetic_image((32, 32), "gradient")
+        exact = approximate_blend(a, b, "accurate")
+        qualities = [
+            psnr(exact, approximate_blend(a, b, "LPAA 6", approx_bits=k))
+            for k in (2, 4, 6, 8)
+        ]
+        assert qualities == sorted(qualities, reverse=True)
+
+    def test_psnr_ordering_follows_analytical_rms(self):
+        # Image quality tracks the analytical error *magnitude* (RMS of
+        # the error PMF), not the error rate: the chain with clearly
+        # larger analytical RMS must score a worse PSNR.
+        from repro.apps.imaging import lsb_approximate_chain
+        from repro.core.magnitude import error_moments
+
+        a = synthetic_image((48, 48), "noise", seed=9)
+        b = synthetic_image((48, 48), "noise", seed=10)
+        exact = approximate_blend(a, b, "accurate")
+        results = {}
+        for cell in ("LPAA 6", "LPAA 5"):
+            chain = lsb_approximate_chain(cell, 8, 4)
+            rms = error_moments(chain, None, 0.5, 0.5, 0.0).rms
+            results[cell] = (rms, psnr(exact, approximate_blend(a, b, cell)))
+        (rms_6, q_6), (rms_5, q_5) = results["LPAA 6"], results["LPAA 5"]
+        assert (rms_6 < rms_5) == (q_6 > q_5)
+
+
+class TestBoxBlur:
+    def test_accurate_blur_matches_numpy(self):
+        img = synthetic_image((16, 16), "disk")
+        got = approximate_box_blur(img, "accurate")
+        padded = np.pad(img.astype(np.int64), 1, mode="edge")
+        expected = sum(
+            padded[dy:dy + 16, dx:dx + 16]
+            for dy in range(3)
+            for dx in range(3)
+        ) // 9
+        assert np.array_equal(got, expected.astype(np.uint8))
+
+    def test_approximate_blur_quality(self):
+        img = synthetic_image((24, 24), "gradient")
+        exact = approximate_box_blur(img, "accurate")
+        approx = approximate_box_blur(img, "LPAA 6")
+        assert psnr(exact, approx) > 10.0
+
+    def test_width_guard(self):
+        with pytest.raises(AnalysisError, match="3x3 sum"):
+            approximate_box_blur(synthetic_image((8, 8)), "accurate", width=8)
+
+
+class TestPsnr:
+    def test_identical_images_are_infinite(self):
+        img = synthetic_image((8, 8))
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        ref = np.zeros((4, 4))
+        test = np.full((4, 4), 255.0)
+        assert psnr(ref, test) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_noise(self):
+        rng = np.random.default_rng(0)
+        ref = synthetic_image((32, 32), "gradient").astype(np.float64)
+        small = ref + rng.normal(0, 2, ref.shape)
+        large = ref + rng.normal(0, 20, ref.shape)
+        assert psnr(ref, small) > psnr(ref, large)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,116 @@
+"""Tests for Table 3 / Table 8 resource accounting."""
+
+import pytest
+
+from repro.baselines.operation_counter import (
+    TABLE8_EQUAL_PROBABILITIES,
+    TABLE8_VARYING_PROBABILITIES,
+    count_recursion_operations,
+    inclusion_exclusion_additions,
+    inclusion_exclusion_memory_units,
+    inclusion_exclusion_multiplications,
+    inclusion_exclusion_terms,
+    table3_row,
+    table8_memory_units,
+)
+from repro.core.exceptions import AnalysisError
+
+from ..paper_data import (
+    TABLE3_EXACT_ROWS,
+    TABLE8_EQUAL,
+    TABLE8_VARYING,
+    table8_varying_memory,
+)
+
+
+class TestTable3Golden:
+    @pytest.mark.parametrize("stages", sorted(TABLE3_EXACT_ROWS))
+    def test_exactly_printed_rows(self, stages):
+        terms, mults, adds, memory = TABLE3_EXACT_ROWS[stages]
+        assert inclusion_exclusion_terms(stages) == terms
+        assert inclusion_exclusion_multiplications(stages) == mults
+        assert inclusion_exclusion_additions(stages) == adds
+        assert inclusion_exclusion_memory_units(stages) == memory
+
+    def test_k16_row_modulo_paper_typo(self):
+        # The paper prints 65535 terms / 65534 additions / 131071 memory
+        # for k=16 but "52427" multiplications -- a dropped digit; the
+        # closed form k*2^(k-1) - k (which fits every other printed row)
+        # gives 524272.
+        assert inclusion_exclusion_terms(16) == 65535
+        assert inclusion_exclusion_additions(16) == 65534
+        assert inclusion_exclusion_memory_units(16) == 131071
+        assert inclusion_exclusion_multiplications(16) == 524272
+
+    def test_scientific_rows_match_closed_forms(self):
+        # k = 20..32 rows, against the magnitudes the formulas give
+        # (the paper's own printed magnitudes for terms/additions at
+        # k >= 20 are off by x1000; see DESIGN.md).
+        assert inclusion_exclusion_multiplications(20) == 10_485_740  # 10.5e6
+        assert inclusion_exclusion_memory_units(20) == 2_097_151      # 2.10e6
+        assert inclusion_exclusion_multiplications(24) == 201_326_568  # 201e6
+        assert inclusion_exclusion_memory_units(32) == 8_589_934_591   # 8.5e9
+        assert inclusion_exclusion_multiplications(32) == pytest.approx(
+            68.7e9, rel=0.01
+        )
+
+    def test_row_helper_bundles_all_four(self):
+        row = table3_row(8)
+        assert row == {
+            "terms": 255,
+            "multiplications": 1016,
+            "additions": 254,
+            "memory_units": 511,
+        }
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(AnalysisError):
+            inclusion_exclusion_terms(0)
+
+
+class TestTable8Golden:
+    def test_published_constants(self):
+        assert TABLE8_EQUAL_PROBABILITIES == TABLE8_EQUAL
+        assert TABLE8_VARYING_PROBABILITIES["multipliers"] == TABLE8_VARYING["multipliers"]
+        assert TABLE8_VARYING_PROBABILITIES["adders"] == TABLE8_VARYING["adders"]
+
+    def test_memory_units(self):
+        assert table8_memory_units(8, per_bit_probabilities=False) == 3
+        assert table8_memory_units(8, per_bit_probabilities=True) == table8_varying_memory(8)
+        assert table8_memory_units(32, per_bit_probabilities=True) == 33
+
+
+class TestInstrumentedCounter:
+    def test_linear_scaling(self):
+        small = count_recursion_operations("LPAA 1", 8)
+        large = count_recursion_operations("LPAA 1", 64)
+        # Strictly linear: 8x the stages => 8x the work (within the
+        # constant first/last-stage difference).
+        assert large.total == pytest.approx(8 * small.total, rel=0.05)
+
+    def test_exponentially_cheaper_than_ie(self):
+        for stages in (8, 16, 20):
+            ours = count_recursion_operations("LPAA 1", stages)
+            assert ours.multiplications < inclusion_exclusion_multiplications(stages)
+            assert ours.additions < inclusion_exclusion_additions(stages)
+
+    def test_share_operand_products_saves_multiplies(self):
+        varying = count_recursion_operations("LPAA 1", 16)
+        equal = count_recursion_operations("LPAA 1", 16,
+                                           share_operand_products=True)
+        assert equal.multiplications == varying.multiplications - 4 * 15
+
+    def test_per_stage_view(self):
+        count = count_recursion_operations("LPAA 2", 10)
+        per_stage = count.per_stage()
+        assert per_stage.width == 1
+        assert per_stage.multiplications == count.multiplications // 10
+
+    def test_mask_sparsity_affects_count(self):
+        # LPAA 2 has fewer success rows than the accurate adder, so its
+        # dot products touch fewer entries.
+        from repro.core.truth_table import ACCURATE
+
+        approx = count_recursion_operations("LPAA 2", 12)
+        accurate = count_recursion_operations(ACCURATE, 12)
+        assert approx.multiplications < accurate.multiplications

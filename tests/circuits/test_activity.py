@@ -1,0 +1,145 @@
+"""Unit tests for signal probability / switching activity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.activity import (
+    exact_probabilities,
+    measured_activity,
+    propagate_probabilities,
+    switching_activity,
+    total_activity,
+)
+from repro.circuits.cells import synthesize_cell
+from repro.circuits.netlist import Netlist
+from repro.core.exceptions import AnalysisError
+
+
+def _tree_netlist() -> Netlist:
+    """Fanout-free tree: independence propagation is exact here."""
+    nl = Netlist("tree", inputs=["a", "b", "c", "d"])
+    nl.add_gate("AND", ("a", "b"), "ab")
+    nl.add_gate("OR", ("c", "d"), "cd")
+    nl.add_gate("XOR", ("ab", "cd"), "y")
+    nl.mark_output("y")
+    return nl
+
+
+def _reconvergent_netlist() -> Netlist:
+    """a fans out and reconverges: independence is only approximate."""
+    nl = Netlist("reconv", inputs=["a", "b"])
+    nl.add_gate("NOT", ("a",), "na")
+    nl.add_gate("AND", ("a", "b"), "t1")
+    nl.add_gate("AND", ("na", "b"), "t2")
+    nl.add_gate("OR", ("t1", "t2"), "y")  # == b, but looks like logic
+    nl.mark_output("y")
+    return nl
+
+
+class TestPropagation:
+    def test_gate_formulas(self):
+        nl = Netlist("g", inputs=["a", "b"])
+        for kind in ("AND", "OR", "NAND", "NOR", "XOR", "XNOR"):
+            nl.add_gate(kind, ("a", "b"), f"y{kind}")
+        nl.add_gate("NOT", ("a",), "yn")
+        probs = propagate_probabilities(nl, {"a": 0.3, "b": 0.6})
+        assert probs["yAND"] == pytest.approx(0.18)
+        assert probs["yOR"] == pytest.approx(1 - 0.7 * 0.4)
+        assert probs["yNAND"] == pytest.approx(1 - 0.18)
+        assert probs["yNOR"] == pytest.approx(0.7 * 0.4)
+        assert probs["yXOR"] == pytest.approx(0.3 * 0.4 + 0.6 * 0.7)
+        assert probs["yXNOR"] == pytest.approx(1 - (0.3 * 0.4 + 0.6 * 0.7))
+        assert probs["yn"] == pytest.approx(0.7)
+
+    def test_exact_on_trees(self):
+        nl = _tree_netlist()
+        inputs = {"a": 0.2, "b": 0.9, "c": 0.4, "d": 0.7}
+        fast = propagate_probabilities(nl, inputs)
+        exact = exact_probabilities(nl, inputs)
+        for net in fast:
+            assert fast[net] == pytest.approx(exact[net], abs=1e-12)
+
+    def test_reconvergence_error_detected(self):
+        nl = _reconvergent_netlist()
+        inputs = {"a": 0.5, "b": 0.5}
+        fast = propagate_probabilities(nl, inputs)
+        exact = exact_probabilities(nl, inputs)
+        assert exact["y"] == pytest.approx(0.5)     # y == b exactly
+        assert fast["y"] != pytest.approx(0.5)      # independence overshoots
+
+    def test_missing_input_probability(self):
+        with pytest.raises(AnalysisError, match="missing"):
+            propagate_probabilities(_tree_netlist(), {"a": 0.5})
+
+    def test_range_check(self):
+        with pytest.raises(AnalysisError, match="out of range"):
+            propagate_probabilities(
+                _tree_netlist(), {"a": 1.5, "b": 0.5, "c": 0.5, "d": 0.5}
+            )
+
+    def test_exact_guard_on_wide_inputs(self):
+        nl = Netlist("wide", inputs=[f"i{j}" for j in range(21)])
+        nl.add_gate("OR", ("i0", "i1"), "y")
+        nl.mark_output("y")
+        with pytest.raises(AnalysisError, match="refused"):
+            exact_probabilities(nl, {f"i{j}": 0.5 for j in range(21)})
+
+
+class TestActivity:
+    def test_alpha_peaks_at_half(self):
+        alphas = switching_activity({"x": 0.5, "y": 0.1, "z": 1.0})
+        assert alphas["x"] == pytest.approx(0.5)
+        assert alphas["y"] == pytest.approx(0.18)
+        assert alphas["z"] == 0.0
+
+    def test_total_activity_excludes_inputs(self):
+        nl = _tree_netlist()
+        inputs = {"a": 0.5, "b": 0.5, "c": 0.5, "d": 0.5}
+        total = total_activity(nl, inputs)
+        probs = propagate_probabilities(nl, inputs)
+        alphas = switching_activity(probs)
+        expected = alphas["ab"] + alphas["cd"] + alphas["y"]
+        assert total == pytest.approx(expected)
+
+    def test_exact_flag_switches_estimator(self):
+        nl = _reconvergent_netlist()
+        inputs = {"a": 0.5, "b": 0.5}
+        assert total_activity(nl, inputs, exact=True) != pytest.approx(
+            total_activity(nl, inputs, exact=False)
+        )
+
+    def test_constant_net_never_toggles(self):
+        cell = synthesize_cell("LPAA 5")  # pure wiring
+        total = total_activity(cell.netlist, {"a": 1.0, "b": 1.0, "cin": 0.5})
+        assert total == pytest.approx(0.0)
+
+
+class TestMeasuredActivity:
+    def test_toggle_rates_from_series(self):
+        nl = Netlist("t", inputs=["a"])
+        nl.add_gate("NOT", ("a",), "y")
+        nl.mark_output("y")
+        series = np.array([0, 1, 1, 0, 1])
+        rates = measured_activity(nl, {"a": series})
+        assert rates["a"] == pytest.approx(3 / 4)
+        assert rates["y"] == rates["a"]  # inverter toggles with input
+
+    def test_requires_time_series(self):
+        nl = _tree_netlist()
+        with pytest.raises(AnalysisError, match="length >= 2"):
+            measured_activity(
+                nl,
+                {"a": np.array([1]), "b": np.array([0]),
+                 "c": np.array([0]), "d": np.array([1])},
+            )
+
+    def test_random_series_converges_to_model(self):
+        # For independent uniform inputs the measured toggle rate of a
+        # tree's output approaches 2p(1-p) of its exact probability.
+        nl = _tree_netlist()
+        rng = np.random.default_rng(0)
+        series = {k: rng.integers(0, 2, 40_000) for k in ("a", "b", "c", "d")}
+        rates = measured_activity(nl, series)
+        probs = exact_probabilities(nl, {k: 0.5 for k in ("a", "b", "c", "d")})
+        expected = 2 * probs["y"] * (1 - probs["y"])
+        assert rates["y"] == pytest.approx(expected, abs=0.02)

@@ -1,0 +1,92 @@
+"""Tests for structural CSA reduction trees."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.csa import (
+    build_csa_tree_netlist,
+    csa_netlist_add,
+    csa_vs_rca_report,
+)
+from repro.circuits.netlist import Netlist
+from repro.circuits.timing import critical_path
+from repro.core.exceptions import ChainLengthError
+from repro.multiop.compressor import multi_operand_add
+
+
+class TestConstantDrivers:
+    def test_zero_one_gates_evaluate(self):
+        nl = Netlist("consts", inputs=["a"])
+        nl.add_gate("ZERO", (), "z")
+        nl.add_gate("ONE", (), "o")
+        nl.add_gate("OR", ("a", "z"), "pass")
+        nl.add_gate("AND", ("a", "o"), "also")
+        nl.mark_output("pass")
+        nl.mark_output("also")
+        for a in (0, 1):
+            out = nl.evaluate_outputs({"a": a})
+            assert out["pass"] == a and out["also"] == a
+
+    def test_constants_cost_nothing(self):
+        from repro.circuits.power import gate_area_ge
+        from repro.circuits.netlist import Gate
+
+        assert gate_area_ge(Gate("ZERO", (), "z")) == 0.0
+        nl = Netlist("c", inputs=[])
+        nl.add_gate("ONE", (), "o")
+        nl.mark_output("o")
+        assert nl.depth() == 0
+        assert critical_path(nl).delay == 0.0
+
+
+class TestStructuralEquivalence:
+    @pytest.mark.parametrize("count", [2, 3, 4, 5, 6])
+    def test_matches_behavioural_model(self, count):
+        netlist = build_csa_tree_netlist(
+            count, 3, compress_cell="LPAA 6", final_adder="LPAA 1"
+        )
+        rng = np.random.default_rng(count)
+        for _ in range(100):
+            operands = [int(v) for v in rng.integers(0, 8, count)]
+            got = csa_netlist_add(netlist, operands, 3)
+            ref = multi_operand_add(
+                operands, 3, compress_cell="LPAA 6", final_adder="LPAA 1"
+            )
+            assert got == ref
+
+    def test_accurate_tree_sums_exactly(self):
+        netlist = build_csa_tree_netlist(4, 4)
+        assert csa_netlist_add(netlist, [15, 15, 15, 15], 4) == 60
+        assert csa_netlist_add(netlist, [0, 0, 0, 0], 4) == 0
+
+    def test_operand_count_enforced(self):
+        netlist = build_csa_tree_netlist(3, 4)
+        with pytest.raises(ChainLengthError, match="operands"):
+            csa_netlist_add(netlist, [1, 2], 4)
+
+    def test_operand_range_enforced(self):
+        netlist = build_csa_tree_netlist(3, 4)
+        with pytest.raises(ChainLengthError):
+            csa_netlist_add(netlist, [16, 0, 0], 4)
+
+    def test_validation(self):
+        with pytest.raises(ChainLengthError):
+            build_csa_tree_netlist(1, 4)
+        with pytest.raises(ChainLengthError):
+            build_csa_tree_netlist(3, 0)
+
+
+class TestCsaVsRca:
+    def test_report_shape_and_classic_result(self):
+        report = csa_vs_rca_report(6, 8)
+        assert set(report) == {"csa_tree", "rca_cascade"}
+        # the textbook outcome: the tree is much faster...
+        assert report["csa_tree"]["delay"] < report["rca_cascade"]["delay"] / 2
+        # ...at comparable gate cost.
+        assert report["csa_tree"]["gates"] < 1.5 * report["rca_cascade"]["gates"]
+
+    def test_tree_delay_grows_slowly_with_operands(self):
+        d4 = csa_vs_rca_report(4, 6)["csa_tree"]["delay"]
+        d8 = csa_vs_rca_report(8, 6)["csa_tree"]["delay"]
+        # logarithmic-ish growth: doubling operands adds far less than 2x
+        assert d8 < 1.8 * d4

@@ -1,0 +1,149 @@
+"""Unit tests for the netlist IR."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.netlist import Gate, Netlist, fresh_namer
+from repro.core.exceptions import NetlistError
+
+
+def _half_adder() -> Netlist:
+    nl = Netlist("half", inputs=["a", "b"])
+    nl.add_gate("XOR", ("a", "b"), "s")
+    nl.add_gate("AND", ("a", "b"), "c")
+    nl.mark_output("s")
+    nl.mark_output("c")
+    return nl
+
+
+class TestGate:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(NetlistError, match="unknown gate kind"):
+            Gate(kind="MUX", inputs=("a", "b"), output="y")
+
+    def test_arity_enforced(self):
+        with pytest.raises(NetlistError):
+            Gate(kind="NOT", inputs=("a", "b"), output="y")
+        with pytest.raises(NetlistError):
+            Gate(kind="AND", inputs=("a",), output="y")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetlistError, match="feeds back"):
+            Gate(kind="AND", inputs=("a", "y"), output="y")
+
+
+class TestConstruction:
+    def test_duplicate_driver_rejected(self):
+        nl = Netlist("t", inputs=["a", "b"])
+        nl.add_gate("AND", ("a", "b"), "y")
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_gate("OR", ("a", "b"), "y")
+
+    def test_driving_an_input_rejected(self):
+        nl = Netlist("t", inputs=["a", "b"])
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_gate("NOT", ("b",), "a")
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(NetlistError, match="duplicate"):
+            Netlist("t", inputs=["a", "a"])
+
+    def test_duplicate_output_declaration_rejected(self):
+        nl = _half_adder()
+        with pytest.raises(NetlistError, match="twice"):
+            nl.mark_output("s")
+
+
+class TestValidation:
+    def test_missing_driver_detected(self):
+        nl = Netlist("t", inputs=["a"])
+        nl.add_gate("AND", ("a", "ghost"), "y")
+        nl.mark_output("y")
+        with pytest.raises(NetlistError, match="no driver"):
+            nl.topological_order()
+
+    def test_cycle_detected(self):
+        nl = Netlist("t", inputs=["a"])
+        nl.add_gate("AND", ("a", "q"), "p")
+        nl.add_gate("OR", ("a", "p"), "q")
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.topological_order()
+
+    def test_undriven_output_detected(self):
+        nl = Netlist("t", inputs=["a"])
+        nl.mark_output("nowhere")
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.topological_order()
+
+
+class TestEvaluation:
+    def test_half_adder_truth(self):
+        nl = _half_adder()
+        for a in (0, 1):
+            for b in (0, 1):
+                out = nl.evaluate_outputs({"a": a, "b": b})
+                assert out == {"s": a ^ b, "c": a & b}
+
+    def test_all_gate_kinds(self):
+        nl = Netlist("kinds", inputs=["a", "b"])
+        for kind in ("AND", "OR", "NAND", "NOR", "XOR", "XNOR"):
+            nl.add_gate(kind, ("a", "b"), f"y_{kind}")
+        nl.add_gate("NOT", ("a",), "y_NOT")
+        nl.add_gate("BUF", ("b",), "y_BUF")
+        out = nl.evaluate({"a": 1, "b": 0})
+        assert out["y_AND"] == 0 and out["y_OR"] == 1
+        assert out["y_NAND"] == 1 and out["y_NOR"] == 0
+        assert out["y_XOR"] == 1 and out["y_XNOR"] == 0
+        assert out["y_NOT"] == 0 and out["y_BUF"] == 0
+
+    def test_multi_input_gates(self):
+        nl = Netlist("wide", inputs=["a", "b", "c"])
+        nl.add_gate("AND", ("a", "b", "c"), "y")
+        nl.mark_output("y")
+        assert nl.evaluate_outputs({"a": 1, "b": 1, "c": 1})["y"] == 1
+        assert nl.evaluate_outputs({"a": 1, "b": 0, "c": 1})["y"] == 0
+
+    def test_array_evaluation(self):
+        nl = _half_adder()
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        values = nl.evaluate_array({"a": a, "b": b})
+        assert np.array_equal(values["s"], a ^ b)
+        assert np.array_equal(values["c"], a & b)
+
+    def test_missing_stimulus_rejected(self):
+        nl = _half_adder()
+        with pytest.raises(NetlistError, match="missing stimulus"):
+            nl.evaluate({"a": 1})
+
+    def test_non_binary_stimulus_rejected(self):
+        nl = _half_adder()
+        with pytest.raises(NetlistError, match="0/1"):
+            nl.evaluate({"a": 2, "b": 0})
+
+
+class TestIntrospection:
+    def test_histogram_and_counts(self):
+        nl = _half_adder()
+        assert nl.gate_histogram() == {"XOR": 1, "AND": 1}
+        assert nl.num_gates() == 2
+
+    def test_depth(self):
+        nl = Netlist("chain", inputs=["a"])
+        nl.add_gate("NOT", ("a",), "n1")
+        nl.add_gate("NOT", ("n1",), "n2")
+        nl.add_gate("NOT", ("n2",), "n3")
+        nl.mark_output("n3")
+        assert nl.depth() == 3
+
+    def test_nets_lists_everything(self):
+        nl = _half_adder()
+        assert set(nl.nets()) == {"a", "b", "s", "c"}
+
+    def test_fresh_namer(self):
+        namer = fresh_namer("w")
+        assert namer() == "w0"
+        assert namer() == "w1"
+
+    def test_repr(self):
+        assert "gates=2" in repr(_half_adder())

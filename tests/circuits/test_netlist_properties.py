@@ -1,0 +1,101 @@
+"""Property tests: the netlist evaluator against an independent
+reference interpreter, over randomly generated DAGs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.netlist import Netlist
+
+_BINARY = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR")
+
+
+def _reference_eval(kind, values):
+    """Plain-Python semantics, written independently of the evaluator."""
+    if kind == "ZERO":
+        return 0
+    if kind == "ONE":
+        return 1
+    if kind == "BUF":
+        return values[0]
+    if kind == "NOT":
+        return 1 - values[0]
+    conj = all(values)
+    disj = any(values)
+    parity = sum(values) % 2
+    return {
+        "AND": int(conj),
+        "NAND": int(not conj),
+        "OR": int(disj),
+        "NOR": int(not disj),
+        "XOR": parity,
+        "XNOR": 1 - parity,
+    }[kind]
+
+
+@st.composite
+def random_dags(draw):
+    """A random small combinational netlist plus its gate recipe."""
+    n_inputs = draw(st.integers(1, 4))
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    n_gates = draw(st.integers(1, 12))
+    recipe = []
+    available = list(inputs)
+    for g in range(n_gates):
+        kind = draw(st.sampled_from(_BINARY + ("NOT", "BUF", "ZERO", "ONE")))
+        if kind in ("ZERO", "ONE"):
+            operands = ()
+        elif kind in ("NOT", "BUF"):
+            operands = (draw(st.sampled_from(available)),)
+        else:
+            arity = draw(st.integers(2, 3))
+            operands = tuple(
+                draw(st.sampled_from(available)) for _ in range(arity)
+            )
+            # gate inputs must not equal the output; guaranteed since
+            # the output name is fresh.
+        recipe.append((kind, operands, f"g{g}"))
+        available.append(f"g{g}")
+    return inputs, recipe
+
+
+@given(dag=random_dags(), seed=st.integers(0, 2 ** 31))
+@settings(max_examples=80, deadline=None)
+def test_evaluator_matches_reference_interpreter(dag, seed):
+    inputs, recipe = dag
+    netlist = Netlist("random", inputs=inputs)
+    for kind, operands, output in recipe:
+        netlist.add_gate(kind, operands, output)
+    netlist.mark_output(recipe[-1][2])
+
+    rng = np.random.default_rng(seed)
+    stimulus = {net: int(rng.integers(0, 2)) for net in inputs}
+    got = netlist.evaluate(stimulus)
+
+    reference = dict(stimulus)
+    for kind, operands, output in recipe:
+        reference[output] = _reference_eval(
+            kind, [reference[o] for o in operands]
+        )
+    for net, value in reference.items():
+        assert got[net] == value
+
+
+@given(dag=random_dags())
+@settings(max_examples=40, deadline=None)
+def test_array_and_scalar_evaluation_agree(dag):
+    inputs, recipe = dag
+    netlist = Netlist("random", inputs=inputs)
+    for kind, operands, output in recipe:
+        netlist.add_gate(kind, operands, output)
+    netlist.mark_output(recipe[-1][2])
+
+    rng = np.random.default_rng(7)
+    stimulus_arrays = {net: rng.integers(0, 2, 16) for net in inputs}
+    batched = netlist.evaluate_array(stimulus_arrays)
+    for j in range(16):
+        single = netlist.evaluate(
+            {net: int(arr[j]) for net, arr in stimulus_arrays.items()}
+        )
+        for net in netlist.outputs:
+            assert int(np.broadcast_to(batched[net], (16,))[j]) == single[net]

@@ -1,0 +1,118 @@
+"""Unit tests for the Quine-McCluskey minimiser."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.qm import (
+    Implicant,
+    cover_cost,
+    evaluate_cover,
+    minimize,
+    minimum_cover,
+    prime_implicants,
+)
+from repro.core.exceptions import SynthesisError
+
+
+class TestImplicant:
+    def test_covers(self):
+        cube = Implicant(value=0b10, mask=0b01)  # var1=1, var0 free
+        assert cube.covers(0b10) and cube.covers(0b11)
+        assert not cube.covers(0b00)
+
+    def test_literals_and_count(self):
+        cube = Implicant(value=0b100, mask=0b010)
+        lits = cube.literals(3)
+        assert (0, True) in lits      # var0 complemented
+        assert (2, False) in lits     # var2 plain
+        assert cube.num_literals(3) == 2
+
+    def test_expand(self):
+        cube = Implicant(value=0b00, mask=0b11)
+        assert cube.expand(2) == [0, 1, 2, 3]
+        point = Implicant(value=5, mask=0)
+        assert point.expand(3) == [5]
+
+    def test_to_string(self):
+        cube = Implicant(value=0b01, mask=0b00)
+        assert cube.to_string("xy") == "x & ~y"
+        assert Implicant(0, 0b11).to_string("xy") == "1"
+
+
+class TestMinimize:
+    def test_classic_textbook_example(self):
+        # f(a,b,c,d) with minterms 4,8,10,11,12,15 -> known 4-term cover.
+        cover = minimize([4, 8, 10, 11, 12, 15], 4)
+        for m in range(16):
+            expected = m in {4, 8, 10, 11, 12, 15}
+            assert evaluate_cover(cover, m) == expected
+
+    def test_constant_functions(self):
+        assert minimize([], 3) == []
+        cover = minimize(list(range(8)), 3)
+        assert len(cover) == 1 and cover[0].num_literals(3) == 0
+
+    def test_xor_does_not_reduce(self):
+        # XOR has no adjacent minterms: cover == minterms.
+        cover = minimize([1, 2], 2)
+        assert len(cover) == 2
+        assert all(term.num_literals(2) == 2 for term in cover)
+
+    def test_single_variable_extraction(self):
+        cover = minimize([1, 3, 5, 7], 3)  # f = var0
+        assert len(cover) == 1
+        assert cover[0].to_string("cba") == "c"
+
+    def test_majority_function(self):
+        # carry of the accurate FA: 3 two-literal terms.
+        cover = minimize([3, 5, 6, 7], 3)
+        terms, literals = cover_cost(cover, 3)
+        assert terms == 3 and literals == 6
+
+    def test_out_of_range_minterm(self):
+        with pytest.raises(SynthesisError):
+            minimize([8], 3)
+
+    @pytest.mark.parametrize("n_vars", [2, 3])
+    def test_every_function_is_reproduced(self, n_vars):
+        # Exhaustive semantic check over ALL boolean functions.
+        size = 1 << n_vars
+        for bits in range(1 << size):
+            minterms = [m for m in range(size) if (bits >> m) & 1]
+            cover = minimize(minterms, n_vars)
+            for m in range(size):
+                assert evaluate_cover(cover, m) == ((bits >> m) & 1)
+
+
+class TestPrimes:
+    def test_primes_are_maximal(self):
+        primes = prime_implicants([0, 1, 2, 3], 2)
+        assert primes == [Implicant(value=0, mask=3)]
+
+    def test_minimum_cover_subset_of_primes(self):
+        minterms = [0, 1, 2, 5, 6, 7]
+        primes = prime_implicants(minterms, 3)
+        cover = minimum_cover(primes, minterms, 3)
+        assert set(cover) <= set(primes)
+        for m in minterms:
+            assert any(term.covers(m) for term in cover)
+
+
+@given(
+    st.sets(st.integers(0, 15), max_size=16),
+)
+@settings(max_examples=100)
+def test_minimized_cover_is_semantically_equal(minterms):
+    cover = minimize(sorted(minterms), 4)
+    for m in range(16):
+        assert evaluate_cover(cover, m) == (m in minterms)
+
+
+@given(st.sets(st.integers(0, 15), min_size=1, max_size=16))
+@settings(max_examples=60)
+def test_cover_is_no_larger_than_minterm_list(minterms):
+    cover = minimize(sorted(minterms), 4)
+    assert len(cover) <= len(minterms)

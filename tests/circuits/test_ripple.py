@@ -1,0 +1,77 @@
+"""Unit tests for structural ripple-adder composition."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits.ripple import (
+    build_ripple_netlist,
+    netlist_add,
+    netlist_add_array,
+    stage_gate_counts,
+)
+from repro.core.exceptions import NetlistError
+from repro.simulation.functional import ripple_add
+
+
+class TestStructuralEquivalence:
+    def test_netlist_matches_behavioural_model(self, lpaa_cell):
+        width = 3
+        netlist = build_ripple_netlist(lpaa_cell, width)
+        for a, b, cin in itertools.product(range(8), range(8), (0, 1)):
+            assert netlist_add(netlist, a, b, cin, width) == ripple_add(
+                lpaa_cell, a, b, cin, width
+            )
+
+    def test_hybrid_netlist(self):
+        chain = ["LPAA 5", "accurate", "LPAA 1"]
+        netlist = build_ripple_netlist(chain)
+        for a, b in itertools.product(range(8), repeat=2):
+            assert netlist_add(netlist, a, b, 0, 3) == ripple_add(chain, a, b, 0)
+
+    def test_accurate_netlist_is_an_adder(self):
+        netlist = build_ripple_netlist("accurate", 4)
+        for a, b in [(0, 0), (5, 11), (15, 15), (9, 6)]:
+            assert netlist_add(netlist, a, b, 1, 4) == a + b + 1
+
+
+class TestArrayPath:
+    def test_array_matches_scalar(self):
+        netlist = build_ripple_netlist("LPAA 6", 4)
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 16, size=64)
+        b = rng.integers(0, 16, size=64)
+        got = netlist_add_array(netlist, a, b, 0, 4)
+        for j in range(64):
+            assert got[j] == netlist_add(netlist, int(a[j]), int(b[j]), 0, 4)
+
+
+class TestStructure:
+    def test_interface_nets(self):
+        netlist = build_ripple_netlist("LPAA 2", 3)
+        assert set(netlist.inputs) == {
+            "a0", "a1", "a2", "b0", "b1", "b2", "cin",
+        }
+        assert set(netlist.outputs) == {"s0", "s1", "s2", "cout"}
+
+    def test_gate_count_scales_with_width(self):
+        small = build_ripple_netlist("LPAA 1", 2).num_gates()
+        large = build_ripple_netlist("LPAA 1", 8).num_gates()
+        # one BUF for cout plus width x cell gates.
+        assert (large - 1) == 4 * (small - 1)
+
+    def test_stage_gate_counts(self):
+        counts = stage_gate_counts(["LPAA 5", "LPAA 1", "LPAA 5"])
+        assert counts[0] == counts[2]
+        assert counts[1] > counts[0]
+
+    def test_operand_bounds_checked(self):
+        netlist = build_ripple_netlist("LPAA 1", 2)
+        with pytest.raises(NetlistError):
+            netlist_add(netlist, 4, 0, 0, 2)
+
+    def test_depth_grows_with_carry_chain(self):
+        d2 = build_ripple_netlist("accurate", 2).depth()
+        d6 = build_ripple_netlist("accurate", 6).depth()
+        assert d6 > d2

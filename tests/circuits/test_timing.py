@@ -1,0 +1,126 @@
+"""Unit tests for static timing analysis."""
+
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.timing import (
+    arrival_times,
+    cell_delay,
+    critical_path,
+    gear_delay_model,
+    latency_error_tradeoff,
+    ripple_delay,
+)
+from repro.core.exceptions import AnalysisError
+from repro.gear.config import GeArConfig
+
+
+def _chain_netlist(length: int) -> Netlist:
+    nl = Netlist("chain", inputs=["a"])
+    prev = "a"
+    for i in range(length):
+        prev = nl.add_gate("NOT", (prev,), f"n{i}")
+    nl.mark_output(prev)
+    return nl
+
+
+class TestArrivalTimes:
+    def test_inverter_chain(self):
+        nl = _chain_netlist(4)
+        arrivals = arrival_times(nl)
+        assert arrivals["a"] == 0.0
+        assert arrivals["n3"] == 4.0
+
+    def test_input_arrival_overrides(self):
+        nl = _chain_netlist(2)
+        arrivals = arrival_times(nl, input_arrivals={"a": 5.0})
+        assert arrivals["n1"] == 7.0
+
+    def test_custom_gate_delays(self):
+        nl = _chain_netlist(3)
+        arrivals = arrival_times(nl, gate_delays={"NOT": 2.0})
+        assert arrivals["n2"] == 6.0
+
+    def test_missing_delay_kind(self):
+        nl = _chain_netlist(1)
+        with pytest.raises(AnalysisError, match="no delay"):
+            arrival_times(nl, gate_delays={"AND": 1.0})
+
+    def test_longest_path_wins(self):
+        nl = Netlist("diamond", inputs=["a", "b"])
+        nl.add_gate("NOT", ("a",), "slow1")
+        nl.add_gate("NOT", ("slow1",), "slow2")
+        nl.add_gate("AND", ("slow2", "b"), "y")
+        nl.mark_output("y")
+        arrivals = arrival_times(nl)
+        assert arrivals["y"] == pytest.approx(2.0 + 1.5)
+
+
+class TestCriticalPath:
+    def test_path_trace(self):
+        nl = _chain_netlist(3)
+        cp = critical_path(nl)
+        assert cp.delay == 3.0
+        assert cp.endpoint == "n2"
+        assert cp.nets == ("a", "n0", "n1", "n2")
+
+    def test_requires_outputs(self):
+        nl = Netlist("t", inputs=["a"])
+        nl.add_gate("NOT", ("a",), "y")
+        with pytest.raises(AnalysisError, match="no primary outputs"):
+            critical_path(nl)
+
+
+class TestCellDelays:
+    def test_lpaa5_has_zero_carry_increment(self):
+        # LPAA 5 is pure wiring: no carry chain contribution at all.
+        delays = cell_delay("LPAA 5")
+        assert delays["cin_to_cout"] == 0.0
+        assert delays["sum"] == 0.0
+
+    def test_accurate_cell_has_carry_increment(self):
+        delays = cell_delay("accurate")
+        assert delays["cin_to_cout"] > 0.0
+        assert delays["sum"] > 0.0
+
+    def test_fields_present(self, lpaa_cell):
+        delays = cell_delay(lpaa_cell)
+        assert set(delays) == {"sum", "cout", "cin_to_cout"}
+        assert all(v >= 0.0 for v in delays.values())
+
+
+class TestRippleAndGear:
+    def test_ripple_delay_grows_linearly(self):
+        d4 = ripple_delay("accurate", 4)
+        d8 = ripple_delay("accurate", 8)
+        d16 = ripple_delay("accurate", 16)
+        assert d8 > d4 and d16 > d8
+        # linear: equal increments per doubling segment
+        assert (d16 - d8) == pytest.approx(2 * (d8 - d4), rel=0.2)
+
+    def test_gear_beats_rca_latency(self):
+        # GeAr(16, 4, 4): critical path is an 8-bit chain vs 16-bit RCA.
+        config = GeArConfig(16, 4, 4)
+        assert gear_delay_model(config) < ripple_delay("accurate", 16)
+        assert gear_delay_model(config) == pytest.approx(
+            ripple_delay("accurate", config.l)
+        )
+
+    def test_exact_gear_config_has_rca_delay(self):
+        config = GeArConfig(8, 8, 0)
+        assert gear_delay_model(config) == pytest.approx(
+            ripple_delay("accurate", 8)
+        )
+
+    def test_tradeoff_rows(self):
+        rows = latency_error_tradeoff(8)
+        assert rows  # non-empty
+        exact_rows = [r for r in rows if r["p_error"] == 0.0]
+        assert exact_rows, "the exact config must appear"
+        # delay must be sorted ascending (primary sort key)
+        delays = [r["delay"] for r in rows]
+        assert delays == sorted(delays)
+        # faster configurations err at least as much as the exact one
+        fastest = rows[0]
+        assert fastest["delay"] <= exact_rows[0]["delay"]
+        assert fastest["p_error"] >= 0.0

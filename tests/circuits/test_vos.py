@@ -1,0 +1,119 @@
+"""Tests for the voltage-over-scaling error model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.ripple import build_ripple_netlist
+from repro.circuits.timing import arrival_times
+from repro.circuits.vos import (
+    VoltageModel,
+    evaluate_with_timing,
+    failing_outputs,
+    vos_error_rate,
+    vos_quality_energy_sweep,
+)
+from repro.core.exceptions import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def adder8():
+    return build_ripple_netlist("accurate", 8)
+
+
+class TestVoltageModel:
+    def test_nominal_is_unity(self):
+        model = VoltageModel()
+        assert model.delay_scale(1.0) == pytest.approx(1.0)
+        assert model.power_scale(1.0) == pytest.approx(1.0)
+
+    def test_lower_supply_is_slower_and_cheaper(self):
+        model = VoltageModel()
+        assert model.delay_scale(0.7) > 1.0
+        assert model.power_scale(0.7) == pytest.approx(0.49)
+
+    def test_delay_diverges_towards_threshold(self):
+        model = VoltageModel()
+        assert model.delay_scale(0.35) > model.delay_scale(0.5) > \
+            model.delay_scale(0.8)
+
+    def test_threshold_guard(self):
+        with pytest.raises(AnalysisError):
+            VoltageModel().delay_scale(0.3)
+        with pytest.raises(AnalysisError):
+            VoltageModel().power_scale(0.0)
+
+
+class TestFailingOutputs:
+    def test_nominal_clock_passes_everything(self, adder8):
+        arrivals = arrival_times(adder8)
+        critical = max(arrivals[net] for net in adder8.outputs)
+        assert failing_outputs(adder8, critical, 1.0) == []
+
+    def test_msbs_fail_first(self, adder8):
+        # the carry chain means high sum bits arrive last: shrinking the
+        # clock must kill them before the LSBs.
+        arrivals = arrival_times(adder8)
+        critical = max(arrivals[net] for net in adder8.outputs)
+        stale = failing_outputs(adder8, 0.6 * critical, 1.0)
+        assert "cout" in stale or "s7" in stale
+        assert "s0" not in stale
+
+    def test_scaling_is_equivalent_to_shorter_clock(self, adder8):
+        arrivals = arrival_times(adder8)
+        critical = max(arrivals[net] for net in adder8.outputs)
+        assert failing_outputs(adder8, critical, 2.0) == \
+            failing_outputs(adder8, critical / 2.0, 1.0)
+
+    def test_validation(self, adder8):
+        with pytest.raises(AnalysisError):
+            failing_outputs(adder8, 0.0)
+        with pytest.raises(AnalysisError):
+            failing_outputs(adder8, 1.0, delay_scale=0.0)
+
+
+class TestTimingEvaluation:
+    def test_no_failures_matches_plain_evaluation(self, adder8):
+        rng = np.random.default_rng(0)
+        prev = {net: rng.integers(0, 2, 64) for net in adder8.inputs}
+        curr = {net: rng.integers(0, 2, 64) for net in adder8.inputs}
+        arrivals = arrival_times(adder8)
+        critical = max(arrivals[net] for net in adder8.outputs)
+        got = evaluate_with_timing(adder8, prev, curr, critical, 1.0)
+        reference = adder8.evaluate_array(curr)
+        for net in adder8.outputs:
+            assert np.array_equal(got[net], reference[net])
+
+    def test_failed_outputs_hold_previous_values(self, adder8):
+        rng = np.random.default_rng(1)
+        prev = {net: rng.integers(0, 2, 64) for net in adder8.inputs}
+        curr = {net: rng.integers(0, 2, 64) for net in adder8.inputs}
+        arrivals = arrival_times(adder8)
+        critical = max(arrivals[net] for net in adder8.outputs)
+        period = 0.5 * critical
+        stale = set(failing_outputs(adder8, period, 1.0))
+        assert stale
+        got = evaluate_with_timing(adder8, prev, curr, period, 1.0)
+        before = adder8.evaluate_array(prev)
+        for net in stale:
+            assert np.array_equal(got[net], before[net])
+
+
+class TestSweep:
+    def test_signature_curve(self, adder8):
+        word = list(adder8.outputs)
+        rows = vos_quality_energy_sweep(
+            adder8, word, supplies=[1.0, 0.9, 0.7, 0.5],
+            samples=4_000, seed=2,
+        )
+        # nominal: free of timing errors; power falls monotonically;
+        # error rate is non-decreasing as the supply drops.
+        assert rows[0]["error_rate"] == 0.0
+        powers = [r["power_scale"] for r in rows]
+        assert powers == sorted(powers, reverse=True)
+        errors = [r["error_rate"] for r in rows]
+        assert all(b >= a - 0.02 for a, b in zip(errors, errors[1:]))
+        assert errors[-1] > 0.1  # deep scaling really hurts
+
+    def test_sample_guard(self, adder8):
+        with pytest.raises(AnalysisError):
+            vos_error_rate(adder8, ["s0"], 10.0, 1.0, samples=0)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adders import PAPER_LPAAS
+from repro.core.truth_table import ACCURATE
+
+
+@pytest.fixture(params=range(1, 8), ids=[f"LPAA{i}" for i in range(1, 8)])
+def lpaa_cell(request):
+    """Parametrised fixture yielding each of the seven paper cells."""
+    return PAPER_LPAAS[request.param - 1]
+
+
+@pytest.fixture(params=range(8), ids=["AccuFA"] + [f"LPAA{i}" for i in range(1, 8)])
+def any_cell(request):
+    """Parametrised fixture yielding the accurate cell plus all LPAAs."""
+    if request.param == 0:
+        return ACCURATE
+    return PAPER_LPAAS[request.param - 1]
+
+
+@pytest.fixture
+def rng():
+    """A seeded NumPy generator for reproducible randomised tests."""
+    return np.random.default_rng(0xDAC2017)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.adders (built-in cells, Table 1/2, registry)."""
+
+import pytest
+
+from repro.core.adders import (
+    CELL_CHARACTERISTICS,
+    PAPER_LPAAS,
+    CellRegistry,
+    get_cell,
+    paper_cell,
+    registry,
+)
+from repro.core.exceptions import RegistryError
+from repro.core.truth_table import ACCURATE, FullAdderTruthTable
+
+from ..paper_data import TABLE2_ROWS
+
+
+class TestPaperTruthTables:
+    """Pin the full Table 1 of the paper, cell by cell."""
+
+    # (A,B,Cin)=000..111, values are (Sum, Cout) straight from Table 1.
+    TABLE1 = {
+        "LPAA 1": [(0, 0), (1, 0), (0, 1), (0, 1), (0, 0), (0, 1), (0, 1), (1, 1)],
+        "LPAA 2": [(1, 0), (1, 0), (1, 0), (0, 1), (1, 0), (0, 1), (0, 1), (0, 1)],
+        "LPAA 3": [(1, 0), (1, 0), (0, 1), (0, 1), (1, 0), (0, 1), (0, 1), (0, 1)],
+        "LPAA 4": [(0, 0), (1, 0), (0, 0), (1, 0), (0, 1), (0, 1), (0, 1), (1, 1)],
+        "LPAA 5": [(0, 0), (0, 0), (1, 0), (1, 0), (0, 1), (0, 1), (1, 1), (1, 1)],
+        "LPAA 6": [(0, 0), (1, 1), (1, 0), (0, 1), (1, 0), (0, 1), (0, 0), (1, 1)],
+        "LPAA 7": [(0, 0), (1, 0), (1, 0), (1, 1), (1, 0), (1, 1), (0, 1), (1, 1)],
+    }
+
+    def test_every_cell_matches_table1(self, lpaa_cell):
+        assert list(lpaa_cell.rows) == self.TABLE1[lpaa_cell.name]
+
+    def test_no_paper_cell_is_accurate(self, lpaa_cell):
+        assert not lpaa_cell.is_accurate()
+
+    def test_cells_are_pairwise_distinct(self):
+        assert len(set(PAPER_LPAAS)) == 7
+
+
+class TestCharacteristics:
+    def test_table2_values_carried_verbatim(self):
+        for name, (errors, power, area) in TABLE2_ROWS.items():
+            char = CELL_CHARACTERISTICS[name]
+            assert char.error_cases == errors
+            assert char.power_nw == power
+            assert char.area_ge == area
+
+    def test_characteristics_error_cases_match_truth_tables(self):
+        for cell in PAPER_LPAAS:
+            assert (
+                CELL_CHARACTERISTICS[cell.name].error_cases
+                == cell.num_error_cases()
+            )
+
+    def test_date16_cells_have_no_published_power(self):
+        assert CELL_CHARACTERISTICS["LPAA 6"].power_nw is None
+        assert CELL_CHARACTERISTICS["LPAA 7"].area_ge is None
+
+
+class TestRegistry:
+    def test_lookup_is_name_normalising(self):
+        assert get_cell("LPAA 1") is get_cell("lpaa1")
+        assert get_cell("LPAA-1") is get_cell("Lpaa_1")
+        assert get_cell("accurate") is ACCURATE
+        assert get_cell("fa") is ACCURATE
+
+    def test_unknown_name_lists_known_cells(self):
+        with pytest.raises(RegistryError, match="LPAA 1"):
+            get_cell("no-such-adder")
+
+    def test_paper_cell_is_one_based(self):
+        assert paper_cell(1).name == "LPAA 1"
+        assert paper_cell(7).name == "LPAA 7"
+        with pytest.raises(RegistryError):
+            paper_cell(0)
+        with pytest.raises(RegistryError):
+            paper_cell(8)
+
+    def test_contains_and_names(self):
+        assert "lpaa3" in registry
+        assert "nonsense" not in registry
+        assert registry.names() == sorted(registry.names())
+        assert "AccuFA" in registry.names()
+
+    def test_custom_registration_and_conflicts(self):
+        reg = CellRegistry()
+        custom = FullAdderTruthTable(ACCURATE.rows, name="My Cell")
+        reg.register(custom, aliases=("mc",))
+        assert reg.get("my cell") == custom
+        assert reg.get("MC") == custom
+        other = FullAdderTruthTable(PAPER_LPAAS[0].rows, name="My Cell")
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register(other)
+        reg.register(other, overwrite=True)
+        assert reg.get("mycell") == other
+
+    def test_reregistering_same_cell_is_idempotent(self):
+        reg = CellRegistry()
+        reg.register(ACCURATE)
+        reg.register(ACCURATE)  # must not raise
+        assert reg.get("AccuFA") == ACCURATE
+
+    def test_iteration_yields_unique_cells(self):
+        names = [cell.name for cell in registry]
+        assert len(names) == len(set(names))
+        assert len(names) >= 8  # AccuFA + 7 LPAAs

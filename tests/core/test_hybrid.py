@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.hybrid (HybridChain)."""
+
+import pytest
+
+from repro.core.adders import LPAA1, LPAA7
+from repro.core.exceptions import ChainLengthError
+from repro.core.hybrid import HybridChain
+from repro.core.recursive import analyze_chain
+
+
+class TestConstruction:
+    def test_uniform_factory(self):
+        chain = HybridChain.uniform("LPAA 3", 5)
+        assert chain.width == 5
+        assert chain.is_uniform()
+        assert all(cell.name == "LPAA 3" for cell in chain.cells)
+
+    def test_uniform_rejects_bad_width(self):
+        with pytest.raises(ChainLengthError):
+            HybridChain.uniform("LPAA 1", 0)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ChainLengthError):
+            HybridChain([])
+
+    def test_from_spec_counts_and_bare_names(self):
+        chain = HybridChain.from_spec("LPAA7:2, accurate, LPAA1:3")
+        assert chain.width == 6
+        assert [c.name for c in chain.cells] == [
+            "LPAA 7", "LPAA 7", "AccuFA", "LPAA 1", "LPAA 1", "LPAA 1",
+        ]
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ChainLengthError):
+            HybridChain.from_spec("LPAA1:x")
+        with pytest.raises(ChainLengthError):
+            HybridChain.from_spec("LPAA1:0")
+        with pytest.raises(ChainLengthError):
+            HybridChain.from_spec("  ,  ")
+
+    def test_spec_round_trip(self):
+        chain = HybridChain([LPAA7, LPAA7, LPAA1])
+        assert HybridChain.from_spec(chain.spec()) == chain
+
+
+class TestStructure:
+    def test_segments_run_length_encode(self):
+        chain = HybridChain([LPAA7, LPAA7, LPAA1, LPAA7])
+        segs = chain.segments()
+        assert [(cell.name, n) for cell, n in segs] == [
+            ("LPAA 7", 2), ("LPAA 1", 1), ("LPAA 7", 1),
+        ]
+        assert chain.describe() == "LPAA 7 x2 | LPAA 1 x1 | LPAA 7 x1"
+
+    def test_cell_histogram(self):
+        chain = HybridChain.from_spec("LPAA7:3, LPAA1:1")
+        assert chain.cell_histogram() == {"LPAA 7": 3, "LPAA 1": 1}
+
+    def test_replaced_returns_new_chain(self):
+        chain = HybridChain.uniform("LPAA 7", 4)
+        swapped = chain.replaced(-1, "LPAA 1")
+        assert swapped != chain
+        assert swapped[3].name == "LPAA 1"
+        assert chain[3].name == "LPAA 7"  # original untouched
+
+    def test_equality_and_hash(self):
+        a = HybridChain.from_spec("LPAA7:2, LPAA1:2")
+        b = HybridChain([LPAA7, LPAA7, LPAA1, LPAA1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != HybridChain.uniform("LPAA 7", 4)
+        assert (a == "not-a-chain") is False
+
+    def test_len_and_indexing(self):
+        chain = HybridChain.from_spec("LPAA2:3")
+        assert len(chain) == 3
+        assert chain[0].name == "LPAA 2"
+
+
+class TestAnalysis:
+    def test_analyze_delegates_to_recursion(self):
+        chain = HybridChain.from_spec("LPAA7:4, LPAA1:4")
+        got = chain.analyze(p_a=0.1, p_b=0.1, p_cin=0.1)
+        ref = analyze_chain(list(chain.cells), p_a=0.1, p_b=0.1, p_cin=0.1)
+        assert got.p_success == pytest.approx(ref.p_success)
+        assert got.cell_names == ref.cell_names
+
+    def test_hybrid_can_beat_both_uniform_parents(self):
+        # The paper's §5 point: with low-probability LSBs and
+        # high-probability MSBs, a LPAA7 (low) + LPAA1 (high) split
+        # should beat either uniform choice.
+        p = [0.1] * 4 + [0.9] * 4
+        hybrid = HybridChain.from_spec("LPAA7:4, LPAA1:4")
+        e_hybrid = float(hybrid.error_probability(p_a=p, p_b=p))
+        e_u7 = float(HybridChain.uniform("LPAA 7", 8).error_probability(p_a=p, p_b=p))
+        e_u1 = float(HybridChain.uniform("LPAA 1", 8).error_probability(p_a=p, p_b=p))
+        assert e_hybrid < e_u7
+        assert e_hybrid < e_u1
+
+    def test_error_pmf_and_moments_agree(self):
+        chain = HybridChain.from_spec("LPAA5:2, LPAA6:2")
+        pmf = chain.error_pmf(p_a=0.3, p_b=0.8)
+        mom = chain.error_moments(p_a=0.3, p_b=0.8)
+        assert sum(pmf.values()) == pytest.approx(1.0)
+        assert mom.mean == pytest.approx(sum(d * p for d, p in pmf.items()))
+
+    def test_error_probability_shortcut(self):
+        chain = HybridChain.uniform("LPAA 4", 3)
+        assert float(chain.error_probability(0.2, 0.2, 0.2)) == pytest.approx(
+            float(1 - chain.analyze(0.2, 0.2, 0.2).p_success)
+        )
+
+    def test_repr_mentions_segments(self):
+        assert "LPAA 7" in repr(HybridChain.uniform("LPAA 7", 2))

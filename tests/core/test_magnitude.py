@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.magnitude (error PMF and exact moments)."""
+
+import itertools
+
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.core.magnitude import error_moments, error_pmf
+from repro.core.recursive import error_probability
+from repro.core.truth_table import ACCURATE
+
+
+def _enumerate_pmf(cell, width, p_a, p_b, p_cin):
+    """Brute-force PMF of approx - exact over all weighted inputs."""
+    pmf = {}
+    for bits in itertools.product((0, 1), repeat=2 * width + 1):
+        a_bits, b_bits, cin = bits[:width], bits[width:2 * width], bits[-1]
+        w = p_cin if cin else 1 - p_cin
+        for i in range(width):
+            w *= p_a[i] if a_bits[i] else 1 - p_a[i]
+            w *= p_b[i] if b_bits[i] else 1 - p_b[i]
+        if w == 0.0:
+            continue
+        approx, carry = 0, cin
+        for i in range(width):
+            s, carry = cell.evaluate(a_bits[i], b_bits[i], carry)
+            approx |= s << i
+        approx |= carry << width
+        a_val = sum(bit << i for i, bit in enumerate(a_bits))
+        b_val = sum(bit << i for i, bit in enumerate(b_bits))
+        delta = approx - (a_val + b_val + cin)
+        pmf[delta] = pmf.get(delta, 0.0) + w
+    return pmf
+
+
+class TestErrorPmf:
+    WIDTH = 4
+    P_A = [0.2, 0.7, 0.5, 0.9]
+    P_B = [0.4, 0.1, 0.8, 0.3]
+    P_CIN = 0.6
+
+    def test_matches_enumeration(self, lpaa_cell):
+        ref = _enumerate_pmf(lpaa_cell, self.WIDTH, self.P_A, self.P_B, self.P_CIN)
+        got = error_pmf(lpaa_cell, self.WIDTH, self.P_A, self.P_B, self.P_CIN)
+        assert set(got) == {d for d, p in ref.items() if p > 0}
+        for delta, prob in ref.items():
+            if prob > 0:
+                assert got[delta] == pytest.approx(prob, abs=1e-12)
+
+    def test_sums_to_one(self, lpaa_cell):
+        pmf = error_pmf(lpaa_cell, 6, 0.3, 0.3, 0.3)
+        assert sum(pmf.values()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_zero_delta_mass_equals_success_probability(self, lpaa_cell):
+        # The paper's P(Succ) must equal P(D = 0) for the paper cells
+        # (they cannot mask, see repro.core.masking).
+        pmf = error_pmf(lpaa_cell, 5, 0.17, 0.82, 0.5)
+        p_err = error_probability(lpaa_cell, 5, 0.17, 0.82, 0.5)
+        assert 1.0 - pmf.get(0, 0.0) == pytest.approx(float(p_err), abs=1e-12)
+
+    def test_accurate_adder_is_a_point_mass(self):
+        pmf = error_pmf(ACCURATE, 10, 0.42, 0.77, 0.1)
+        assert pmf == {0: pytest.approx(1.0)}
+
+    def test_max_entries_guard(self):
+        with pytest.raises(AnalysisError, match="max_entries"):
+            error_pmf("LPAA 5", 12, 0.5, 0.5, 0.5, max_entries=10)
+
+    def test_pruning_drops_small_mass_only(self):
+        full = error_pmf("LPAA 5", 8, 0.5, 0.5, 0.5)
+        pruned = error_pmf("LPAA 5", 8, 0.5, 0.5, 0.5, prune_below=1e-4)
+        assert set(pruned) <= set(full)
+        lost = sum(full.values()) - sum(pruned.values())
+        assert 0 <= lost < 1e-2
+
+
+class TestErrorMoments:
+    def test_matches_pmf_moments(self, lpaa_cell):
+        p_a, p_b, p_cin = 0.35, 0.6, 0.5
+        pmf = error_pmf(lpaa_cell, 7, p_a, p_b, p_cin)
+        mom = error_moments(lpaa_cell, 7, p_a, p_b, p_cin)
+        mean_ref = sum(d * p for d, p in pmf.items())
+        m2_ref = sum(d * d * p for d, p in pmf.items())
+        assert mom.mean == pytest.approx(mean_ref, rel=1e-10, abs=1e-10)
+        assert mom.second_moment == pytest.approx(m2_ref, rel=1e-10, abs=1e-10)
+
+    def test_scales_to_wide_adders(self):
+        # 64 bits would be hopeless for enumeration; moments are O(N).
+        mom = error_moments("LPAA 6", 64, 0.5, 0.5, 0.5)
+        assert mom.width == 64
+        assert mom.second_moment >= mom.mean ** 2 - 1e-9
+
+    def test_accurate_adder_zero_moments(self):
+        mom = error_moments(ACCURATE, 16, 0.3, 0.8, 0.9)
+        assert mom.mean == pytest.approx(0.0)
+        assert mom.second_moment == pytest.approx(0.0)
+        assert mom.variance == pytest.approx(0.0)
+        assert mom.rms == pytest.approx(0.0)
+
+    def test_variance_never_negative(self, lpaa_cell):
+        mom = error_moments(lpaa_cell, 9, 0.9, 0.9, 0.9)
+        assert mom.variance >= 0.0
+
+    def test_normalized_rms_uses_max_output(self):
+        mom = error_moments("LPAA 1", 4, 0.5, 0.5, 0.5)
+        assert mom.normalized_rms == pytest.approx(mom.rms / 31.0)
+
+    def test_deterministic_inputs_reduce_to_single_case(self, lpaa_cell):
+        # With 0/1 probabilities there is exactly one input vector, so
+        # the PMF is a point mass and moments are its powers.
+        p_a, p_b = [1, 0, 1], [1, 1, 0]
+        pmf = error_pmf(lpaa_cell, 3, p_a, p_b, 0)
+        assert len(pmf) == 1
+        ((delta, prob),) = pmf.items()
+        assert prob == pytest.approx(1.0)
+        mom = error_moments(lpaa_cell, 3, p_a, p_b, 0)
+        assert mom.mean == pytest.approx(delta)
+        assert mom.second_moment == pytest.approx(delta * delta)

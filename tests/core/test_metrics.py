@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.core.magnitude import error_pmf
+from repro.core.metrics import (
+    max_exact_output,
+    metrics_from_pmf,
+    metrics_from_samples,
+)
+
+
+class TestMaxExactOutput:
+    def test_values(self):
+        assert max_exact_output(1) == 3       # 1+1+1
+        assert max_exact_output(4) == 31
+        assert max_exact_output(8) == 511
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(AnalysisError):
+            max_exact_output(0)
+
+
+class TestMetricsFromPmf:
+    def test_hand_built_pmf(self):
+        pmf = {0: 0.5, 2: 0.25, -4: 0.25}
+        m = metrics_from_pmf(pmf, width=3)
+        assert m.error_rate == pytest.approx(0.5)
+        assert m.med == pytest.approx(0.25 * 2 + 0.25 * 4)
+        assert m.mse == pytest.approx(0.25 * 4 + 0.25 * 16)
+        assert m.wce == 4
+        assert m.nmed == pytest.approx(m.med / 15.0)
+        assert m.mred is None
+        assert m.rmse == pytest.approx(m.mse ** 0.5)
+
+    def test_perfect_adder(self):
+        m = metrics_from_pmf({0: 1.0}, width=8)
+        assert m.error_rate == 0.0
+        assert m.med == 0.0 and m.mse == 0.0 and m.wce == 0
+
+    def test_rejects_unnormalised_pmf(self):
+        with pytest.raises(AnalysisError, match="sums to"):
+            metrics_from_pmf({0: 0.4, 1: 0.4}, width=4)
+
+    def test_rejects_empty_pmf(self):
+        with pytest.raises(AnalysisError, match="empty"):
+            metrics_from_pmf({}, width=4)
+
+    def test_consistent_with_library_pmf(self, lpaa_cell):
+        pmf = error_pmf(lpaa_cell, 5, 0.4, 0.6, 0.5)
+        m = metrics_from_pmf(pmf, width=5)
+        assert 0.0 <= m.error_rate <= 1.0
+        assert m.med <= m.wce
+        assert m.mse <= m.wce ** 2
+        assert 0.0 <= m.nmed <= 1.0
+
+    def test_as_dict_round_trips_fields(self):
+        m = metrics_from_pmf({0: 0.9, 1: 0.1}, width=2)
+        d = m.as_dict()
+        assert d["error_rate"] == pytest.approx(0.1)
+        assert set(d) == {"error_rate", "med", "nmed", "mse", "wce", "mred"}
+
+
+class TestMetricsFromSamples:
+    def test_simple_samples(self):
+        exact = np.array([10, 20, 30, 40])
+        approx = np.array([10, 22, 30, 36])
+        m = metrics_from_samples(approx, exact, width=6)
+        assert m.error_rate == pytest.approx(0.5)
+        assert m.med == pytest.approx((0 + 2 + 0 + 4) / 4)
+        assert m.mse == pytest.approx((0 + 4 + 0 + 16) / 4)
+        assert m.wce == 4
+        assert m.mred == pytest.approx((0 + 2 / 20 + 0 + 4 / 40) / 4)
+
+    def test_mred_guards_zero_exact_values(self):
+        m = metrics_from_samples(np.array([1]), np.array([0]), width=2)
+        assert m.mred == pytest.approx(1.0)  # |1-0| / max(0, 1)
+
+    def test_shape_validation(self):
+        with pytest.raises(AnalysisError):
+            metrics_from_samples(np.zeros(3), np.zeros(4), width=4)
+        with pytest.raises(AnalysisError):
+            metrics_from_samples(np.zeros((2, 2)), np.zeros((2, 2)), width=4)
+        with pytest.raises(AnalysisError):
+            metrics_from_samples(np.array([]), np.array([]), width=4)
+
+    def test_agrees_with_pmf_on_exhaustive_samples(self):
+        # Enumerate every equiprobable input of a 3-bit LPAA 4 chain and
+        # compare sample metrics against the exact PMF metrics.
+        from repro.core.adders import LPAA4
+        from repro.simulation.functional import ripple_add
+
+        width = 3
+        approx, exact = [], []
+        for a in range(8):
+            for b in range(8):
+                for cin in (0, 1):
+                    approx.append(ripple_add(LPAA4, a, b, cin, width))
+                    exact.append(a + b + cin)
+        sample_metrics = metrics_from_samples(
+            np.array(approx), np.array(exact), width=width
+        )
+        pmf_metrics = metrics_from_pmf(
+            error_pmf(LPAA4, width, 0.5, 0.5, 0.5), width=width
+        )
+        assert sample_metrics.error_rate == pytest.approx(pmf_metrics.error_rate)
+        assert sample_metrics.med == pytest.approx(pmf_metrics.med)
+        assert sample_metrics.mse == pytest.approx(pmf_metrics.mse)
+        assert sample_metrics.wce == pmf_metrics.wce

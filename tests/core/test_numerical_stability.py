@@ -1,0 +1,70 @@
+"""Numerical behaviour at extreme widths and probabilities.
+
+The recursion multiplies probabilities thousands of times for very wide
+adders; these tests pin that nothing leaves [0, 1], nothing overflows,
+and the exact-rational path stays available as the ground truth.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.magnitude import error_moments
+from repro.core.recursive import analyze_chain
+from repro.core.vectorized import success_by_width
+
+
+class TestWideAdders:
+    @pytest.mark.parametrize("width", [256, 1024])
+    def test_scalar_engine_stays_in_unit_interval(self, width, lpaa_cell):
+        result = analyze_chain(lpaa_cell, width=width, p_a=0.5, p_b=0.5)
+        assert 0.0 <= float(result.p_success) <= 1.0
+        assert 0.0 <= float(result.p_error) <= 1.0
+
+    def test_vectorized_curve_monotone_at_width_512(self):
+        curve = success_by_width("LPAA 6", 512, 0.5)
+        assert curve.shape == (512,)
+        assert np.all(np.diff(curve) <= 1e-15)
+        assert np.all(curve >= -1e-15) and np.all(curve <= 1 + 1e-15)
+
+    def test_moments_finite_at_width_128(self, lpaa_cell):
+        # 2^128-scale deltas exceed float precision gracefully: moments
+        # remain finite (they use float powers of two), variance >= 0.
+        moments = error_moments(lpaa_cell, 128, 0.5, 0.5, 0.5)
+        assert np.isfinite(moments.mean)
+        assert np.isfinite(moments.second_moment)
+        assert moments.variance >= 0.0
+
+    def test_fraction_path_is_digit_exact_at_width_64(self):
+        result = analyze_chain(
+            "LPAA 7", width=64,
+            p_a=Fraction(1, 10), p_b=Fraction(1, 10), p_cin=Fraction(1, 10),
+        )
+        assert isinstance(result.p_success, Fraction)
+        assert 0 <= result.p_success <= 1
+        # float engine agrees with the exact rational to double precision
+        float_result = analyze_chain("LPAA 7", width=64,
+                                     p_a=0.1, p_b=0.1, p_cin=0.1)
+        assert float(result.p_success) == pytest.approx(
+            float(float_result.p_success), abs=1e-12
+        )
+
+
+class TestExtremeProbabilities:
+    def test_near_degenerate_probabilities(self, lpaa_cell):
+        # probabilities a hair away from 0/1 must not produce NaNs or
+        # values outside [0, 1].
+        eps = 1e-300
+        result = analyze_chain(lpaa_cell, width=32, p_a=eps, p_b=1 - eps,
+                               p_cin=eps)
+        value = float(result.p_success)
+        assert 0.0 <= value <= 1.0
+        assert value == value  # not NaN
+
+    def test_saturating_chains_converge(self):
+        # LPAA 2 at p = 0.1 saturates to P(E) -> 1; the success mass must
+        # underflow cleanly towards 0, never negative.
+        curve = success_by_width("LPAA 2", 200, 0.1, p_cin=0.1)
+        assert curve[-1] >= 0.0
+        assert curve[-1] < 1e-12

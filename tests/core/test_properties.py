@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the mathematical guarantees of DESIGN.md §6: probability
+ranges, monotonicity, mask identities, engine agreement, and exactness
+against the functional oracle -- over *randomly generated* cells and
+probability points, not just the seven paper LPAAs.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.magnitude import error_moments, error_pmf
+from repro.core.masking import chain_is_exact
+from repro.core.matrices import derive_matrices
+from repro.core.recursive import analyze_chain
+from repro.core.truth_table import ACCURATE, FullAdderTruthTable
+from repro.core.vectorized import analyze_batch, success_by_width
+from repro.simulation.exhaustive import (
+    exhaustive_error_pmf,
+    exhaustive_error_probability,
+)
+
+probabilities = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_subnormal=False
+)
+
+truth_tables = st.builds(
+    FullAdderTruthTable,
+    st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 1)),
+        min_size=8,
+        max_size=8,
+    ),
+)
+
+
+def prob_vector(width: int):
+    return st.lists(probabilities, min_size=width, max_size=width)
+
+
+@given(table=truth_tables)
+def test_mask_identities_hold_for_any_cell(table):
+    mkl = derive_matrices(table)
+    assert mkl.l == tuple(m | k for m, k in zip(mkl.m, mkl.k))
+    assert all(m & k == 0 for m, k in zip(mkl.m, mkl.k))
+    assert mkl.success_row_count() == 8 - table.num_error_cases()
+
+
+@given(
+    table=truth_tables,
+    p_a=prob_vector(5),
+    p_b=prob_vector(5),
+    p_cin=probabilities,
+)
+@settings(max_examples=60)
+def test_probabilities_stay_in_unit_interval(table, p_a, p_b, p_cin):
+    result = analyze_chain(table, width=5, p_a=p_a, p_b=p_b, p_cin=p_cin,
+                           keep_trace=True)
+    assert -1e-12 <= result.p_success <= 1 + 1e-12
+    for record in result.trace:
+        assert -1e-12 <= record.p_c0_curr_succ <= 1 + 1e-12
+        assert -1e-12 <= record.p_c1_curr_succ <= 1 + 1e-12
+
+
+@given(
+    table=truth_tables,
+    p_a=prob_vector(6),
+    p_b=prob_vector(6),
+    p_cin=probabilities,
+)
+@settings(max_examples=60)
+def test_survival_mass_monotonically_decreases(table, p_a, p_b, p_cin):
+    result = analyze_chain(table, width=6, p_a=p_a, p_b=p_b, p_cin=p_cin,
+                           keep_trace=True)
+    survivals = [r.survival for r in result.trace]
+    for earlier, later in zip(survivals, survivals[1:]):
+        assert later <= earlier + 1e-12
+
+
+@given(p=probabilities, p_cin=probabilities, width=st.integers(1, 12))
+@settings(max_examples=60)
+def test_accurate_cell_always_succeeds(p, p_cin, width):
+    result = analyze_chain(ACCURATE, width=width, p_a=p, p_b=p, p_cin=p_cin)
+    assert math.isclose(result.p_success, 1.0, abs_tol=1e-12)
+
+
+@given(
+    table=truth_tables,
+    p_a=prob_vector(4),
+    p_b=prob_vector(4),
+    p_cin=probabilities,
+)
+@settings(max_examples=40)
+def test_vectorized_engine_matches_scalar(table, p_a, p_b, p_cin):
+    scalar = analyze_chain(table, width=4, p_a=p_a, p_b=p_b, p_cin=p_cin)
+    batch = analyze_batch(table, width=4, p_a=p_a, p_b=p_b, p_cin=p_cin)
+    assert math.isclose(batch[0], scalar.p_success, abs_tol=1e-12)
+
+
+@given(table=truth_tables, p=probabilities)
+@settings(max_examples=40)
+def test_success_by_width_is_monotone(table, p):
+    curve = success_by_width(table, 10, p)
+    for earlier, later in zip(curve, curve[1:]):
+        assert later <= earlier + 1e-12
+
+
+@given(
+    table=truth_tables,
+    p_a=prob_vector(3),
+    p_b=prob_vector(3),
+    p_cin=probabilities,
+)
+@settings(max_examples=40)
+def test_recursion_upper_bounds_functional_error(table, p_a, p_b, p_cin):
+    """For arbitrary cells the recursion may over-count errors (masking)
+    but can never under-count them; when the structural checker says the
+    chain is exact, the two must agree."""
+    analytical = float(
+        1 - analyze_chain(table, width=3, p_a=p_a, p_b=p_b, p_cin=p_cin).p_success
+    )
+    functional = exhaustive_error_probability(table, 3, p_a, p_b, p_cin)
+    assert analytical >= functional - 1e-9
+    if chain_is_exact(table, 3):
+        assert math.isclose(analytical, functional, abs_tol=1e-9)
+
+
+@given(
+    table=truth_tables,
+    p_a=prob_vector(3),
+    p_b=prob_vector(3),
+    p_cin=probabilities,
+)
+@settings(max_examples=40)
+def test_error_pmf_matches_exhaustive_for_any_cell(table, p_a, p_b, p_cin):
+    dp = error_pmf(table, 3, p_a, p_b, p_cin)
+    brute = exhaustive_error_pmf(table, 3, p_a, p_b, p_cin)
+    # compare above an underflow floor: extreme probabilities can make
+    # products vanish in one summation order but not the other.
+    floor = 1e-30
+    assert {d for d, p in dp.items() if p > floor} == \
+        {d for d, p in brute.items() if p > floor}
+    for delta, prob in brute.items():
+        if prob > floor:
+            assert math.isclose(dp[delta], prob, abs_tol=1e-9)
+
+
+@given(
+    table=truth_tables,
+    p_a=prob_vector(5),
+    p_b=prob_vector(5),
+)
+@settings(max_examples=40)
+def test_moments_match_pmf_for_any_cell(table, p_a, p_b):
+    pmf = error_pmf(table, 5, p_a, p_b, 0.5)
+    mom = error_moments(table, 5, p_a, p_b, 0.5)
+    mean_ref = sum(d * p for d, p in pmf.items())
+    m2_ref = sum(d * d * p for d, p in pmf.items())
+    assert math.isclose(mom.mean, mean_ref, rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(mom.second_moment, m2_ref, rel_tol=1e-9, abs_tol=1e-9)
+    assert mom.variance >= -1e-12
+
+
+@given(
+    table=truth_tables,
+    width=st.integers(1, 6),
+    a=st.integers(min_value=0),
+    b=st.integers(min_value=0),
+    cin=st.integers(0, 1),
+)
+@settings(max_examples=60)
+def test_degenerate_probabilities_reduce_to_functional_sim(table, width, a, b, cin):
+    """0/1 probabilities pin a single input vector; P(Succ) must then be
+    the indicator of that addition being correct."""
+    from repro.simulation.functional import ripple_add
+
+    a %= 1 << width
+    b %= 1 << width
+    p_a = [float((a >> i) & 1) for i in range(width)]
+    p_b = [float((b >> i) & 1) for i in range(width)]
+    result = analyze_chain(table, width=width, p_a=p_a, p_b=p_b, p_cin=float(cin))
+    functional_correct = ripple_add(table, a, b, cin, width) == a + b + cin
+    stage_correct = result.p_success > 0.5
+    # stage-exactness implies functional correctness (never the reverse).
+    if stage_correct:
+        assert functional_correct
+    assert result.p_success in (0.0, 1.0)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.core.stages (Table 4 trace rendering)."""
+
+import pytest
+
+from repro.core.stages import format_trace_table, trace_chain, trace_rows
+
+from ..paper_data import TABLE4_P_A, TABLE4_P_B, TABLE4_P_CIN
+
+
+@pytest.fixture
+def table4_result():
+    return trace_chain(
+        "LPAA 1", width=4, p_a=TABLE4_P_A, p_b=TABLE4_P_B, p_cin=TABLE4_P_CIN
+    )
+
+
+class TestTraceRows:
+    def test_rows_have_paper_labels_in_order(self, table4_result):
+        labels = [label for label, _ in trace_rows(table4_result)]
+        assert labels == [
+            "P(A_i)",
+            "P(B_i)",
+            "P(~C_curr & Succ)",
+            "P(C_curr & Succ)",
+            "P(~C_next & Succ)",
+            "P(C_next & Succ)",
+            "P(Succ)",
+        ]
+
+    def test_nr_markers_match_paper(self, table4_result):
+        rows = dict(trace_rows(table4_result))
+        # carry-out of the last stage is "not required"...
+        assert rows["P(~C_next & Succ)"][-1] == "NR"
+        assert rows["P(C_next & Succ)"][-1] == "NR"
+        # ... and P(Succ) exists only at the last stage.
+        assert rows["P(Succ)"][:3] == ["NR", "NR", "NR"]
+        assert rows["P(Succ)"][3] != "NR"
+
+    def test_values_match_table4(self, table4_result):
+        rows = dict(trace_rows(table4_result))
+        assert rows["P(C_next & Succ)"][:3] == ["0.85", "0.7295", "0.58574"]
+        assert rows["P(~C_next & Succ)"][:3] == ["0.02", "0.1305", "0.2064"]
+        assert rows["P(Succ)"][3] == "0.738476"
+
+    def test_requires_a_traced_result(self):
+        from repro.core.recursive import analyze_chain
+
+        untraced = analyze_chain("LPAA 1", width=2)
+        with pytest.raises(ValueError, match="no trace"):
+            trace_rows(untraced)
+
+
+class TestFormatting:
+    def test_table_contains_header_and_all_stages(self, table4_result):
+        text = format_trace_table(table4_result)
+        lines = text.splitlines()
+        assert lines[0].startswith("Stage (i)")
+        assert len(lines) == 8  # header + 7 rows
+        assert "0.738476" in text
+        assert "NR" in text
+
+    def test_digits_parameter_controls_precision(self, table4_result):
+        text = format_trace_table(table4_result, digits=3)
+        assert "0.738" in text
+        assert "0.738476" not in text
+
+    def test_columns_are_aligned(self, table4_result):
+        lines = format_trace_table(table4_result).splitlines()
+        # Every stage-0 column entry starts at the same offset.
+        offsets = {line.index("  ") for line in lines if "  " in line}
+        assert len(offsets) >= 1

@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.sum_analysis (marginal and joint tracking)."""
+
+import itertools
+
+import pytest
+
+from repro.core.adders import LPAA6
+from repro.core.sum_analysis import (
+    bit_error_probabilities,
+    carry_profile,
+    joint_carry_profile,
+    sum_bit_probabilities,
+)
+from repro.core.truth_table import ACCURATE
+
+
+def _enumerate_reference(cell, width, p_a, p_b, p_cin):
+    """Brute-force marginals by weighted enumeration of all inputs."""
+    carry_one = [0.0] * (width + 1)
+    sum_one = [0.0] * width
+    bit_err = [0.0] * width
+    cout_err = 0.0
+    for bits in itertools.product((0, 1), repeat=2 * width + 1):
+        a_bits, b_bits, cin = bits[:width], bits[width:2 * width], bits[-1]
+        w = p_cin if cin else 1 - p_cin
+        for i in range(width):
+            w *= p_a[i] if a_bits[i] else 1 - p_a[i]
+            w *= p_b[i] if b_bits[i] else 1 - p_b[i]
+        if w == 0.0:
+            continue
+        c_approx, c_exact = cin, cin
+        carry_one[0] += w * cin
+        for i in range(width):
+            s_ap, c_ap = cell.evaluate(a_bits[i], b_bits[i], c_approx)
+            s_ex, c_ex = ACCURATE.evaluate(a_bits[i], b_bits[i], c_exact)
+            sum_one[i] += w * s_ap
+            if s_ap != s_ex:
+                bit_err[i] += w
+            c_approx, c_exact = c_ap, c_ex
+            carry_one[i + 1] += w * c_approx
+        if c_approx != c_exact:
+            cout_err += w
+    return carry_one, sum_one, bit_err, cout_err
+
+
+@pytest.fixture(scope="module")
+def reference():
+    width = 4
+    p_a = [0.2, 0.7, 0.5, 0.9]
+    p_b = [0.4, 0.1, 0.8, 0.3]
+    p_cin = 0.6
+    return {
+        "width": width, "p_a": p_a, "p_b": p_b, "p_cin": p_cin,
+    }
+
+
+class TestCarryProfile:
+    def test_matches_enumeration(self, lpaa_cell, reference):
+        ref, _, _, _ = _enumerate_reference(
+            lpaa_cell, reference["width"], reference["p_a"],
+            reference["p_b"], reference["p_cin"],
+        )
+        got = carry_profile(lpaa_cell, reference["width"], reference["p_a"],
+                            reference["p_b"], reference["p_cin"])
+        assert len(got) == reference["width"] + 1
+        for g, r in zip(got, ref):
+            assert g == pytest.approx(r, abs=1e-12)
+
+    def test_first_entry_is_carry_in(self):
+        profile = carry_profile("LPAA 3", 3, 0.5, 0.5, 0.123)
+        assert profile[0] == pytest.approx(0.123)
+
+    def test_accurate_adder_fixed_point_at_half(self):
+        # For p = 0.5 the exact carry chain stays at P(c) = 0.5.
+        profile = carry_profile(ACCURATE, 10, 0.5, 0.5, 0.5)
+        assert all(p == pytest.approx(0.5) for p in profile)
+
+
+class TestSumBits:
+    def test_matches_enumeration(self, lpaa_cell, reference):
+        _, ref, _, _ = _enumerate_reference(
+            lpaa_cell, reference["width"], reference["p_a"],
+            reference["p_b"], reference["p_cin"],
+        )
+        got = sum_bit_probabilities(
+            lpaa_cell, reference["width"], reference["p_a"],
+            reference["p_b"], reference["p_cin"],
+        )
+        for g, r in zip(got, ref):
+            assert g == pytest.approx(r, abs=1e-12)
+
+    def test_accurate_adder_balanced_inputs(self):
+        got = sum_bit_probabilities(ACCURATE, 6, 0.5, 0.5, 0.5)
+        assert all(p == pytest.approx(0.5) for p in got)
+
+
+class TestJointProfile:
+    def test_mass_is_conserved(self, lpaa_cell):
+        states = joint_carry_profile(lpaa_cell, 8, 0.3, 0.6, 0.5)
+        assert len(states) == 9
+        for state in states:
+            assert state.total() == pytest.approx(1.0, abs=1e-12)
+
+    def test_initial_state_is_converged(self):
+        states = joint_carry_profile("LPAA 1", 2, 0.5, 0.5, 0.25)
+        assert states[0].p_diverged == 0.0
+        assert states[0].p11 == pytest.approx(0.25)
+        assert states[0].p00 == pytest.approx(0.75)
+
+    def test_accurate_adder_never_diverges(self):
+        states = joint_carry_profile(ACCURATE, 12, 0.37, 0.64, 0.5)
+        assert all(s.p_diverged == pytest.approx(0.0) for s in states)
+
+    def test_marginals_match_carry_profiles(self, lpaa_cell, reference):
+        states = joint_carry_profile(
+            lpaa_cell, reference["width"], reference["p_a"],
+            reference["p_b"], reference["p_cin"],
+        )
+        approx_marginal = carry_profile(
+            lpaa_cell, reference["width"], reference["p_a"],
+            reference["p_b"], reference["p_cin"],
+        )
+        exact_marginal = carry_profile(
+            ACCURATE, reference["width"], reference["p_a"],
+            reference["p_b"], reference["p_cin"],
+        )
+        for state, pa_, pe_ in zip(states, approx_marginal, exact_marginal):
+            assert state.p_approx_one == pytest.approx(float(pa_), abs=1e-12)
+            assert state.p_exact_one == pytest.approx(float(pe_), abs=1e-12)
+
+
+class TestBitErrors:
+    def test_matches_enumeration(self, lpaa_cell, reference):
+        _, _, ref_bits, ref_cout = _enumerate_reference(
+            lpaa_cell, reference["width"], reference["p_a"],
+            reference["p_b"], reference["p_cin"],
+        )
+        bits, cout = bit_error_probabilities(
+            lpaa_cell, reference["width"], reference["p_a"],
+            reference["p_b"], reference["p_cin"],
+        )
+        for g, r in zip(bits, ref_bits):
+            assert g == pytest.approx(r, abs=1e-12)
+        assert cout == pytest.approx(ref_cout, abs=1e-12)
+
+    def test_lpaa6_lsb_errors_only_in_carry(self):
+        # LPAA 6's error cases keep the sum correct, so the stage-0 sum
+        # bit (which sees a correct carry-in) can never be wrong.
+        bits, cout = bit_error_probabilities(LPAA6, 4, 0.5, 0.5, 0.5)
+        assert bits[0] == pytest.approx(0.0)
+        assert cout > 0.0
+
+    def test_accurate_adder_zero_everywhere(self):
+        bits, cout = bit_error_probabilities(ACCURATE, 5, 0.2, 0.9, 0.4)
+        assert all(b == pytest.approx(0.0) for b in bits)
+        assert cout == pytest.approx(0.0)

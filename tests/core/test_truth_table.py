@@ -1,0 +1,134 @@
+"""Unit tests for repro.core.truth_table."""
+
+import pytest
+
+from repro.core.exceptions import TruthTableError
+from repro.core.truth_table import ACCURATE, FullAdderTruthTable
+
+
+class TestAccurateAdder:
+    def test_sum_is_parity_and_carry_is_majority(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    s, cout = ACCURATE.evaluate(a, b, c)
+                    assert s == (a + b + c) % 2
+                    assert cout == (a + b + c) // 2
+
+    def test_is_accurate_flag(self):
+        assert ACCURATE.is_accurate()
+        assert ACCURATE.num_error_cases() == 0
+        assert ACCURATE.error_cases() == []
+
+    def test_accurate_singleton_equals_fresh_instance(self):
+        assert FullAdderTruthTable.accurate() == ACCURATE
+
+
+class TestConstruction:
+    def test_requires_eight_rows(self):
+        with pytest.raises(TruthTableError, match="8 rows"):
+            FullAdderTruthTable([(0, 0)] * 7)
+
+    def test_rejects_non_bit_outputs(self):
+        rows = [(0, 0)] * 7 + [(2, 0)]
+        with pytest.raises(TruthTableError):
+            FullAdderTruthTable(rows)
+
+    def test_rejects_malformed_rows(self):
+        with pytest.raises(TruthTableError, match="pair"):
+            FullAdderTruthTable([(0, 0)] * 7 + [(0, 0, 1)])
+
+    def test_from_mapping_roundtrip(self):
+        mapping = {
+            (a, b, c): ACCURATE.evaluate(a, b, c)
+            for a in (0, 1) for b in (0, 1) for c in (0, 1)
+        }
+        assert FullAdderTruthTable.from_mapping(mapping) == ACCURATE
+
+    def test_from_mapping_requires_full_coverage(self):
+        mapping = {(0, 0, 0): (0, 0)}
+        with pytest.raises(TruthTableError, match="misses"):
+            FullAdderTruthTable.from_mapping(mapping)
+
+    def test_from_functions_builds_accurate_adder(self):
+        table = FullAdderTruthTable.from_functions(
+            lambda a, b, c: a ^ b ^ c,
+            lambda a, b, c: (a & b) | (a & c) | (b & c),
+            name="xor-maj",
+        )
+        assert table == ACCURATE
+        assert table.name == "xor-maj"
+
+    def test_dict_roundtrip(self):
+        restored = FullAdderTruthTable.from_dict(ACCURATE.as_dict())
+        assert restored == ACCURATE
+        assert restored.name == "AccuFA"
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(TruthTableError):
+            FullAdderTruthTable.from_dict({"rows": "nope"})
+
+
+class TestProtocol:
+    def test_immutability_via_hash_and_eq(self, lpaa_cell):
+        clone = FullAdderTruthTable(lpaa_cell.rows, name="clone")
+        assert clone == lpaa_cell  # name does not affect equality
+        assert hash(clone) == hash(lpaa_cell)
+        assert {clone, lpaa_cell} == {lpaa_cell}
+
+    def test_eq_against_foreign_type(self):
+        assert (ACCURATE == 42) is False
+
+    def test_len_iter_getitem(self, lpaa_cell):
+        assert len(lpaa_cell) == 8
+        assert list(lpaa_cell) == list(lpaa_cell.rows)
+        assert lpaa_cell[3] == lpaa_cell.rows[3]
+
+    def test_renamed_keeps_rows(self, lpaa_cell):
+        renamed = lpaa_cell.renamed("other")
+        assert renamed == lpaa_cell
+        assert renamed.name == "other"
+
+
+class TestErrorCases:
+    def test_paper_error_case_counts(self):
+        # Table 2 ([7]) plus the two DATE'16 cells: LPAA1..7 error cases.
+        from repro.core.adders import PAPER_LPAAS
+
+        expected = [2, 2, 3, 3, 4, 2, 2]
+        assert [cell.num_error_cases() for cell in PAPER_LPAAS] == expected
+
+    def test_error_case_records_expected_outputs(self):
+        from repro.core.adders import LPAA1
+
+        cases = LPAA1.error_cases()
+        assert [c.index for c in cases] == [2, 4]
+        first = cases[0]
+        assert (first.a, first.b, first.cin) == (0, 1, 0)
+        assert (first.expected_sum, first.expected_cout) == (1, 0)
+        assert first.sum_wrong and first.cout_wrong
+
+    def test_lpaa6_silent_carry_errors(self):
+        # LPAA 6 is the only paper cell whose error cases keep the sum
+        # bit correct and corrupt only the carry.
+        from repro.core.adders import LPAA6
+
+        cases = LPAA6.error_cases()
+        assert [c.index for c in cases] == [1, 6]
+        assert all(not c.sum_wrong and c.cout_wrong for c in cases)
+
+    def test_success_rows_complement_error_cases(self, lpaa_cell):
+        flags = lpaa_cell.success_rows()
+        assert sum(1 for ok in flags if not ok) == lpaa_cell.num_error_cases()
+
+
+class TestMinterms:
+    def test_accurate_minterms(self):
+        assert ACCURATE.sum_minterms() == [1, 2, 4, 7]
+        assert ACCURATE.cout_minterms() == [3, 5, 6, 7]
+
+    def test_minterms_match_rows(self, lpaa_cell):
+        for idx in lpaa_cell.sum_minterms():
+            assert lpaa_cell.rows[idx][0] == 1
+        for idx in lpaa_cell.cout_minterms():
+            assert lpaa_cell.rows[idx][1] == 1

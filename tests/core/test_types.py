@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.types (conventions and validators)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.exceptions import ProbabilityError, TruthTableError
+from repro.core.types import (
+    NUM_ROWS,
+    all_rows,
+    bits_of,
+    complement,
+    int_of,
+    row_index,
+    row_inputs,
+    validate_bit,
+    validate_probability,
+    validate_probability_vector,
+)
+
+
+class TestRowIndexing:
+    def test_canonical_ordering_matches_table1(self):
+        # Table 1 lists rows 000, 001, 010, ..., 111 with Cin least
+        # significant; the whole library depends on this exact order.
+        assert row_index(0, 0, 0) == 0
+        assert row_index(0, 0, 1) == 1
+        assert row_index(0, 1, 0) == 2
+        assert row_index(1, 0, 0) == 4
+        assert row_index(1, 1, 1) == 7
+
+    def test_row_inputs_inverts_row_index(self):
+        for idx in range(NUM_ROWS):
+            assert row_index(*row_inputs(idx)) == idx
+
+    def test_row_inputs_rejects_out_of_range(self):
+        with pytest.raises(TruthTableError):
+            row_inputs(8)
+        with pytest.raises(TruthTableError):
+            row_inputs(-1)
+
+    def test_all_rows_yields_eight_in_order(self):
+        rows = list(all_rows())
+        assert [r[0] for r in rows] == list(range(8))
+        assert rows[5] == (5, 1, 0, 1)
+
+
+class TestValidators:
+    def test_validate_bit_accepts_bits_and_bools(self):
+        assert validate_bit(0) == 0
+        assert validate_bit(1) == 1
+        assert validate_bit(True) == 1
+
+    @pytest.mark.parametrize("bad", [2, -1, 0.5, "1", None])
+    def test_validate_bit_rejects_non_bits(self, bad):
+        with pytest.raises(TruthTableError):
+            validate_bit(bad)
+
+    def test_validate_probability_accepts_edges_and_fractions(self):
+        assert validate_probability(0) == 0.0
+        assert validate_probability(1) == 1.0
+        assert validate_probability(Fraction(1, 3)) == Fraction(1, 3)
+        assert isinstance(validate_probability(Fraction(1, 3)), Fraction)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0001, float("nan"), "x", None, True])
+    def test_validate_probability_rejects_bad_values(self, bad):
+        with pytest.raises(ProbabilityError):
+            validate_probability(bad)
+
+    def test_vector_broadcasts_scalar(self):
+        assert validate_probability_vector(0.3, 4) == [0.3] * 4
+
+    def test_vector_checks_length(self):
+        with pytest.raises(ProbabilityError):
+            validate_probability_vector([0.1, 0.2], 3)
+
+    def test_vector_checks_each_element(self):
+        with pytest.raises(ProbabilityError, match=r"\[1\]"):
+            validate_probability_vector([0.1, 1.5], 2)
+
+    def test_vector_rejects_zero_length(self):
+        with pytest.raises(ProbabilityError):
+            validate_probability_vector(0.5, 0)
+
+    def test_complement_preserves_fraction_exactness(self):
+        assert complement(Fraction(1, 3)) == Fraction(2, 3)
+        assert isinstance(complement(Fraction(1, 3)), Fraction)
+        assert complement(0.25) == 0.75
+
+
+class TestBitConversions:
+    def test_bits_roundtrip(self):
+        for value in range(16):
+            assert int_of(bits_of(value, 4)) == value
+
+    def test_bits_of_is_little_endian(self):
+        assert bits_of(1, 3) == [1, 0, 0]
+        assert bits_of(4, 3) == [0, 0, 1]
+
+    def test_bits_of_rejects_overflow_and_negative(self):
+        with pytest.raises(TruthTableError):
+            bits_of(8, 3)
+        with pytest.raises(TruthTableError):
+            bits_of(-1, 3)
+
+    def test_int_of_validates_bits(self):
+        with pytest.raises(TruthTableError):
+            int_of([0, 2, 0])

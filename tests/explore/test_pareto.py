@@ -1,0 +1,77 @@
+"""Unit tests for repro.explore.pareto."""
+
+import pytest
+
+from repro.core.exceptions import ExplorationError
+from repro.explore.design_space import DesignPoint
+from repro.explore.pareto import dominates, objective_vector, pareto_front
+
+
+def _point(cell, error, power=None, area=None, width=8):
+    return DesignPoint(
+        cell_name=cell, width=width, p_input=0.5,
+        p_error=error, power_nw=power, area_ge=area,
+    )
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_no_domination_between_trade_offs(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+
+class TestParetoFront:
+    def test_front_extraction(self):
+        points = [
+            _point("A", 0.1, power=100.0),
+            _point("B", 0.2, power=50.0),
+            _point("C", 0.3, power=40.0),
+            _point("D", 0.25, power=90.0),   # dominated by B
+            _point("E", 0.15, power=120.0),  # dominated by A
+        ]
+        front = pareto_front(points, ("error", "power"))
+        assert [p.cell_name for p in front] == ["A", "B", "C"]
+
+    def test_single_objective_reduces_to_min(self):
+        points = [_point("A", 0.3), _point("B", 0.1), _point("C", 0.2)]
+        front = pareto_front(points, ("error",))
+        assert [p.cell_name for p in front] == ["B"]
+
+    def test_empty_input(self):
+        assert pareto_front([], ("error",)) == []
+
+    def test_duplicate_points_both_kept(self):
+        points = [_point("A", 0.1, power=10.0), _point("B", 0.1, power=10.0)]
+        front = pareto_front(points, ("error", "power"))
+        assert len(front) == 2
+
+    def test_unknown_objective(self):
+        with pytest.raises(ExplorationError, match="unknown objective"):
+            pareto_front([_point("A", 0.1)], ("error", "speed"))
+
+    def test_missing_data_raises(self):
+        with pytest.raises(ExplorationError, match="lacks"):
+            pareto_front([_point("A", 0.1)], ("error", "power"))
+
+    def test_width_objective_prefers_wider(self):
+        points = [
+            _point("A", 0.1, width=4),
+            _point("B", 0.1, width=8),
+        ]
+        front = pareto_front(points, ("error", "width"))
+        assert [p.cell_name for p in front] == ["B"]
+
+
+class TestObjectiveVector:
+    def test_extraction(self):
+        point = _point("A", 0.25, power=7.5, area=3.0)
+        assert objective_vector(point, ("error", "power", "area")) == (
+            0.25, 7.5, 3.0,
+        )

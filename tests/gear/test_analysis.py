@@ -1,0 +1,150 @@
+"""Tests for repro.gear.analysis (exact DP vs IE vs simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.gear.analysis import (
+    gear_error_probability,
+    gear_exhaustive,
+    gear_inclusion_exclusion,
+    gear_monte_carlo,
+    gear_subadder_error_probabilities,
+    gear_success_probability,
+)
+from repro.gear.config import GeArConfig
+from repro.gear.functional import gear_add_array
+
+
+def _exhaustive_weighted(config, p_a, p_b):
+    """Brute-force weighted error probability over all operand pairs."""
+    n = config.n
+    values = np.arange(1 << n, dtype=np.int64)
+    a, b = np.meshgrid(values, values, indexing="ij")
+    a, b = a.ravel(), b.ravel()
+    wrong = gear_add_array(config, a, b) != (a + b)
+    weights = np.ones(a.size)
+    for i in range(n):
+        pa = p_a[i] if isinstance(p_a, list) else p_a
+        pb = p_b[i] if isinstance(p_b, list) else p_b
+        weights *= np.where((a >> i) & 1 == 1, pa, 1 - pa)
+        weights *= np.where((b >> i) & 1 == 1, pb, 1 - pb)
+    return float(weights[wrong].sum())
+
+
+CONFIGS = [
+    GeArConfig(4, 2, 0),
+    GeArConfig(6, 2, 2),
+    GeArConfig(8, 2, 2),
+    GeArConfig(8, 1, 3),   # heavy overlap: P > R
+    GeArConfig(8, 4, 0),
+    GeArConfig(6, 1, 1),
+]
+
+
+class TestExactDP:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+    def test_matches_weighted_enumeration_equiprobable(self, config):
+        ref = _exhaustive_weighted(config, 0.5, 0.5)
+        got = gear_error_probability(config, 0.5, 0.5)
+        assert got == pytest.approx(ref, abs=1e-12)
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+    def test_matches_weighted_enumeration_biased(self, config):
+        p_a = [0.1 + 0.08 * i for i in range(config.n)]
+        p_b = [0.9 - 0.07 * i for i in range(config.n)]
+        ref = _exhaustive_weighted(config, p_a, p_b)
+        got = gear_error_probability(config, p_a, p_b)
+        assert got == pytest.approx(ref, abs=1e-12)
+
+    def test_exact_config_has_zero_error(self):
+        assert gear_error_probability(GeArConfig(8, 8, 0)) == pytest.approx(0.0)
+
+    def test_matches_exhaustive_count(self):
+        cfg = GeArConfig(8, 2, 2)
+        errors, total = gear_exhaustive(cfg)
+        assert errors / total == pytest.approx(
+            gear_error_probability(cfg, 0.5, 0.5), abs=1e-12
+        )
+
+    def test_more_prediction_bits_reduce_error(self):
+        # GeAr(8, 2, P): raising P monotonically lowers the error.
+        errors = [
+            gear_error_probability(GeArConfig(8, 2, p)) for p in (0, 2, 4, 6)
+        ]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[2] > 0.0      # P=4 is still approximate (k=2)
+        assert errors[3] == 0.0     # P=6 makes L=N: a single exact window
+
+    def test_success_complements_error(self):
+        cfg = GeArConfig(6, 2, 2)
+        assert gear_success_probability(cfg, 0.3, 0.7) == pytest.approx(
+            1 - gear_error_probability(cfg, 0.3, 0.7)
+        )
+
+
+class TestSubAdderMarginals:
+    def test_marginal_count(self):
+        cfg = GeArConfig(8, 2, 2)
+        marginals = gear_subadder_error_probabilities(cfg)
+        assert len(marginals) == cfg.num_subadders - 1
+
+    def test_known_value_for_p0_split(self):
+        # GeAr(4,2,0): sub-adder 1 errs iff the true carry into bit 2 is
+        # 1.  For uniform bits that probability is P(carry of 2-bit
+        # add) = (2^2-1)* ... = by direct enumeration 6/16.
+        cfg = GeArConfig(4, 2, 0)
+        (marginal,) = gear_subadder_error_probabilities(cfg)
+        count = sum(
+            1 for a in range(4) for b in range(4) if a + b >= 4
+        )
+        assert marginal == pytest.approx(count / 16)
+
+    def test_union_bound(self):
+        cfg = GeArConfig(8, 1, 3)
+        total = gear_error_probability(cfg)
+        marginals = gear_subadder_error_probabilities(cfg)
+        assert total <= sum(marginals) + 1e-12
+        assert total >= max(marginals) - 1e-12
+
+
+class TestInclusionExclusionBaseline:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+    def test_agrees_with_dp(self, config):
+        report = gear_inclusion_exclusion(config, 0.4, 0.6)
+        dp = gear_error_probability(config, 0.4, 0.6)
+        assert report.p_error == pytest.approx(dp, abs=1e-10)
+
+    def test_term_count(self):
+        cfg = GeArConfig(8, 2, 2)  # k = 3 -> 2 events -> 3 terms
+        report = gear_inclusion_exclusion(cfg)
+        assert report.terms_evaluated == 3
+        assert report.num_subadders == 3
+
+    def test_width_guard(self):
+        cfg = GeArConfig(46, 2, 2)  # k = 22 -> 21 events
+        with pytest.raises(AnalysisError):
+            gear_inclusion_exclusion(cfg)
+
+
+class TestMonteCarlo:
+    def test_converges_to_dp(self):
+        cfg = GeArConfig(8, 2, 2)
+        dp = gear_error_probability(cfg, 0.5, 0.5)
+        mc = gear_monte_carlo(cfg, 0.5, 0.5, samples=400_000, seed=2)
+        assert abs(mc - dp) < 3e-3
+
+    def test_sample_validation(self):
+        with pytest.raises(AnalysisError):
+            gear_monte_carlo(GeArConfig(4, 2, 0), samples=0)
+
+
+class TestScalability:
+    def test_wide_gear_analysis_is_fast_and_sane(self):
+        # 64-bit GeAr: hopeless for enumeration, trivial for the DP.
+        cfg = GeArConfig(64, 4, 4)
+        p = gear_error_probability(cfg)
+        assert 0.0 < p < 1.0
+        # sanity: more sub-adders (same P) err more than fewer.
+        p_fewer = gear_error_probability(GeArConfig(64, 12, 4))
+        assert p > p_fewer

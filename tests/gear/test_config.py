@@ -1,0 +1,79 @@
+"""Unit tests for repro.gear.config."""
+
+import pytest
+
+from repro.core.exceptions import GeArConfigError
+from repro.gear.config import GeArConfig
+
+
+class TestValidation:
+    def test_paper_formula_for_k(self):
+        # k = (N - L)/R + 1 with L = R + P (paper §2.2).
+        assert GeArConfig(8, 2, 2).num_subadders == 3
+        assert GeArConfig(8, 2, 0).num_subadders == 4
+        assert GeArConfig(16, 4, 4).num_subadders == 3
+
+    def test_single_subadder_is_exact(self):
+        cfg = GeArConfig(8, 8, 0)
+        assert cfg.num_subadders == 1
+        assert cfg.is_exact
+
+    def test_non_integral_k_rejected(self):
+        with pytest.raises(GeArConfigError, match="multiple of R"):
+            GeArConfig(8, 3, 1)  # (8-4)/3 not integral
+
+    def test_window_longer_than_n_rejected(self):
+        with pytest.raises(GeArConfigError, match="exceeds"):
+            GeArConfig(4, 3, 2)
+
+    @pytest.mark.parametrize("n,r,p", [(0, 1, 0), (4, 0, 0), (4, 1, -1)])
+    def test_bad_parameters_rejected(self, n, r, p):
+        with pytest.raises(GeArConfigError):
+            GeArConfig(n, r, p)
+
+
+class TestWindows:
+    def test_subadder_layout(self):
+        cfg = GeArConfig(8, 2, 2)
+        subs = cfg.subadders()
+        assert [(s.low, s.high, s.result_low) for s in subs] == [
+            (0, 3, 0), (2, 5, 4), (4, 7, 6),
+        ]
+        assert all(s.width == cfg.l for s in subs)
+
+    def test_result_sections_tile_the_word(self):
+        for cfg in (GeArConfig(8, 2, 2), GeArConfig(12, 3, 3), GeArConfig(8, 1, 3)):
+            covered = []
+            for s in cfg.subadders():
+                covered.extend(range(s.result_low, s.high + 1))
+            assert sorted(covered) == list(range(cfg.n))
+
+    def test_prediction_bits_empty_for_subadder0(self):
+        cfg = GeArConfig(8, 2, 2)
+        subs = cfg.subadders()
+        low, high = subs[0].prediction_bits
+        assert low == high  # empty range
+        assert subs[1].prediction_bits == (2, 4)
+
+    def test_error_checkpoints(self):
+        cfg = GeArConfig(8, 2, 2)
+        assert cfg.error_checkpoints() == [4, 6]
+        assert GeArConfig(8, 8, 0).error_checkpoints() == []
+
+    def test_checkpoints_below_n(self):
+        for cfg in GeArConfig.valid_configs(10):
+            assert all(cp < cfg.n for cp in cfg.error_checkpoints())
+
+
+class TestEnumeration:
+    def test_valid_configs_are_valid(self):
+        configs = GeArConfig.valid_configs(8)
+        assert configs  # non-empty
+        assert all(c.n == 8 for c in configs)
+        assert GeArConfig(8, 2, 2) in configs
+        # the exact adder is always among them
+        assert GeArConfig(8, 8, 0) in configs
+
+    def test_describe_mentions_parameters(self):
+        text = GeArConfig(8, 2, 2).describe()
+        assert "N=8" in text and "R=2" in text and "P=2" in text and "k=3" in text

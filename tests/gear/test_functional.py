@@ -1,0 +1,90 @@
+"""Unit tests for repro.gear.functional."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import GeArConfigError
+from repro.gear.config import GeArConfig
+from repro.gear.functional import gear_add, gear_add_array, gear_error_positions
+
+
+class TestGearAdd:
+    def test_exact_configuration_is_plain_addition(self):
+        cfg = GeArConfig(6, 6, 0)
+        for a in range(64):
+            for b in range(0, 64, 7):
+                assert gear_add(cfg, a, b) == a + b
+
+    def test_error_requires_carry_across_split(self):
+        cfg = GeArConfig(4, 2, 0)  # split at bit 2, no prediction
+        # 0b0011 + 0b0001 carries from bit 1 into bit 2: sub-adder 1
+        # misses it.
+        assert gear_add(cfg, 0b0011, 0b0001) != 0b0100
+        # Without a crossing carry the result is exact.
+        assert gear_add(cfg, 0b0101, 0b0010) == 0b0111
+
+    def test_prediction_bits_recover_short_carries(self):
+        # With P=2 the sub-adder sees two bits below its result section;
+        # a carry generated inside that window is correctly predicted.
+        cfg = GeArConfig(8, 2, 2)
+        a, b = 0b00001100, 0b00000100  # carry generated at bit 2->3->4
+        assert gear_add(cfg, a, b) == a + b
+
+    def test_long_propagation_still_fails(self):
+        # A carry generated below the prediction window that must ripple
+        # through ALL P prediction bits is lost.
+        cfg = GeArConfig(8, 2, 2)
+        a, b = 0b00001111, 0b00000001  # generate at bit 0, propagate up
+        assert gear_add(cfg, a, b) != a + b
+
+    def test_final_carry_out_present(self):
+        cfg = GeArConfig(4, 4, 0)
+        assert gear_add(cfg, 0b1111, 0b0001) == 0b10000
+
+    def test_operand_validation(self):
+        cfg = GeArConfig(4, 2, 0)
+        with pytest.raises(GeArConfigError):
+            gear_add(cfg, 16, 0)
+        with pytest.raises(GeArConfigError):
+            gear_add(cfg, 0, -1)
+
+
+class TestGearAddArray:
+    def test_matches_scalar_exhaustively(self):
+        cfg = GeArConfig(6, 2, 2)
+        values = np.arange(64, dtype=np.int64)
+        a, b = np.meshgrid(values, values, indexing="ij")
+        a, b = a.ravel(), b.ravel()
+        got = gear_add_array(cfg, a, b)
+        for j in range(0, a.size, 17):
+            assert got[j] == gear_add(cfg, int(a[j]), int(b[j]))
+
+    def test_shape_validation(self):
+        cfg = GeArConfig(4, 2, 0)
+        with pytest.raises(GeArConfigError):
+            gear_add_array(cfg, np.array([1, 2]), np.array([1]))
+        with pytest.raises(GeArConfigError):
+            gear_add_array(cfg, np.array([16]), np.array([0]))
+
+
+class TestErrorPositions:
+    def test_correct_addition_has_no_wrong_blocks(self):
+        cfg = GeArConfig(8, 2, 2)
+        assert gear_error_positions(cfg, 0b00000001, 0b00000010) == []
+
+    def test_failing_block_is_identified(self):
+        cfg = GeArConfig(4, 2, 0)
+        wrong = gear_error_positions(cfg, 0b0011, 0b0001)
+        assert wrong == [1]
+
+    def test_all_positions_within_range(self):
+        cfg = GeArConfig(8, 2, 2)
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            a, b = int(rng.integers(256)), int(rng.integers(256))
+            wrong = gear_error_positions(cfg, a, b)
+            assert all(0 <= i < cfg.num_subadders for i in wrong)
+            if gear_add(cfg, a, b) == a + b:
+                assert wrong == []
+            else:
+                assert wrong

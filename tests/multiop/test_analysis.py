@@ -1,0 +1,115 @@
+"""Tests for carry-save statistical analysis."""
+
+import itertools
+
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.multiop.analysis import (
+    csa_layer_success_probability,
+    csa_tree_success_product,
+    multi_operand_error_exact,
+    multi_operand_error_probability_mc,
+)
+from repro.multiop.compressor import csa_compress
+
+
+def _layer_success_enumeration(cell, p, width):
+    """Brute-force P(one 3:2 row fully accurate) at uniform bit prob p."""
+    ok_mass = 0.0
+    for x, y, z in itertools.product(range(1 << width), repeat=3):
+        s, c = csa_compress(cell, x, y, z, width)
+        s_ref, c_ref = csa_compress("accurate", x, y, z, width)
+        if (s, c) == (s_ref, c_ref):
+            bits = sum(
+                bin(v).count("1") for v in (x, y, z)
+            )
+            ok_mass += (p ** bits) * ((1 - p) ** (3 * width - bits))
+    return ok_mass
+
+
+class TestLayerSuccess:
+    def test_matches_enumeration(self, lpaa_cell):
+        for p in (0.2, 0.5, 0.8):
+            got = csa_layer_success_probability(lpaa_cell, p, p, p, 3)
+            ref = _layer_success_enumeration(lpaa_cell, p, 3)
+            assert got == pytest.approx(ref, abs=1e-12)
+
+    def test_accurate_cell_always_succeeds(self):
+        assert csa_layer_success_probability(
+            "accurate", 0.3, 0.9, 0.5, 8
+        ) == pytest.approx(1.0)
+
+    def test_per_column_probabilities(self):
+        # Deterministic columns: only column 1 can err for LPAA 1 at
+        # input pattern (0,1,0) (its error row).
+        got = csa_layer_success_probability(
+            "LPAA 1", [0, 0], [0, 1], [0, 0], 2
+        )
+        assert got == pytest.approx(0.0)  # column 1 hits error row 010
+
+    def test_product_structure(self, lpaa_cell):
+        single = csa_layer_success_probability(lpaa_cell, 0.4, 0.4, 0.4, 1)
+        triple = csa_layer_success_probability(lpaa_cell, 0.4, 0.4, 0.4, 3)
+        assert triple == pytest.approx(single ** 3)
+
+
+class TestTreeProduct:
+    def test_single_level_is_exact(self, lpaa_cell):
+        p_rows = [[0.3] * 3, [0.6] * 3, [0.5] * 3]
+        product = csa_tree_success_product(lpaa_cell, p_rows, 3)
+        exact = csa_layer_success_probability(lpaa_cell, 0.3, 0.6, 0.5, 3)
+        assert product == pytest.approx(exact, abs=1e-12)
+
+    def test_two_operands_no_compression(self):
+        assert csa_tree_success_product("LPAA 1", [[0.5] * 4, [0.5] * 4], 4) \
+            == pytest.approx(1.0)
+
+    def test_close_to_monte_carlo_for_deeper_tree(self):
+        # Product estimate of all-cells-accurate vs MC word-level error:
+        # 1 - product should upper-bound ... approximately track the MC
+        # tree error with an accurate final adder.
+        p_rows = [[0.3] * 4] * 5
+        product = csa_tree_success_product("LPAA 6", p_rows, 4)
+        mc_error = multi_operand_error_probability_mc(
+            p_rows, 4, compress_cell="LPAA 6", samples=200_000, seed=1
+        )
+        assert abs((1.0 - product) - mc_error) < 0.08
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            csa_tree_success_product("LPAA 1", [], 4)
+
+
+class TestOracles:
+    def test_mc_matches_exact_enumeration(self):
+        p_rows = [[0.3, 0.7], [0.5, 0.5], [0.9, 0.1]]
+        exact = multi_operand_error_exact(
+            p_rows, 2, compress_cell="LPAA 6", final_adder="LPAA 1"
+        )
+        mc = multi_operand_error_probability_mc(
+            p_rows, 2, compress_cell="LPAA 6", final_adder="LPAA 1",
+            samples=300_000, seed=5,
+        )
+        assert abs(exact - mc) < 5e-3
+
+    def test_exact_accurate_configuration_is_zero(self):
+        assert multi_operand_error_exact([[0.5] * 2] * 3, 2) == 0.0
+
+    def test_exact_guard(self):
+        with pytest.raises(AnalysisError, match="cases"):
+            multi_operand_error_exact([[0.5] * 8] * 4, 8)
+
+    def test_mc_seed_reproducible(self):
+        p_rows = [[0.5] * 3] * 3
+        a = multi_operand_error_probability_mc(
+            p_rows, 3, compress_cell="LPAA 5", samples=10_000, seed=2
+        )
+        b = multi_operand_error_probability_mc(
+            p_rows, 3, compress_cell="LPAA 5", samples=10_000, seed=2
+        )
+        assert a == b
+
+    def test_mc_sample_validation(self):
+        with pytest.raises(AnalysisError):
+            multi_operand_error_probability_mc([[0.5]], 1, samples=0)

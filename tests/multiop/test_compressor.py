@@ -1,0 +1,123 @@
+"""Unit tests for carry-save compression structures."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ChainLengthError
+from repro.multiop.compressor import (
+    csa_compress,
+    csa_compress_array,
+    multi_operand_add,
+    multi_operand_add_array,
+    wallace_reduce,
+)
+
+
+class TestCsaCompress:
+    def test_accurate_invariant_sum_plus_carry(self):
+        # The defining CSA property: s + c == x + y + z, all columns.
+        for x, y, z in itertools.product(range(8), repeat=3):
+            s, c = csa_compress("accurate", x, y, z, 3)
+            assert s + c == x + y + z
+
+    def test_carry_word_is_shifted(self):
+        s, c = csa_compress("accurate", 0b111, 0b111, 0b000, 3)
+        assert s == 0b000 and c == 0b1110  # carries at weights 1..3
+
+    def test_approximate_cell_deviates(self):
+        deviations = sum(
+            1
+            for x, y, z in itertools.product(range(4), repeat=3)
+            if sum(csa_compress("LPAA 5", x, y, z, 2)) != x + y + z
+        )
+        assert deviations > 0
+
+    def test_single_column_matches_cell(self, lpaa_cell):
+        for idx in range(8):
+            x, y, z = (idx >> 2) & 1, (idx >> 1) & 1, idx & 1
+            s, c = csa_compress(lpaa_cell, x, y, z, 1)
+            expected_s, expected_c = lpaa_cell.rows[idx]
+            assert (s, c >> 1) == (expected_s, expected_c)
+
+    def test_validation(self):
+        with pytest.raises(ChainLengthError):
+            csa_compress("accurate", 8, 0, 0, 3)
+        with pytest.raises(ChainLengthError):
+            csa_compress("accurate", 0, 0, 0, 0)
+
+    def test_array_matches_scalar(self, rng):
+        x = rng.integers(0, 16, 100)
+        y = rng.integers(0, 16, 100)
+        z = rng.integers(0, 16, 100)
+        s_arr, c_arr = csa_compress_array("LPAA 6", x, y, z, 4)
+        for j in range(100):
+            s, c = csa_compress("LPAA 6", int(x[j]), int(y[j]), int(z[j]), 4)
+            assert (s_arr[j], c_arr[j]) == (s, c)
+
+
+class TestWallaceReduce:
+    def test_accurate_reduction_preserves_total(self):
+        operands = [13, 7, 9, 2, 15, 1, 8]
+        words, trace = wallace_reduce("accurate", operands, 4)
+        assert len(words) <= 2
+        assert sum(words) == sum(operands)
+        assert trace.levels >= 2
+        assert trace.compressions >= 3
+
+    def test_two_operands_need_no_reduction(self):
+        words, trace = wallace_reduce("accurate", [5, 9], 4)
+        assert words == [5, 9]
+        assert trace.levels == 0 and trace.compressions == 0
+
+    def test_final_width_grows_per_level(self):
+        _, trace = wallace_reduce("accurate", [1] * 9, 4)
+        assert trace.final_width == 4 + trace.levels
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(ChainLengthError):
+            wallace_reduce("accurate", [], 4)
+
+
+class TestMultiOperandAdd:
+    def test_accurate_tree_is_exact(self, rng):
+        for _ in range(50):
+            operands = [int(v) for v in rng.integers(0, 256, 6)]
+            assert multi_operand_add(operands, 8) == sum(operands)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 6, 7, 9])
+    def test_operand_count_edge_cases(self, count):
+        operands = list(range(1, count + 1))
+        assert multi_operand_add(operands, 4) == sum(operands)
+
+    def test_approximate_compress_cell_errs_sometimes(self):
+        errors = sum(
+            1
+            for a in range(8)
+            for b in range(8)
+            if multi_operand_add([a, b, 5], 3, compress_cell="LPAA 1")
+            != a + b + 5
+        )
+        assert errors > 0
+
+    def test_approximate_final_adder_errs_sometimes(self):
+        errors = sum(
+            1
+            for a in range(8)
+            for b in range(8)
+            if multi_operand_add([a, b, 5], 3, final_adder="LPAA 2")
+            != a + b + 5
+        )
+        assert errors > 0
+
+    def test_array_matches_scalar(self, rng):
+        operands = [rng.integers(0, 16, 40) for _ in range(5)]
+        got = multi_operand_add_array(operands, 4, compress_cell="LPAA 6",
+                                      final_adder="LPAA 1")
+        for j in range(40):
+            scalar = multi_operand_add(
+                [int(op[j]) for op in operands], 4,
+                compress_cell="LPAA 6", final_adder="LPAA 1",
+            )
+            assert got[j] == scalar

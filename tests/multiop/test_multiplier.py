@@ -1,0 +1,90 @@
+"""Tests for approximate array multipliers."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError, ChainLengthError
+from repro.multiop.multiplier import (
+    approx_multiply,
+    exhaustive_multiplier_check,
+    multiplier_error_metrics,
+    multiplier_final_width,
+    partial_products,
+)
+
+
+class TestPartialProducts:
+    def test_sum_of_rows_is_product(self):
+        for a in range(16):
+            for b in range(16):
+                assert sum(partial_products(a, b, 4)) == a * b
+
+    def test_row_structure(self):
+        rows = partial_products(0b101, 0b011, 3)
+        assert rows == [0b101, 0b1010, 0]
+
+    def test_range_validation(self):
+        with pytest.raises(ChainLengthError):
+            partial_products(8, 0, 3)
+
+
+class TestApproxMultiply:
+    def test_accurate_configuration_is_exact(self):
+        errors, total = exhaustive_multiplier_check(4)
+        assert errors == 0 and total == 256
+
+    def test_approximate_compressors_err(self):
+        errors, total = exhaustive_multiplier_check(
+            4, compress_cell="LPAA 5"
+        )
+        assert 0 < errors < total
+
+    def test_truncation_errs_only_in_low_bits(self):
+        k = 2
+        for a in range(8):
+            for b in range(8):
+                approx = approx_multiply(a, b, 3, truncate_bits=k)
+                exact = a * b
+                assert abs(approx - exact) < 3 * (1 << k)
+                assert approx % (1 << k) == 0
+
+    def test_truncation_validation(self):
+        with pytest.raises(AnalysisError):
+            approx_multiply(1, 1, 3, truncate_bits=7)
+
+    def test_final_width_helper(self):
+        assert multiplier_final_width(4) >= 8
+        assert multiplier_final_width(4, truncate_bits=2) == \
+            multiplier_final_width(4) - 2
+
+
+class TestMetrics:
+    def test_accurate_metrics_are_zero(self):
+        er, med, wce = multiplier_error_metrics(4, samples=2_000, seed=0)
+        assert er == 0.0 and med == 0.0 and wce == 0
+
+    def test_mc_matches_exhaustive_rate(self):
+        errors, total = exhaustive_multiplier_check(
+            3, compress_cell="LPAA 6"
+        )
+        er, _, _ = multiplier_error_metrics(
+            3, compress_cell="LPAA 6", samples=30_000, seed=1
+        )
+        assert er == pytest.approx(errors / total, abs=0.02)
+
+    def test_deeper_truncation_grows_error_magnitude(self):
+        meds = [
+            multiplier_error_metrics(4, truncate_bits=k,
+                                     samples=5_000, seed=2)[1]
+            for k in (0, 2, 4)
+        ]
+        assert meds[0] == 0.0
+        assert meds[1] < meds[2]
+
+    def test_exhaustive_guard(self):
+        with pytest.raises(AnalysisError):
+            exhaustive_multiplier_check(8)
+
+    def test_sample_validation(self):
+        with pytest.raises(AnalysisError):
+            multiplier_error_metrics(4, samples=0)

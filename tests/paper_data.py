@@ -1,0 +1,62 @@
+"""Golden constants copied verbatim from the paper's tables.
+
+Keeping them in one module (rather than scattered through tests) makes
+the provenance obvious: every number below appears printed in the DAC'17
+paper and is used to pin the reproduction.
+"""
+
+from __future__ import annotations
+
+# --- Table 4: 4-bit LPAA 1 worked example ---------------------------------
+TABLE4_P_A = [0.9, 0.5, 0.4, 0.8]
+TABLE4_P_B = [0.8, 0.7, 0.6, 0.9]
+TABLE4_P_CIN = 0.5
+#: Stage-indexed (P(~C_next & Succ), P(C_next & Succ)) for stages 0..2.
+TABLE4_CARRY_ROWS = [
+    (0.02, 0.85),
+    (0.1305, 0.7295),
+    (0.2064, 0.58574),
+]
+TABLE4_P_SUCC = 0.738476
+
+# --- Table 7: analytical P(E), p = 0.1, all LPAAs, N = 2..12 ---------------
+#: {width: [LPAA1 .. LPAA7]} -- the "Analyt." columns.
+TABLE7_ANALYTICAL = {
+    2: [0.30780, 0.9271, 0.95707, 0.31851, 0.27000, 0.1143, 0.01980],
+    4: [0.53090, 0.99468, 0.99763, 0.54033, 0.40950, 0.13533, 0.02333],
+    6: [0.68240, 0.99961, 0.99986, 0.68999, 0.52170, 0.15266, 0.02685],
+    8: [0.78498, 0.99997, 0.99999, 0.79092, 0.61258, 0.16953, 0.03035],
+    10: [0.85443, 0.99999, 0.99999, 0.85899, 0.68618, 0.18605, 0.03385],
+    12: [0.90145, 0.99999, 0.99999, 0.90490, 0.74581, 0.20225, 0.03733],
+}
+TABLE7_P = 0.1
+
+# --- Table 2: published cell characteristics -------------------------------
+#: (error cases, power nW, area GE) for LPAA 1..5 from Gupta et al. [7].
+TABLE2_ROWS = {
+    "LPAA 1": (2, 771.0, 4.23),
+    "LPAA 2": (2, 294.0, 1.94),
+    "LPAA 3": (3, 198.0, 1.59),
+    "LPAA 4": (3, 416.0, 1.76),
+    "LPAA 5": (4, 0.0, 0.0),
+}
+
+# --- Table 3: inclusion-exclusion cost rows the paper prints exactly -------
+#: {stages: (terms, multiplications, additions, memory units)} -- only the
+#: rows the paper prints as exact integers (it switches to rounded
+#: scientific notation from k=20, and the k=16 multiplications entry is a
+#: typo in the paper; see tests/baselines/test_operation_counter.py).
+TABLE3_EXACT_ROWS = {
+    4: (15, 28, 14, 31),
+    8: (255, 1016, 254, 511),
+    12: (4095, 24564, 4094, 8191),
+}
+
+# --- Table 8: resource utilisation of the proposed method ------------------
+TABLE8_EQUAL = {"multipliers": 32, "adders": 21, "memory_units": 3}
+TABLE8_VARYING = {"multipliers": 48, "adders": 21}
+
+
+def table8_varying_memory(width: int) -> int:
+    """Table 8's "No. of bits + 1" memory-unit entry."""
+    return width + 1

@@ -1,0 +1,64 @@
+"""Unit tests for repro.simulation.cost_model (Fig. 1 substrate)."""
+
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.simulation.cost_model import (
+    analytical_operation_count,
+    exhaustive_case_count,
+    exhaustive_operation_count,
+    measure_analytical_time,
+    measure_exhaustive_time,
+)
+
+
+class TestClosedForms:
+    def test_case_count_formula(self):
+        assert exhaustive_case_count(1) == 8
+        assert exhaustive_case_count(4) == 2 ** 9
+        assert exhaustive_case_count(16) == 2 ** 33
+
+    def test_case_count_matches_paper_text(self):
+        # "2^2N . 2 cases in total for N-bit un-symmetrical adders"
+        for n in (2, 6, 10):
+            assert exhaustive_case_count(n) == (2 ** (2 * n)) * 2
+
+    def test_operation_count_dominates_case_count(self):
+        for n in (2, 8, 12):
+            assert exhaustive_operation_count(n) > exhaustive_case_count(n)
+
+    def test_exponential_growth(self):
+        # Doubling-like growth: each +1 bit multiplies cases by 4.
+        assert exhaustive_case_count(9) == 4 * exhaustive_case_count(8)
+
+    def test_analytical_count_is_linear(self):
+        assert analytical_operation_count(10) == 2 * analytical_operation_count(5)
+        assert analytical_operation_count(8, per_bit_probabilities=False) == 8 * 32
+        assert analytical_operation_count(8, per_bit_probabilities=True) == 8 * 48
+
+    def test_width_validation(self):
+        with pytest.raises(AnalysisError):
+            exhaustive_case_count(0)
+
+
+class TestMeasurement:
+    def test_exhaustive_timing_points(self):
+        points = measure_exhaustive_time("LPAA 1", widths=[2, 4])
+        assert [p.width for p in points] == [2, 4]
+        assert all(p.seconds > 0 for p in points)
+        assert points[0].cases == exhaustive_case_count(2)
+
+    def test_exhaustive_refuses_huge_width(self):
+        with pytest.raises(AnalysisError):
+            measure_exhaustive_time("LPAA 1", widths=[20])
+
+    def test_analytical_time_is_submillisecond(self):
+        # The paper's "<1 ms for any length" claim, checked at 64 bits.
+        points = measure_analytical_time("LPAA 1", widths=[8, 64])
+        assert all(p.seconds < 1e-3 for p in points)
+
+    def test_analytical_scaling_is_tame(self):
+        # 64 bits should cost nowhere near 8x of 8 bits wall-clock-wise
+        # being generous about timer noise: assert < 100x.
+        points = measure_analytical_time("LPAA 1", widths=[8, 64], repeats=5)
+        assert points[1].seconds < 100 * max(points[0].seconds, 1e-7)

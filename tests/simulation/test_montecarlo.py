@@ -1,0 +1,84 @@
+"""Unit tests for repro.simulation.montecarlo."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.core.recursive import error_probability
+from repro.simulation.montecarlo import (
+    MonteCarloResult,
+    simulate_error_probability,
+    simulate_samples,
+)
+
+
+class TestSimulateErrorProbability:
+    def test_three_decimal_agreement_at_1m_samples(self):
+        # The paper's Table 6 claim, at the Table 7 operating point.
+        analytical = float(error_probability("LPAA 6", 8, 0.1, 0.1, 0.1))
+        result = simulate_error_probability(
+            "LPAA 6", 8, 0.1, 0.1, 0.1, samples=1_000_000, seed=7
+        )
+        assert abs(result.p_error - analytical) < 1.5e-3
+
+    def test_seed_reproducibility(self):
+        a = simulate_error_probability("LPAA 1", 4, 0.3, 0.3, 0.3,
+                                       samples=10_000, seed=42)
+        b = simulate_error_probability("LPAA 1", 4, 0.3, 0.3, 0.3,
+                                       samples=10_000, seed=42)
+        assert a.p_error == b.p_error
+        assert a.errors == b.errors
+
+    def test_result_bookkeeping(self):
+        result = simulate_error_probability("LPAA 2", 3, samples=5_000, seed=1)
+        assert isinstance(result, MonteCarloResult)
+        assert result.samples == 5_000
+        assert result.p_error == pytest.approx(result.errors / 5_000)
+        assert result.p_success == pytest.approx(1 - result.p_error)
+        assert 0 < result.half_width() < 0.05
+
+    def test_estimate_within_confidence_interval(self, lpaa_cell):
+        analytical = float(error_probability(lpaa_cell, 5, 0.4, 0.4, 0.4))
+        result = simulate_error_probability(
+            lpaa_cell, 5, 0.4, 0.4, 0.4, samples=200_000, seed=123
+        )
+        # 4-sigma band: overwhelmingly unlikely to fail by chance.
+        assert abs(result.p_error - analytical) < result.half_width(z=4.0) + 1e-9
+
+    def test_deterministic_inputs(self):
+        # p in {0,1} pins the operands; the estimate must be exactly 0/1.
+        result = simulate_error_probability(
+            "LPAA 1", 2, p_a=[1, 1], p_b=[1, 1], p_cin=1,
+            samples=1_000, seed=3,
+        )
+        assert result.p_error in (0.0, 1.0)
+
+
+class TestSimulateSamples:
+    def test_shapes_and_ranges(self):
+        approx, exact = simulate_samples("LPAA 4", 4, samples=1_000, seed=0)
+        assert approx.shape == exact.shape == (1_000,)
+        assert approx.min() >= 0 and approx.max() < 1 << 5
+        assert exact.max() <= 15 + 15 + 1
+
+    def test_batching_preserves_stream(self):
+        big = simulate_samples("LPAA 3", 3, samples=3_000, seed=9,
+                               batch_size=1_000)
+        small = simulate_samples("LPAA 3", 3, samples=3_000, seed=9,
+                                 batch_size=3_000)
+        # Different batching slices the identical RNG stream differently,
+        # so only distributional agreement is required.
+        assert np.mean(big[0] != big[1]) == pytest.approx(
+            np.mean(small[0] != small[1]), abs=0.05
+        )
+
+    def test_operand_bias_respected(self):
+        approx, exact = simulate_samples(
+            "accurate", 8, p_a=0.9, p_b=0.1, samples=50_000, seed=11
+        )
+        # E[a] ~ 0.9 * 255, E[b] ~ 0.1 * 255; exact = a + b + cin.
+        assert exact.mean() == pytest.approx(0.9 * 255 + 0.1 * 255 + 0.5, rel=0.02)
+
+    def test_sample_count_validation(self):
+        with pytest.raises(AnalysisError):
+            simulate_samples("LPAA 1", 2, samples=0)

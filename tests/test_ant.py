@@ -1,0 +1,106 @@
+"""Tests for the Algorithmic Noise Tolerance substrate."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ant import AntAdder, ant_quality_experiment
+from repro.core.exceptions import AnalysisError, ChainLengthError
+
+
+class TestConstruction:
+    def test_default_threshold(self):
+        adder = AntAdder(8, "LPAA 2", truncation_bits=3)
+        assert adder.threshold == 1 << 4
+        assert adder.truncation_bits == 3
+        assert adder.width == 8
+
+    def test_bounds(self):
+        adder = AntAdder(8, "LPAA 2", truncation_bits=3)
+        assert adder.replica_error_bound() == 2 * 7 + 1
+        assert adder.worst_case_error_bound() == 16 + 15
+
+    def test_validation(self):
+        with pytest.raises(ChainLengthError):
+            AntAdder(0, "LPAA 1", 0)
+        with pytest.raises(AnalysisError):
+            AntAdder(4, "LPAA 1", 5)
+        with pytest.raises(AnalysisError):
+            AntAdder(4, "LPAA 1", 2, threshold=-1)
+
+
+class TestFunctional:
+    def test_accurate_main_never_uses_replica(self):
+        adder = AntAdder(6, "accurate", truncation_bits=2)
+        for a in range(0, 64, 5):
+            for b in range(0, 64, 7):
+                result = adder.add(a, b)
+                assert not result.used_replica
+                assert result.value == a + b
+
+    def test_replica_is_truncated_exact_sum(self):
+        adder = AntAdder(6, "LPAA 2", truncation_bits=2)
+        result = adder.add(0b101111, 0b001101)
+        expected = ((0b101111 >> 2) + (0b001101 >> 2)) << 2
+        assert result.replica_value == expected
+
+    def test_worst_case_bound_holds_exhaustively(self):
+        # The defining ANT property: no input can err beyond the bound,
+        # even though the raw main adder (full-width LPAA 2) can.
+        adder = AntAdder(6, "LPAA 2", truncation_bits=2)
+        bound = adder.worst_case_error_bound()
+        raw_worst = 0
+        ant_worst = 0
+        for a, b in itertools.product(range(64), repeat=2):
+            result = adder.add(a, b)
+            ant_worst = max(ant_worst, abs(result.value - (a + b)))
+            raw_worst = max(raw_worst, abs(result.main_value - (a + b)))
+        assert ant_worst <= bound
+        assert raw_worst > bound  # the protection is doing real work
+
+    def test_array_matches_scalar(self, rng):
+        adder = AntAdder(8, "LPAA 6", truncation_bits=3)
+        a = rng.integers(0, 256, 200)
+        b = rng.integers(0, 256, 200)
+        values, used = adder.add_array(a, b)
+        for j in range(200):
+            result = adder.add(int(a[j]), int(b[j]))
+            assert values[j] == result.value
+            assert used[j] == result.used_replica
+
+
+class TestQualityExperiment:
+    def test_ant_improves_worst_case_and_mse(self):
+        main, ant, usage = ant_quality_experiment(
+            8, "LPAA 2", truncation_bits=3, samples=100_000, seed=0
+        )
+        assert ant.wce < main.wce
+        assert ant.mse < main.mse
+        assert 0.0 < usage < 1.0
+
+    def test_zero_truncation_replica_is_exact(self):
+        # k = 0: the replica IS the exact adder, so with threshold 0 the
+        # ANT output can only deviate when main == exact... i.e. never.
+        main, ant, usage = ant_quality_experiment(
+            6, "LPAA 5", truncation_bits=0, samples=20_000, seed=1,
+            threshold=0,
+        )
+        assert ant.error_rate == 0.0
+        assert ant.wce == 0
+        assert main.error_rate > 0.0
+
+    def test_usage_rate_increases_with_worse_main(self):
+        _, _, usage_good = ant_quality_experiment(
+            8, "LPAA 7", truncation_bits=3, p=0.1, samples=50_000, seed=2
+        )
+        _, _, usage_bad = ant_quality_experiment(
+            8, "LPAA 2", truncation_bits=3, p=0.1, samples=50_000, seed=2
+        )
+        assert usage_bad > usage_good
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ant_quality_experiment(8, "LPAA 1", 2, samples=0)
+        with pytest.raises(AnalysisError):
+            ant_quality_experiment(8, "LPAA 1", 2, p=1.5)

@@ -1,0 +1,163 @@
+"""Tests for the accelerator-datapath layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.datapath import (
+    Datapath,
+    datapath_cost,
+    datapath_error_metrics,
+    node_sensitivity,
+)
+
+
+def _adder_tree(cell="accurate"):
+    """(a + b) + (c + d) with configurable adders."""
+    dp = Datapath("tree")
+    for name in "abcd":
+        dp.add_input(name, 8)
+    dp.add_add("s0", "a", "b", cell=cell)
+    dp.add_add("s1", "c", "d", cell=cell)
+    dp.add_add("total", "s0", "s1", cell=cell)
+    dp.mark_output("total")
+    return dp
+
+
+def _mac(cell="accurate"):
+    """a*b + c*d (two exact products, one approximate accumulate)."""
+    dp = Datapath("mac")
+    for name in "abcd":
+        dp.add_input(name, 4)
+    dp.add_mul("p0", "a", "b")
+    dp.add_mul("p1", "c", "d")
+    dp.add_add("acc", "p0", "p1", cell=cell)
+    dp.mark_output("acc")
+    return dp
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        dp = Datapath()
+        dp.add_input("a", 4)
+        with pytest.raises(AnalysisError, match="already defined"):
+            dp.add_input("a", 4)
+
+    def test_unknown_operand_rejected(self):
+        dp = Datapath()
+        dp.add_input("a", 4)
+        with pytest.raises(AnalysisError, match="unknown node"):
+            dp.add_add("s", "a", "ghost")
+
+    def test_widths_grow_correctly(self):
+        dp = Datapath()
+        dp.add_input("a", 4)
+        dp.add_input("b", 6)
+        dp.add_add("s", "a", "b")
+        dp.add_mul("m", "a", "b")
+        dp.add_shl("sh", "a", 3)
+        assert dp._width_of("s") == 7    # max(4,6)+1
+        assert dp._width_of("m") == 10
+        assert dp._width_of("sh") == 7
+
+    def test_output_bookkeeping(self):
+        dp = _adder_tree()
+        assert dp.outputs == ["total"]
+        with pytest.raises(AnalysisError, match="twice"):
+            dp.mark_output("total")
+
+
+class TestEvaluation:
+    def test_exact_tree_is_plain_arithmetic(self, rng):
+        dp = _adder_tree()
+        for _ in range(50):
+            vals = {k: int(rng.integers(0, 256)) for k in "abcd"}
+            out = dp.evaluate(vals)
+            assert out["total"] == sum(vals.values())
+
+    def test_exact_mac(self, rng):
+        dp = _mac()
+        for _ in range(50):
+            vals = {k: int(rng.integers(0, 16)) for k in "abcd"}
+            out = dp.evaluate(vals)
+            assert out["acc"] == vals["a"] * vals["b"] + vals["c"] * vals["d"]
+
+    def test_approximate_tree_errs(self):
+        dp = _adder_tree(cell="LPAA 2")
+        wrong = 0
+        for a in range(0, 256, 17):
+            for b in range(0, 256, 19):
+                out = dp.evaluate({"a": a, "b": b, "c": 5, "d": 9})
+                if out["total"] != a + b + 14:
+                    wrong += 1
+        assert wrong > 0
+
+    def test_hybrid_adder_node(self):
+        dp = Datapath()
+        dp.add_input("a", 4)
+        dp.add_input("b", 4)
+        dp.add_add("s", "a", "b", cell=["LPAA 5", "LPAA 5",
+                                        "accurate", "accurate"])
+        dp.mark_output("s")
+        # errors confined to the two approximate LSBs (no masking of the
+        # divergence above bit 1 since upper cells are accurate)
+        for a in range(16):
+            for b in range(16):
+                delta = dp.evaluate({"a": a, "b": b})["s"] - (a + b)
+                assert abs(delta) < 8
+
+    def test_missing_stimulus(self):
+        dp = _adder_tree()
+        with pytest.raises(AnalysisError, match="missing stimulus"):
+            dp.evaluate({"a": 1, "b": 2, "c": 3})
+
+    def test_stimulus_range_checked(self):
+        dp = _adder_tree()
+        with pytest.raises(AnalysisError, match="fit"):
+            dp.evaluate({"a": 256, "b": 0, "c": 0, "d": 0})
+
+    def test_no_outputs_rejected(self):
+        dp = Datapath()
+        dp.add_input("a", 4)
+        with pytest.raises(AnalysisError, match="no outputs"):
+            dp.evaluate({"a": 1})
+
+
+class TestAnalysis:
+    def test_exact_graph_has_zero_error(self):
+        metrics = datapath_error_metrics(_adder_tree(), samples=5_000, seed=0)
+        assert metrics.error_rate == 0.0
+
+    def test_approximate_graph_metrics(self):
+        metrics = datapath_error_metrics(
+            _adder_tree("LPAA 6"), samples=20_000, seed=1
+        )
+        assert 0.0 < metrics.error_rate < 1.0
+        assert metrics.med > 0.0
+
+    def test_sensitivity_identifies_every_adder(self):
+        dp = _adder_tree("LPAA 2")
+        sens = node_sensitivity(dp, samples=10_000, seed=2)
+        assert set(sens) == {"s0", "s1", "total"}
+        assert all(0.0 < v < 1.0 for v in sens.values())
+
+    def test_final_adder_dominates_in_mac(self):
+        # the accumulate adder is the only approximate node: its lone
+        # sensitivity equals the whole graph's error rate.
+        dp = _mac("LPAA 6")
+        sens = node_sensitivity(dp, samples=20_000, seed=3)
+        metrics = datapath_error_metrics(dp, samples=20_000, seed=3)
+        assert sens["acc"] == pytest.approx(metrics.error_rate, abs=1e-12)
+
+    def test_cost_aggregation(self):
+        from repro.circuits.power import PowerModel
+
+        model = PowerModel()
+        cost = datapath_cost(_adder_tree("LPAA 1"), model)
+        assert cost["power_nw"] > 0 and cost["area_ge"] > 0
+        # three adder nodes: 8+8 -> widths 8, 8, 9 stages
+        expected_area = (
+            model.chain_area_ge("LPAA 1", 8) * 2
+            + model.chain_area_ge("LPAA 1", 9)
+        )
+        assert cost["area_ge"] == pytest.approx(expected_area)

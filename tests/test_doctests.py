@@ -1,0 +1,57 @@
+"""Run the doctest examples embedded in the library's docstrings.
+
+Every ``>>>`` example in a public docstring is executable documentation;
+this module keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.ant
+import repro.core.correlated
+import repro.core.magnitude
+import repro.core.masking
+import repro.core.matrices
+import repro.core.metrics
+import repro.core.recursive
+import repro.core.symbolic
+import repro.core.truth_table
+import repro.core.types
+import repro.core.vectorized
+import repro.circuits.qm
+import repro.datapath
+import repro.gear.config
+import repro.gear.functional
+import repro.gear.variants
+import repro.multiop.compressor
+import repro.simulation.functional
+
+MODULES = [
+    repro.core.types,
+    repro.core.truth_table,
+    repro.core.matrices,
+    repro.core.recursive,
+    repro.core.vectorized,
+    repro.core.magnitude,
+    repro.core.masking,
+    repro.core.metrics,
+    repro.core.symbolic,
+    repro.core.correlated,
+    repro.circuits.qm,
+    repro.gear.config,
+    repro.gear.functional,
+    repro.gear.variants,
+    repro.multiop.compressor,
+    repro.simulation.functional,
+    repro.datapath,
+    repro.ant,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )

@@ -1,0 +1,88 @@
+"""Tests for repro.io (cell libraries, result export)."""
+
+import json
+
+import pytest
+
+from repro.core.adders import LPAA3, CellRegistry
+from repro.core.exceptions import TruthTableError
+from repro.core.truth_table import ACCURATE, FullAdderTruthTable
+from repro.explore.design_space import sweep_design_space
+from repro.io import (
+    cells_from_json,
+    cells_to_json,
+    export_design_points,
+    load_cell_library,
+    save_cell_library,
+)
+
+
+class TestCellLibrary:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cells.json"
+        save_cell_library([ACCURATE, LPAA3], path)
+        registry = CellRegistry()
+        cells = load_cell_library(path, target=registry)
+        assert cells == [ACCURATE, LPAA3]
+        assert registry.get("AccuFA") == ACCURATE
+        assert registry.get("LPAA 3") == LPAA3
+
+    def test_load_without_register(self, tmp_path):
+        path = tmp_path / "cells.json"
+        custom = FullAdderTruthTable(ACCURATE.rows, name="Custom X")
+        save_cell_library([custom], path)
+        registry = CellRegistry()
+        load_cell_library(path, target=registry, register=False)
+        assert "Custom X" not in registry
+
+    def test_format_marker_required(self):
+        with pytest.raises(TruthTableError, match="sealpaa-cells-v1"):
+            cells_from_json(json.dumps({"cells": []}))
+
+    def test_invalid_json(self):
+        with pytest.raises(TruthTableError, match="invalid JSON"):
+            cells_from_json("{nope")
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(TruthTableError, match="no cells"):
+            cells_from_json(
+                json.dumps({"format": "sealpaa-cells-v1", "cells": []})
+            )
+
+    def test_malformed_cell_rejected(self):
+        doc = json.dumps(
+            {"format": "sealpaa-cells-v1",
+             "cells": [{"name": "bad", "rows": [[0, 0]]}]}
+        )
+        with pytest.raises(TruthTableError):
+            cells_from_json(doc)
+
+    def test_json_text_is_stable(self):
+        text = cells_to_json([ACCURATE])
+        parsed = json.loads(text)
+        assert parsed["format"] == "sealpaa-cells-v1"
+        assert parsed["cells"][0]["name"] == "AccuFA"
+
+
+class TestDesignPointExport:
+    @pytest.fixture
+    def points(self):
+        return sweep_design_space(["LPAA 1"], [2, 4], [0.1, 0.9])
+
+    def test_csv_export(self, tmp_path, points):
+        path = tmp_path / "sweep.csv"
+        export_design_points(points, path, fmt="csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "cell,width,p_input,p_error,power_nw,area_ge"
+        assert len(lines) == 1 + len(points)
+
+    def test_json_export_and_suffix_detection(self, tmp_path, points):
+        path = tmp_path / "sweep.json"
+        export_design_points(points, path, fmt="")
+        parsed = json.loads(path.read_text())
+        assert len(parsed) == len(points)
+        assert parsed[0]["cell"] == "LPAA 1"
+
+    def test_unknown_format(self, tmp_path, points):
+        with pytest.raises(ValueError, match="unknown export format"):
+            export_design_points(points, tmp_path / "x.xml", fmt="xml")

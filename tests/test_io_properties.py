@@ -1,0 +1,36 @@
+"""Property tests for serialisation round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.truth_table import FullAdderTruthTable
+from repro.io import cells_from_json, cells_to_json
+
+truth_tables = st.builds(
+    FullAdderTruthTable,
+    st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 1)),
+        min_size=8,
+        max_size=8,
+    ),
+    name=st.text(
+        alphabet=st.characters(whitelist_categories=("L", "N"),
+                               max_codepoint=0x2000),
+        min_size=1,
+        max_size=30,
+    ),
+)
+
+
+@given(cells=st.lists(truth_tables, min_size=1, max_size=5))
+@settings(max_examples=80)
+def test_cell_library_round_trip(cells):
+    restored = cells_from_json(cells_to_json(cells))
+    assert restored == cells
+    assert [c.name for c in restored] == [c.name for c in cells]
+
+
+@given(cell=truth_tables)
+@settings(max_examples=80)
+def test_single_cell_dict_round_trip(cell):
+    assert FullAdderTruthTable.from_dict(cell.as_dict()) == cell

@@ -1,0 +1,28 @@
+"""Smoke test for scripts/make_report.py (the one-command reproduction)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_report_script_produces_all_sections(tmp_path):
+    out = tmp_path / "report.md"
+    result = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "make_report.py"), str(out)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    text = out.read_text()
+    for heading in (
+        "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 7",
+        "Fig. 5(a)", "Fig. 5(b)", "Fig. 5(c)",
+        "Generic error equations", "Named LLAA variants",
+    ):
+        assert heading in text, f"missing section: {heading}"
+    # spot-check two golden numbers
+    assert "0.738476" in text            # Table 4 P(Succ)
+    assert "0.16953" in text             # Table 7 LPAA 6 N=8

@@ -1,0 +1,89 @@
+"""Unit tests for repro.reporting."""
+
+import json
+
+import pytest
+
+from repro.reporting import (
+    ascii_table,
+    comparison_table,
+    format_value,
+    records_to_csv,
+    records_to_json,
+)
+
+
+class TestFormatValue:
+    def test_floats_trim_trailing_zeros(self):
+        assert format_value(0.50000) == "0.5"
+        assert format_value(0.738476, digits=6) == "0.738476"
+        assert format_value(0.0) == "0"
+
+    def test_huge_floats_use_scientific(self):
+        assert "e" in format_value(4.0e13) or "E" in format_value(4.0e13)
+
+    def test_none_and_nan_are_dashes(self):
+        assert format_value(None) == "-"
+        assert format_value(float("nan")) == "-"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_value(42) == "42"
+        assert format_value("LPAA 1") == "LPAA 1"
+
+
+class TestAsciiTable:
+    def test_alignment_and_rule(self):
+        text = ascii_table(["Cell", "P(E)"], [["LPAA 1", 0.3078]])
+        lines = text.splitlines()
+        assert lines[0].startswith("Cell")
+        assert set(lines[1]) == {"-"}
+        assert "0.3078" in lines[2]
+
+    def test_title_prepended(self):
+        text = ascii_table(["x"], [[1]], title="Table 7")
+        assert text.splitlines()[0] == "Table 7"
+
+    def test_empty_rows_still_render_header(self):
+        text = ascii_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRecordExport:
+    RECORDS = [
+        {"cell": "LPAA 1", "p_error": 0.3078},
+        {"cell": "LPAA 7", "p_error": 0.0198},
+    ]
+
+    def test_csv_round_trip(self):
+        text = records_to_csv(self.RECORDS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "cell,p_error"
+        assert lines[1].startswith("LPAA 1,")
+        assert len(lines) == 3
+
+    def test_csv_empty(self):
+        assert records_to_csv([]) == ""
+
+    def test_json_round_trip(self):
+        parsed = json.loads(records_to_json(self.RECORDS))
+        assert parsed == self.RECORDS
+
+
+class TestWriteText:
+    def test_round_trip(self, tmp_path):
+        from repro.reporting import write_text
+
+        path = tmp_path / "report.txt"
+        write_text(str(path), "hello\nworld\n")
+        assert path.read_text() == "hello\nworld\n"
+
+
+class TestComparisonTable:
+    def test_diff_column(self):
+        text = comparison_table(["N=2"], [0.3078], [0.30746])
+        assert "0.00034" in text
+        assert "Analyt." in text and "Sim." in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            comparison_table(["a"], [0.1], [0.1, 0.2])
