@@ -39,6 +39,8 @@ from ..core.types import (
     validate_probability,
     validate_probability_vector,
 )
+from ..obs import metrics as _metrics
+from ..obs.tracing import trace_span
 
 #: 2^20 subsets is already ~1M chain DPs; refuse anything wider.
 MAX_IE_WIDTH = 20
@@ -133,13 +135,19 @@ def inclusion_exclusion_error_probability(
     p_union = 0.0
     terms = 0
     indices = range(n)
-    for size in range(1, n + 1):
-        sign = 1.0 if size % 2 == 1 else -1.0
-        for subset in combinations(indices, size):
-            terms += 1
-            p_union += sign * stage_error_event_probability(
-                cells, frozenset(subset), pa, pb, pc
-            )
+    with _metrics.timed("baselines.ie.expansion"), \
+            trace_span("baselines.ie.expansion", width=n):
+        for size in range(1, n + 1):
+            sign = 1.0 if size % 2 == 1 else -1.0
+            for subset in combinations(indices, size):
+                terms += 1
+                p_union += sign * stage_error_event_probability(
+                    cells, frozenset(subset), pa, pb, pc
+                )
+    # Live Table 3 cost accounting: the term blow-up the recursive
+    # engine avoids, visible in any --metrics-out snapshot.
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter("baselines.ie.terms").add(terms)
     # Clamp tiny negative drift from catastrophic cancellation -- the
     # very pathology the paper's method avoids.
     p_error = min(max(p_union, 0.0), 1.0)

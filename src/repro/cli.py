@@ -12,15 +12,26 @@ gear      GeAr(N, R, P) error analysis (DP + IE + MC)
 hybrid    optimal hybrid chain search
 power     calibrated power/area estimates (Table 2 style)
 cells     list registered cells and their truth tables
+obs       pretty-print saved metrics/trace/manifest files
+
+Observability
+-------------
+Every subcommand accepts ``--verbose`` (provenance header + structured
+progress logs on stderr), ``--metrics-out PATH`` (JSON metrics snapshot
+of the run) and ``--trace PATH`` (Chrome ``trace_event`` file loadable
+in ``chrome://tracing`` / Perfetto).  On ``analyze``, a bare ``--trace``
+keeps its historical meaning (print the per-stage Table-4-style trace);
+give it a path to write the span trace instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
-from . import __version__
+from . import __version__, obs
 from .core.adders import registry
 from .core.hybrid import HybridChain
 from .core.masking import chain_is_exact
@@ -196,7 +207,15 @@ def _cmd_export(args) -> int:
         args.probabilities,
         power_model=model,
     )
-    export_design_points(points, args.output, fmt=args.format)
+    manifest = obs.build_manifest(
+        "design-space-export",
+        cells=[str(c) for c in (args.cells or registry.names())],
+        widths=[int(w) for w in args.widths],
+        probabilities=[float(p) for p in args.probabilities],
+        power=bool(args.power),
+    )
+    export_design_points(points, args.output, fmt=args.format,
+                         manifest=manifest)
     print(f"wrote {len(points)} design points to {args.output}")
     return 0
 
@@ -356,6 +375,146 @@ def _cmd_cells(args) -> int:
     return 0
 
 
+def _print_metrics_snapshot(data) -> None:
+    counters = data.get("counters") or {}
+    gauges = data.get("gauges") or {}
+    timers = data.get("timers") or {}
+    if counters:
+        print(ascii_table(
+            ["Counter", "Value"], sorted(counters.items()),
+        ))
+    if gauges:
+        if counters:
+            print()
+        print(ascii_table(
+            ["Gauge", "Value"], sorted(gauges.items()),
+        ))
+    if timers:
+        if counters or gauges:
+            print()
+        rows = [
+            [name, s.get("count"), s.get("total_s"), s.get("mean_s"),
+             s.get("p50_s"), s.get("p95_s"), s.get("max_s")]
+            for name, s in sorted(timers.items())
+        ]
+        print(ascii_table(
+            ["Timer", "count", "total s", "mean s", "p50 s", "p95 s",
+             "max s"],
+            rows, digits=6,
+        ))
+    if not (counters or gauges or timers):
+        print("snapshot contains no metrics (was collection enabled?)")
+
+
+def _print_trace_summary(data) -> None:
+    if "traceEvents" in data:  # Chrome trace_event export
+        events = data["traceEvents"]
+        rows = [
+            [e.get("name"), e.get("ts", 0) / 1e6, e.get("dur", 0) / 1e6]
+            for e in events
+        ]
+        print(ascii_table(["Span", "start s", "duration s"], rows,
+                          digits=6,
+                          title=f"{len(events)} trace events"))
+        return
+
+    def walk(spans, depth):
+        for span in spans:
+            yield ["  " * depth + span["name"], span.get("start_s"),
+                   span.get("duration_s")]
+            yield from walk(span.get("children", []), depth + 1)
+
+    rows = list(walk(data.get("spans", []), 0))
+    print(ascii_table(["Span", "start s", "duration s"], rows, digits=6,
+                      title=f"{len(rows)} spans"))
+
+
+def _print_manifest(data) -> None:
+    rows = [
+        [key, ", ".join(map(str, value)) if isinstance(value, list)
+         else value]
+        for key, value in data.items()
+        if key not in ("format", "params")
+    ]
+    for key, value in sorted((data.get("params") or {}).items()):
+        rows.append([f"params.{key}", str(value)])
+    print(ascii_table(["Field", "Value"], rows, title="run manifest"))
+
+
+def _cmd_obs(args) -> int:
+    """Pretty-print a saved observability document.
+
+    Accepts anything the suite writes: ``--metrics-out`` snapshots,
+    ``--trace`` Chrome/span traces, manifest sidecars and
+    ``repro.io.save_result`` documents.
+    """
+    import json
+
+    try:
+        with open(args.file) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.file}: {exc.strerror}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{args.file}: not valid JSON ({exc})")
+    if not isinstance(data, dict):
+        raise SystemExit(f"{args.file}: not an observability document")
+    fmt = data.get("format")
+    if fmt == obs.METRICS_FORMAT:
+        _print_metrics_snapshot(data)
+    elif fmt == obs.TRACE_FORMAT or "traceEvents" in data:
+        _print_trace_summary(data)
+    elif fmt == obs.MANIFEST_FORMAT:
+        _print_manifest(data)
+    elif fmt == "sealpaa-result-v1":
+        rows = [
+            [key, value] for key, value in data.items()
+            if key not in ("format", "manifest")
+        ]
+        print(ascii_table(["Field", "Value"], rows, digits=6,
+                          title=f"saved result ({data.get('type')})"))
+        if data.get("manifest"):
+            print()
+            _print_manifest(data["manifest"])
+    else:
+        raise SystemExit(
+            f"{args.file}: unrecognised document format {fmt!r}"
+        )
+    return 0
+
+
+def _add_obs_arguments(
+    parser: argparse.ArgumentParser, stage_trace: bool = False
+) -> None:
+    """Attach the shared observability flag set to a subcommand.
+
+    ``stage_trace=True`` (the ``analyze`` command) keeps the historical
+    bare ``--trace`` behaviour -- print the per-stage table -- while a
+    ``--trace PATH`` value writes a Chrome trace-event file.
+    """
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="provenance header + structured progress logs on stderr "
+             "(-vv for debug)",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a JSON metrics snapshot (counters/timers) of this run",
+    )
+    if stage_trace:
+        group.add_argument(
+            "--trace", nargs="?", const=True, default=None, metavar="PATH",
+            help="no value: print the per-stage Table-4-style trace; "
+                 "with PATH: write a Chrome trace-event file instead",
+        )
+    else:
+        group.add_argument(
+            "--trace", dest="trace_out", metavar="PATH", default=None,
+            help="write a Chrome trace-event file of this run to PATH",
+        )
+
+
 def _add_point_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pa", type=_prob_list, default=0.5,
                         help="P(A_i = 1): scalar or comma list (default 0.5)")
@@ -382,14 +541,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "adders (DAC'17 reproduction)",
     )
     parser.add_argument("--version", action="version",
-                        version=f"%(prog)s {__version__}")
+                        version=obs.provenance_line())
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("analyze", help="error probability of one chain")
     _add_chain_arguments(p)
     _add_point_arguments(p)
-    p.add_argument("--trace", action="store_true",
-                   help="print the per-stage Table-4-style trace")
+    _add_obs_arguments(p, stage_trace=True)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("sweep", help="error-vs-width curves (Fig. 5 style)")
@@ -399,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="input one-probability for all bits")
     p.add_argument("--pcin", type=_probability, default=0.5)
     p.add_argument("--digits", type=int, default=4)
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("compare",
@@ -407,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_point_arguments(p)
     p.add_argument("--samples", type=int, default=1_000_000)
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("gear", help="GeAr(N, R, P) error analysis")
@@ -418,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=0,
                    help="Monte-Carlo samples (0 = skip)")
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_gear)
 
     p = sub.add_parser("hybrid", help="optimal hybrid chain search")
@@ -428,14 +589,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--power-weight", type=float, default=0.0,
                    help="objective = P(Succ) - weight * power_nW")
     p.add_argument("--show-greedy", action="store_true")
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_hybrid)
 
     p = sub.add_parser("power", help="power/area estimates (Table 2 style)")
     _add_chain_arguments(p)
     p.add_argument("--p", type=_probability, default=0.5)
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_power)
 
     p = sub.add_parser("cells", help="list registered cells")
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_cells)
 
     p = sub.add_parser("export", help="sweep the design space to CSV/JSON")
@@ -449,10 +613,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default: from the file suffix)")
     p.add_argument("-o", "--output", required=True,
                    help="output file path")
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_export)
 
     p = sub.add_parser("table", help="reproduce a paper table (3/4/5/7)")
     p.add_argument("id", help="paper table number")
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("symbolic",
@@ -460,12 +626,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_chain_arguments(p)
     p.add_argument("--mode", choices=["uniform", "per-bit"],
                    default="uniform")
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_symbolic)
 
     p = sub.add_parser("timing", help="cell/chain delays, LLAA comparison")
     _add_chain_arguments(p)
     p.add_argument("--llaa", action="store_true",
                    help="compare named LLAA variants instead")
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_timing)
 
     p = sub.add_parser("faults",
@@ -474,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--top", type=int, default=10)
     _add_point_arguments(p)
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("ant", help="ANT protection quality experiment")
@@ -485,7 +654,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--p", type=_probability, default=0.5)
     p.add_argument("--samples", type=int, default=100_000)
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_ant)
+
+    p = sub.add_parser(
+        "obs",
+        help="pretty-print a saved metrics/trace/manifest/result file",
+    )
+    p.add_argument("file", help="JSON document written by --metrics-out, "
+                   "--trace or repro.io")
+    p.set_defaults(func=_cmd_obs)
 
     return parser
 
@@ -494,11 +672,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from .core.exceptions import ReproError
 
     args = build_parser().parse_args(argv)
-    try:
-        return args.func(args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    verbose = getattr(args, "verbose", 0)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if isinstance(getattr(args, "trace", None), str):
+        # ``analyze --trace PATH``: a span-trace request, not the legacy
+        # bare flag that prints the per-stage table.
+        trace_out = args.trace
+        args.trace = None
+
+    # Fail fast on unwritable snapshot paths -- losing a metrics file
+    # *after* a long Monte-Carlo run would waste the whole run.
+    import os
+
+    for out_path in (metrics_out, trace_out):
+        if out_path:
+            parent = os.path.dirname(os.path.abspath(out_path)) or "."
+            if not os.path.isdir(parent):
+                print(f"error: output directory does not exist: {parent}",
+                      file=sys.stderr)
+                return 2
+
+    obs.configure_logging(verbose)
+    metrics_registry = None
+    tracer = None
+    status = 0
+    with contextlib.ExitStack() as stack:
+        if metrics_out or verbose:
+            metrics_registry = obs.MetricsRegistry()
+            stack.enter_context(obs.use_registry(metrics_registry))
+            if not obs.is_enabled():
+                obs.enable()
+                stack.callback(obs.disable)
+        if trace_out:
+            tracer = obs.Tracer()
+            stack.enter_context(obs.use_tracer(tracer))
+        if verbose:
+            print(f"# {obs.provenance_line()}", file=sys.stderr)
+        try:
+            status = args.func(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if metrics_out and metrics_registry is not None:
+        obs.snapshot_to_json(metrics_out, metrics_registry)
+    if trace_out and tracer is not None:
+        tracer.write_chrome(trace_out)
+    return status
 
 
 if __name__ == "__main__":

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..obs import metrics as _metrics
+from ..obs.tracing import trace_span
 from .adders import get_cell
 from .exceptions import ChainLengthError
 from .matrices import AnalysisMatrices, derive_matrices
@@ -203,40 +205,47 @@ def analyze_chain(
 
     matrices: List[AnalysisMatrices] = [derive_matrices(t) for t in cells]
 
-    # Initialisation (Eq. 5): before any stage can fail, "success" is
-    # certain, so the carry-in splits the full unit mass.
-    p_c1 = pc
-    p_c0 = complement(pc)
+    with _metrics.timed("core.recursive.analyze_chain"), \
+            trace_span("core.recursive.analyze_chain", width=n):
+        # Initialisation (Eq. 5): before any stage can fail, "success" is
+        # certain, so the carry-in splits the full unit mass.
+        p_c1 = pc
+        p_c0 = complement(pc)
 
-    trace: List[StageRecord] = []
-    p_success: Probability = 0
-    for i, (table, mkl) in enumerate(zip(cells, matrices)):
-        ipm = build_ipm(pa[i], pb[i], p_c1, p_c0)
-        last = i == n - 1
-        if last:
-            p_success = mask_dot(ipm, mkl.l)
-            next_c1: Optional[Probability] = None
-            next_c0: Optional[Probability] = None
-        else:
-            next_c1 = mask_dot(ipm, mkl.m)
-            next_c0 = mask_dot(ipm, mkl.k)
-        if keep_trace:
-            trace.append(
-                StageRecord(
-                    index=i,
-                    cell_name=table.name,
-                    p_a=pa[i],
-                    p_b=pb[i],
-                    p_c0_curr_succ=p_c0,
-                    p_c1_curr_succ=p_c1,
-                    p_c0_next_succ=next_c0,
-                    p_c1_next_succ=next_c1,
-                    p_success=p_success if last else None,
+        trace: List[StageRecord] = []
+        p_success: Probability = 0
+        for i, (table, mkl) in enumerate(zip(cells, matrices)):
+            ipm = build_ipm(pa[i], pb[i], p_c1, p_c0)
+            last = i == n - 1
+            if last:
+                p_success = mask_dot(ipm, mkl.l)
+                next_c1: Optional[Probability] = None
+                next_c0: Optional[Probability] = None
+            else:
+                next_c1 = mask_dot(ipm, mkl.m)
+                next_c0 = mask_dot(ipm, mkl.k)
+            if keep_trace:
+                trace.append(
+                    StageRecord(
+                        index=i,
+                        cell_name=table.name,
+                        p_a=pa[i],
+                        p_b=pb[i],
+                        p_c0_curr_succ=p_c0,
+                        p_c1_curr_succ=p_c1,
+                        p_c0_next_succ=next_c0,
+                        p_c1_next_succ=next_c1,
+                        p_success=p_success if last else None,
+                    )
                 )
-            )
-        if not last:
-            p_c1 = next_c1  # Eq. 6: carry-out of stage i is carry-in of i+1
-            p_c0 = next_c0
+            if not last:
+                p_c1 = next_c1  # Eq. 6: carry-out of i is carry-in of i+1
+                p_c0 = next_c0
+
+    if _metrics.is_enabled():
+        registry = _metrics.get_registry()
+        registry.counter("core.recursive.calls").add(1)
+        registry.counter("core.recursive.stages").add(n)
 
     return ChainAnalysisResult(
         p_success=p_success,

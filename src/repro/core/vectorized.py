@@ -21,6 +21,8 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+from ..obs.tracing import trace_span
 from .exceptions import ProbabilityError
 from .matrices import derive_matrices
 from .recursive import CellSpec, resolve_chain
@@ -131,18 +133,22 @@ def analyze_batch(
     if np.isnan(pc).any() or (pc < 0).any() or (pc > 1).any():
         raise ProbabilityError("p_cin: all entries must lie in [0, 1]")
 
-    c1 = pc.copy()
-    c0 = 1.0 - pc
-    p_success = np.zeros(batch)
-    for i, table in enumerate(cells):
-        mkl = derive_matrices(table)
-        m, k, l = mkl.as_arrays()
-        ipm = _ipm_batch(pa[:, i], pb[:, i], c1, c0)
-        if i == n - 1:
-            p_success = ipm @ l
-        else:
-            c1 = ipm @ m
-            c0 = ipm @ k
+    with _metrics.timed("core.vectorized.analyze_batch"), \
+            trace_span("core.vectorized.analyze_batch", width=n, batch=batch):
+        c1 = pc.copy()
+        c0 = 1.0 - pc
+        p_success = np.zeros(batch)
+        for i, table in enumerate(cells):
+            mkl = derive_matrices(table)
+            m, k, l = mkl.as_arrays()
+            ipm = _ipm_batch(pa[:, i], pb[:, i], c1, c0)
+            if i == n - 1:
+                p_success = ipm @ l
+            else:
+                c1 = ipm @ m
+                c0 = ipm @ k
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter("core.vectorized.points").add(batch)
     return p_success
 
 
@@ -211,13 +217,20 @@ def success_by_width(
     table = resolve_chain(cell, 1)[0]
     m, k, l = derive_matrices(table).as_arrays()
 
-    c1 = pc.copy()
-    c0 = 1.0 - pc
-    out = np.zeros((batch, max_width))
-    for i in range(max_width):
-        ipm = _ipm_batch(p_arr, p_arr, c1, c0)
-        out[:, i] = ipm @ l
-        c1, c0 = ipm @ m, ipm @ k
+    with _metrics.timed("core.vectorized.success_by_width"), \
+            trace_span("core.vectorized.success_by_width",
+                       max_width=max_width, batch=batch):
+        c1 = pc.copy()
+        c0 = 1.0 - pc
+        out = np.zeros((batch, max_width))
+        for i in range(max_width):
+            ipm = _ipm_batch(p_arr, p_arr, c1, c0)
+            out[:, i] = ipm @ l
+            c1, c0 = ipm @ m, ipm @ k
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter("core.vectorized.points").add(
+            batch * max_width
+        )
     return out[0] if scalar_input else out
 
 

@@ -39,6 +39,12 @@ from ..core.matrices import derive_matrices
 from ..core.recursive import CellSpec, resolve_cell
 from ..core.truth_table import FullAdderTruthTable
 from ..core.types import validate_probability, validate_probability_vector
+from ..obs import metrics as _metrics
+from ..obs.log import get_logger, log_event
+from ..obs.provenance import RunManifest, StopWatch, build_manifest
+from ..obs.tracing import trace_span
+
+_logger = get_logger("explore.hybrid_search")
 
 
 def _stage_matrix(
@@ -138,6 +144,7 @@ class HybridSearchResult:
     objective: float
     exact: bool
     power_nw: Optional[float] = None
+    manifest: Optional[RunManifest] = None
 
 
 def optimal_hybrid(
@@ -176,40 +183,57 @@ def optimal_hybrid(
             return 0.0
         return power_weight * power_model.power_nw(table, pa[i], pb[i], 0.5)
 
+    watch = StopWatch()
     exact = True
-    # Backward induction from the last stage.
-    frontier: List[_ValueVector] = []
-    for ci, table in enumerate(tables):
-        l0, l1 = _final_vector(table, pa[width - 1], pb[width - 1])
-        frontier.append(
-            _ValueVector(
-                w0=l0, w1=l1,
-                const=-stage_penalty(table, width - 1),
-                choices=(ci,),
-            )
-        )
-    frontier, truncated = _prune(frontier, max_vectors)
-    exact = exact and not truncated
-
-    for i in range(width - 2, -1, -1):
-        expanded: List[_ValueVector] = []
+    vectors_expanded = 0
+    peak_frontier = 0
+    with _metrics.timed("explore.hybrid.optimal"), \
+            trace_span("explore.hybrid.optimal",
+                       width=width, candidates=len(tables)):
+        # Backward induction from the last stage.
+        frontier: List[_ValueVector] = []
         for ci, table in enumerate(tables):
-            t = _stage_matrix(table, pa[i], pb[i])
-            penalty = stage_penalty(table, i)
-            for vec in frontier:
-                # compose: f(T v) + const - penalty
-                w0 = vec.w0 * t[0][0] + vec.w1 * t[1][0]
-                w1 = vec.w0 * t[0][1] + vec.w1 * t[1][1]
-                expanded.append(
-                    _ValueVector(
-                        w0=w0,
-                        w1=w1,
-                        const=vec.const - penalty,
-                        choices=(ci, *vec.choices),
-                    )
+            l0, l1 = _final_vector(table, pa[width - 1], pb[width - 1])
+            frontier.append(
+                _ValueVector(
+                    w0=l0, w1=l1,
+                    const=-stage_penalty(table, width - 1),
+                    choices=(ci,),
                 )
-        frontier, truncated = _prune(expanded, max_vectors)
+            )
+        vectors_expanded += len(frontier)
+        frontier, truncated = _prune(frontier, max_vectors)
         exact = exact and not truncated
+        peak_frontier = len(frontier)
+
+        for i in range(width - 2, -1, -1):
+            expanded: List[_ValueVector] = []
+            for ci, table in enumerate(tables):
+                t = _stage_matrix(table, pa[i], pb[i])
+                penalty = stage_penalty(table, i)
+                for vec in frontier:
+                    # compose: f(T v) + const - penalty
+                    w0 = vec.w0 * t[0][0] + vec.w1 * t[1][0]
+                    w1 = vec.w0 * t[0][1] + vec.w1 * t[1][1]
+                    expanded.append(
+                        _ValueVector(
+                            w0=w0,
+                            w1=w1,
+                            const=vec.const - penalty,
+                            choices=(ci, *vec.choices),
+                        )
+                    )
+            vectors_expanded += len(expanded)
+            frontier, truncated = _prune(expanded, max_vectors)
+            exact = exact and not truncated
+            peak_frontier = max(peak_frontier, len(frontier))
+
+    if _metrics.is_enabled():
+        registry = _metrics.get_registry()
+        registry.counter("explore.hybrid.vectors_expanded").add(
+            vectors_expanded
+        )
+        registry.gauge("explore.hybrid.peak_frontier").set(peak_frontier)
 
     v0, v1 = 1.0 - pc, pc
     best = max(frontier, key=lambda vec: vec.w0 * v0 + vec.w1 * v1 + vec.const)
@@ -221,9 +245,19 @@ def optimal_hybrid(
         else None
     )
     objective = best.w0 * v0 + best.w1 * v1 + best.const
+    manifest = build_manifest(
+        "hybrid-search",
+        cells=[t.name for t in tables],
+        wall_time_s=watch.elapsed(),
+        width=width, p_a=pa, p_b=pb, p_cin=pc,
+        power_weight=power_weight, strategy="optimal",
+    )
+    log_event(_logger, "hybrid.optimal.done", width=width,
+              vectors=vectors_expanded, frontier=peak_frontier,
+              p_error=p_error, wall_s=manifest.wall_time_s)
     return HybridSearchResult(
         chain=chain, p_error=p_error, objective=objective,
-        exact=exact, power_nw=power,
+        exact=exact, power_nw=power, manifest=manifest,
     )
 
 
@@ -246,20 +280,35 @@ def brute_force_hybrid(
     pa = [float(p) for p in validate_probability_vector(p_a, width, "p_a")]
     pb = [float(p) for p in validate_probability_vector(p_b, width, "p_b")]
     pc = float(validate_probability(p_cin, "p_cin"))
+    watch = StopWatch()
     best_chain = None
     best_error = float("inf")
-    for assignment in product(range(len(tables)), repeat=width):
-        chain = [tables[i] for i in assignment]
-        err = float(HybridChain(chain).error_probability(pa, pb, pc))
-        if err < best_error - 1e-15:
-            best_error = err
-            best_chain = chain
+    with _metrics.timed("explore.hybrid.brute_force"), \
+            trace_span("explore.hybrid.brute_force",
+                       width=width, combinations=total):
+        for assignment in product(range(len(tables)), repeat=width):
+            chain = [tables[i] for i in assignment]
+            err = float(HybridChain(chain).error_probability(pa, pb, pc))
+            if err < best_error - 1e-15:
+                best_error = err
+                best_chain = chain
     assert best_chain is not None
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter(
+            "explore.hybrid.assignments_enumerated"
+        ).add(total)
+    manifest = build_manifest(
+        "hybrid-search",
+        cells=[t.name for t in tables],
+        wall_time_s=watch.elapsed(),
+        width=width, p_a=pa, p_b=pb, p_cin=pc, strategy="brute-force",
+    )
     return HybridSearchResult(
         chain=HybridChain(best_chain),
         p_error=best_error,
         objective=1.0 - best_error,
         exact=True,
+        manifest=manifest,
     )
 
 
@@ -339,6 +388,12 @@ def greedy_hybrid(
         v = best_state
     chain = HybridChain(chosen)
     p_error = float(chain.error_probability(pa, pb, pc))
+    manifest = build_manifest(
+        "hybrid-search",
+        cells=[t.name for t in tables],
+        width=width, p_a=pa, p_b=pb, p_cin=pc, strategy="greedy",
+    )
     return HybridSearchResult(
-        chain=chain, p_error=p_error, objective=1.0 - p_error, exact=False
+        chain=chain, p_error=p_error, objective=1.0 - p_error, exact=False,
+        manifest=manifest,
     )

@@ -1,4 +1,4 @@
-"""Serialisation: cell libraries and result exports.
+"""Serialisation: cell libraries, result documents and exports.
 
 JSON is the interchange format for user-defined cells (so custom adders
 can be analysed from the CLI without writing Python) and for exporting
@@ -13,21 +13,31 @@ Cell-library file format::
         ...
       ]
     }
+
+Expensive results (Monte-Carlo estimates, exhaustive enumerations,
+hybrid-search outcomes) round-trip through ``sealpaa-result-v1``
+documents via :func:`save_result` / :func:`load_result`, carrying their
+:class:`repro.obs.RunManifest` so a saved number stays traceable to the
+seed, cell chain, package version and git commit that produced it.
+Tabular exports get the same provenance as a ``<path>.manifest.json``
+sidecar (the main CSV/JSON stays format-stable for downstream parsers).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Mapping, Sequence, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 from .core.adders import CellRegistry, registry
 from .core.exceptions import TruthTableError
 from .core.truth_table import FullAdderTruthTable
 from .explore.design_space import DesignPoint
+from .obs.provenance import RunManifest
 from .reporting import records_to_csv, records_to_json
 
 CELL_FORMAT = "sealpaa-cells-v1"
+RESULT_FORMAT = "sealpaa-result-v1"
 
 
 def cells_to_json(cells: Iterable[FullAdderTruthTable]) -> str:
@@ -83,8 +93,13 @@ def export_design_points(
     points: Sequence[DesignPoint],
     path: Union[str, Path],
     fmt: str = "csv",
+    manifest: Optional[RunManifest] = None,
 ) -> None:
-    """Write design points as CSV or JSON (by *fmt* or file suffix)."""
+    """Write design points as CSV or JSON (by *fmt* or file suffix).
+
+    With a *manifest*, provenance lands in a ``<path>.manifest.json``
+    sidecar; the main file keeps its flat, parser-friendly shape.
+    """
     records = [point.as_dict() for point in points]
     fmt = (fmt or Path(path).suffix.lstrip(".")).lower()
     if fmt == "csv":
@@ -93,3 +108,138 @@ def export_design_points(
         Path(path).write_text(records_to_json(records))
     else:
         raise ValueError(f"unknown export format {fmt!r} (csv or json)")
+    if manifest is not None:
+        write_manifest_sidecar(path, manifest)
+
+
+def manifest_sidecar_path(path: Union[str, Path]) -> Path:
+    """``<path>.manifest.json`` companion of an exported artifact."""
+    path = Path(path)
+    return path.with_name(path.name + ".manifest.json")
+
+
+def write_manifest_sidecar(
+    path: Union[str, Path], manifest: RunManifest
+) -> Path:
+    """Write the provenance sidecar for the artifact at *path*."""
+    sidecar = manifest_sidecar_path(path)
+    sidecar.write_text(json.dumps(manifest.as_dict(), indent=2) + "\n")
+    return sidecar
+
+
+def load_manifest_sidecar(path: Union[str, Path]) -> RunManifest:
+    """Read the provenance sidecar of the artifact at *path*."""
+    return RunManifest.from_dict(
+        json.loads(manifest_sidecar_path(path).read_text())
+    )
+
+
+# -- result documents ----------------------------------------------------------
+
+def result_to_dict(result: object) -> Mapping[str, object]:
+    """Serialise a Monte-Carlo / exhaustive / hybrid-search result.
+
+    The ``type`` tag drives :func:`result_from_dict` dispatch; the
+    attached manifest (if any) is embedded under ``manifest``.
+    """
+    from .explore.hybrid_search import HybridSearchResult
+    from .simulation.exhaustive import ExhaustiveResult
+    from .simulation.montecarlo import MonteCarloResult
+
+    manifest = getattr(result, "manifest", None)
+    doc: dict = {"format": RESULT_FORMAT}
+    if isinstance(result, MonteCarloResult):
+        doc.update(
+            type="montecarlo",
+            p_error=result.p_error,
+            samples=result.samples,
+            errors=result.errors,
+            seed=result.seed,
+        )
+    elif isinstance(result, ExhaustiveResult):
+        doc.update(
+            type="exhaustive",
+            p_error=result.p_error,
+            width=result.width,
+            cases=result.cases,
+        )
+    elif isinstance(result, HybridSearchResult):
+        doc.update(
+            type="hybrid-search",
+            chain_spec=result.chain.spec(),
+            p_error=result.p_error,
+            objective=result.objective,
+            exact=result.exact,
+            power_nw=result.power_nw,
+        )
+    else:
+        raise TypeError(
+            f"cannot serialise result of type {type(result).__name__}"
+        )
+    if manifest is not None:
+        doc["manifest"] = manifest.as_dict()
+    return doc
+
+
+def result_from_dict(data: Mapping[str, object]) -> object:
+    """Rebuild a result dataclass from :func:`result_to_dict` output.
+
+    Hybrid-search chains are resolved by cell *name* through the active
+    registry, so custom cells must be loaded (see
+    :func:`load_cell_library`) before their results.
+    """
+    from .core.hybrid import HybridChain
+    from .explore.hybrid_search import HybridSearchResult
+    from .simulation.exhaustive import ExhaustiveResult
+    from .simulation.montecarlo import MonteCarloResult
+
+    if data.get("format") != RESULT_FORMAT:
+        raise ValueError(
+            f"expected a {RESULT_FORMAT!r} document, got "
+            f"{data.get('format')!r}"
+        )
+    manifest_doc = data.get("manifest")
+    manifest = (
+        RunManifest.from_dict(manifest_doc)  # type: ignore[arg-type]
+        if manifest_doc is not None
+        else None
+    )
+    kind = data.get("type")
+    if kind == "montecarlo":
+        return MonteCarloResult(
+            p_error=float(data["p_error"]),  # type: ignore[arg-type]
+            samples=int(data["samples"]),  # type: ignore[arg-type]
+            errors=int(data["errors"]),  # type: ignore[arg-type]
+            seed=data.get("seed"),  # type: ignore[arg-type]
+            manifest=manifest,
+        )
+    if kind == "exhaustive":
+        return ExhaustiveResult(
+            p_error=float(data["p_error"]),  # type: ignore[arg-type]
+            width=int(data["width"]),  # type: ignore[arg-type]
+            cases=int(data["cases"]),  # type: ignore[arg-type]
+            manifest=manifest,
+        )
+    if kind == "hybrid-search":
+        power = data.get("power_nw")
+        return HybridSearchResult(
+            chain=HybridChain.from_spec(str(data["chain_spec"])),
+            p_error=float(data["p_error"]),  # type: ignore[arg-type]
+            objective=float(data["objective"]),  # type: ignore[arg-type]
+            exact=bool(data["exact"]),
+            power_nw=float(power) if power is not None else None,
+            manifest=manifest,
+        )
+    raise ValueError(f"unknown result type {kind!r}")
+
+
+def save_result(result: object, path: Union[str, Path]) -> None:
+    """Write a result (with its manifest) as a JSON document."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n"
+    )
+
+
+def load_result(path: Union[str, Path]) -> object:
+    """Read a result document written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

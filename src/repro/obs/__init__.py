@@ -1,0 +1,86 @@
+"""Observability: metrics, tracing, provenance and structured logging.
+
+The analysis and simulation engines are instrumented with this package:
+
+* :mod:`repro.obs.metrics` -- counters/gauges/timers behind a single
+  enable switch (disabled by default; hot paths pay one bool check);
+* :mod:`repro.obs.tracing` -- `contextvars`-based span trees exportable
+  as JSON or Chrome ``trace_event`` files;
+* :mod:`repro.obs.provenance` -- run manifests (seed, cells, version,
+  git SHA, wall time) attached to expensive results;
+* :mod:`repro.obs.log` -- structured logging and deterministic progress
+  callbacks for long loops.
+
+Typical library use::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.use_registry(obs.MetricsRegistry()) as reg, \\
+         obs.use_tracer(obs.Tracer()) as tracer:
+        ...  # run analyses
+        print(reg.to_json())
+        tracer.write_chrome("trace.json")
+
+The CLI exposes the same machinery through ``--verbose``,
+``--metrics-out`` and ``--trace`` on every subcommand.
+"""
+
+from .log import (
+    Progress,
+    ProgressCallback,
+    configure_logging,
+    format_event,
+    get_logger,
+    log_event,
+)
+from .metrics import (
+    METRICS_FORMAT,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    disable,
+    enable,
+    get_registry,
+    inc,
+    is_enabled,
+    observe,
+    set_gauge,
+    snapshot_to_json,
+    timed,
+    use_registry,
+)
+from .provenance import (
+    MANIFEST_FORMAT,
+    RunManifest,
+    StopWatch,
+    build_manifest,
+    git_revision,
+    provenance_line,
+)
+from .tracing import (
+    TRACE_FORMAT,
+    Span,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    trace_span,
+    use_tracer,
+)
+
+__all__ = [
+    # metrics
+    "METRICS_FORMAT", "Counter", "Gauge", "MetricsRegistry", "Timer",
+    "disable", "enable", "get_registry", "inc", "is_enabled", "observe",
+    "set_gauge", "snapshot_to_json", "timed", "use_registry",
+    # tracing
+    "TRACE_FORMAT", "Span", "Tracer", "get_tracer", "install_tracer",
+    "trace_span", "use_tracer",
+    # provenance
+    "MANIFEST_FORMAT", "RunManifest", "StopWatch", "build_manifest",
+    "git_revision", "provenance_line",
+    # logging / progress
+    "Progress", "ProgressCallback", "configure_logging", "format_event",
+    "get_logger", "log_event",
+]

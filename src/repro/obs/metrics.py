@@ -1,0 +1,316 @@
+"""Process-local metrics: counters, gauges and timers.
+
+The registry is deliberately tiny and dependency-free.  Everything is
+built around two rules:
+
+* **near-zero overhead when disabled** -- instrumented call sites guard
+  on :func:`is_enabled` (one module-global read) and skip all metric
+  work, so the hot analytical loops pay a single boolean check;
+* **contextvar scoping** -- the *active* registry lives in a
+  `contextvars.ContextVar`, so concurrent runs (threads, asyncio tasks,
+  nested CLI invocations in tests) can each collect into their own
+  registry via :func:`use_registry` without seeing each other's numbers.
+  The default is one shared process-global registry.
+
+Snapshot documents are plain JSON (``sealpaa-metrics-v1``) so they can
+be written by ``--metrics-out`` and re-read by ``sealpaa obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Mapping, Optional
+
+METRICS_FORMAT = "sealpaa-metrics-v1"
+
+#: Ring-buffer capacity per timer: enough for every realistic run here
+#: (Monte-Carlo batches, per-stage spans); beyond it the oldest samples
+#: are overwritten so percentiles describe a recent window.
+TIMER_RESERVOIR = 8192
+
+
+class Counter:
+    """Monotonically increasing integer counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins scalar (e.g. a frontier size)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Timer:
+    """Duration histogram with exact count/total/min/max and
+    reservoir-based percentiles."""
+
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_samples",
+                 "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration in seconds."""
+        with self._lock:
+            if len(self._samples) < TIMER_RESERVOIR:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._count % TIMER_RESERVOIR] = seconds
+            self._count += 1
+            self._total += seconds
+            if seconds < self._min:
+                self._min = seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager recording the elapsed wall time."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @staticmethod
+    def _quantile(ordered: List[float], q: float) -> float:
+        """Nearest-rank quantile of a pre-sorted sample list."""
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate view: count, total and min/mean/p50/p95/max seconds."""
+        with self._lock:
+            count = self._count
+            total = self._total
+            lo = self._min
+            hi = self._max
+            ordered = sorted(self._samples)
+        if count == 0:
+            return {"count": 0, "total_s": 0.0, "min_s": 0.0, "mean_s": 0.0,
+                    "p50_s": 0.0, "p95_s": 0.0, "max_s": 0.0}
+        return {
+            "count": count,
+            "total_s": total,
+            "min_s": lo,
+            "mean_s": total / count,
+            "p50_s": self._quantile(ordered, 0.50),
+            "p95_s": self._quantile(ordered, 0.95),
+            "max_s": hi,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            metric = self._timers.get(name)
+            if metric is None:
+                metric = self._timers[name] = Timer(name)
+        return metric
+
+    def reset(self) -> None:
+        """Drop every metric (used between runs / tests)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready ``sealpaa-metrics-v1`` document of all metrics."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            timers = dict(self._timers)
+        return {
+            "format": METRICS_FORMAT,
+            "counters": {k: c.value for k, c in sorted(counters.items())},
+            "gauges": {k: g.value for k, g in sorted(gauges.items())},
+            "timers": {k: t.stats() for k, t in sorted(timers.items())},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+
+#: The process-global default registry.
+GLOBAL_REGISTRY = MetricsRegistry()
+
+_registry_var: ContextVar[MetricsRegistry] = ContextVar(
+    "sealpaa_metrics_registry", default=GLOBAL_REGISTRY
+)
+
+#: Collection switch; kept as a plain module global so the disabled-path
+#: cost at instrumented call sites is one function call + one bool read.
+_enabled = False
+
+
+def is_enabled() -> bool:
+    """``True`` when metric collection is switched on."""
+    return _enabled
+
+
+def enable() -> None:
+    """Switch metric collection on (process-wide)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Switch metric collection off (instrumentation becomes free)."""
+    global _enabled
+    _enabled = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry active in the current context."""
+    return _registry_var.get()
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope *registry* as the active one for the enclosed block.
+
+    Context-local: other threads / contexts keep their own registry.
+    """
+    token = _registry_var.set(registry)
+    try:
+        yield registry
+    finally:
+        _registry_var.reset(token)
+
+
+# -- cheap module-level helpers used by instrumented code ----------------------
+
+def inc(name: str, n: int = 1) -> None:
+    """Add *n* to counter *name* (no-op while disabled)."""
+    if _enabled:
+        get_registry().counter(name).add(n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge *name* (no-op while disabled)."""
+    if _enabled:
+        get_registry().gauge(name).set(value)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record a duration on timer *name* (no-op while disabled)."""
+    if _enabled:
+        get_registry().timer(name).observe(seconds)
+
+
+class _NullTimerContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimerContext()
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+def timed(name: str):
+    """``with timed("stage"):`` -- records wall time when enabled,
+    otherwise returns a shared no-op context."""
+    if not _enabled:
+        return _NULL_TIMER
+    return _TimerContext(get_registry().timer(name))
+
+
+def snapshot_to_json(path: str, registry: Optional[MetricsRegistry] = None,
+                     ) -> Mapping[str, object]:
+    """Write the active (or given) registry snapshot to *path*."""
+    reg = registry if registry is not None else get_registry()
+    doc = reg.snapshot()
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    return doc

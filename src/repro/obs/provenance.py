@@ -1,0 +1,163 @@
+"""Run provenance: which code, seed and configuration produced a number.
+
+Every expensive result (Monte-Carlo estimates, exhaustive enumerations,
+hybrid-search outcomes, design-space exports) can carry a
+:class:`RunManifest` recording the package version, the git commit the
+code was run from, the seed/sample budget and the cell chain.  A saved
+Table-7 figure is then traceable to the exact run that produced it.
+
+Two kinds of fields:
+
+* **identity fields** (kind, cells, seed, samples, params, package
+  version) -- deterministic given the same run configuration; hashed
+  into :meth:`RunManifest.fingerprint`;
+* **environment fields** (timestamp, git SHA, python version, wall
+  time) -- recorded for forensics, excluded from the fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from .._version import __version__
+
+MANIFEST_FORMAT = "sealpaa-manifest-v1"
+
+
+@lru_cache(maxsize=1)
+def git_revision() -> Optional[str]:
+    """Short git SHA of the checkout containing this package, if any."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def provenance_line() -> str:
+    """One-line ``sealpaa <version> (git <sha>, python <ver>)`` banner."""
+    sha = git_revision()
+    git_part = f"git {sha}" if sha else "git unknown"
+    return f"sealpaa {__version__} ({git_part}, python {platform.python_version()})"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record attached to analysis/simulation results."""
+
+    kind: str
+    package_version: str = __version__
+    git_sha: Optional[str] = None
+    python_version: str = ""
+    created_utc: str = ""
+    seed: Optional[int] = None
+    samples: Optional[int] = None
+    cells: Optional[Tuple[str, ...]] = None
+    params: Mapping[str, object] = field(default_factory=dict)
+    wall_time_s: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready ``sealpaa-manifest-v1`` dict."""
+        return {
+            "format": MANIFEST_FORMAT,
+            "kind": self.kind,
+            "package_version": self.package_version,
+            "git_sha": self.git_sha,
+            "python_version": self.python_version,
+            "created_utc": self.created_utc,
+            "seed": self.seed,
+            "samples": self.samples,
+            "cells": list(self.cells) if self.cells is not None else None,
+            "params": dict(self.params),
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`as_dict` output."""
+        if data.get("format") not in (None, MANIFEST_FORMAT):
+            raise ValueError(
+                f"expected a {MANIFEST_FORMAT!r} document, got "
+                f"{data.get('format')!r}"
+            )
+        cells = data.get("cells")
+        return cls(
+            kind=str(data.get("kind", "")),
+            package_version=str(data.get("package_version", "")),
+            git_sha=data.get("git_sha"),  # type: ignore[arg-type]
+            python_version=str(data.get("python_version", "")),
+            created_utc=str(data.get("created_utc", "")),
+            seed=data.get("seed"),  # type: ignore[arg-type]
+            samples=data.get("samples"),  # type: ignore[arg-type]
+            cells=tuple(cells) if cells is not None else None,
+            params=dict(data.get("params", {})),  # type: ignore[arg-type]
+            wall_time_s=data.get("wall_time_s"),  # type: ignore[arg-type]
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the identity fields (canonical JSON).
+
+        Two runs with the same configuration/seed share a fingerprint
+        regardless of when or on which commit they executed.
+        """
+        identity = {
+            "kind": self.kind,
+            "package_version": self.package_version,
+            "seed": self.seed,
+            "samples": self.samples,
+            "cells": list(self.cells) if self.cells is not None else None,
+            "params": {k: self.params[k] for k in sorted(self.params)},
+        }
+        canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def build_manifest(
+    kind: str,
+    seed: Optional[int] = None,
+    samples: Optional[int] = None,
+    cells: Optional[Sequence[str]] = None,
+    wall_time_s: Optional[float] = None,
+    **params: object,
+) -> RunManifest:
+    """Capture a :class:`RunManifest` for the current environment."""
+    return RunManifest(
+        kind=kind,
+        package_version=__version__,
+        git_sha=git_revision(),
+        python_version=platform.python_version(),
+        created_utc=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        seed=seed,
+        samples=samples,
+        cells=tuple(str(c) for c in cells) if cells is not None else None,
+        params=params,
+        wall_time_s=wall_time_s,
+    )
+
+
+class StopWatch:
+    """Tiny elapsed-wall-time helper for manifest ``wall_time_s``."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start

@@ -61,12 +61,22 @@ def ascii_table(
     return "\n".join(lines)
 
 
-def records_to_csv(records: Sequence[Mapping[str, Cell]]) -> str:
-    """Serialise homogeneous record dicts as CSV text."""
+def records_to_csv(
+    records: Sequence[Mapping[str, Cell]],
+    header_comment: Optional[str] = None,
+) -> str:
+    """Serialise homogeneous record dicts as CSV text.
+
+    *header_comment* (e.g. a provenance line) is prepended as a ``#``
+    comment; omit it for strict-CSV consumers.
+    """
     if not records:
         return ""
     fieldnames = list(records[0].keys())
     buffer = io.StringIO()
+    if header_comment:
+        for line in header_comment.splitlines():
+            buffer.write(f"# {line}\n")
     writer = csv.DictWriter(buffer, fieldnames=fieldnames)
     writer.writeheader()
     for record in records:
@@ -74,8 +84,22 @@ def records_to_csv(records: Sequence[Mapping[str, Cell]]) -> str:
     return buffer.getvalue()
 
 
-def records_to_json(records: Sequence[Mapping[str, Cell]], indent: int = 2) -> str:
-    """Serialise record dicts as pretty JSON."""
+def records_to_json(
+    records: Sequence[Mapping[str, Cell]],
+    indent: int = 2,
+    manifest: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Serialise record dicts as pretty JSON.
+
+    With a *manifest* dict the document becomes
+    ``{"manifest": ..., "records": [...]}``; otherwise it stays a plain
+    list for backwards compatibility.
+    """
+    if manifest is not None:
+        return json.dumps(
+            {"manifest": dict(manifest), "records": list(records)},
+            indent=indent, sort_keys=False,
+        )
     return json.dumps(list(records), indent=indent, sort_keys=False)
 
 

@@ -13,25 +13,39 @@ inputs).  This module implements that baseline with two refinements:
 * :func:`exhaustive_error_count` reproduces the paper's plain
   equiprobable count (errors / total cases);
 * :func:`exhaustive_error_pmf` additionally bins the numeric error,
-  cross-validating :mod:`repro.core.magnitude`.
+  cross-validating :mod:`repro.core.magnitude`;
+* :func:`exhaustive_report` wraps the weighted oracle in an
+  :class:`ExhaustiveResult` carrying a provenance manifest.
 
 Cost is exponential in N (that is the paper's Fig. 1 point); the
-functions refuse absurd widths instead of hanging.
+functions refuse absurd widths instead of hanging.  Enumeration runs in
+fixed-size blocks, so memory stays bounded and long runs report
+progress instead of going dark.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.exceptions import AnalysisError
 from ..core.recursive import CellSpec, resolve_chain
 from ..core.types import Probability, validate_probability, validate_probability_vector
+from ..obs import metrics as _metrics
+from ..obs.log import Progress, ProgressCallback, get_logger
+from ..obs.provenance import RunManifest, StopWatch, build_manifest
+from ..obs.tracing import trace_span
 from .functional import ripple_add_array
 
 #: Widths above this would enumerate > 2^33 cases; refuse rather than hang.
 MAX_EXHAUSTIVE_WIDTH = 16
+
+#: Target cases per enumeration block (bounds peak memory per chunk).
+BLOCK_CASES = 1 << 21
+
+_logger = get_logger("simulation.exhaustive")
 
 
 def _operand_grid(width: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -40,6 +54,25 @@ def _operand_grid(width: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     a, b, cin = np.meshgrid(values, values, np.array([0, 1], dtype=np.int64),
                             indexing="ij")
     return a.ravel(), b.ravel(), cin.ravel()
+
+
+def _iter_operand_blocks(
+    width: int,
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """The :func:`_operand_grid` enumeration, in bounded-size blocks.
+
+    Blocks split along the *a* axis (each *a* value contributes
+    ``2^(width+1)`` cases), preserving the full-grid case order.
+    """
+    values = np.arange(1 << width, dtype=np.int64)
+    per_a = 1 << (width + 1)
+    step = max(1, BLOCK_CASES // per_a)
+    for start in range(0, values.size, step):
+        a, b, cin = np.meshgrid(
+            values[start:start + step], values,
+            np.array([0, 1], dtype=np.int64), indexing="ij",
+        )
+        yield a.ravel(), b.ravel(), cin.ravel()
 
 
 def _bit_weights(values: np.ndarray, probs: Sequence[float], width: int) -> np.ndarray:
@@ -61,12 +94,32 @@ def _check_width(width: int) -> None:
         )
 
 
+def _count_cases(width: int) -> int:
+    return 1 << (2 * width + 1)
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """Weighted exhaustive-enumeration outcome with provenance."""
+
+    p_error: float
+    width: int
+    cases: int
+    manifest: Optional[RunManifest] = None
+
+    @property
+    def p_success(self) -> float:
+        """``1 - p_error``."""
+        return 1.0 - self.p_error
+
+
 def exhaustive_error_probability(
     cell: Union[CellSpec, Sequence[CellSpec]],
     width: Optional[int] = None,
     p_a: Union[Probability, Sequence[Probability]] = 0.5,
     p_b: Union[Probability, Sequence[Probability]] = 0.5,
     p_cin: Probability = 0.5,
+    progress: Optional[ProgressCallback] = None,
 ) -> float:
     """Exact ``P(output != a + b + cin)`` by weighted enumeration.
 
@@ -81,20 +134,62 @@ def exhaustive_error_probability(
     pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
     pc = float(validate_probability(p_cin, "p_cin"))
 
-    a, b, cin = _operand_grid(n)
-    approx = ripple_add_array(cells, a, b, cin)
-    wrong = approx != (a + b + cin)
-    weights = (
-        _bit_weights(a, pa, n)
-        * _bit_weights(b, pb, n)
-        * np.where(cin == 1, pc, 1.0 - pc)
+    total_cases = _count_cases(n)
+    reporter = Progress(total_cases, "exhaustive.cases", callback=progress,
+                        logger=_logger)
+    mass = 0.0
+    with _metrics.timed("simulation.exhaustive.enumerate"), \
+            trace_span("simulation.exhaustive.enumerate",
+                       width=n, cases=total_cases):
+        for a, b, cin in _iter_operand_blocks(n):
+            approx = ripple_add_array(cells, a, b, cin)
+            wrong = approx != (a + b + cin)
+            weights = (
+                _bit_weights(a, pa, n)
+                * _bit_weights(b, pb, n)
+                * np.where(cin == 1, pc, 1.0 - pc)
+            )
+            mass += float(weights[wrong].sum())
+            reporter.update(a.size)
+    reporter.finish()
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter(
+            "simulation.exhaustive.cases"
+        ).add(total_cases)
+    return mass
+
+
+def exhaustive_report(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+    progress: Optional[ProgressCallback] = None,
+) -> ExhaustiveResult:
+    """:func:`exhaustive_error_probability` plus a provenance manifest."""
+    watch = StopWatch()
+    cells = resolve_chain(cell, width)
+    n = len(cells)
+    p_error = exhaustive_error_probability(cells, None, p_a, p_b, p_cin,
+                                           progress=progress)
+    manifest = build_manifest(
+        "exhaustive",
+        samples=_count_cases(n),
+        cells=[t.name for t in cells],
+        wall_time_s=watch.elapsed(),
+        p_a=[float(p) for p in validate_probability_vector(p_a, n, "p_a")],
+        p_b=[float(p) for p in validate_probability_vector(p_b, n, "p_b")],
+        p_cin=float(validate_probability(p_cin, "p_cin")),
     )
-    return float(weights[wrong].sum())
+    return ExhaustiveResult(p_error=p_error, width=n, cases=_count_cases(n),
+                            manifest=manifest)
 
 
 def exhaustive_error_count(
     cell: Union[CellSpec, Sequence[CellSpec]],
     width: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Tuple[int, int]:
     """Count erroneous cases over all equiprobable inputs.
 
@@ -104,10 +199,23 @@ def exhaustive_error_count(
     cells = resolve_chain(cell, width)
     n = len(cells)
     _check_width(n)
-    a, b, cin = _operand_grid(n)
-    approx = ripple_add_array(cells, a, b, cin)
-    errors = int((approx != (a + b + cin)).sum())
-    return errors, a.size
+    total_cases = _count_cases(n)
+    reporter = Progress(total_cases, "exhaustive.cases", callback=progress,
+                        logger=_logger)
+    errors = 0
+    with _metrics.timed("simulation.exhaustive.enumerate"), \
+            trace_span("simulation.exhaustive.count",
+                       width=n, cases=total_cases):
+        for a, b, cin in _iter_operand_blocks(n):
+            approx = ripple_add_array(cells, a, b, cin)
+            errors += int((approx != (a + b + cin)).sum())
+            reporter.update(a.size)
+    reporter.finish()
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter(
+            "simulation.exhaustive.cases"
+        ).add(total_cases)
+    return errors, total_cases
 
 
 def exhaustive_error_pmf(
@@ -116,6 +224,7 @@ def exhaustive_error_pmf(
     p_a: Union[Probability, Sequence[Probability]] = 0.5,
     p_b: Union[Probability, Sequence[Probability]] = 0.5,
     p_cin: Probability = 0.5,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[int, float]:
     """Exact PMF of ``approx - exact`` by weighted enumeration.
 
@@ -129,16 +238,28 @@ def exhaustive_error_pmf(
     pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
     pc = float(validate_probability(p_cin, "p_cin"))
 
-    a, b, cin = _operand_grid(n)
-    delta = ripple_add_array(cells, a, b, cin) - (a + b + cin)
-    weights = (
-        _bit_weights(a, pa, n)
-        * _bit_weights(b, pb, n)
-        * np.where(cin == 1, pc, 1.0 - pc)
-    )
+    total_cases = _count_cases(n)
+    reporter = Progress(total_cases, "exhaustive.cases", callback=progress,
+                        logger=_logger)
     pmf: Dict[int, float] = {}
-    for d in np.unique(delta):
-        mass = float(weights[delta == d].sum())
-        if mass > 0.0:
-            pmf[int(d)] = mass
-    return pmf
+    with _metrics.timed("simulation.exhaustive.enumerate"), \
+            trace_span("simulation.exhaustive.pmf",
+                       width=n, cases=total_cases):
+        for a, b, cin in _iter_operand_blocks(n):
+            delta = ripple_add_array(cells, a, b, cin) - (a + b + cin)
+            weights = (
+                _bit_weights(a, pa, n)
+                * _bit_weights(b, pb, n)
+                * np.where(cin == 1, pc, 1.0 - pc)
+            )
+            for d in np.unique(delta):
+                mass = float(weights[delta == d].sum())
+                if mass > 0.0:
+                    pmf[int(d)] = pmf.get(int(d), 0.0) + mass
+            reporter.update(a.size)
+    reporter.finish()
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter(
+            "simulation.exhaustive.cases"
+        ).add(total_cases)
+    return {d: m for d, m in sorted(pmf.items()) if m > 0.0}

@@ -1,0 +1,85 @@
+"""Instrumentation must never change a number.
+
+Runs the analytical, simulation and search engines once with
+observability fully off and once with metrics + tracing collecting, and
+asserts bit-identical results.  This is the contract that lets the
+instrumentation live inside the hot paths.
+"""
+
+import contextlib
+
+import pytest
+
+from repro.core.recursive import analyze_chain
+from repro.explore.hybrid_search import optimal_hybrid
+from repro.obs import MetricsRegistry, Tracer, metrics, use_registry, use_tracer
+from repro.simulation.exhaustive import exhaustive_error_probability
+from repro.simulation.montecarlo import simulate_error_probability
+
+
+@contextlib.contextmanager
+def everything_on():
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    metrics.enable()
+    try:
+        with use_registry(registry), use_tracer(tracer):
+            yield registry, tracer
+    finally:
+        metrics.disable()
+
+
+class TestBitIdenticalResults:
+    def test_analytical_recursion(self):
+        plain = analyze_chain("LPAA 3", 6, 0.3, 0.7, 0.5)
+        with everything_on():
+            instrumented = analyze_chain("LPAA 3", 6, 0.3, 0.7, 0.5)
+        assert float(instrumented.p_error) == float(plain.p_error)
+        assert float(instrumented.p_success) == float(plain.p_success)
+
+    def test_monte_carlo_stream_is_unchanged(self):
+        plain = simulate_error_probability("LPAA 1", 4, 0.3, 0.3, 0.3,
+                                           samples=20_000, seed=11)
+        with everything_on():
+            instrumented = simulate_error_probability(
+                "LPAA 1", 4, 0.3, 0.3, 0.3, samples=20_000, seed=11
+            )
+        assert instrumented.errors == plain.errors
+        assert instrumented.p_error == plain.p_error
+
+    def test_exhaustive_enumeration(self):
+        plain = exhaustive_error_probability("LPAA 2", 5, 0.2, 0.8, 0.5)
+        with everything_on():
+            instrumented = exhaustive_error_probability(
+                "LPAA 2", 5, 0.2, 0.8, 0.5
+            )
+        assert instrumented == plain
+
+    def test_hybrid_search(self):
+        cells = ["LPAA 1", "LPAA 5", "LPAA 7"]
+        plain = optimal_hybrid(cells, 5, 0.4, 0.6, 0.5)
+        with everything_on():
+            instrumented = optimal_hybrid(cells, 5, 0.4, 0.6, 0.5)
+        assert instrumented.chain.spec() == plain.chain.spec()
+        assert instrumented.p_error == plain.p_error
+        assert instrumented.objective == plain.objective
+
+    def test_metrics_actually_collected_meanwhile(self):
+        with everything_on() as (registry, tracer):
+            analyze_chain("LPAA 1", 4, 0.5, 0.5, 0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["core.recursive.calls"] == 1
+        assert snapshot["counters"]["core.recursive.stages"] == 4
+        assert "core.recursive.analyze_chain" in snapshot["timers"]
+        assert tracer.span_count() == 1
+
+    def test_progress_callback_does_not_change_the_estimate(self):
+        ticks = []
+        plain = simulate_error_probability("LPAA 1", 4, samples=10_000,
+                                           seed=3)
+        observed = simulate_error_probability(
+            "LPAA 1", 4, samples=10_000, seed=3,
+            progress=lambda d, t, label: ticks.append(d),
+        )
+        assert observed.p_error == plain.p_error
+        assert ticks and ticks[-1] == 10_000

@@ -1,0 +1,85 @@
+"""Unit tests for repro.obs.log (structured events + Progress)."""
+
+import io
+import logging
+
+from repro.obs.log import (
+    Progress,
+    configure_logging,
+    format_event,
+    get_logger,
+    log_event,
+)
+
+
+class TestFormatEvent:
+    def test_key_value_rendering(self):
+        line = format_event("mc.done", samples=100, p=0.123456789)
+        assert line == "mc.done samples=100 p=0.123457"
+
+    def test_values_with_spaces_are_quoted(self):
+        assert format_event("e", cell="LPAA 1") == 'e cell="LPAA 1"'
+
+
+class TestLoggers:
+    def test_loggers_live_under_repro(self):
+        assert get_logger().name == "repro"
+        assert get_logger("simulation.montecarlo").name == \
+            "repro.simulation.montecarlo"
+
+    def test_silent_by_default(self):
+        # the package root has a NullHandler, so emitting at INFO with no
+        # configuration must not raise or propagate anywhere noisy
+        log_event(get_logger("test.silent"), "quiet", n=1)
+
+    def test_configure_logging_levels_and_idempotence(self):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        configure_logging(1, stream=stream)  # no duplicate handlers
+        try:
+            log_event(get_logger("test.cfg"), "hello", n=2)
+            assert stream.getvalue().count("hello n=2") == 1
+            assert get_logger().level == logging.INFO
+            configure_logging(2, stream=stream)
+            assert get_logger().level == logging.DEBUG
+        finally:
+            configure_logging(0, stream=io.StringIO())
+
+
+class TestProgress:
+    def test_reports_every_decile(self):
+        seen = []
+        progress = Progress(
+            100, "units", callback=lambda d, t, label: seen.append(d)
+        )
+        for _ in range(100):
+            progress.update(1)
+        progress.finish()
+        assert seen == [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+    def test_coarse_updates_do_not_double_report(self):
+        seen = []
+        progress = Progress(
+            10, "units", callback=lambda d, t, label: seen.append(d)
+        )
+        progress.update(7)
+        progress.update(3)
+        progress.finish()
+        assert seen == [7, 10]
+
+    def test_finish_forces_final_report(self):
+        seen = []
+        progress = Progress(
+            1000, "units", callback=lambda d, t, label: seen.append(d)
+        )
+        progress.update(50)  # below the first decile
+        progress.finish()
+        assert seen == [1000]
+
+    def test_callback_receives_total_and_label(self):
+        seen = []
+        progress = Progress(
+            4, "mc.samples", callback=lambda *a: seen.append(a)
+        )
+        progress.update(4)
+        assert seen == [(4, 4, "mc.samples")]

@@ -1,0 +1,158 @@
+"""Unit tests for repro.obs.metrics."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture
+def enabled_registry():
+    """A fresh registry, active and enabled for the test body."""
+    was_enabled = metrics.is_enabled()
+    registry = metrics.MetricsRegistry()
+    metrics.enable()
+    with metrics.use_registry(registry):
+        yield registry
+    if not was_enabled:
+        metrics.disable()
+
+
+class TestCounterGaugeTimer:
+    def test_counter_accumulates(self, enabled_registry):
+        counter = enabled_registry.counter("c")
+        counter.add(3)
+        counter.add(4)
+        assert counter.value == 7
+
+    def test_counter_identity_by_name(self, enabled_registry):
+        assert enabled_registry.counter("x") is enabled_registry.counter("x")
+
+    def test_gauge_keeps_last_value(self, enabled_registry):
+        gauge = enabled_registry.gauge("g")
+        gauge.set(1.5)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+    def test_timer_stats_fields(self, enabled_registry):
+        timer = enabled_registry.timer("t")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            timer.observe(value)
+        stats = timer.stats()
+        assert stats["count"] == 4
+        assert stats["total_s"] == pytest.approx(1.0)
+        assert stats["min_s"] == pytest.approx(0.1)
+        assert stats["max_s"] == pytest.approx(0.4)
+        assert stats["mean_s"] == pytest.approx(0.25)
+        assert stats["min_s"] <= stats["p50_s"] <= stats["p95_s"] \
+            <= stats["max_s"]
+
+    def test_timed_context_records_wall_time(self, enabled_registry):
+        with metrics.timed("sleepy"):
+            time.sleep(0.01)
+        stats = enabled_registry.timer("sleepy").stats()
+        assert stats["count"] == 1
+        assert stats["total_s"] >= 0.005
+
+
+class TestEnableSwitch:
+    def test_disabled_helpers_do_not_record(self):
+        assert not metrics.is_enabled()
+        registry = metrics.MetricsRegistry()
+        with metrics.use_registry(registry):
+            metrics.inc("nope")
+            metrics.set_gauge("nope", 1.0)
+            metrics.observe("nope", 1.0)
+            with metrics.timed("nope"):
+                pass
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["timers"] == {}
+
+    def test_enable_disable_round_trip(self):
+        assert not metrics.is_enabled()
+        metrics.enable()
+        try:
+            assert metrics.is_enabled()
+        finally:
+            metrics.disable()
+        assert not metrics.is_enabled()
+
+    def test_disabled_timed_is_shared_noop(self):
+        assert metrics.timed("a") is metrics.timed("b")
+
+
+class TestRegistryIsolation:
+    def test_use_registry_scopes_the_active_registry(self, enabled_registry):
+        inner = metrics.MetricsRegistry()
+        metrics.inc("outer")
+        with metrics.use_registry(inner):
+            assert metrics.get_registry() is inner
+            metrics.inc("inner")
+        assert metrics.get_registry() is enabled_registry
+        assert enabled_registry.counter("outer").value == 1
+        assert enabled_registry.counter("inner").value == 0
+        assert inner.counter("inner").value == 1
+
+    def test_threads_do_not_inherit_scoped_registry(self, enabled_registry):
+        seen = []
+
+        def worker():
+            seen.append(metrics.get_registry())
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        # A fresh thread starts from a fresh context: it sees the global
+        # default, not the registry scoped in the main thread.
+        assert seen == [metrics.GLOBAL_REGISTRY]
+
+    def test_concurrent_counter_adds_are_consistent(self, enabled_registry):
+        counter = enabled_registry.counter("racy")
+
+        def bump():
+            for _ in range(1000):
+                counter.add(1)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_format(self, enabled_registry):
+        metrics.inc("calls", 2)
+        metrics.set_gauge("depth", 3.0)
+        metrics.observe("loop", 0.5)
+        snapshot = enabled_registry.snapshot()
+        assert snapshot["format"] == metrics.METRICS_FORMAT
+        assert snapshot["counters"] == {"calls": 2}
+        assert snapshot["gauges"] == {"depth": 3.0}
+        assert snapshot["timers"]["loop"]["count"] == 1
+
+    def test_to_json_round_trip(self, enabled_registry):
+        metrics.inc("calls")
+        parsed = json.loads(enabled_registry.to_json())
+        assert parsed == json.loads(
+            json.dumps(enabled_registry.snapshot())
+        )
+
+    def test_snapshot_to_json_writes_file(self, enabled_registry, tmp_path):
+        metrics.inc("calls", 5)
+        path = tmp_path / "metrics.json"
+        doc = metrics.snapshot_to_json(str(path), enabled_registry)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(doc))
+        assert on_disk["counters"]["calls"] == 5
+
+    def test_reset_clears_everything(self, enabled_registry):
+        metrics.inc("calls")
+        enabled_registry.reset()
+        assert enabled_registry.snapshot()["counters"] == {}

@@ -1,0 +1,90 @@
+"""Unit tests for repro.obs.provenance."""
+
+import re
+
+from repro._version import __version__
+from repro.obs.provenance import (
+    MANIFEST_FORMAT,
+    RunManifest,
+    StopWatch,
+    build_manifest,
+    provenance_line,
+)
+
+
+class TestProvenanceLine:
+    def test_mentions_package_version(self):
+        line = provenance_line()
+        assert line.startswith(f"sealpaa {__version__} ")
+        assert re.search(r"python \d+\.\d+", line)
+        assert "git " in line
+
+
+class TestManifestRoundTrip:
+    def _manifest(self):
+        return build_manifest(
+            "montecarlo",
+            seed=42,
+            samples=1000,
+            cells=["LPAA 1"] * 4,
+            wall_time_s=0.5,
+            p_cin=0.5,
+        )
+
+    def test_as_dict_from_dict_round_trip(self):
+        manifest = self._manifest()
+        doc = manifest.as_dict()
+        assert doc["format"] == MANIFEST_FORMAT
+        rebuilt = RunManifest.from_dict(doc)
+        assert rebuilt == manifest
+
+    def test_fields_are_captured(self):
+        manifest = self._manifest()
+        assert manifest.kind == "montecarlo"
+        assert manifest.package_version == __version__
+        assert manifest.seed == 42
+        assert manifest.samples == 1000
+        assert manifest.cells == ("LPAA 1",) * 4
+        assert manifest.params == {"p_cin": 0.5}
+        assert "T" in manifest.created_utc  # ISO timestamp
+
+
+class TestFingerprint:
+    def test_deterministic_for_identical_configuration(self):
+        a = build_manifest("mc", seed=1, samples=10, cells=["LPAA 1"], p=0.5)
+        b = build_manifest("mc", seed=1, samples=10, cells=["LPAA 1"], p=0.5)
+        # created_utc / wall time differ; the fingerprint must not.
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_identity_fields(self):
+        base = build_manifest("mc", seed=1, samples=10, cells=["LPAA 1"])
+        for other in (
+            build_manifest("mc", seed=2, samples=10, cells=["LPAA 1"]),
+            build_manifest("mc", seed=1, samples=20, cells=["LPAA 1"]),
+            build_manifest("mc", seed=1, samples=10, cells=["LPAA 2"]),
+            build_manifest("ex", seed=1, samples=10, cells=["LPAA 1"]),
+            build_manifest("mc", seed=1, samples=10, cells=["LPAA 1"],
+                           p=0.9),
+        ):
+            assert base.fingerprint() != other.fingerprint()
+
+    def test_insensitive_to_environment_fields(self):
+        manifest = build_manifest("mc", seed=1, wall_time_s=1.0)
+        twin = RunManifest.from_dict(
+            {**manifest.as_dict(), "created_utc": "other",
+             "git_sha": "deadbee", "wall_time_s": 99.0}
+        )
+        assert manifest.fingerprint() == twin.fingerprint()
+
+    def test_param_order_does_not_matter(self):
+        a = build_manifest("mc", alpha=1, beta=2)
+        b = build_manifest("mc", beta=2, alpha=1)
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestStopWatch:
+    def test_elapsed_is_monotonic(self):
+        watch = StopWatch()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert 0.0 <= first <= second

@@ -82,3 +82,76 @@ class TestSimulateSamples:
     def test_sample_count_validation(self):
         with pytest.raises(AnalysisError):
             simulate_samples("LPAA 1", 2, samples=0)
+
+
+class TestConfidenceIntervals:
+    def _result(self, errors, samples=10_000):
+        return MonteCarloResult(p_error=errors / samples, samples=samples,
+                                errors=errors, seed=0)
+
+    def test_normal_is_the_default(self):
+        result = self._result(2_500)
+        assert result.half_width() == result.half_width(method="normal")
+
+    def test_normal_half_width_value(self):
+        result = self._result(2_500)
+        p = 0.25
+        expected = 1.96 * (p * (1 - p) / 10_000) ** 0.5
+        assert result.half_width() == pytest.approx(expected)
+
+    def test_wilson_interval_brackets_the_estimate(self):
+        result = self._result(2_500)
+        lo, hi = result.wilson_interval()
+        assert lo < result.p_error < hi
+        # Wilson and Wald agree closely away from the boundaries.
+        assert (hi - lo) / 2 == pytest.approx(result.half_width(), rel=0.01)
+
+    def test_wilson_stays_positive_at_zero_errors(self):
+        result = self._result(0)
+        assert result.half_width() == 0.0  # the Wald degeneracy
+        lo, hi = result.wilson_interval()
+        assert lo == 0.0
+        assert hi > 0.0  # "no errors seen" != "errors impossible"
+        assert result.half_width(method="wilson") == pytest.approx(
+            (hi - lo) / 2
+        )
+
+    def test_wilson_is_clamped_to_unit_interval(self):
+        lo, hi = self._result(10_000).wilson_interval()
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown interval method"):
+            self._result(1).half_width(method="bootstrap")
+
+
+class TestManifest:
+    def test_result_carries_a_manifest(self):
+        result = simulate_error_probability("LPAA 2", 3, samples=1_000,
+                                            seed=5)
+        manifest = result.manifest
+        assert manifest is not None
+        assert manifest.kind == "montecarlo"
+        assert manifest.seed == 5
+        assert manifest.samples == 1_000
+        assert manifest.cells == ("LPAA 2",) * 3
+        assert manifest.wall_time_s > 0.0
+
+    def test_fingerprint_is_seed_deterministic(self):
+        a = simulate_error_probability("LPAA 1", 4, samples=1_000, seed=9)
+        b = simulate_error_probability("LPAA 1", 4, samples=1_000, seed=9)
+        c = simulate_error_probability("LPAA 1", 4, samples=1_000, seed=10)
+        assert a.manifest.fingerprint() == b.manifest.fingerprint()
+        assert a.manifest.fingerprint() != c.manifest.fingerprint()
+
+
+class TestProgressReporting:
+    def test_progress_callback_fires_in_order(self):
+        ticks = []
+        simulate_samples(
+            "LPAA 1", 4, samples=10_000, batch_size=1_000, seed=0,
+            progress=lambda done, total, label: ticks.append((done, total)),
+        )
+        assert ticks[0] == (1_000, 10_000)
+        assert ticks[-1] == (10_000, 10_000)
+        assert [d for d, _ in ticks] == sorted(d for d, _ in ticks)

@@ -215,3 +215,109 @@ class TestCellsFile:
         )
         assert code == 0
         assert "CliCell x3" in out
+
+
+class TestObservability:
+    def test_metrics_out_writes_snapshot(self, capsys, tmp_path):
+        import json
+
+        metrics_file = tmp_path / "metrics.json"
+        code, _ = run_cli(
+            capsys, "analyze", "--cell", "LPAA 1", "--width", "4",
+            "--metrics-out", str(metrics_file),
+        )
+        assert code == 0
+        snapshot = json.loads(metrics_file.read_text())
+        assert snapshot["format"] == "sealpaa-metrics-v1"
+        assert snapshot["counters"]["core.recursive.calls"] == 1
+        assert snapshot["counters"]["core.recursive.stages"] == 4
+        assert "core.recursive.analyze_chain" in snapshot["timers"]
+
+    def test_trace_path_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys, "analyze", "--cell", "LPAA 1", "--width", "4",
+            "--trace", str(trace_file),
+        )
+        assert code == 0
+        # a PATH argument means "write the span trace", not the legacy
+        # per-stage table
+        assert "Stage (i)" not in out
+        doc = json.loads(trace_file.read_text())
+        events = doc["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert any(e["name"] == "core.recursive.analyze_chain"
+                   for e in events)
+
+    def test_verbose_prints_provenance_header(self, capsys):
+        code = main(["analyze", "--cell", "LPAA 1", "--width", "4", "-v"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# sealpaa" in captured.err
+        assert "P(Error)" in captured.out
+
+    def test_metrics_cover_simulation_commands(self, capsys, tmp_path):
+        import json
+
+        metrics_file = tmp_path / "metrics.json"
+        code, _ = run_cli(
+            capsys, "compare", "--cell", "LPAA 1", "--width", "3",
+            "--samples", "2000", "--metrics-out", str(metrics_file),
+        )
+        assert code == 0
+        counters = json.loads(metrics_file.read_text())["counters"]
+        assert counters["simulation.montecarlo.samples"] == 2000
+        assert counters["simulation.exhaustive.cases"] == 1 << 7
+
+    def test_version_includes_provenance(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        out = capsys.readouterr().out
+        assert out.startswith("sealpaa ")
+        assert "python" in out
+
+
+class TestObsSubcommand:
+    def _analyze_with(self, capsys, tmp_path):
+        metrics_file = tmp_path / "m.json"
+        trace_file = tmp_path / "t.json"
+        run_cli(
+            capsys, "analyze", "--cell", "LPAA 1", "--width", "4",
+            "--metrics-out", str(metrics_file), "--trace", str(trace_file),
+        )
+        return metrics_file, trace_file
+
+    def test_pretty_prints_metrics_snapshot(self, capsys, tmp_path):
+        metrics_file, _ = self._analyze_with(capsys, tmp_path)
+        code, out = run_cli(capsys, "obs", str(metrics_file))
+        assert code == 0
+        assert "core.recursive.calls" in out
+        assert "Timer" in out and "p95 s" in out
+
+    def test_pretty_prints_chrome_trace(self, capsys, tmp_path):
+        _, trace_file = self._analyze_with(capsys, tmp_path)
+        code, out = run_cli(capsys, "obs", str(trace_file))
+        assert code == 0
+        assert "core.recursive.analyze_chain" in out
+        assert "trace events" in out
+
+    def test_pretty_prints_result_document(self, capsys, tmp_path):
+        from repro.io import save_result
+        from repro.simulation.montecarlo import simulate_error_probability
+
+        result = simulate_error_probability("LPAA 1", 4, samples=1_000,
+                                            seed=1)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        code, out = run_cli(capsys, "obs", str(path))
+        assert code == 0
+        assert "montecarlo" in out
+        assert "run manifest" in out
+
+    def test_rejects_unknown_documents(self, capsys, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(SystemExit):
+            main(["obs", str(path)])

@@ -86,3 +86,83 @@ class TestDesignPointExport:
     def test_unknown_format(self, tmp_path, points):
         with pytest.raises(ValueError, match="unknown export format"):
             export_design_points(points, tmp_path / "x.xml", fmt="xml")
+
+
+class TestResultDocuments:
+    def test_montecarlo_round_trip(self, tmp_path):
+        from repro.io import load_result, save_result
+        from repro.simulation.montecarlo import simulate_error_probability
+
+        result = simulate_error_probability("LPAA 1", 4, samples=2_000,
+                                            seed=7)
+        path = tmp_path / "mc.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.p_error == result.p_error
+        assert loaded.errors == result.errors
+        assert loaded.seed == 7
+        assert loaded.manifest.fingerprint() == result.manifest.fingerprint()
+
+    def test_exhaustive_round_trip(self, tmp_path):
+        from repro.io import load_result, save_result
+        from repro.simulation.exhaustive import exhaustive_report
+
+        result = exhaustive_report("LPAA 2", 3, 0.3, 0.7, 0.5)
+        path = tmp_path / "ex.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.p_error == result.p_error
+        assert loaded.cases == result.cases == 1 << 7
+        assert loaded.manifest.fingerprint() == result.manifest.fingerprint()
+
+    def test_hybrid_round_trip(self, tmp_path):
+        from repro.explore.hybrid_search import optimal_hybrid
+        from repro.io import load_result, save_result
+
+        result = optimal_hybrid(["LPAA 1", "LPAA 7"], 4, 0.4, 0.6, 0.5)
+        path = tmp_path / "hy.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.chain.spec() == result.chain.spec()
+        assert loaded.p_error == result.p_error
+        assert loaded.objective == result.objective
+        assert loaded.manifest.fingerprint() == result.manifest.fingerprint()
+
+    def test_unknown_payload_rejected(self, tmp_path):
+        from repro.io import result_from_dict, result_to_dict
+
+        with pytest.raises(TypeError, match="cannot serialise"):
+            result_to_dict(object())
+        with pytest.raises(ValueError, match="expected a"):
+            result_from_dict({"format": "something-else"})
+
+
+class TestManifestSidecar:
+    def test_export_writes_and_reads_sidecar(self, tmp_path):
+        from repro.io import (
+            load_manifest_sidecar,
+            manifest_sidecar_path,
+        )
+        from repro.obs import build_manifest
+
+        points = sweep_design_space(["LPAA 1"], [2], [0.5])
+        path = tmp_path / "sweep.csv"
+        manifest = build_manifest("design-space-export", cells=["LPAA 1"],
+                                  widths=[2])
+        export_design_points(points, path, fmt="csv", manifest=manifest)
+        # the main artifact keeps its flat format...
+        assert path.read_text().startswith("cell,width")
+        # ...and the provenance rides alongside
+        sidecar = manifest_sidecar_path(path)
+        assert sidecar.name == "sweep.csv.manifest.json"
+        assert sidecar.exists()
+        loaded = load_manifest_sidecar(path)
+        assert loaded.fingerprint() == manifest.fingerprint()
+
+    def test_no_manifest_means_no_sidecar(self, tmp_path):
+        from repro.io import manifest_sidecar_path
+
+        points = sweep_design_space(["LPAA 1"], [2], [0.5])
+        path = tmp_path / "sweep.csv"
+        export_design_points(points, path, fmt="csv")
+        assert not manifest_sidecar_path(path).exists()
