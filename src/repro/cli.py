@@ -8,11 +8,22 @@ Sub-commands
 analyze   error probability of one chain at one probability point
 sweep     error-vs-width curves for several cells (Fig. 5 style)
 compare   analytical vs exhaustive vs Monte-Carlo cross-validation
+simulate  budget-routed simulation (exhaustive -> Monte-Carlo fallback)
 gear      GeAr(N, R, P) error analysis (DP + IE + MC)
 hybrid    optimal hybrid chain search
 power     calibrated power/area estimates (Table 2 style)
 cells     list registered cells and their truth tables
 obs       pretty-print saved metrics/trace/manifest files
+
+Resilience
+----------
+Long-running subcommands (``compare``, ``simulate``, ``hybrid``) accept
+``--deadline SECONDS`` (stop cleanly with a partial result flagged
+truncated), ``--checkpoint PATH`` + ``--resume`` (crash-safe periodic
+snapshots; a resumed Monte-Carlo run is bit-identical to an
+uninterrupted one), and ``analyze`` accepts ``--validate`` (cross-check
+the recursion against a budgeted simulation).  Ctrl-C flushes the
+latest checkpoint and exits with status 130.
 
 Observability
 -------------
@@ -55,6 +66,19 @@ def _prob_list(text: str) -> object:
     return _probability(text)
 
 
+def _budget_from_args(args):
+    """Build a :class:`repro.runtime.RunBudget` from CLI flags (or None)."""
+    deadline = getattr(args, "deadline", None)
+    max_samples = getattr(args, "max_samples", None)
+    max_cases = getattr(args, "max_cases", None)
+    if deadline is None and max_samples is None and max_cases is None:
+        return None
+    from .runtime import RunBudget
+
+    return RunBudget(deadline_s=deadline, max_samples=max_samples,
+                     max_cases=max_cases)
+
+
 def _chain_from_args(args) -> HybridChain:
     if getattr(args, "cells_file", None):
         from .io import load_cell_library
@@ -80,6 +104,18 @@ def _cmd_analyze(args) -> int:
     if not chain_is_exact(list(chain.cells)):
         print("note       : this chain can mask internal errors; the value")
         print("             above is an upper bound on the true P(Error).")
+    if getattr(args, "validate", False):
+        from .runtime import validate_against_simulation
+
+        report = validate_against_simulation(
+            list(chain.cells), None, args.pa, args.pb, args.pcin,
+            analytical=float(result.p_error),
+            budget=_budget_from_args(args),
+        )
+        lo, hi = report.interval
+        print(f"validated  : simulation {report.estimate:.6f} "
+              f"in [{lo:.6f}, {hi:.6f}] ({report.samples} samples"
+              f"{', truncated' if report.truncated else ''})")
     return 0
 
 
@@ -117,10 +153,45 @@ def _cmd_compare(args) -> int:
     mc = simulate_error_probability(
         cells, None, args.pa, args.pb, args.pcin,
         samples=args.samples, seed=args.seed,
+        budget=_budget_from_args(args),
+        checkpoint_path=getattr(args, "checkpoint", None),
+        resume=getattr(args, "resume", False),
     )
-    rows.append([f"monte-carlo ({args.samples} samples)", mc.p_error])
+    label = f"monte-carlo ({mc.samples} samples)"
+    if mc.truncated:
+        label += f" [truncated: {mc.stop_reason}]"
+    rows.append([label, mc.p_error])
     print(ascii_table(["Method", "P(Error)"], rows, digits=6,
                       title=chain.describe()))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    """Budget-routed simulation: the strongest engine the budget affords."""
+    from .runtime import resilient_error_probability
+
+    chain = _chain_from_args(args)
+    routed = resilient_error_probability(
+        list(chain.cells), None, args.pa, args.pb, args.pcin,
+        budget=_budget_from_args(args), samples=args.samples,
+        seed=args.seed, checkpoint_path=getattr(args, "checkpoint", None),
+        resume=getattr(args, "resume", False),
+    )
+    decision, result = routed.decision, routed.result
+    print(f"chain      : {chain.describe()}")
+    print(f"engine     : {decision.engine}  ({decision.reason})")
+    if decision.degraded_from is not None:
+        print(f"degraded   : from {decision.degraded_from}")
+    print(f"P(Error)   : {result.p_error:.6f}")
+    unit = "samples" if decision.engine == "montecarlo" else "cases"
+    print(f"{unit:<11}: {getattr(result, unit)}")
+    if routed.truncated:
+        print(f"truncated  : yes ({result.stop_reason})")
+    if getattr(args, "save", None):
+        from .io import save_result
+
+        save_result(result, args.save)
+        print(f"saved      : {args.save}")
     return 0
 
 
@@ -158,7 +229,11 @@ def _cmd_hybrid(args) -> int:
 
     cells = args.cells or [f"LPAA {i}" for i in range(1, 8)]
     result = optimal_hybrid(cells, args.width, args.pa, args.pb, args.pcin,
-                            power_weight=args.power_weight)
+                            power_weight=args.power_weight,
+                            budget=_budget_from_args(args))
+    if result.truncated:
+        print(f"note          : deadline hit ({result.stop_reason}); "
+              "showing the greedy fallback chain")
     print(f"optimal chain : {result.chain.describe()}")
     print(f"P(Error)      : {result.p_error:.6f}  (exact={result.exact})")
     if result.power_nw is not None:
@@ -515,6 +590,46 @@ def _add_obs_arguments(
         )
 
 
+def _add_runtime_arguments(
+    parser: argparse.ArgumentParser,
+    checkpoint: bool = True,
+    validate: bool = False,
+    caps: bool = False,
+) -> None:
+    """Attach the shared resilience flag set to a subcommand."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; the run stops cleanly at the deadline "
+             "and partial results are flagged truncated",
+    )
+    if caps:
+        group.add_argument(
+            "--max-samples", type=int, default=None, metavar="N",
+            help="budget cap on Monte-Carlo samples drawn this run",
+        )
+        group.add_argument(
+            "--max-cases", type=int, default=None, metavar="N",
+            help="budget cap on exhaustive cases enumerated this run",
+        )
+    if checkpoint:
+        group.add_argument(
+            "--checkpoint", metavar="PATH", default=None,
+            help="write crash-safe progress checkpoints to PATH",
+        )
+        group.add_argument(
+            "--resume", action="store_true",
+            help="resume from --checkpoint PATH (Monte-Carlo resume is "
+                 "bit-identical to an uninterrupted run)",
+        )
+    if validate:
+        group.add_argument(
+            "--validate", action="store_true",
+            help="cross-check the analytical value against a budgeted "
+                 "simulation (Wilson interval); mismatch exits non-zero",
+        )
+
+
 def _add_point_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pa", type=_prob_list, default=0.5,
                         help="P(A_i = 1): scalar or comma list (default 0.5)")
@@ -547,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="error probability of one chain")
     _add_chain_arguments(p)
     _add_point_arguments(p)
+    _add_runtime_arguments(p, checkpoint=False, validate=True)
     _add_obs_arguments(p, stage_trace=True)
     p.set_defaults(func=_cmd_analyze)
 
@@ -566,8 +682,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_point_arguments(p)
     p.add_argument("--samples", type=int, default=1_000_000)
     p.add_argument("--seed", type=int, default=0)
+    _add_runtime_arguments(p)
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "simulate",
+        help="budget-routed simulation (exhaustive -> Monte-Carlo fallback)",
+    )
+    _add_chain_arguments(p)
+    _add_point_arguments(p)
+    p.add_argument("--samples", type=int, default=None,
+                   help="Monte-Carlo samples if the router falls back "
+                        "(default: the paper's 1e6)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="write the result (with manifest) as JSON")
+    _add_runtime_arguments(p, caps=True)
+    _add_obs_arguments(p)
+    p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("gear", help="GeAr(N, R, P) error analysis")
     p.add_argument("--n", type=int, required=True)
@@ -589,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--power-weight", type=float, default=0.0,
                    help="objective = P(Succ) - weight * power_nW")
     p.add_argument("--show-greedy", action="store_true")
+    _add_runtime_arguments(p, checkpoint=False)
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_hybrid)
 
@@ -714,6 +848,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        except KeyboardInterrupt:
+            # The engines flush their latest checkpoint before letting
+            # the interrupt propagate, so the run is resumable.
+            message = "interrupted"
+            checkpoint = getattr(args, "checkpoint", None)
+            if checkpoint:
+                message += (f"; progress saved to {checkpoint} "
+                            "(add --resume to continue)")
+            print(message, file=sys.stderr)
+            return 130
     if metrics_out and metrics_registry is not None:
         obs.snapshot_to_json(metrics_out, metrics_registry)
     if trace_out and tracer is not None:

@@ -33,6 +33,7 @@ from .adders import (
 from .exceptions import (
     AnalysisError,
     ChainLengthError,
+    CheckpointError,
     ExplorationError,
     GeArConfigError,
     NetlistError,
@@ -41,6 +42,7 @@ from .exceptions import (
     ReproError,
     SynthesisError,
     TruthTableError,
+    ValidationError,
 )
 from .correlated import (
     JointBitDistribution,
@@ -166,4 +168,6 @@ __all__ = [
     "SynthesisError",
     "AnalysisError",
     "ExplorationError",
+    "CheckpointError",
+    "ValidationError",
 ]

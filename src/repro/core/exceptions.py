@@ -50,3 +50,34 @@ class AnalysisError(ReproError, RuntimeError):
 
 class ExplorationError(ReproError, ValueError):
     """A design-space exploration request is inconsistent or infeasible."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is corrupt, missing, or from a different run.
+
+    Raised on resume when the on-disk document cannot be parsed, has the
+    wrong format tag, or its configuration fingerprint does not match
+    the run being resumed (resuming would silently mix two runs).
+    """
+
+
+class ValidationError(ReproError, RuntimeError):
+    """The analytical engine disagrees with its simulation cross-check.
+
+    Carries the structured evidence so callers can log or act on it:
+    *analytical* is the recursive P(error), *estimate* the Monte-Carlo
+    point estimate and *interval* the ``(lo, hi)`` acceptance interval
+    the analytical value fell outside of.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        analytical: "float | None" = None,
+        estimate: "float | None" = None,
+        interval: "tuple[float, float] | None" = None,
+    ):
+        super().__init__(message)
+        self.analytical = analytical
+        self.estimate = estimate
+        self.interval = interval

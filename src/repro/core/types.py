@@ -15,6 +15,7 @@ conventions the whole library hangs off of:
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Iterable, List, Sequence, Tuple, Union
 
@@ -74,7 +75,11 @@ def validate_probability(value: object, name: str = "probability") -> Probabilit
     """Validate that *value* is a number in ``[0, 1]`` and return it.
 
     Accepts ``int``, ``float``, ``numpy`` scalars (anything that compares
-    against 0 and 1) and ``fractions.Fraction``.  Rejects NaN.
+    against 0 and 1) and ``fractions.Fraction``.  Rejects NaN and
+    infinities explicitly (a NaN compares False against every bound, so
+    a plain range check would report the misleading "not within [0, 1]"
+    -- or, worse, a NaN that bypasses validation poisons every
+    downstream sum without raising at all).
     """
     if isinstance(value, bool):
         raise ProbabilityError(f"{name} must be numeric, got bool {value!r}")
@@ -82,11 +87,20 @@ def validate_probability(value: object, name: str = "probability") -> Probabilit
         in_range = 0 <= value <= 1  # type: ignore[operator]
     except TypeError as exc:
         raise ProbabilityError(f"{name} must be numeric, got {value!r}") from exc
+    if isinstance(value, Fraction):
+        if not in_range:
+            raise ProbabilityError(
+                f"{name} must be within [0, 1], got {value!r}"
+            )
+        return value
+    as_float = float(value)  # also canonicalises ints and numpy scalars
+    if not math.isfinite(as_float):
+        raise ProbabilityError(
+            f"{name} must be a finite probability, got {as_float!r}"
+        )
     if not in_range:
         raise ProbabilityError(f"{name} must be within [0, 1], got {value!r}")
-    if isinstance(value, Fraction):
-        return value
-    return float(value)  # also canonicalises ints and numpy scalars
+    return as_float
 
 
 def validate_probability_vector(

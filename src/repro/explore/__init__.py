@@ -8,6 +8,7 @@ from .design_space import (
 )
 from .hybrid_search import (
     HybridSearchResult,
+    ParetoFront,
     brute_force_hybrid,
     greedy_hybrid,
     hybrid_tradeoff_curve,
@@ -24,6 +25,7 @@ __all__ = [
     "dominates",
     "objective_vector",
     "HybridSearchResult",
+    "ParetoFront",
     "optimal_hybrid",
     "brute_force_hybrid",
     "greedy_hybrid",

@@ -29,8 +29,8 @@ are provided as ablation baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
-from typing import Dict, List, Optional, Sequence, Tuple
+from itertools import islice, product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..circuits.power import PowerModel
 from ..core.exceptions import ExplorationError
@@ -43,6 +43,14 @@ from ..obs import metrics as _metrics
 from ..obs.log import get_logger, log_event
 from ..obs.provenance import RunManifest, StopWatch, build_manifest
 from ..obs.tracing import trace_span
+from ..runtime import chaos as _chaos
+from ..runtime.budget import RunBudget, make_meter
+from ..runtime.checkpoint import (
+    Checkpoint,
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 _logger = get_logger("explore.hybrid_search")
 
@@ -137,7 +145,14 @@ def _prune(
 
 @dataclass(frozen=True)
 class HybridSearchResult:
-    """Outcome of a hybrid-chain optimisation."""
+    """Outcome of a hybrid-chain optimisation.
+
+    ``truncated=True`` marks a search stopped early by its
+    :class:`~repro.runtime.RunBudget`: the chain is the best design
+    found so far (always a valid, analysable chain), not a proven
+    optimum -- ``exact`` is False in that case and ``stop_reason``
+    records why the search stopped.
+    """
 
     chain: HybridChain
     p_error: float
@@ -145,6 +160,8 @@ class HybridSearchResult:
     exact: bool
     power_nw: Optional[float] = None
     manifest: Optional[RunManifest] = None
+    truncated: bool = False
+    stop_reason: Optional[str] = None
 
 
 def optimal_hybrid(
@@ -156,6 +173,7 @@ def optimal_hybrid(
     power_weight: float = 0.0,
     power_model: Optional[PowerModel] = None,
     max_vectors: int = 4096,
+    budget: Optional[RunBudget] = None,
 ) -> HybridSearchResult:
     """Exact optimal per-stage cell assignment by value-vector DP.
 
@@ -164,6 +182,12 @@ def optimal_hybrid(
     False only if the vector frontier had to be truncated
     (*max_vectors*), which does not occur for the paper's cell library
     at practical widths.
+
+    With a *budget* whose deadline expires mid-induction, the search
+    degrades gracefully: it falls back to :func:`greedy_hybrid` (always
+    fast, always yields a valid chain) and returns that design flagged
+    ``truncated=True`` with ``degraded_from="optimal"`` recorded in the
+    manifest, instead of erroring with nothing to show.
     """
     if width < 1:
         raise ExplorationError(f"width must be >= 1, got {width}")
@@ -184,6 +208,8 @@ def optimal_hybrid(
         return power_weight * power_model.power_nw(table, pa[i], pb[i], 0.5)
 
     watch = StopWatch()
+    meter = make_meter(budget)
+    degrade_reason: Optional[str] = None
     exact = True
     vectors_expanded = 0
     peak_frontier = 0
@@ -207,6 +233,10 @@ def optimal_hybrid(
         peak_frontier = len(frontier)
 
         for i in range(width - 2, -1, -1):
+            degrade_reason = meter.stop_reason()
+            if degrade_reason is not None:
+                break
+            _chaos.tick("hybrid.optimal.stage")
             expanded: List[_ValueVector] = []
             for ci, table in enumerate(tables):
                 t = _stage_matrix(table, pa[i], pb[i])
@@ -235,6 +265,39 @@ def optimal_hybrid(
         )
         registry.gauge("explore.hybrid.peak_frontier").set(peak_frontier)
 
+    if degrade_reason is not None:
+        # Budget expired mid-induction: a partial DP frontier cannot
+        # name a full chain, so degrade to the greedy heuristic -- it
+        # always returns a valid design in O(width * cells).
+        greedy = greedy_hybrid(cells, width, pa, pb, pc)
+        log_event(_logger, "hybrid.optimal.degraded", width=width,
+                  reason=degrade_reason, p_error=greedy.p_error)
+        if _metrics.is_enabled():
+            _metrics.get_registry().counter(
+                "explore.hybrid.degraded_runs"
+            ).add(1)
+        manifest = build_manifest(
+            "hybrid-search",
+            cells=[t.name for t in tables],
+            wall_time_s=watch.elapsed(),
+            budget=budget.as_dict() if budget is not None else None,
+            truncated=True,
+            stop_reason=degrade_reason,
+            degraded_from="optimal",
+            width=width, p_a=pa, p_b=pb, p_cin=pc,
+            power_weight=power_weight, strategy="greedy",
+        )
+        return HybridSearchResult(
+            chain=greedy.chain, p_error=greedy.p_error,
+            objective=greedy.objective, exact=False,
+            power_nw=(
+                power_model.chain_power_nw(
+                    list(greedy.chain.cells), None, pa, pb, pc)
+                if power_model is not None else None
+            ),
+            manifest=manifest, truncated=True, stop_reason=degrade_reason,
+        )
+
     v0, v1 = 1.0 - pc, pc
     best = max(frontier, key=lambda vec: vec.w0 * v0 + vec.w1 * v1 + vec.const)
     chain = HybridChain([tables[ci] for ci in best.choices])
@@ -249,6 +312,7 @@ def optimal_hybrid(
         "hybrid-search",
         cells=[t.name for t in tables],
         wall_time_s=watch.elapsed(),
+        budget=budget.as_dict() if budget is not None else None,
         width=width, p_a=pa, p_b=pb, p_cin=pc,
         power_weight=power_weight, strategy="optimal",
     )
@@ -268,8 +332,21 @@ def brute_force_hybrid(
     p_b: object = 0.5,
     p_cin: float = 0.5,
     max_combinations: int = 500_000,
+    budget: Optional[RunBudget] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 1024,
+    resume: bool = False,
 ) -> HybridSearchResult:
-    """Enumerate every cell assignment (ablation oracle for small sizes)."""
+    """Enumerate every cell assignment (ablation oracle for small sizes).
+
+    Assignments are visited in deterministic ``itertools.product``
+    order, so the visited-config frontier (count enumerated + best so
+    far) checkpoints and resumes exactly: a resumed sweep evaluates
+    precisely the configurations an uninterrupted one would have.  A
+    *budget* (deadline / ``max_configs``) stops the sweep cleanly after
+    the current configuration and returns the best design found so far
+    flagged ``truncated=True``.
+    """
     tables = [resolve_cell(c) for c in cells]
     total = len(tables) ** width
     if total > max_combinations:
@@ -277,39 +354,161 @@ def brute_force_hybrid(
             f"{len(tables)}^{width} = {total} assignments exceeds "
             f"max_combinations={max_combinations}"
         )
+    if checkpoint_every < 1:
+        raise ExplorationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if resume and checkpoint_path is None:
+        raise ExplorationError("resume=True requires checkpoint_path")
     pa = [float(p) for p in validate_probability_vector(p_a, width, "p_a")]
     pb = [float(p) for p in validate_probability_vector(p_b, width, "p_b")]
     pc = float(validate_probability(p_cin, "p_cin"))
     watch = StopWatch()
-    best_chain = None
+    fingerprint = config_fingerprint(
+        kind="hybrid-brute", cells=[t.name for t in tables], width=width,
+        p_a=pa, p_b=pb, p_cin=pc,
+    )
+    configs_done = 0
+    best_assignment: Optional[Tuple[int, ...]] = None
     best_error = float("inf")
-    with _metrics.timed("explore.hybrid.brute_force"), \
-            trace_span("explore.hybrid.brute_force",
-                       width=width, combinations=total):
-        for assignment in product(range(len(tables)), repeat=width):
-            chain = [tables[i] for i in assignment]
-            err = float(HybridChain(chain).error_probability(pa, pb, pc))
-            if err < best_error - 1e-15:
-                best_error = err
-                best_chain = chain
-    assert best_chain is not None
+    sequence = 0
+    if resume:
+        saved = load_checkpoint(checkpoint_path, expect_kind="hybrid-brute",
+                                expect_fingerprint=fingerprint)
+        configs_done = int(saved.payload["configs_done"])  # type: ignore[arg-type]
+        best_error = float(saved.payload["best_error"])  # type: ignore[arg-type]
+        best = saved.payload.get("best_assignment")
+        best_assignment = tuple(best) if best is not None else None  # type: ignore[arg-type]
+        sequence = saved.sequence
+        log_event(_logger, "hybrid.brute.resumed", configs_done=configs_done,
+                  best_error=best_error, path=checkpoint_path)
+
+    # The meter bounds *this* invocation's work; resumed progress was
+    # paid for by the earlier session.
+    meter = make_meter(budget)
+    stop_reason: Optional[str] = None
+    latest_payload: Optional[dict] = None
+    since_save = 0
+
+    def snapshot() -> dict:
+        return {
+            "configs_done": configs_done,
+            "best_error": best_error,
+            "best_assignment": (
+                list(best_assignment) if best_assignment is not None else None
+            ),
+        }
+
+    def flush(payload: dict) -> None:
+        nonlocal sequence, since_save
+        sequence += 1
+        save_checkpoint(
+            checkpoint_path,
+            Checkpoint(kind="hybrid-brute", fingerprint=fingerprint,
+                       payload=payload, sequence=sequence),
+        )
+        since_save = 0
+
+    assignments: Iterator[Tuple[int, ...]] = islice(
+        product(range(len(tables)), repeat=width), configs_done, None
+    )
+    progressed = False
+    try:
+        with _metrics.timed("explore.hybrid.brute_force"), \
+                trace_span("explore.hybrid.brute_force",
+                           width=width, combinations=total):
+            for assignment in assignments:
+                if progressed:
+                    stop_reason = meter.stop_reason()
+                    if stop_reason is not None:
+                        break
+                chain = [tables[i] for i in assignment]
+                err = float(HybridChain(chain).error_probability(pa, pb, pc))
+                if err < best_error - 1e-15:
+                    best_error = err
+                    best_assignment = assignment
+                configs_done += 1
+                progressed = True
+                meter.charge(configs=1)
+                latest_payload = snapshot()
+                since_save += 1
+                if (checkpoint_path is not None
+                        and since_save >= checkpoint_every):
+                    flush(latest_payload)
+                _chaos.tick("hybrid.brute_force.config")
+    except KeyboardInterrupt:
+        if checkpoint_path is not None and latest_payload is not None:
+            flush(latest_payload)
+        raise
+    if checkpoint_path is not None and since_save > 0 \
+            and latest_payload is not None:
+        flush(latest_payload)
+
+    if best_assignment is None:
+        raise ExplorationError(
+            "budget exhausted before any configuration was evaluated"
+        )
+    truncated = configs_done < total
     if _metrics.is_enabled():
         _metrics.get_registry().counter(
             "explore.hybrid.assignments_enumerated"
-        ).add(total)
+        ).add(configs_done)
     manifest = build_manifest(
         "hybrid-search",
         cells=[t.name for t in tables],
         wall_time_s=watch.elapsed(),
+        budget=budget.as_dict() if budget is not None else None,
+        truncated=True if truncated else None,
+        stop_reason=stop_reason if truncated else None,
         width=width, p_a=pa, p_b=pb, p_cin=pc, strategy="brute-force",
+        configs_evaluated=configs_done,
     )
+    best_chain = [tables[i] for i in best_assignment]
     return HybridSearchResult(
         chain=HybridChain(best_chain),
         p_error=best_error,
         objective=1.0 - best_error,
-        exact=True,
+        exact=not truncated,
         manifest=manifest,
+        truncated=truncated,
+        stop_reason=stop_reason if truncated else None,
     )
+
+
+class ParetoFront(Sequence[HybridSearchResult]):
+    """A (possibly partial) error/power Pareto front.
+
+    Behaves like the plain ``list`` the curve sweep used to return
+    (indexing, iteration, ``len``, truthiness), plus resilience
+    metadata: ``truncated=True`` means the sweep's budget expired and
+    only a prefix of the requested weights was explored -- every result
+    present is still a fully valid design, and the manifest records the
+    weights actually swept and the stop reason.
+    """
+
+    def __init__(
+        self,
+        results: Sequence[HybridSearchResult],
+        truncated: bool = False,
+        stop_reason: Optional[str] = None,
+        manifest: Optional[RunManifest] = None,
+    ) -> None:
+        self.results: Tuple[HybridSearchResult, ...] = tuple(results)
+        self.truncated = truncated
+        self.stop_reason = stop_reason
+        self.manifest = manifest
+
+    def __getitem__(self, index):  # noqa: D105 -- Sequence protocol
+        return self.results[index]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParetoFront({len(self.results)} designs, "
+            f"truncated={self.truncated})"
+        )
 
 
 def hybrid_tradeoff_curve(
@@ -320,29 +519,63 @@ def hybrid_tradeoff_curve(
     p_b: object = 0.5,
     p_cin: float = 0.5,
     power_model: Optional[PowerModel] = None,
-) -> List[HybridSearchResult]:
+    budget: Optional[RunBudget] = None,
+) -> ParetoFront:
     """Sweep the power weight to trace an error/power trade-off frontier.
 
     Each weight yields the optimal chain for the scalarised objective
     ``P(Succ) - weight * power``; collectively the distinct results
     sample the Pareto frontier of (error, power) over hybrid designs.
     Duplicate chains from adjacent weights are collapsed.
+
+    A *budget* bounds the sweep: the deadline is checked between
+    weights (after at least one), and an expired budget returns the
+    partial front explored so far as a :class:`ParetoFront` with
+    ``truncated=True`` -- a deadline-limited exploration degrades to a
+    coarser frontier instead of failing with nothing.
     """
     if not power_weights:
         raise ExplorationError("need at least one power weight")
     model = power_model or PowerModel()
+    meter = make_meter(budget)
     results: List[HybridSearchResult] = []
     seen = set()
-    for weight in sorted(float(w) for w in power_weights):
+    swept: List[float] = []
+    stop_reason: Optional[str] = None
+    weights = sorted(float(w) for w in power_weights)
+    for weight in weights:
+        if swept:
+            stop_reason = meter.stop_reason()
+            if stop_reason is not None:
+                break
         result = optimal_hybrid(
             cells, width, p_a, p_b, p_cin,
             power_weight=weight, power_model=model,
         )
+        swept.append(weight)
+        _chaos.tick("hybrid.tradeoff.weight")
         key = result.chain
         if key not in seen:
             seen.add(key)
             results.append(result)
-    return results
+    truncated = len(swept) < len(weights)
+    manifest = build_manifest(
+        "pareto-front",
+        cells=[str(c) for c in cells],
+        budget=budget.as_dict() if budget is not None else None,
+        truncated=True if truncated else None,
+        stop_reason=stop_reason if truncated else None,
+        width=width,
+        weights_requested=weights,
+        weights_swept=swept,
+    )
+    if truncated:
+        log_event(_logger, "hybrid.tradeoff.truncated",
+                  swept=len(swept), requested=len(weights),
+                  reason=stop_reason)
+    return ParetoFront(results, truncated=truncated,
+                       stop_reason=stop_reason if truncated else None,
+                       manifest=manifest)
 
 
 def greedy_hybrid(

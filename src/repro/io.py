@@ -26,6 +26,9 @@ sidecar (the main CSV/JSON stays format-stable for downstream parsers).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import time
 from pathlib import Path
 from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
@@ -38,6 +41,65 @@ from .reporting import records_to_csv, records_to_json
 
 CELL_FORMAT = "sealpaa-cells-v1"
 RESULT_FORMAT = "sealpaa-result-v1"
+
+#: Bounded retry policy for :func:`atomic_write_text` (transient
+#: ``OSError`` -- NFS hiccups, AV scanners holding the file, chaos shim).
+ATOMIC_WRITE_RETRIES = 3
+ATOMIC_WRITE_RETRY_WAIT_S = 0.05
+
+
+def atomic_write_text(
+    path: Union[str, Path],
+    text: str,
+    retries: int = ATOMIC_WRITE_RETRIES,
+    retry_wait_s: float = ATOMIC_WRITE_RETRY_WAIT_S,
+) -> Path:
+    """Crash-safe text write: temp file in the target directory + rename.
+
+    The destination either keeps its previous content or holds the
+    complete new content -- a crash (or an injected fault) mid-write can
+    never leave a truncated result/checkpoint on disk, because the data
+    is first written and flushed to a temporary file in the *same*
+    directory and then committed with the atomic ``os.replace``.
+
+    Transient ``OSError`` during write or commit is retried up to
+    *retries* extra times with a short pause; the temp file is always
+    cleaned up on failure.  Returns the destination path.
+    """
+    path = Path(path)
+    last_error: Optional[OSError] = None
+    for attempt in range(retries + 1):
+        tmp_name = None
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent) or ".",
+                prefix=f".{path.name}.",
+                suffix=".tmp",
+            )
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            # Chaos hook: lets the fault-injection suite fail the commit
+            # without monkey-patching os internals (lazy import -- the
+            # runtime package depends on this module, not vice versa).
+            from .runtime.chaos import io_fault_check
+
+            io_fault_check(str(path))
+            os.replace(tmp_name, path)
+            return path
+        except OSError as exc:
+            last_error = exc
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            if attempt < retries:
+                time.sleep(retry_wait_s)
+    raise OSError(
+        f"could not write {path} after {retries + 1} attempts: {last_error}"
+    ) from last_error
 
 
 def cells_to_json(cells: Iterable[FullAdderTruthTable]) -> str:
@@ -72,8 +134,8 @@ def save_cell_library(
     cells: Iterable[FullAdderTruthTable],
     path: Union[str, Path],
 ) -> None:
-    """Write a cell library to *path*."""
-    Path(path).write_text(cells_to_json(cells))
+    """Write a cell library to *path* (atomically)."""
+    atomic_write_text(path, cells_to_json(cells))
 
 
 def load_cell_library(
@@ -103,9 +165,9 @@ def export_design_points(
     records = [point.as_dict() for point in points]
     fmt = (fmt or Path(path).suffix.lstrip(".")).lower()
     if fmt == "csv":
-        Path(path).write_text(records_to_csv(records))
+        atomic_write_text(path, records_to_csv(records))
     elif fmt == "json":
-        Path(path).write_text(records_to_json(records))
+        atomic_write_text(path, records_to_json(records))
     else:
         raise ValueError(f"unknown export format {fmt!r} (csv or json)")
     if manifest is not None:
@@ -123,7 +185,7 @@ def write_manifest_sidecar(
 ) -> Path:
     """Write the provenance sidecar for the artifact at *path*."""
     sidecar = manifest_sidecar_path(path)
-    sidecar.write_text(json.dumps(manifest.as_dict(), indent=2) + "\n")
+    atomic_write_text(sidecar, json.dumps(manifest.as_dict(), indent=2) + "\n")
     return sidecar
 
 
@@ -156,6 +218,12 @@ def result_to_dict(result: object) -> Mapping[str, object]:
             errors=result.errors,
             seed=result.seed,
         )
+        if result.truncated:
+            doc.update(
+                truncated=True,
+                stop_reason=result.stop_reason,
+                requested_samples=result.requested_samples,
+            )
     elif isinstance(result, ExhaustiveResult):
         doc.update(
             type="exhaustive",
@@ -163,6 +231,12 @@ def result_to_dict(result: object) -> Mapping[str, object]:
             width=result.width,
             cases=result.cases,
         )
+        if result.truncated:
+            doc.update(
+                truncated=True,
+                stop_reason=result.stop_reason,
+                total_cases=result.total_cases,
+            )
     elif isinstance(result, HybridSearchResult):
         doc.update(
             type="hybrid-search",
@@ -172,6 +246,8 @@ def result_to_dict(result: object) -> Mapping[str, object]:
             exact=result.exact,
             power_nw=result.power_nw,
         )
+        if result.truncated:
+            doc.update(truncated=True, stop_reason=result.stop_reason)
     else:
         raise TypeError(
             f"cannot serialise result of type {type(result).__name__}"
@@ -205,20 +281,32 @@ def result_from_dict(data: Mapping[str, object]) -> object:
         else None
     )
     kind = data.get("type")
+    truncated = bool(data.get("truncated", False))
+    stop_reason = data.get("stop_reason")
     if kind == "montecarlo":
+        requested = data.get("requested_samples")
         return MonteCarloResult(
             p_error=float(data["p_error"]),  # type: ignore[arg-type]
             samples=int(data["samples"]),  # type: ignore[arg-type]
             errors=int(data["errors"]),  # type: ignore[arg-type]
             seed=data.get("seed"),  # type: ignore[arg-type]
             manifest=manifest,
+            truncated=truncated,
+            stop_reason=stop_reason,  # type: ignore[arg-type]
+            requested_samples=(
+                int(requested) if requested is not None else None  # type: ignore[arg-type]
+            ),
         )
     if kind == "exhaustive":
+        total = data.get("total_cases")
         return ExhaustiveResult(
             p_error=float(data["p_error"]),  # type: ignore[arg-type]
             width=int(data["width"]),  # type: ignore[arg-type]
             cases=int(data["cases"]),  # type: ignore[arg-type]
             manifest=manifest,
+            truncated=truncated,
+            stop_reason=stop_reason,  # type: ignore[arg-type]
+            total_cases=int(total) if total is not None else None,  # type: ignore[arg-type]
         )
     if kind == "hybrid-search":
         power = data.get("power_nw")
@@ -229,14 +317,16 @@ def result_from_dict(data: Mapping[str, object]) -> object:
             exact=bool(data["exact"]),
             power_nw=float(power) if power is not None else None,
             manifest=manifest,
+            truncated=truncated,
+            stop_reason=stop_reason,  # type: ignore[arg-type]
         )
     raise ValueError(f"unknown result type {kind!r}")
 
 
 def save_result(result: object, path: Union[str, Path]) -> None:
-    """Write a result (with its manifest) as a JSON document."""
-    Path(path).write_text(
-        json.dumps(result_to_dict(result), indent=2) + "\n"
+    """Write a result (with its manifest) as a JSON document (atomically)."""
+    atomic_write_text(
+        path, json.dumps(result_to_dict(result), indent=2) + "\n"
     )
 
 

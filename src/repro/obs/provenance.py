@@ -13,6 +13,13 @@ Two kinds of fields:
   into :meth:`RunManifest.fingerprint`;
 * **environment fields** (timestamp, git SHA, python version, wall
   time) -- recorded for forensics, excluded from the fingerprint.
+
+The runtime resilience layer adds **budget/outcome fields**: the
+:class:`repro.runtime.RunBudget` the run was launched under (identity --
+a budgeted run is a different experiment), and ``truncated`` /
+``stop_reason`` / ``degraded_from`` recording whether the run stopped
+early at its budget or was routed to a cheaper engine (outcome --
+excluded from the fingerprint, like wall time).
 """
 
 from __future__ import annotations
@@ -71,10 +78,14 @@ class RunManifest:
     cells: Optional[Tuple[str, ...]] = None
     params: Mapping[str, object] = field(default_factory=dict)
     wall_time_s: Optional[float] = None
+    budget: Optional[Mapping[str, object]] = None
+    truncated: Optional[bool] = None
+    stop_reason: Optional[str] = None
+    degraded_from: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready ``sealpaa-manifest-v1`` dict."""
-        return {
+        doc: Dict[str, object] = {
             "format": MANIFEST_FORMAT,
             "kind": self.kind,
             "package_version": self.package_version,
@@ -87,6 +98,17 @@ class RunManifest:
             "params": dict(self.params),
             "wall_time_s": self.wall_time_s,
         }
+        # Runtime fields stay out of pre-runtime documents unless set,
+        # keeping old manifests byte-stable under round-trips.
+        if self.budget is not None:
+            doc["budget"] = dict(self.budget)
+        if self.truncated is not None:
+            doc["truncated"] = self.truncated
+        if self.stop_reason is not None:
+            doc["stop_reason"] = self.stop_reason
+        if self.degraded_from is not None:
+            doc["degraded_from"] = self.degraded_from
+        return doc
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
@@ -108,13 +130,19 @@ class RunManifest:
             cells=tuple(cells) if cells is not None else None,
             params=dict(data.get("params", {})),  # type: ignore[arg-type]
             wall_time_s=data.get("wall_time_s"),  # type: ignore[arg-type]
+            budget=data.get("budget"),  # type: ignore[arg-type]
+            truncated=data.get("truncated"),  # type: ignore[arg-type]
+            stop_reason=data.get("stop_reason"),  # type: ignore[arg-type]
+            degraded_from=data.get("degraded_from"),  # type: ignore[arg-type]
         )
 
     def fingerprint(self) -> str:
         """SHA-256 over the identity fields (canonical JSON).
 
         Two runs with the same configuration/seed share a fingerprint
-        regardless of when or on which commit they executed.
+        regardless of when or on which commit they executed.  The budget
+        is identity (it bounds what ran); truncation/degradation are
+        outcome and excluded, like wall time.
         """
         identity = {
             "kind": self.kind,
@@ -124,6 +152,10 @@ class RunManifest:
             "cells": list(self.cells) if self.cells is not None else None,
             "params": {k: self.params[k] for k in sorted(self.params)},
         }
+        if self.budget is not None:
+            identity["budget"] = {
+                k: self.budget[k] for k in sorted(self.budget)
+            }
         canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -134,6 +166,10 @@ def build_manifest(
     samples: Optional[int] = None,
     cells: Optional[Sequence[str]] = None,
     wall_time_s: Optional[float] = None,
+    budget: Optional[Mapping[str, object]] = None,
+    truncated: Optional[bool] = None,
+    stop_reason: Optional[str] = None,
+    degraded_from: Optional[str] = None,
     **params: object,
 ) -> RunManifest:
     """Capture a :class:`RunManifest` for the current environment."""
@@ -148,6 +184,10 @@ def build_manifest(
         cells=tuple(str(c) for c in cells) if cells is not None else None,
         params=params,
         wall_time_s=wall_time_s,
+        budget=dict(budget) if budget is not None else None,
+        truncated=truncated,
+        stop_reason=stop_reason,
+        degraded_from=degraded_from,
     )
 
 

@@ -1,0 +1,114 @@
+"""Fault injection for the resilience layer itself.
+
+A resilience layer that has never seen a failure is decoration.  This
+module provides a :class:`ChaosShim` the test suite (and brave users)
+can install to inject the three failure modes the runtime claims to
+survive:
+
+* **IO failures** -- :func:`repro.io.atomic_write_text` consults the
+  shim before committing a file, so checkpoint/result writes can be made
+  to raise ``OSError`` a configurable number of times (transient) or
+  forever (dead disk);
+* **deadline expiry** -- :meth:`ChaosShim.clock` is a virtual clock that
+  only advances when told to, letting tests drive a
+  :class:`~repro.runtime.budget.BudgetMeter` past its deadline at an
+  exact chunk boundary;
+* **mid-run interrupts** -- engines call :func:`tick` at every chunk
+  boundary; an armed shim raises ``KeyboardInterrupt`` on the N-th
+  tick, simulating a user/scheduler kill between batches.
+
+Installation is a context manager (:func:`install_chaos`) so a failed
+test can never leak chaos into the rest of the suite.  When no shim is
+installed every hook is a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+_active: Optional["ChaosShim"] = None
+
+
+class ChaosShim:
+    """Programmable failure injector used by the runtime test suite."""
+
+    def __init__(
+        self,
+        fail_io_times: int = 0,
+        interrupt_after_ticks: Optional[int] = None,
+        advance_per_tick: float = 0.0,
+    ) -> None:
+        #: How many further IO commits should fail (-1 = fail forever).
+        self.fail_io_times = fail_io_times
+        #: Raise ``KeyboardInterrupt`` on this 1-based tick, if set.
+        self.interrupt_after_ticks = interrupt_after_ticks
+        #: Virtual seconds the clock jumps at every chunk boundary --
+        #: the deterministic way to expire a deadline mid-run.
+        self.advance_per_tick = advance_per_tick
+        self.io_failures_injected = 0
+        self.ticks_seen = 0
+        self._now = 0.0
+
+    # -- virtual clock -----------------------------------------------------
+
+    def clock(self) -> float:
+        """Deterministic clock for ``BudgetMeter(clock=shim.clock)``."""
+        return self._now
+
+    def advance_clock(self, seconds: float) -> None:
+        """Move the virtual clock forward (e.g. past a deadline)."""
+        self._now += seconds
+
+    # -- hook points -------------------------------------------------------
+
+    def maybe_fail_io(self, path: str) -> None:
+        """Raise ``OSError`` if IO failures are still armed."""
+        if self.fail_io_times == 0:
+            return
+        if self.fail_io_times > 0:
+            self.fail_io_times -= 1
+        self.io_failures_injected += 1
+        raise OSError(f"chaos: injected IO failure writing {path}")
+
+    def on_tick(self, label: str) -> None:
+        """Chunk-boundary hook; may raise ``KeyboardInterrupt``."""
+        self.ticks_seen += 1
+        self._now += self.advance_per_tick
+        if (
+            self.interrupt_after_ticks is not None
+            and self.ticks_seen >= self.interrupt_after_ticks
+        ):
+            raise KeyboardInterrupt(
+                f"chaos: injected interrupt at {label} "
+                f"(tick {self.ticks_seen})"
+            )
+
+
+def get_chaos() -> Optional[ChaosShim]:
+    """The currently installed shim, or ``None``."""
+    return _active
+
+
+@contextlib.contextmanager
+def install_chaos(shim: ChaosShim) -> Iterator[ChaosShim]:
+    """Install *shim* for the duration of the ``with`` block."""
+    global _active
+    previous = _active
+    _active = shim
+    try:
+        yield shim
+    finally:
+        _active = previous
+
+
+def tick(label: str) -> None:
+    """Engine chunk-boundary hook (no-op unless a shim is installed)."""
+    if _active is not None:
+        _active.on_tick(label)
+
+
+def io_fault_check(path: str) -> None:
+    """IO commit hook for :func:`repro.io.atomic_write_text`."""
+    if _active is not None:
+        _active.maybe_fail_io(path)

@@ -1,0 +1,204 @@
+"""Crash-safe checkpoints for resumable engine runs.
+
+A checkpoint is a small JSON document (``sealpaa-checkpoint-v1``)
+written atomically (:func:`repro.io.atomic_write_text`) at chunk
+boundaries of a long-running engine:
+
+* Monte-Carlo: samples done, error count, and the full NumPy
+  bit-generator state, so a resumed run draws the *identical* random
+  stream and finishes bit-identical to an uninterrupted one;
+* chunked exhaustive enumeration: the block cursor (next ``a``-axis
+  start) plus accumulated error mass / cases visited;
+* brute-force hybrid search: the visited-config frontier (number of
+  assignments enumerated, best so far).
+
+Every checkpoint carries a configuration *fingerprint* -- a SHA-256 of
+the run's identity (engine kind, cells, probabilities, seed, batch
+geometry).  :func:`load_checkpoint` refuses a fingerprint mismatch with
+:class:`~repro.core.exceptions.CheckpointError`, so a stale file from a
+different run can never be silently mixed into a resumed one.
+
+Checkpoint *writes* are best-effort by design: a run that cannot
+checkpoint (full disk, dead NFS) logs a warning and keeps computing --
+losing resumability must not lose the run itself.  Loads, in contrast,
+fail loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from ..core.exceptions import CheckpointError
+from ..obs import metrics as _metrics
+from ..obs.log import get_logger, log_event
+from ..obs.tracing import trace_span
+
+CHECKPOINT_FORMAT = "sealpaa-checkpoint-v1"
+
+_logger = get_logger("runtime.checkpoint")
+
+
+def config_fingerprint(**identity: object) -> str:
+    """SHA-256 over a run's identity fields (canonical JSON)."""
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One saved engine state, safe to reload after any crash."""
+
+    kind: str
+    fingerprint: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+    sequence: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "sequence": self.sequence,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Checkpoint":
+        if data.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"expected a {CHECKPOINT_FORMAT!r} document, got "
+                f"{data.get('format')!r}"
+            )
+        return cls(
+            kind=str(data.get("kind", "")),
+            fingerprint=str(data.get("fingerprint", "")),
+            sequence=int(data.get("sequence", 0)),  # type: ignore[arg-type]
+            payload=dict(data.get("payload", {})),  # type: ignore[arg-type]
+        )
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    checkpoint: Checkpoint,
+    best_effort: bool = True,
+) -> bool:
+    """Atomically persist *checkpoint*; returns True on success.
+
+    With ``best_effort=True`` (the engine default) an ``OSError`` that
+    survives the atomic writer's bounded retries is logged and swallowed
+    -- the computation continues, it just loses resumability from this
+    point.  Pass ``best_effort=False`` to propagate the failure.
+    """
+    from ..io import atomic_write_text
+
+    text = json.dumps(checkpoint.as_dict(), indent=2, default=_jsonify) + "\n"
+    try:
+        with trace_span("runtime.checkpoint.write",
+                        kind=checkpoint.kind, sequence=checkpoint.sequence):
+            atomic_write_text(path, text)
+    except OSError as exc:
+        if not best_effort:
+            raise
+        if _metrics.is_enabled():
+            _metrics.get_registry().counter(
+                "runtime.checkpoint.write_failures"
+            ).add(1)
+        log_event(_logger, "checkpoint.write_failed", level=logging.WARNING,
+                  path=str(path), error=str(exc))
+        return False
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter("runtime.checkpoint.writes").add(1)
+    return True
+
+
+def load_checkpoint(
+    path: Union[str, Path],
+    expect_kind: Optional[str] = None,
+    expect_fingerprint: Optional[str] = None,
+) -> Checkpoint:
+    """Read and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` when the file is unreadable, corrupt
+    (the atomic writer makes this impossible for *our* writes, but disks
+    and humans exist), of the wrong engine kind, or fingerprinted for a
+    different run configuration.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt (invalid JSON: {exc})"
+        ) from exc
+    if not isinstance(data, dict):
+        raise CheckpointError(f"checkpoint {path} is not a JSON object")
+    checkpoint = Checkpoint.from_dict(data)
+    if expect_kind is not None and checkpoint.kind != expect_kind:
+        raise CheckpointError(
+            f"checkpoint {path} is for engine {checkpoint.kind!r}, "
+            f"expected {expect_kind!r}"
+        )
+    if (
+        expect_fingerprint is not None
+        and checkpoint.fingerprint != expect_fingerprint
+    ):
+        raise CheckpointError(
+            f"checkpoint {path} was written by a different run "
+            f"configuration (fingerprint {checkpoint.fingerprint[:12]}... "
+            f"!= expected {expect_fingerprint[:12]}...)"
+        )
+    return checkpoint
+
+
+def _jsonify(value: object) -> object:
+    """JSON fallback for NumPy scalars hiding in RNG state dicts."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+# -- NumPy RNG state (de)serialisation ----------------------------------------
+
+def rng_state_to_jsonable(state: Mapping[str, object]) -> Dict[str, object]:
+    """Make ``Generator.bit_generator.state`` JSON-round-trippable.
+
+    PCG64 state is plain Python ints already; other bit generators may
+    carry NumPy arrays/scalars, which are converted to lists/ints with a
+    type tag so :func:`rng_state_from_jsonable` can restore them.
+    """
+    def convert(value: object) -> object:
+        if isinstance(value, dict):
+            return {k: convert(v) for k, v in value.items()}
+        tolist = getattr(value, "tolist", None)
+        if callable(tolist) and not isinstance(value, (int, float, str, bool)):
+            return {"__ndarray__": tolist(), "dtype": str(value.dtype)} \
+                if hasattr(value, "dtype") else tolist()
+        return value
+
+    return convert(dict(state))  # type: ignore[return-value]
+
+
+def rng_state_from_jsonable(data: Mapping[str, object]) -> Dict[str, object]:
+    """Inverse of :func:`rng_state_to_jsonable`."""
+    import numpy as np
+
+    def restore(value: object) -> object:
+        if isinstance(value, dict):
+            if "__ndarray__" in value:
+                return np.array(value["__ndarray__"],
+                                dtype=value.get("dtype"))
+            return {k: restore(v) for k, v in value.items()}
+        return value
+
+    return restore(dict(data))  # type: ignore[return-value]

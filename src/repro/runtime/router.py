@@ -1,0 +1,191 @@
+"""Graceful degradation: route an error-probability query to the best
+engine the budget can afford.
+
+The paper's Fig. 1 story -- exhaustive simulation explodes as
+``2^(2N+1)`` while cheaper estimators stay flat -- becomes an
+operational decision here.  :func:`plan_engine` walks the degradation
+ladder
+
+    exhaustive (one block)  ->  chunked exhaustive  ->  Monte-Carlo
+
+using the closed-form case counts from :mod:`repro.simulation.cost_model`
+and the :class:`~repro.runtime.budget.RunBudget`: a width beyond the
+exhaustive limit, a case count over the budget's ``max_cases``, or a
+deadline too short for the estimated enumeration throughput each push
+the query one rung down instead of erroring or hanging.  Every
+downgrade is recorded in the result's provenance manifest
+(``degraded_from``), so a number produced by a fallback engine can
+never masquerade as the exact oracle.
+
+:func:`resilient_error_probability` executes the plan, threading the
+budget (and optional checkpointing) into the chosen engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Union
+
+from ..core.exceptions import AnalysisError
+from ..obs.log import get_logger, log_event
+from .budget import RunBudget
+
+ENGINE_EXHAUSTIVE = "exhaustive"
+ENGINE_CHUNKED_EXHAUSTIVE = "chunked-exhaustive"
+ENGINE_MONTECARLO = "montecarlo"
+
+#: Conservative enumeration throughput (cases/second) used to judge
+#: whether a deadline can afford exhaustive enumeration at all.  Real
+#: machines do better; underestimating only degrades earlier, which is
+#: the safe direction.
+CASES_PER_SECOND_ESTIMATE = 2_000_000
+
+_logger = get_logger("runtime.router")
+
+
+@dataclass(frozen=True)
+class EngineDecision:
+    """The routing outcome: which engine runs and why."""
+
+    engine: str
+    reason: str
+    degraded_from: Optional[str] = None
+    estimated_cases: Optional[int] = None
+    samples: Optional[int] = None
+
+
+def plan_engine(
+    width: int,
+    budget: Optional[RunBudget] = None,
+    samples: Optional[int] = None,
+) -> EngineDecision:
+    """Choose the strongest engine the width and budget allow.
+
+    Preference order: single-block exhaustive (exact, fits one
+    enumeration block), chunked exhaustive (exact, bounded memory),
+    Monte-Carlo (estimate, bounded everything).  *samples* is the
+    Monte-Carlo fallback's sample count (clamped to the budget's
+    ``max_samples``).
+    """
+    from ..simulation.exhaustive import BLOCK_CASES, MAX_EXHAUSTIVE_WIDTH
+    from ..simulation.cost_model import exhaustive_case_count
+    from ..simulation.montecarlo import PAPER_SAMPLE_COUNT
+
+    if width < 1:
+        raise AnalysisError(f"width must be >= 1, got {width}")
+    mc_samples = samples if samples is not None else PAPER_SAMPLE_COUNT
+    if budget is not None and budget.max_samples is not None:
+        mc_samples = min(mc_samples, budget.max_samples)
+
+    if width > MAX_EXHAUSTIVE_WIDTH:
+        return EngineDecision(
+            engine=ENGINE_MONTECARLO,
+            reason=f"width {width} exceeds the exhaustive limit "
+                   f"({MAX_EXHAUSTIVE_WIDTH})",
+            degraded_from=ENGINE_CHUNKED_EXHAUSTIVE,
+            samples=mc_samples,
+        )
+    cases = exhaustive_case_count(width)
+    if budget is not None:
+        if budget.max_cases is not None and cases > budget.max_cases:
+            return EngineDecision(
+                engine=ENGINE_MONTECARLO,
+                reason=f"{cases} cases exceed the budget's max_cases "
+                       f"({budget.max_cases})",
+                degraded_from=ENGINE_CHUNKED_EXHAUSTIVE,
+                estimated_cases=cases,
+                samples=mc_samples,
+            )
+        if budget.deadline_s is not None:
+            affordable = int(budget.deadline_s * CASES_PER_SECOND_ESTIMATE)
+            if cases > affordable:
+                return EngineDecision(
+                    engine=ENGINE_MONTECARLO,
+                    reason=f"{cases} cases would overrun the "
+                           f"{budget.deadline_s:g}s deadline at "
+                           f"~{CASES_PER_SECOND_ESTIMATE} cases/s",
+                    degraded_from=ENGINE_CHUNKED_EXHAUSTIVE,
+                    estimated_cases=cases,
+                    samples=mc_samples,
+                )
+    if cases <= BLOCK_CASES:
+        return EngineDecision(
+            engine=ENGINE_EXHAUSTIVE,
+            reason=f"{cases} cases fit a single enumeration block",
+            estimated_cases=cases,
+        )
+    return EngineDecision(
+        engine=ENGINE_CHUNKED_EXHAUSTIVE,
+        reason=f"{cases} cases require chunked enumeration",
+        degraded_from=ENGINE_EXHAUSTIVE,
+        estimated_cases=cases,
+    )
+
+
+@dataclass(frozen=True)
+class RoutedResult:
+    """An engine result plus the routing decision that produced it."""
+
+    decision: EngineDecision
+    result: object
+
+    @property
+    def p_error(self) -> float:
+        return self.result.p_error  # type: ignore[attr-defined]
+
+    @property
+    def truncated(self) -> bool:
+        return bool(getattr(self.result, "truncated", False))
+
+
+def resilient_error_probability(
+    cell: object,
+    width: Optional[int] = None,
+    p_a: object = 0.5,
+    p_b: object = 0.5,
+    p_cin: float = 0.5,
+    budget: Optional[RunBudget] = None,
+    samples: Optional[int] = None,
+    seed: Optional[int] = 0,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[object] = None,
+) -> RoutedResult:
+    """Compute ``P(Error)`` with the strongest engine the budget affords.
+
+    Routes per :func:`plan_engine`, threads the budget and optional
+    checkpointing into the chosen engine, and stamps the downgrade (if
+    any) into the result's provenance manifest.  Never hangs on an
+    absurd width and never errors merely because the exact oracle is
+    unaffordable -- the answer degrades to an estimate instead.
+    """
+    from ..core.recursive import resolve_chain
+    from ..simulation.exhaustive import exhaustive_report
+    from ..simulation.montecarlo import simulate_error_probability
+
+    cells = resolve_chain(cell, width)
+    n = len(cells)
+    decision = plan_engine(n, budget, samples)
+    log_event(_logger, "router.decision", engine=decision.engine,
+              degraded_from=decision.degraded_from, width=n,
+              reason=decision.reason)
+    if decision.engine == ENGINE_MONTECARLO:
+        result = simulate_error_probability(
+            cells, None, p_a, p_b, p_cin,
+            samples=decision.samples or 1, seed=seed, budget=budget,
+            checkpoint_path=checkpoint_path, resume=resume,
+            progress=progress,
+        )
+    else:
+        result = exhaustive_report(
+            cells, None, p_a, p_b, p_cin, budget=budget,
+            checkpoint_path=checkpoint_path, resume=resume,
+            progress=progress,
+        )
+    if decision.degraded_from is not None and result.manifest is not None:
+        result = replace(
+            result,
+            manifest=replace(result.manifest,
+                             degraded_from=decision.degraded_from),
+        )
+    return RoutedResult(decision=decision, result=result)

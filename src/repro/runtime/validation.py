@@ -1,0 +1,117 @@
+"""Self-validation guard: cross-check analytical ``P(Error)`` against a
+budgeted Monte-Carlo run.
+
+The paper's recursion (Algorithm 1) is exact for carry-chain errors but
+an *upper bound* when a chain can mask a stage error in the final sum
+(see :mod:`repro.core.masking`).  This module turns that relationship
+into an opt-in runtime guard: :func:`validate_against_simulation` runs a
+small budgeted simulation, builds a Wilson score interval around the
+estimate, and raises a structured
+:class:`~repro.core.exceptions.ValidationError` when the analytical
+number falls outside it -- two-sided for exact chains, one-sided
+(analytical below the interval) for masking chains where the bound is
+allowed to sit above the simulation.
+
+A ``z`` of 4.0 (~1 in 16k false alarms per check) keeps the guard quiet
+on healthy code while still catching real disagreements within a couple
+of hundred thousand samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from ..core.exceptions import ValidationError
+from ..obs.log import get_logger, log_event
+from .budget import RunBudget
+
+#: Default sample count for the guard: enough for ~1e-3 resolution
+#: without the cost of the paper's full million-sample runs.
+VALIDATION_SAMPLE_COUNT = 200_000
+
+_logger = get_logger("runtime.validation")
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of an analytical-vs-simulation cross-check."""
+
+    analytical: float
+    estimate: float
+    interval: Tuple[float, float]
+    samples: int
+    exact: bool
+    z: float
+    truncated: bool = False
+
+    @property
+    def consistent(self) -> bool:
+        lo, hi = self.interval
+        if self.exact:
+            return lo <= self.analytical <= hi
+        # For masking chains the recursion upper-bounds the truth, so
+        # only "analytical below the interval" is a contradiction.
+        return self.analytical >= lo
+
+
+def validate_against_simulation(
+    cell: object,
+    width: Optional[int] = None,
+    p_a: object = 0.5,
+    p_b: object = 0.5,
+    p_cin: float = 0.5,
+    samples: int = VALIDATION_SAMPLE_COUNT,
+    seed: Optional[int] = 0,
+    z: float = 4.0,
+    budget: Optional[RunBudget] = None,
+    analytical: Optional[float] = None,
+) -> ValidationReport:
+    """Cross-check the recursion against a budgeted Monte-Carlo run.
+
+    Computes the analytical ``P(Error)`` (unless *analytical* is
+    supplied, e.g. a cached value), simulates *samples* random
+    additions under the same probabilities, and compares via the Wilson
+    score interval at quantile *z*.  Returns a
+    :class:`ValidationReport` on agreement; raises
+    :class:`~repro.core.exceptions.ValidationError` carrying the
+    analytical value, the estimate, and the interval otherwise.
+
+    A *budget* bounds the simulation; a truncated run validates against
+    whatever samples it managed to draw (wider interval, weaker check),
+    so the guard itself can never blow a deadline.
+    """
+    from ..core.masking import chain_is_exact
+    from ..core.recursive import error_probability, resolve_chain
+    from ..simulation.montecarlo import simulate_error_probability
+
+    cells = resolve_chain(cell, width)
+    if analytical is None:
+        analytical = float(error_probability(cells, None, p_a, p_b, p_cin))
+    exact = chain_is_exact(cells)
+    mc = simulate_error_probability(
+        cells, None, p_a, p_b, p_cin,
+        samples=samples, seed=seed, budget=budget,
+    )
+    interval = mc.wilson_interval(z)
+    report = ValidationReport(
+        analytical=analytical, estimate=mc.p_error, interval=interval,
+        samples=mc.samples, exact=exact, z=z, truncated=mc.truncated,
+    )
+    log_event(_logger, "validation.checked", analytical=analytical,
+              estimate=mc.p_error, lo=interval[0], hi=interval[1],
+              samples=mc.samples, exact=exact,
+              consistent=report.consistent)
+    if not report.consistent:
+        lo, hi = interval
+        relation = "outside" if exact else "below"
+        raise ValidationError(
+            f"analytical P(error)={analytical:.6g} is {relation} the "
+            f"simulation's Wilson interval [{lo:.6g}, {hi:.6g}] "
+            f"(estimate {mc.p_error:.6g} from {mc.samples} samples, "
+            f"z={z:g})",
+            analytical=analytical,
+            estimate=mc.p_error,
+            interval=interval,
+        )
+    return report

@@ -14,9 +14,11 @@ from .cost_model import (
 )
 from .exhaustive import (
     MAX_EXHAUSTIVE_WIDTH,
+    ExhaustiveResult,
     exhaustive_error_count,
     exhaustive_error_pmf,
     exhaustive_error_probability,
+    exhaustive_report,
 )
 from .functional import exact_add, ripple_add, ripple_add_array
 from .montecarlo import (
@@ -33,6 +35,8 @@ __all__ = [
     "exhaustive_error_probability",
     "exhaustive_error_count",
     "exhaustive_error_pmf",
+    "exhaustive_report",
+    "ExhaustiveResult",
     "MAX_EXHAUSTIVE_WIDTH",
     "simulate_error_probability",
     "simulate_samples",

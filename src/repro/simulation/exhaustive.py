@@ -34,10 +34,19 @@ from ..core.exceptions import AnalysisError
 from ..core.recursive import CellSpec, resolve_chain
 from ..core.types import Probability, validate_probability, validate_probability_vector
 from ..obs import metrics as _metrics
-from ..obs.log import Progress, ProgressCallback, get_logger
+from ..obs.log import Progress, ProgressCallback, get_logger, log_event
 from ..obs.provenance import RunManifest, StopWatch, build_manifest
 from ..obs.tracing import trace_span
+from ..runtime import chaos as _chaos
+from ..runtime.budget import STOP_MAX_CASES, RunBudget, make_meter
+from ..runtime.checkpoint import (
+    Checkpoint,
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .functional import ripple_add_array
+from .montecarlo import _reject_nonfinite
 
 #: Widths above this would enumerate > 2^33 cases; refuse rather than hang.
 MAX_EXHAUSTIVE_WIDTH = 16
@@ -56,23 +65,39 @@ def _operand_grid(width: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     return a.ravel(), b.ravel(), cin.ravel()
 
 
+def _block_step(width: int, budget: Optional[RunBudget] = None) -> int:
+    """``a``-axis stride per block, clamped to a budget's memory hint."""
+    per_a = 1 << (width + 1)
+    step = max(1, BLOCK_CASES // per_a)
+    if budget is not None and budget.memory_hint_mb is not None:
+        # ~5 int64 arrays (a, b, cin, approx, exact) alive per case.
+        max_cases = max(per_a, int(budget.memory_hint_mb * 1_000_000 / 40))
+        step = max(1, min(step, max_cases // per_a))
+    return step
+
+
 def _iter_operand_blocks(
     width: int,
-) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    start_a: int = 0,
+    step: Optional[int] = None,
+) -> Iterator[Tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
     """The :func:`_operand_grid` enumeration, in bounded-size blocks.
 
     Blocks split along the *a* axis (each *a* value contributes
-    ``2^(width+1)`` cases), preserving the full-grid case order.
+    ``2^(width+1)`` cases), preserving the full-grid case order.  Yields
+    ``(a_start, a, b, cin)``; *a_start* is the block's cursor, which the
+    checkpointing enumerators persist so a resumed run continues from
+    the first unvisited block.
     """
     values = np.arange(1 << width, dtype=np.int64)
-    per_a = 1 << (width + 1)
-    step = max(1, BLOCK_CASES // per_a)
-    for start in range(0, values.size, step):
+    if step is None:
+        step = _block_step(width)
+    for start in range(start_a, values.size, step):
         a, b, cin = np.meshgrid(
             values[start:start + step], values,
             np.array([0, 1], dtype=np.int64), indexing="ij",
         )
-        yield a.ravel(), b.ravel(), cin.ravel()
+        yield start, a.ravel(), b.ravel(), cin.ravel()
 
 
 def _bit_weights(values: np.ndarray, probs: Sequence[float], width: int) -> np.ndarray:
@@ -100,12 +125,21 @@ def _count_cases(width: int) -> int:
 
 @dataclass(frozen=True)
 class ExhaustiveResult:
-    """Weighted exhaustive-enumeration outcome with provenance."""
+    """Weighted exhaustive-enumeration outcome with provenance.
+
+    ``cases`` counts the input combinations actually visited.  For a
+    complete run it equals ``total_cases`` (= ``2^(2*width+1)``); a run
+    stopped early by its budget has ``truncated=True`` and ``p_error``
+    is then a *lower bound* (the error mass of the visited prefix).
+    """
 
     p_error: float
     width: int
     cases: int
     manifest: Optional[RunManifest] = None
+    truncated: bool = False
+    stop_reason: Optional[str] = None
+    total_cases: Optional[int] = None
 
     @property
     def p_success(self) -> float:
@@ -133,6 +167,8 @@ def exhaustive_error_probability(
     pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
     pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
     pc = float(validate_probability(p_cin, "p_cin"))
+    _reject_nonfinite(pa, "p_a")
+    _reject_nonfinite(pb, "p_b")
 
     total_cases = _count_cases(n)
     reporter = Progress(total_cases, "exhaustive.cases", callback=progress,
@@ -141,7 +177,7 @@ def exhaustive_error_probability(
     with _metrics.timed("simulation.exhaustive.enumerate"), \
             trace_span("simulation.exhaustive.enumerate",
                        width=n, cases=total_cases):
-        for a, b, cin in _iter_operand_blocks(n):
+        for _, a, b, cin in _iter_operand_blocks(n):
             approx = ripple_add_array(cells, a, b, cin)
             wrong = approx != (a + b + cin)
             weights = (
@@ -166,24 +202,141 @@ def exhaustive_report(
     p_b: Union[Probability, Sequence[Probability]] = 0.5,
     p_cin: Probability = 0.5,
     progress: Optional[ProgressCallback] = None,
+    budget: Optional[RunBudget] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> ExhaustiveResult:
-    """:func:`exhaustive_error_probability` plus a provenance manifest."""
+    """:func:`exhaustive_error_probability` plus a provenance manifest.
+
+    This is the *resilient* enumeration entry point: it accepts a
+    :class:`repro.runtime.RunBudget` (deadline / ``max_cases``, checked
+    at block boundaries after at least one block) and a checkpoint path
+    (block cursor + accumulated error mass, written atomically every
+    *checkpoint_every* blocks).  ``resume=True`` continues from the
+    first unvisited block and yields exactly the same mass as an
+    uninterrupted run -- blocks partition the grid, and every case is
+    visited exactly once.
+    """
     watch = StopWatch()
     cells = resolve_chain(cell, width)
     n = len(cells)
-    p_error = exhaustive_error_probability(cells, None, p_a, p_b, p_cin,
-                                           progress=progress)
+    _check_width(n)
+    if checkpoint_every < 1:
+        raise AnalysisError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if resume and checkpoint_path is None:
+        raise AnalysisError("resume=True requires checkpoint_path")
+    pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
+    pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
+    pc = float(validate_probability(p_cin, "p_cin"))
+    _reject_nonfinite(pa, "p_a")
+    _reject_nonfinite(pb, "p_b")
+
+    step = _block_step(n, budget)
+    total_cases = _count_cases(n)
+    fingerprint = config_fingerprint(
+        kind="exhaustive", cells=[t.name for t in cells],
+        p_a=pa, p_b=pb, p_cin=pc, step=step,
+    )
+    start_a = 0
+    mass = 0.0
+    cases_done = 0
+    sequence = 0
+    if resume:
+        saved = load_checkpoint(checkpoint_path, expect_kind="exhaustive",
+                                expect_fingerprint=fingerprint)
+        start_a = int(saved.payload["next_a_start"])  # type: ignore[arg-type]
+        mass = float(saved.payload["mass"])  # type: ignore[arg-type]
+        cases_done = int(saved.payload["cases_done"])  # type: ignore[arg-type]
+        sequence = saved.sequence
+        log_event(_logger, "exhaustive.resumed", next_a_start=start_a,
+                  cases_done=cases_done, path=checkpoint_path)
+
+    meter = make_meter(budget)
+    stop_reason: Optional[str] = None
+    progressed = False
+    reporter = Progress(total_cases, "exhaustive.cases", callback=progress,
+                        logger=_logger)
+    if cases_done:
+        reporter.update(cases_done)
+    latest_payload: Optional[dict] = None
+    blocks_since_save = 0
+
+    def flush(payload: dict) -> None:
+        nonlocal sequence, blocks_since_save
+        sequence += 1
+        save_checkpoint(
+            checkpoint_path,
+            Checkpoint(kind="exhaustive", fingerprint=fingerprint,
+                       payload=payload, sequence=sequence),
+        )
+        blocks_since_save = 0
+
+    try:
+        with _metrics.timed("simulation.exhaustive.enumerate"), \
+                trace_span("simulation.exhaustive.report",
+                           width=n, cases=total_cases):
+            for a_start, a, b, cin in _iter_operand_blocks(n, start_a, step):
+                if progressed:
+                    stop_reason = meter.stop_reason()
+                    if stop_reason is not None:
+                        break
+                approx = ripple_add_array(cells, a, b, cin)
+                wrong = approx != (a + b + cin)
+                weights = (
+                    _bit_weights(a, pa, n)
+                    * _bit_weights(b, pb, n)
+                    * np.where(cin == 1, pc, 1.0 - pc)
+                )
+                mass += float(weights[wrong].sum())
+                cases_done += a.size
+                progressed = True
+                meter.charge(cases=a.size)
+                reporter.update(a.size)
+                latest_payload = {
+                    "next_a_start": a_start + step,
+                    "mass": mass,
+                    "cases_done": cases_done,
+                }
+                blocks_since_save += 1
+                if (checkpoint_path is not None
+                        and blocks_since_save >= checkpoint_every):
+                    flush(latest_payload)
+                _chaos.tick("exhaustive.block")
+    except KeyboardInterrupt:
+        if checkpoint_path is not None and latest_payload is not None:
+            flush(latest_payload)
+        raise
+    reporter.finish()
+    if checkpoint_path is not None and blocks_since_save > 0 \
+            and latest_payload is not None:
+        flush(latest_payload)
+
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter(
+            "simulation.exhaustive.cases"
+        ).add(cases_done)
+    truncated = cases_done < total_cases
+    if truncated and stop_reason is None:
+        stop_reason = STOP_MAX_CASES
     manifest = build_manifest(
         "exhaustive",
-        samples=_count_cases(n),
+        samples=cases_done,
         cells=[t.name for t in cells],
         wall_time_s=watch.elapsed(),
-        p_a=[float(p) for p in validate_probability_vector(p_a, n, "p_a")],
-        p_b=[float(p) for p in validate_probability_vector(p_b, n, "p_b")],
-        p_cin=float(validate_probability(p_cin, "p_cin")),
+        budget=budget.as_dict() if budget is not None else None,
+        truncated=True if truncated else None,
+        stop_reason=stop_reason if truncated else None,
+        p_a=pa, p_b=pb, p_cin=pc,
+        **({"total_cases": total_cases} if truncated else {}),
     )
-    return ExhaustiveResult(p_error=p_error, width=n, cases=_count_cases(n),
-                            manifest=manifest)
+    return ExhaustiveResult(
+        p_error=mass, width=n, cases=cases_done, manifest=manifest,
+        truncated=truncated, stop_reason=stop_reason if truncated else None,
+        total_cases=total_cases,
+    )
 
 
 def exhaustive_error_count(
@@ -206,7 +359,7 @@ def exhaustive_error_count(
     with _metrics.timed("simulation.exhaustive.enumerate"), \
             trace_span("simulation.exhaustive.count",
                        width=n, cases=total_cases):
-        for a, b, cin in _iter_operand_blocks(n):
+        for _, a, b, cin in _iter_operand_blocks(n):
             approx = ripple_add_array(cells, a, b, cin)
             errors += int((approx != (a + b + cin)).sum())
             reporter.update(a.size)
@@ -245,7 +398,7 @@ def exhaustive_error_pmf(
     with _metrics.timed("simulation.exhaustive.enumerate"), \
             trace_span("simulation.exhaustive.pmf",
                        width=n, cases=total_cases):
-        for a, b, cin in _iter_operand_blocks(n):
+        for _, a, b, cin in _iter_operand_blocks(n):
             delta = ripple_add_array(cells, a, b, cin) - (a + b + cin)
             weights = (
                 _bit_weights(a, pa, n)

@@ -16,6 +16,13 @@ The default of one million samples matches the paper.  Long runs are
 observable: batches emit :class:`repro.obs.Progress` callbacks, timers
 land in the metrics registry, and every result carries a
 :class:`repro.obs.RunManifest` recording seed/samples/cells/version.
+
+Long runs are also *resilient*: :func:`simulate_error_probability`
+accepts a :class:`repro.runtime.RunBudget` (stop cleanly at a deadline
+or sample cap, returning a partial result flagged ``truncated=True``)
+and a checkpoint path (periodic crash-safe snapshots of the error
+counts plus the RNG bit-generator state, so ``resume=True`` finishes
+bit-identical to an uninterrupted run).
 """
 
 from __future__ import annotations
@@ -33,12 +40,38 @@ from ..obs import metrics as _metrics
 from ..obs.log import Progress, ProgressCallback, get_logger, log_event
 from ..obs.provenance import RunManifest, StopWatch, build_manifest
 from ..obs.tracing import trace_span
+from ..runtime import chaos as _chaos
+from ..runtime.budget import STOP_MAX_SAMPLES, RunBudget, make_meter
+from ..runtime.checkpoint import (
+    Checkpoint,
+    config_fingerprint,
+    load_checkpoint,
+    rng_state_from_jsonable,
+    rng_state_to_jsonable,
+    save_checkpoint,
+)
 from .functional import ripple_add_array
 
 #: Sample count used throughout the paper's inequiprobable validation.
 PAPER_SAMPLE_COUNT = 1_000_000
 
+#: Rough per-sample peak footprint of one batch (operand/result int64
+#: arrays plus the per-bit boolean draw), used with a budget's
+#: ``memory_hint_mb`` to clamp the batch size.
+_BYTES_PER_SAMPLE_BASE = 6 * 8
+
 _logger = get_logger("simulation.montecarlo")
+
+
+def _effective_batch_size(
+    batch_size: int, width: int, budget: Optional[RunBudget]
+) -> int:
+    """Clamp *batch_size* to a budget's memory hint (if any)."""
+    if budget is None or budget.memory_hint_mb is None:
+        return batch_size
+    per_sample = _BYTES_PER_SAMPLE_BASE + 2 * width
+    cap = int(budget.memory_hint_mb * 1_000_000 / per_sample)
+    return max(1, min(batch_size, cap))
 
 
 def _sample_operands(
@@ -60,13 +93,23 @@ def _sample_operands(
 
 @dataclass(frozen=True)
 class MonteCarloResult:
-    """Outcome of a Monte-Carlo error-probability estimation."""
+    """Outcome of a Monte-Carlo error-probability estimation.
+
+    ``truncated=True`` marks a run stopped early by its
+    :class:`~repro.runtime.RunBudget` -- ``samples`` then reflects the
+    samples actually drawn (the estimate is valid, just lower
+    precision), ``requested_samples`` the original target and
+    ``stop_reason`` why the run stopped.
+    """
 
     p_error: float
     samples: int
     errors: int
     seed: Optional[int]
     manifest: Optional[RunManifest] = None
+    truncated: bool = False
+    stop_reason: Optional[str] = None
+    requested_samples: Optional[int] = None
 
     def half_width(self, z: float = 1.96, method: str = "normal") -> float:
         """Confidence half-width at quantile *z* (default 1.96 == 95%).
@@ -132,6 +175,8 @@ def simulate_samples(
     pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
     pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
     pc = float(validate_probability(p_cin, "p_cin"))
+    _reject_nonfinite(pa, "p_a")
+    _reject_nonfinite(pb, "p_b")
 
     rng = np.random.default_rng(seed)
     approx_parts = []
@@ -169,38 +214,185 @@ def simulate_error_probability(
     samples: int = PAPER_SAMPLE_COUNT,
     seed: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    batch_size: int = 1 << 20,
+    budget: Optional[RunBudget] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> MonteCarloResult:
     """Estimate ``P(Error)`` from *samples* random additions.
 
     With the paper's one million samples the estimate agrees with the
     analytical value to about the 3rd decimal place (Table 6), since the
     standard error is ``sqrt(p(1-p)/1e6) <= 5e-4``.
+
+    Unlike :func:`simulate_samples` this never materialises the full
+    sample arrays: errors are counted per batch, so memory stays bounded
+    by *batch_size* regardless of *samples*.
+
+    Resilience knobs:
+
+    * *budget* -- a :class:`repro.runtime.RunBudget`; the run stops
+      cleanly at the deadline / sample cap (checked at batch
+      boundaries, after at least one batch) and returns a partial
+      result flagged ``truncated=True`` with the stop reason in the
+      manifest;
+    * *checkpoint_path* -- write a crash-safe checkpoint (error counts
+      + RNG state) every *checkpoint_every* completed batches, and once
+      more when the run ends or is interrupted;
+    * *resume* -- restore counts and RNG state from *checkpoint_path*
+      and continue; the final result is bit-identical to an
+      uninterrupted run with the same configuration (the checkpoint's
+      configuration fingerprint is verified, mismatches raise
+      :class:`~repro.core.exceptions.CheckpointError`).
     """
     watch = StopWatch()
     cells = resolve_chain(cell, width)
     n = len(cells)
-    approx, exact = simulate_samples(
-        cells, None, p_a, p_b, p_cin, samples=samples, seed=seed,
-        progress=progress,
+    if samples < 1:
+        raise AnalysisError(f"samples must be >= 1, got {samples}")
+    if checkpoint_every < 1:
+        raise AnalysisError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if resume and checkpoint_path is None:
+        raise AnalysisError("resume=True requires checkpoint_path")
+    pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
+    pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
+    pc = float(validate_probability(p_cin, "p_cin"))
+    _reject_nonfinite(pa, "p_a")
+    _reject_nonfinite(pb, "p_b")
+
+    eff_batch = _effective_batch_size(batch_size, n, budget)
+    fingerprint = config_fingerprint(
+        kind="montecarlo", cells=[t.name for t in cells], seed=seed,
+        samples=samples, p_a=pa, p_b=pb, p_cin=pc, batch_size=eff_batch,
     )
-    errors = int((approx != exact).sum())
+    rng = np.random.default_rng(seed)
+    done = 0
+    errors = 0
+    sequence = 0
+    if resume:
+        saved = load_checkpoint(checkpoint_path, expect_kind="montecarlo",
+                                expect_fingerprint=fingerprint)
+        done = int(saved.payload["samples_done"])  # type: ignore[arg-type]
+        errors = int(saved.payload["errors"])  # type: ignore[arg-type]
+        sequence = saved.sequence
+        rng.bit_generator.state = rng_state_from_jsonable(
+            saved.payload["rng_state"]  # type: ignore[arg-type]
+        )
+        log_event(_logger, "montecarlo.resumed", samples_done=done,
+                  errors=errors, path=checkpoint_path)
+
+    meter = make_meter(budget)
+    stop_reason: Optional[str] = None
+    progressed = False
+    reporter = Progress(samples, "montecarlo.samples", callback=progress,
+                        logger=_logger)
+    if done:
+        reporter.update(done)
+    latest_payload: Optional[dict] = None
+    batches_since_save = 0
+
+    def snapshot() -> dict:
+        return {
+            "samples_done": done,
+            "errors": errors,
+            "rng_state": rng_state_to_jsonable(rng.bit_generator.state),
+        }
+
+    def flush(payload: dict) -> None:
+        nonlocal sequence, batches_since_save
+        sequence += 1
+        save_checkpoint(
+            checkpoint_path,
+            Checkpoint(kind="montecarlo", fingerprint=fingerprint,
+                       payload=payload, sequence=sequence),
+        )
+        batches_since_save = 0
+
+    try:
+        with _metrics.timed("simulation.montecarlo.simulate"), \
+                trace_span("simulation.montecarlo.simulate",
+                           width=n, samples=samples):
+            while done < samples:
+                if progressed:
+                    stop_reason = meter.stop_reason()
+                    if stop_reason is not None:
+                        break
+                chunk = meter.remaining_samples(min(eff_batch, samples - done))
+                if chunk == 0:
+                    stop_reason = meter.stop_reason() or STOP_MAX_SAMPLES
+                    break
+                with _metrics.timed("simulation.montecarlo.batch"):
+                    a = _sample_operands(rng, pa, chunk)
+                    b = _sample_operands(rng, pb, chunk)
+                    cin = (rng.random(chunk) < pc).astype(np.int64)
+                    approx = ripple_add_array(cells, a, b, cin)
+                    errors += int((approx != (a + b + cin)).sum())
+                done += chunk
+                progressed = True
+                meter.charge(samples=chunk)
+                reporter.update(chunk)
+                latest_payload = snapshot()
+                batches_since_save += 1
+                if (checkpoint_path is not None
+                        and batches_since_save >= checkpoint_every):
+                    flush(latest_payload)
+                _chaos.tick("montecarlo.batch")
+    except KeyboardInterrupt:
+        # Flush the last completed batch so the run is resumable, then
+        # let the interrupt propagate (the CLI converts it to exit 130).
+        if checkpoint_path is not None and latest_payload is not None:
+            flush(latest_payload)
+        raise
+    reporter.finish()
+    if checkpoint_path is not None and batches_since_save > 0 \
+            and latest_payload is not None:
+        flush(latest_payload)
+
+    truncated = done < samples
     manifest = build_manifest(
         "montecarlo",
         seed=seed,
-        samples=samples,
+        samples=done,
         cells=[t.name for t in cells],
         wall_time_s=watch.elapsed(),
-        p_a=[float(p) for p in validate_probability_vector(p_a, n, "p_a")],
-        p_b=[float(p) for p in validate_probability_vector(p_b, n, "p_b")],
-        p_cin=float(validate_probability(p_cin, "p_cin")),
+        budget=budget.as_dict() if budget is not None else None,
+        truncated=True if truncated else None,
+        stop_reason=stop_reason,
+        p_a=pa, p_b=pb, p_cin=pc,
+        **({"samples_requested": samples} if truncated else {}),
     )
     if _metrics.is_enabled():
-        _metrics.get_registry().counter(
-            "simulation.montecarlo.errors"
-        ).add(errors)
-    log_event(_logger, "montecarlo.done", samples=samples, errors=errors,
-              p_error=errors / samples, wall_s=manifest.wall_time_s)
+        registry = _metrics.get_registry()
+        registry.counter("simulation.montecarlo.samples").add(done)
+        registry.counter("simulation.montecarlo.errors").add(errors)
+    p_error = errors / done if done else 0.0
+    log_event(_logger, "montecarlo.done", samples=done, errors=errors,
+              p_error=p_error, truncated=truncated,
+              wall_s=manifest.wall_time_s)
     return MonteCarloResult(
-        p_error=errors / samples, samples=samples, errors=errors, seed=seed,
-        manifest=manifest,
+        p_error=p_error, samples=done, errors=errors, seed=seed,
+        manifest=manifest, truncated=truncated, stop_reason=stop_reason,
+        requested_samples=samples if truncated else None,
     )
+
+
+def _reject_nonfinite(probs: Sequence[float], name: str) -> None:
+    """Belt-and-braces NaN/inf guard on an already-validated vector.
+
+    :func:`repro.core.types.validate_probability` rejects non-finite
+    scalars, but engines re-check the final float vectors here so a
+    poisoned value can never reach the samplers through a future
+    validation regression -- a NaN weight silently zeroes comparisons
+    instead of failing loudly.
+    """
+    arr = np.asarray(probs, dtype=np.float64)
+    bad = np.flatnonzero(~np.isfinite(arr))
+    if bad.size:
+        from ..core.exceptions import ProbabilityError
+
+        raise ProbabilityError(
+            f"{name}[{int(bad[0])}] is not finite: {arr[int(bad[0])]!r}"
+        )

@@ -1,0 +1,99 @@
+"""RunBudget validation and BudgetMeter cooperative-cancellation logic."""
+
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.runtime import (
+    STOP_DEADLINE,
+    STOP_MAX_CASES,
+    STOP_MAX_CONFIGS,
+    STOP_MAX_SAMPLES,
+    BudgetMeter,
+    ChaosShim,
+    RunBudget,
+    install_chaos,
+    make_meter,
+)
+
+
+class TestRunBudget:
+    def test_default_is_unlimited(self):
+        assert RunBudget().unlimited
+
+    def test_any_limit_is_not_unlimited(self):
+        assert not RunBudget(deadline_s=1.0).unlimited
+        assert not RunBudget(max_samples=10).unlimited
+        # A bare memory hint never stops a run.
+        assert RunBudget(memory_hint_mb=64).unlimited
+
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline_s": 0.0},
+        {"deadline_s": -1.0},
+        {"memory_hint_mb": 0},
+        {"max_samples": 0},
+        {"max_cases": -5},
+        {"max_configs": 2.5},
+    ])
+    def test_invalid_limits_rejected(self, kwargs):
+        with pytest.raises(AnalysisError, match="budget"):
+            RunBudget(**kwargs)
+
+    def test_dict_round_trip(self):
+        budget = RunBudget(deadline_s=3.5, max_samples=100,
+                           memory_hint_mb=16)
+        assert RunBudget.from_dict(budget.as_dict()) == budget
+
+
+class TestBudgetMeter:
+    def test_unlimited_never_stops(self):
+        meter = BudgetMeter(None)
+        meter.charge(samples=10**9, cases=10**9, configs=10**9)
+        assert meter.stop_reason() is None
+
+    def test_sample_cap(self):
+        meter = BudgetMeter(RunBudget(max_samples=100))
+        meter.charge(samples=99)
+        assert meter.stop_reason() is None
+        meter.charge(samples=1)
+        assert meter.stop_reason() == STOP_MAX_SAMPLES
+
+    def test_case_and_config_caps(self):
+        meter = BudgetMeter(RunBudget(max_cases=10, max_configs=5))
+        meter.charge(cases=10)
+        assert meter.stop_reason() == STOP_MAX_CASES
+        meter = BudgetMeter(RunBudget(max_configs=5))
+        meter.charge(configs=7)
+        assert meter.stop_reason() == STOP_MAX_CONFIGS
+
+    def test_deadline_with_injected_clock(self):
+        now = [0.0]
+        meter = BudgetMeter(RunBudget(deadline_s=2.0), clock=lambda: now[0])
+        assert meter.stop_reason() is None
+        now[0] = 1.99
+        assert meter.stop_reason() is None
+        now[0] = 2.0
+        assert meter.stop_reason() == STOP_DEADLINE
+
+    def test_deadline_takes_priority_over_caps(self):
+        now = [10.0]
+        meter = BudgetMeter(RunBudget(deadline_s=1.0, max_samples=5),
+                            clock=lambda: now[0])
+        meter.charge(samples=5)
+        now[0] = 20.0
+        assert meter.stop_reason() == STOP_DEADLINE
+
+    def test_remaining_clamps(self):
+        meter = BudgetMeter(RunBudget(max_samples=100, max_cases=8))
+        meter.charge(samples=90, cases=8)
+        assert meter.remaining_samples(64) == 10
+        assert meter.remaining_cases(64) == 0
+        unlimited = BudgetMeter(None)
+        assert unlimited.remaining_samples(64) == 64
+
+    def test_make_meter_uses_chaos_clock(self):
+        shim = ChaosShim()
+        with install_chaos(shim):
+            meter = make_meter(RunBudget(deadline_s=5.0))
+            assert meter.stop_reason() is None
+            shim.advance_clock(5.0)
+            assert meter.stop_reason() == STOP_DEADLINE

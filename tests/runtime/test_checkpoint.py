@@ -1,0 +1,112 @@
+"""Checkpoint round-trips, fingerprint guards, and best-effort writes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import CheckpointError
+from repro.runtime import (
+    ChaosShim,
+    Checkpoint,
+    config_fingerprint,
+    install_chaos,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.checkpoint import (
+    rng_state_from_jsonable,
+    rng_state_to_jsonable,
+)
+
+
+class TestFingerprint:
+    def test_deterministic_and_order_independent(self):
+        a = config_fingerprint(kind="mc", seed=1, cells=["LPAA 1"])
+        b = config_fingerprint(cells=["LPAA 1"], kind="mc", seed=1)
+        assert a == b
+
+    def test_sensitive_to_every_field(self):
+        base = config_fingerprint(kind="mc", seed=1)
+        assert config_fingerprint(kind="mc", seed=2) != base
+        assert config_fingerprint(kind="ex", seed=1) != base
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        ckpt = Checkpoint(kind="montecarlo", fingerprint="f" * 64,
+                          payload={"samples_done": 42, "errors": 7},
+                          sequence=3)
+        assert save_checkpoint(path, ckpt) is True
+        loaded = load_checkpoint(path, expect_kind="montecarlo",
+                                 expect_fingerprint="f" * 64)
+        assert loaded.payload["samples_done"] == 42
+        assert loaded.sequence == 3
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, Checkpoint(kind="montecarlo",
+                                         fingerprint="a"))
+        with pytest.raises(CheckpointError, match="engine"):
+            load_checkpoint(path, expect_kind="exhaustive")
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(path, Checkpoint(kind="montecarlo",
+                                         fingerprint="a" * 64))
+        with pytest.raises(CheckpointError, match="different run"):
+            load_checkpoint(path, expect_kind="montecarlo",
+                            expect_fingerprint="b" * 64)
+
+    def test_missing_and_corrupt_files_fail_loudly(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.ckpt")
+        bad = tmp_path / "bad.ckpt"
+        bad.write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(bad)
+        wrong = tmp_path / "wrong.ckpt"
+        wrong.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError, match="expected a"):
+            load_checkpoint(wrong)
+
+
+class TestRngState:
+    def test_state_round_trip_draws_identical_stream(self):
+        rng = np.random.default_rng(123)
+        rng.random(1000)  # advance past the seed state
+        state = rng_state_from_jsonable(
+            json.loads(json.dumps(rng_state_to_jsonable(
+                rng.bit_generator.state
+            )))
+        )
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = state
+        assert np.array_equal(rng.random(100), fresh.random(100))
+
+
+@pytest.mark.chaos
+class TestBestEffortWrites:
+    def test_persistent_failure_is_swallowed(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        shim = ChaosShim(fail_io_times=-1)
+        with install_chaos(shim):
+            ok = save_checkpoint(path, Checkpoint(kind="mc", fingerprint="x"))
+        assert ok is False
+        assert not path.exists()
+        assert shim.io_failures_injected >= 1
+
+    def test_strict_mode_propagates(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        with install_chaos(ChaosShim(fail_io_times=-1)):
+            with pytest.raises(OSError):
+                save_checkpoint(path, Checkpoint(kind="mc", fingerprint="x"),
+                                best_effort=False)
+
+    def test_transient_failure_retries_through(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        with install_chaos(ChaosShim(fail_io_times=2)):
+            ok = save_checkpoint(path, Checkpoint(kind="mc", fingerprint="x"))
+        assert ok is True
+        assert load_checkpoint(path).kind == "mc"

@@ -1,0 +1,81 @@
+"""Chunked-exhaustive resilience: budgets, block-cursor checkpoint/resume."""
+
+import pytest
+
+from repro.runtime import (
+    STOP_MAX_CASES,
+    ChaosShim,
+    RunBudget,
+    install_chaos,
+)
+from repro.simulation.exhaustive import (
+    exhaustive_error_probability,
+    exhaustive_report,
+)
+
+CELL = "LPAA 2"
+WIDTH = 6  # 2^13 = 8192 cases; forces multiple blocks with a memory hint.
+
+
+def run(**kwargs):
+    return exhaustive_report(CELL, WIDTH, 0.4, 0.6, 0.5, **kwargs)
+
+
+class TestBudgets:
+    def test_complete_run_matches_plain_oracle(self):
+        result = run()
+        assert result.cases == result.total_cases == 1 << 13
+        assert not result.truncated
+        assert result.p_error == pytest.approx(
+            exhaustive_error_probability(CELL, WIDTH, 0.4, 0.6, 0.5)
+        )
+
+    def test_case_cap_yields_partial_lower_bound(self):
+        # The tiny memory hint forces small blocks so the cap can land
+        # mid-enumeration.
+        capped = run(budget=RunBudget(max_cases=2_000,
+                                      memory_hint_mb=0.01))
+        full = run()
+        assert capped.truncated
+        assert capped.stop_reason == STOP_MAX_CASES
+        assert capped.cases < full.cases
+        assert capped.total_cases == full.cases
+        assert 0.0 < capped.p_error <= full.p_error
+        assert capped.manifest.truncated is True
+        assert capped.manifest.params["total_cases"] == 1 << 13
+
+    def test_progress_guarantee_under_instant_deadline(self):
+        # The clock blows past the deadline right after the first
+        # block, yet that block's work is in the result: the partial
+        # is never degenerate.
+        with install_chaos(ChaosShim(advance_per_tick=100.0)):
+            result = run(budget=RunBudget(deadline_s=1.0,
+                                          memory_hint_mb=0.01))
+        assert result.cases > 0
+        assert result.cases < result.total_cases
+        assert result.truncated
+        assert result.stop_reason == "deadline"
+
+
+class TestCheckpointResume:
+    def test_resume_reproduces_exact_mass(self, tmp_path):
+        ckpt = tmp_path / "ex.ckpt"
+        baseline = run()
+        with install_chaos(ChaosShim(interrupt_after_ticks=2)):
+            with pytest.raises(KeyboardInterrupt):
+                run(checkpoint_path=str(ckpt), checkpoint_every=1,
+                    budget=RunBudget(memory_hint_mb=0.01))
+        resumed = run(checkpoint_path=str(ckpt), resume=True,
+                      budget=RunBudget(memory_hint_mb=0.01))
+        assert resumed.cases == baseline.cases
+        assert resumed.p_error == pytest.approx(baseline.p_error, abs=1e-12)
+        assert not resumed.truncated
+
+    def test_checkpoint_fingerprint_binds_probabilities(self, tmp_path):
+        from repro.core.exceptions import CheckpointError
+
+        ckpt = tmp_path / "ex.ckpt"
+        run(checkpoint_path=str(ckpt))
+        with pytest.raises(CheckpointError, match="different run"):
+            exhaustive_report(CELL, WIDTH, 0.9, 0.1, 0.5,
+                              checkpoint_path=str(ckpt), resume=True)

@@ -1,0 +1,99 @@
+"""Hybrid-search resilience: degradation, partial fronts, brute resume."""
+
+import pytest
+
+from repro.explore.hybrid_search import (
+    ParetoFront,
+    brute_force_hybrid,
+    greedy_hybrid,
+    hybrid_tradeoff_curve,
+    optimal_hybrid,
+)
+from repro.runtime import STOP_DEADLINE, ChaosShim, RunBudget, install_chaos
+
+CELLS = ["LPAA 1", "LPAA 2", "LPAA 7"]
+
+
+class TestOptimalDegradation:
+    def test_deadline_degrades_to_greedy(self):
+        with install_chaos(ChaosShim(advance_per_tick=100.0)):
+            result = optimal_hybrid(CELLS, 8, 0.3, 0.6, 0.5,
+                                    budget=RunBudget(deadline_s=1.0))
+        assert result.truncated
+        assert result.stop_reason == STOP_DEADLINE
+        assert not result.exact
+        # The fallback is the greedy design: still a full-width,
+        # analysable chain with a matching error probability.
+        greedy = greedy_hybrid(CELLS, 8, 0.3, 0.6, 0.5)
+        assert result.chain.spec() == greedy.chain.spec()
+        assert result.p_error == pytest.approx(greedy.p_error)
+        assert result.manifest.degraded_from == "optimal"
+        assert result.manifest.truncated is True
+        assert result.manifest.params["strategy"] == "greedy"
+
+    def test_no_budget_stays_optimal(self):
+        result = optimal_hybrid(CELLS, 8, 0.3, 0.6, 0.5)
+        assert not result.truncated
+        assert result.exact
+        assert result.manifest.degraded_from is None
+
+
+class TestBruteForceResume:
+    def test_interrupted_sweep_resumes_to_same_optimum(self, tmp_path):
+        ckpt = tmp_path / "brute.ckpt"
+        baseline = brute_force_hybrid(CELLS, 4, 0.3, 0.6, 0.5)
+        with install_chaos(ChaosShim(interrupt_after_ticks=10)):
+            with pytest.raises(KeyboardInterrupt):
+                brute_force_hybrid(CELLS, 4, 0.3, 0.6, 0.5,
+                                   checkpoint_path=str(ckpt),
+                                   checkpoint_every=4)
+        resumed = brute_force_hybrid(CELLS, 4, 0.3, 0.6, 0.5,
+                                     checkpoint_path=str(ckpt), resume=True)
+        assert resumed.chain.spec() == baseline.chain.spec()
+        assert resumed.p_error == baseline.p_error
+        assert resumed.exact
+
+    def test_config_cap_returns_best_so_far(self):
+        result = brute_force_hybrid(CELLS, 4, 0.3, 0.6, 0.5,
+                                    budget=RunBudget(max_configs=10))
+        assert result.truncated
+        assert not result.exact
+        assert result.chain.width == 4
+        assert result.manifest.params["configs_evaluated"] == 10
+
+    def test_brute_agrees_with_optimal_when_complete(self):
+        brute = brute_force_hybrid(CELLS, 4, 0.3, 0.6, 0.5)
+        optimal = optimal_hybrid(CELLS, 4, 0.3, 0.6, 0.5)
+        assert brute.p_error == pytest.approx(optimal.p_error, abs=1e-12)
+
+
+class TestParetoFront:
+    WEIGHTS = [0.0, 1e-4, 1e-3, 1e-2]
+
+    def test_complete_sweep_behaves_like_a_list(self):
+        front = hybrid_tradeoff_curve(CELLS, 4, self.WEIGHTS, 0.3, 0.6, 0.5)
+        assert isinstance(front, ParetoFront)
+        assert front  # truthy when non-empty
+        assert len(front) >= 1
+        assert front[0].chain.width == 4
+        assert list(front) == list(front.results)
+        assert not front.truncated
+        assert front.manifest.params["weights_swept"] == sorted(self.WEIGHTS)
+
+    def test_deadline_yields_valid_partial_front(self):
+        # The clock expires on the first tick (between weights).
+        with install_chaos(ChaosShim(advance_per_tick=100.0)):
+            front = hybrid_tradeoff_curve(CELLS, 4, self.WEIGHTS,
+                                          0.3, 0.6, 0.5,
+                                          budget=RunBudget(deadline_s=1.0))
+        assert front.truncated
+        assert front.stop_reason == STOP_DEADLINE
+        assert 1 <= len(front) < len(self.WEIGHTS)
+        # Every design present is complete and analysable.
+        for result in front:
+            assert result.chain.width == 4
+            assert 0.0 <= result.p_error <= 1.0
+        assert front.manifest.truncated is True
+        assert front.manifest.stop_reason == STOP_DEADLINE
+        swept = front.manifest.params["weights_swept"]
+        assert len(swept) < len(self.WEIGHTS)

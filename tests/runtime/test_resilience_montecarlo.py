@@ -1,0 +1,127 @@
+"""Monte-Carlo resilience: budgets, checkpoint/resume, chaos interrupts."""
+
+import pytest
+
+from repro.runtime import (
+    STOP_DEADLINE,
+    STOP_MAX_SAMPLES,
+    ChaosShim,
+    RunBudget,
+    install_chaos,
+)
+from repro.simulation.montecarlo import simulate_error_probability
+
+CELL = "LPAA 1"
+WIDTH = 4
+
+
+def run(samples=50_000, batch_size=8_192, **kwargs):
+    return simulate_error_probability(
+        CELL, WIDTH, 0.3, 0.7, 0.5, samples=samples, seed=11,
+        batch_size=batch_size, **kwargs,
+    )
+
+
+class TestBudgets:
+    def test_unbudgeted_run_is_complete(self):
+        result = run()
+        assert result.samples == 50_000
+        assert not result.truncated
+        assert result.stop_reason is None
+        assert result.requested_samples is None
+        assert result.manifest.truncated is None
+
+    def test_sample_cap_truncates_cleanly(self):
+        result = run(budget=RunBudget(max_samples=20_000))
+        assert result.truncated
+        assert result.samples == 20_000
+        assert result.errors <= result.samples
+        assert 0.0 < result.p_error < 1.0
+        assert result.stop_reason == STOP_MAX_SAMPLES
+        assert result.requested_samples == 50_000
+        assert result.manifest.truncated is True
+        assert result.manifest.stop_reason == STOP_MAX_SAMPLES
+        assert result.manifest.budget["max_samples"] == 20_000
+
+    def test_deadline_truncates_at_batch_boundary(self):
+        shim = ChaosShim()
+        with install_chaos(shim):
+            # The virtual clock expires after the meter is created, so
+            # the first batch runs (progress guarantee) and the second
+            # stop-check fires.
+            shim.advance_clock(0.0)
+
+            def eager_progress(done, total, label):
+                shim.advance_clock(10.0)
+
+            result = run(budget=RunBudget(deadline_s=5.0),
+                         progress=eager_progress)
+        assert result.truncated
+        assert result.stop_reason == STOP_DEADLINE
+        assert result.samples == 8_192  # exactly one batch
+
+    def test_truncated_estimate_matches_prefix(self):
+        # A budget-truncated run equals an honest run of the same size:
+        # the partial result is a valid estimate, not a damaged one.
+        capped = run(budget=RunBudget(max_samples=16_384))
+        honest = run(samples=16_384)
+        assert capped.samples == honest.samples == 16_384
+        assert capped.errors == honest.errors
+        assert capped.p_error == honest.p_error
+
+
+class TestCheckpointResume:
+    def test_resume_is_bit_identical(self, tmp_path):
+        ckpt = tmp_path / "mc.ckpt"
+        baseline = run()
+
+        shim = ChaosShim(interrupt_after_ticks=3)
+        with install_chaos(shim):
+            with pytest.raises(KeyboardInterrupt):
+                run(checkpoint_path=str(ckpt), checkpoint_every=1)
+        assert ckpt.exists()
+
+        resumed = run(checkpoint_path=str(ckpt), resume=True)
+        assert resumed.samples == baseline.samples
+        assert resumed.errors == baseline.errors
+        assert resumed.p_error == baseline.p_error
+        assert not resumed.truncated
+
+    def test_interrupt_flushes_unsaved_progress(self, tmp_path):
+        # checkpoint_every=10 means nothing was flushed when the chaos
+        # interrupt lands at tick 3 -- the KeyboardInterrupt handler
+        # must still write the latest snapshot before propagating.
+        ckpt = tmp_path / "mc.ckpt"
+        with install_chaos(ChaosShim(interrupt_after_ticks=3)):
+            with pytest.raises(KeyboardInterrupt):
+                run(checkpoint_path=str(ckpt), checkpoint_every=10)
+        assert ckpt.exists()
+        resumed = run(checkpoint_path=str(ckpt), resume=True)
+        baseline = run()
+        assert resumed.errors == baseline.errors
+
+    def test_resume_refuses_other_configuration(self, tmp_path):
+        from repro.core.exceptions import CheckpointError
+
+        ckpt = tmp_path / "mc.ckpt"
+        run(samples=16_384, checkpoint_path=str(ckpt))
+        with pytest.raises(CheckpointError, match="different run"):
+            simulate_error_probability(
+                CELL, WIDTH, 0.3, 0.7, 0.5, samples=16_384, seed=999,
+                batch_size=8_192, checkpoint_path=str(ckpt), resume=True,
+            )
+
+    def test_resume_requires_path(self):
+        from repro.core.exceptions import AnalysisError
+
+        with pytest.raises(AnalysisError, match="resume"):
+            run(resume=True)
+
+
+class TestMemoryHint:
+    def test_memory_hint_clamps_batch(self):
+        # A 1 MB hint forces ~18k-sample batches; the run still
+        # completes exactly.
+        result = run(budget=RunBudget(memory_hint_mb=1.0))
+        assert result.samples == 50_000
+        assert not result.truncated

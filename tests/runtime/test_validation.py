@@ -1,0 +1,54 @@
+"""Self-validation guard: analytical vs budgeted simulation."""
+
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.runtime import RunBudget, validate_against_simulation
+
+
+class TestAgreement:
+    def test_exact_chain_validates(self):
+        report = validate_against_simulation("LPAA 1", 4, 0.3, 0.6, 0.5,
+                                             samples=50_000, seed=3)
+        assert report.consistent
+        assert report.exact
+        lo, hi = report.interval
+        assert lo <= report.analytical <= hi
+
+    def test_masking_chain_validates_one_sided(self):
+        # This chain can mask internal errors (the CLI warns about it):
+        # the recursion is an upper bound, so the analytical value may
+        # sit above the interval without being wrong.
+        chain = ["LPAA 6", "LPAA 1", "LPAA 7"]
+        report = validate_against_simulation(chain, None, 0.5, 0.5, 0.5,
+                                             samples=50_000, seed=3)
+        assert report.consistent
+        assert not report.exact
+        assert report.analytical >= report.interval[0]
+
+    def test_budget_bounds_the_guard(self):
+        report = validate_against_simulation(
+            "LPAA 1", 4, samples=500_000, seed=1,
+            budget=RunBudget(max_samples=20_000),
+        )
+        assert report.truncated
+        assert report.samples == 20_000
+        assert report.consistent
+
+
+class TestDisagreement:
+    def test_wrong_analytical_raises_structured_error(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_against_simulation("LPAA 1", 4, 0.3, 0.6, 0.5,
+                                        samples=50_000, seed=3,
+                                        analytical=0.123)
+        err = excinfo.value
+        assert err.analytical == 0.123
+        assert err.interval[0] <= err.estimate <= err.interval[1]
+        # The injected value really is outside the reported interval.
+        assert not err.interval[0] <= 0.123 <= err.interval[1]
+
+    def test_error_is_a_repro_error(self):
+        from repro.core.exceptions import ReproError
+
+        assert issubclass(ValidationError, ReproError)
