@@ -21,5 +21,6 @@ See ``examples/quickstart.py`` and the README for more.
 from ._version import __version__
 from .core import *  # noqa: F401,F403 -- curated re-export, see core.__all__
 from .core import __all__ as _core_all
+from . import engine  # noqa: F401 -- the unified analysis entry point
 
 __all__ = ["__version__", *_core_all]

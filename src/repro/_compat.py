@@ -1,0 +1,26 @@
+"""Deprecation plumbing for the pre-``repro.engine`` entry points.
+
+Kept free of any ``repro`` imports so every layer (including
+``repro.core``) can emit migration warnings without import cycles.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit a :class:`DeprecationWarning` attributed to the *caller* of
+    the deprecated function.
+
+    ``stacklevel=3`` skips this helper and the deprecated shim itself, so
+    the warning points at (and is filtered by the module name of) the
+    code that needs migrating.  CI runs the suite with
+    ``-W error::DeprecationWarning:repro`` to prove no in-repo caller is
+    left on a deprecated entry point.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import FrozenSet, List, Optional, Sequence, Union
 
+from .._compat import warn_deprecated
 from ..core.exceptions import AnalysisError
 from ..core.recursive import CellSpec, resolve_chain
 from ..core.truth_table import ACCURATE, FullAdderTruthTable
@@ -118,9 +119,27 @@ def inclusion_exclusion_error_probability(
 ) -> InclusionExclusionReport:
     """Word-level error probability via the full IE expansion.
 
-    Numerically identical to the recursive method but exponentially more
-    expensive: evaluates all ``2^N - 1`` joint-probability terms.
+    .. deprecated::
+        Call ``repro.engine.run(cell, width, ..., engine="inclusion-exclusion")``
+        instead; the report stays available as ``result.raw``.
     """
+    warn_deprecated(
+        "baselines.inclusion_exclusion.inclusion_exclusion_error_probability",
+        'repro.engine.run(..., engine="inclusion-exclusion")',
+    )
+    return _inclusion_exclusion_impl(cell, width, p_a, p_b, p_cin, max_width)
+
+
+def _inclusion_exclusion_impl(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+    max_width: int = MAX_IE_WIDTH,
+) -> InclusionExclusionReport:
+    """The full IE expansion -- numerically identical to the recursive
+    method but exponentially more expensive: all ``2^N - 1`` terms."""
     cells = resolve_chain(cell, width)
     n = len(cells)
     if n > max_width:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.exceptions import AnalysisError
-from ..core.recursive import CellSpec, error_probability
+from ..core.recursive import CellSpec
 from ..core.truth_table import FullAdderTruthTable
 from ..core.types import Probability
 from .cells import synthesize_cell
@@ -117,13 +117,17 @@ def fault_detectability(
     manufacturing-defect-in-the-cell-library scenario), and the impact is
     compared against the healthy chain.
     """
+    from .. import engine as _engine
+
     impl = synthesize_cell(cell)
-    healthy = float(error_probability(impl.table, width, p_a, p_b, p_cin))
+    healthy = float(
+        _engine.run(impl.table, width, p_a, p_b, p_cin).p_error
+    )
     impacts = []
     for fault in faults if faults is not None else enumerate_faults(impl.netlist):
         faulty_table = faulted_truth_table(impl.table, fault)
         faulty = float(
-            error_probability(faulty_table, width, p_a, p_b, p_cin)
+            _engine.run(faulty_table, width, p_a, p_b, p_cin).p_error
         )
         impacts.append(
             FaultImpact(

@@ -164,10 +164,11 @@ def latency_error_tradeoff(
     The rows the LLAA literature plots: each configuration's critical
     path (sub-adder length L) against its exact error probability.
     """
-    from ..gear.analysis import gear_error_probability
+    from .. import engine as _engine
 
     rows: List[Dict[str, float]] = []
     for config in GeArConfig.valid_configs(n):
+        request = _engine.AnalysisRequest.for_gear(config)
         rows.append(
             {
                 "r": config.r,
@@ -175,7 +176,7 @@ def latency_error_tradeoff(
                 "l": config.l,
                 "subadders": config.num_subadders,
                 "delay": gear_delay_model(config, cell, gate_delays),
-                "p_error": gear_error_probability(config),
+                "p_error": _engine.run(request).p_error,
             }
         )
     rows.sort(key=lambda row: (row["delay"], row["p_error"]))

@@ -42,13 +42,11 @@ import contextlib
 import sys
 from typing import Optional, Sequence
 
-from . import __version__, obs
+from . import __version__, engine, obs
 from .core.adders import registry
 from .core.hybrid import HybridChain
 from .core.masking import chain_is_exact
-from .core.recursive import analyze_chain
 from .core.stages import format_trace_table, trace_chain
-from .core.vectorized import error_by_width
 from .reporting import ascii_table
 
 
@@ -97,7 +95,7 @@ def _cmd_analyze(args) -> int:
         result = trace_chain(list(chain.cells), None, args.pa, args.pb, args.pcin)
         print(format_trace_table(result))
     else:
-        result = chain.analyze(args.pa, args.pb, args.pcin)
+        result = engine.run(chain, None, args.pa, args.pb, args.pcin)
     print(f"chain      : {chain.describe()}")
     print(f"P(Succ)    : {float(result.p_success):.6f}")
     print(f"P(Error)   : {float(result.p_error):.6f}")
@@ -123,7 +121,7 @@ def _cmd_sweep(args) -> int:
     cells = args.cells or registry.names()
     rows = []
     for name in cells:
-        curve = error_by_width(name, args.max_width, args.p, args.pcin)
+        curve = engine.error_curves(name, args.max_width, args.p, args.pcin)
         rows.append([name, *[float(v) for v in curve]])
     headers = ["Cell", *[f"N={n}" for n in range(1, args.max_width + 1)]]
     print(ascii_table(headers, rows, digits=args.digits,
@@ -132,26 +130,20 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    from .simulation.exhaustive import (
-        MAX_EXHAUSTIVE_WIDTH,
-        exhaustive_error_probability,
-    )
-    from .simulation.montecarlo import simulate_error_probability
-
     chain = _chain_from_args(args)
-    cells = list(chain.cells)
-    analytical = float(
-        analyze_chain(cells, None, args.pa, args.pb, args.pcin).p_error
+    request = engine.AnalysisRequest.chain(
+        chain, None, args.pa, args.pb, args.pcin
     )
-    rows = [["analytical (recursion)", analytical]]
-    if chain.width <= MAX_EXHAUSTIVE_WIDTH:
+    analytical = engine.run(request).p_error
+    rows = [["analytical (recursion)", float(analytical)]]
+    exhaustive = engine.REGISTRY.get("exhaustive")
+    if exhaustive.accepts(request):
         rows.append([
             "exhaustive (weighted enumeration)",
-            exhaustive_error_probability(cells, None, args.pa, args.pb,
-                                         args.pcin),
+            engine.run(request, engine="exhaustive").p_error,
         ])
-    mc = simulate_error_probability(
-        cells, None, args.pa, args.pb, args.pcin,
+    mc = engine.run(
+        request, engine="montecarlo",
         samples=args.samples, seed=args.seed,
         budget=_budget_from_args(args),
         checkpoint_path=getattr(args, "checkpoint", None),
@@ -168,55 +160,48 @@ def _cmd_compare(args) -> int:
 
 def _cmd_simulate(args) -> int:
     """Budget-routed simulation: the strongest engine the budget affords."""
-    from .runtime import resilient_error_probability
-
     chain = _chain_from_args(args)
-    routed = resilient_error_probability(
-        list(chain.cells), None, args.pa, args.pb, args.pcin,
+    result = engine.run(
+        chain, None, args.pa, args.pb, args.pcin, simulate=True,
         budget=_budget_from_args(args), samples=args.samples,
         seed=args.seed, checkpoint_path=getattr(args, "checkpoint", None),
         resume=getattr(args, "resume", False),
     )
-    decision, result = routed.decision, routed.result
     print(f"chain      : {chain.describe()}")
-    print(f"engine     : {decision.engine}  ({decision.reason})")
-    if decision.degraded_from is not None:
-        print(f"degraded   : from {decision.degraded_from}")
+    print(f"engine     : {result.engine}  ({result.reason})")
+    if result.degraded_from is not None:
+        print(f"degraded   : from {result.degraded_from}")
     print(f"P(Error)   : {result.p_error:.6f}")
-    unit = "samples" if decision.engine == "montecarlo" else "cases"
+    unit = "samples" if result.engine == "montecarlo" else "cases"
     print(f"{unit:<11}: {getattr(result, unit)}")
-    if routed.truncated:
+    if result.truncated:
         print(f"truncated  : yes ({result.stop_reason})")
     if getattr(args, "save", None):
         from .io import save_result
 
-        save_result(result, args.save)
+        save_result(result.raw, args.save)
         print(f"saved      : {args.save}")
     return 0
 
 
 def _cmd_gear(args) -> int:
-    from .gear.analysis import (
-        gear_error_probability,
-        gear_inclusion_exclusion,
-        gear_monte_carlo,
-        gear_subadder_error_probabilities,
-    )
+    from .gear.analysis import gear_subadder_error_probabilities
     from .gear.config import GeArConfig
 
     config = GeArConfig(args.n, args.r, args.p)
     print(config.describe())
-    dp = gear_error_probability(config, args.pa, args.pb)
+    request = engine.AnalysisRequest.for_gear(config, args.pa, args.pb)
+    dp = engine.run(request, engine="gear-dp").p_error
     print(f"P(Error) [linear DP]     : {dp:.6f}")
     if config.num_subadders - 1 <= 20:
-        ie = gear_inclusion_exclusion(config, args.pa, args.pb)
+        ie = engine.run(request, engine="gear-ie").raw
         print(
             f"P(Error) [inclusion-exc] : {ie.p_error:.6f} "
             f"({ie.terms_evaluated} terms)"
         )
     if args.samples:
-        mc = gear_monte_carlo(config, args.pa, args.pb,
-                              samples=args.samples, seed=args.seed)
+        mc = engine.run(request, engine="gear-mc",
+                        samples=args.samples, seed=args.seed).p_error
         print(f"P(Error) [monte-carlo]   : {mc:.6f}")
     marginals = gear_subadder_error_probabilities(config, args.pa, args.pb)
     for i, marginal in enumerate(marginals, start=1):
@@ -299,7 +284,6 @@ def _cmd_table(args) -> int:
     """Reproduce a paper table on stdout (subset of the bench suite)."""
     from .core.adders import PAPER_LPAAS
     from .core.matrices import derive_matrices
-    from .core.recursive import error_probability
 
     table_id = args.id
     if table_id == "4":
@@ -330,7 +314,7 @@ def _cmd_table(args) -> int:
             rows.append([
                 width,
                 *[
-                    float(error_probability(cell, width, 0.1, 0.1, 0.1))
+                    engine.run(cell, width, 0.1, 0.1, 0.1).p_error
                     for cell in PAPER_LPAAS
                 ],
             ])

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from .._compat import warn_deprecated
 from .exceptions import ProbabilityError
 from .matrices import derive_matrices
 from .recursive import CellSpec, resolve_chain
@@ -135,7 +136,15 @@ def error_probability_correlated(
     p_cin: Probability = 0.5,
     width: Optional[int] = None,
 ) -> float:
-    """``1 - P(Succ)`` under per-stage joint operand laws."""
+    """``1 - P(Succ)`` under per-stage joint operand laws.
+
+    .. deprecated::
+        Call ``repro.engine.run(cell, width, p_cin=..., joints=...)``
+        instead; :func:`analyze_chain_correlated` remains the
+        non-deprecated primitive.
+    """
+    warn_deprecated("core.correlated.error_probability_correlated",
+                    "repro.engine.run(..., joints=...)")
     p_success, _ = analyze_chain_correlated(cell, joints, p_cin, width)
     return 1.0 - p_success
 
@@ -153,4 +162,5 @@ def self_addition_error(
     exact analysis quantifies.
     """
     joints = [JointBitDistribution.identical(p)] * width
-    return error_probability_correlated(cell, joints, p_cin, width)
+    p_success, _ = analyze_chain_correlated(cell, joints, p_cin, width)
+    return 1.0 - p_success

@@ -1,0 +1,104 @@
+"""Shared probability-vector normalisation.
+
+Before this module existed, :mod:`repro.core.recursive`,
+:mod:`repro.core.vectorized` and :mod:`repro.simulation.montecarlo` each
+carried their own near-identical copy of "broadcast a scalar to a
+per-bit vector, check the length, reject NaN/inf, cast to float".  They
+now share the two helpers below:
+
+* :func:`float_probability_vector` -- the scalar/list convention used by
+  every float engine (simulators, GeAr DP, multi-operand analysis,
+  hybrid search, the engine layer);
+* :func:`probability_grid` / :func:`probability_row` -- the NumPy
+  ``(batch, width)`` / ``(batch,)`` broadcasting convention used by the
+  vectorised recursion.
+
+The scalar engine keeps using
+:func:`repro.core.types.validate_probability_vector` directly because it
+alone must preserve ``fractions.Fraction`` exactness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from .exceptions import ProbabilityError
+from .types import Probability, validate_probability_vector
+
+
+def float_probability_vector(
+    values: Union[Probability, Sequence[Probability]],
+    length: int,
+    name: str = "probabilities",
+) -> List[float]:
+    """Validate/broadcast a probability spec to ``length`` floats.
+
+    A scalar broadcasts to every position; a sequence must have exactly
+    ``length`` entries.  Every entry is range-checked and NaN/inf are
+    rejected with the offending index in the message.
+    """
+    out = [float(p) for p in validate_probability_vector(values, length, name)]
+    for i, p in enumerate(out):
+        # validate_probability already rejects non-finite floats; this
+        # guards the Fraction->float cast path and keeps the invariant
+        # local so future refactors cannot silently drop it.
+        if not math.isfinite(p):
+            raise ProbabilityError(
+                f"{name}[{i}] must be a finite probability, got {p!r}"
+            )
+    return out
+
+
+def probability_grid(
+    p: object, batch: int, width: int, name: str
+) -> np.ndarray:
+    """Validate/broadcast a probability spec to a ``(batch, width)`` grid.
+
+    Accepts a scalar, a ``(width,)`` per-bit vector, a ``(batch,)``
+    per-point vector, or a full ``(batch, width)`` grid.  Rejects NaN
+    and out-of-range entries.
+    """
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.ndim == 0:
+        grid = np.full((batch, width), float(arr))
+    elif arr.ndim == 1:
+        if arr.shape[0] == width:
+            grid = np.broadcast_to(arr, (batch, width)).copy()
+        elif arr.shape[0] == batch:
+            grid = np.repeat(arr[:, None], width, axis=1)
+        else:
+            raise ProbabilityError(
+                f"{name}: 1-D input must have length width={width} or "
+                f"batch={batch}, got {arr.shape[0]}"
+            )
+    elif arr.ndim == 2:
+        if arr.shape != (batch, width):
+            raise ProbabilityError(
+                f"{name}: expected shape ({batch}, {width}), got {arr.shape}"
+            )
+        grid = arr.astype(np.float64, copy=True)
+    else:
+        raise ProbabilityError(f"{name}: at most 2 dimensions, got {arr.ndim}")
+    if np.isnan(grid).any() or (grid < 0).any() or (grid > 1).any():
+        raise ProbabilityError(f"{name}: all entries must lie in [0, 1]")
+    return grid
+
+
+def probability_row(p: object, batch: int, name: str) -> np.ndarray:
+    """Validate/broadcast a scalar-or-``(batch,)`` spec to a ``(batch,)``
+    row (the carry-in convention of the vectorised engines)."""
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.ndim == 0:
+        row = np.full(batch, float(arr))
+    elif arr.shape == (batch,):
+        row = arr.astype(np.float64, copy=True)
+    else:
+        raise ProbabilityError(
+            f"{name}: expected scalar or shape ({batch},), got {arr.shape}"
+        )
+    if np.isnan(row).any() or (row < 0).any() or (row > 1).any():
+        raise ProbabilityError(f"{name}: all entries must lie in [0, 1]")
+    return row

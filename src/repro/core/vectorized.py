@@ -17,43 +17,24 @@ Both are validated against the scalar engine to ~1e-12 in the tests.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .._compat import warn_deprecated
 from ..obs import metrics as _metrics
 from ..obs.tracing import trace_span
 from .exceptions import ProbabilityError
 from .matrices import derive_matrices
+from .probability import probability_grid, probability_row
 from .recursive import CellSpec, resolve_chain
 
-
-def _as_grid(p: object, batch: int, width: int, name: str) -> np.ndarray:
-    """Validate/broadcast a probability spec to a ``(batch, width)`` grid."""
-    arr = np.asarray(p, dtype=np.float64)
-    if arr.ndim == 0:
-        grid = np.full((batch, width), float(arr))
-    elif arr.ndim == 1:
-        if arr.shape[0] == width:
-            grid = np.broadcast_to(arr, (batch, width)).copy()
-        elif arr.shape[0] == batch:
-            grid = np.repeat(arr[:, None], width, axis=1)
-        else:
-            raise ProbabilityError(
-                f"{name}: 1-D input must have length width={width} or "
-                f"batch={batch}, got {arr.shape[0]}"
-            )
-    elif arr.ndim == 2:
-        if arr.shape != (batch, width):
-            raise ProbabilityError(
-                f"{name}: expected shape ({batch}, {width}), got {arr.shape}"
-            )
-        grid = arr.astype(np.float64, copy=True)
-    else:
-        raise ProbabilityError(f"{name}: at most 2 dimensions, got {arr.ndim}")
-    if np.isnan(grid).any() or (grid < 0).any() or (grid > 1).any():
-        raise ProbabilityError(f"{name}: all entries must lie in [0, 1]")
-    return grid
+#: Per-stage ``(m, k, l)`` mask arrays, as produced by
+#: ``AnalysisMatrices.as_arrays()``.  ``analyze_batch`` accepts a
+#: precomputed sequence of these (one per stage) so callers with a
+#: matrix cache -- the :mod:`repro.engine` executor -- skip the
+#: per-stage mask derivation entirely.
+MaskArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 def _ipm_batch(
@@ -87,6 +68,7 @@ def analyze_batch(
     p_b: object = 0.5,
     p_cin: object = 0.5,
     batch: Optional[int] = None,
+    matrices: Optional[Sequence[MaskArrays]] = None,
 ) -> np.ndarray:
     """Run the recursion over a batch of probability points.
 
@@ -102,6 +84,9 @@ def analyze_batch(
         Scalar or ``(batch,)`` array.
     batch:
         Batch size; inferred from array arguments when omitted.
+    matrices:
+        Optional per-stage ``(m, k, l)`` mask arrays (cache-supplied);
+        derived from the truth tables when omitted.
 
     Returns
     -------
@@ -110,6 +95,11 @@ def analyze_batch(
     """
     cells = resolve_chain(cell, width)
     n = len(cells)
+    if matrices is not None and len(matrices) != n:
+        raise ProbabilityError(
+            f"matrices: need one (m, k, l) triple per stage, got "
+            f"{len(matrices)} for {n} stages"
+        )
 
     if batch is None:
         batch = 1
@@ -121,17 +111,9 @@ def analyze_batch(
                     continue  # 1-D of length width: per-bit, not a batch
                 batch = max(batch, candidate)
 
-    pa = _as_grid(p_a, batch, n, "p_a")
-    pb = _as_grid(p_b, batch, n, "p_b")
-    pc = np.asarray(p_cin, dtype=np.float64)
-    if pc.ndim == 0:
-        pc = np.full(batch, float(pc))
-    elif pc.shape != (batch,):
-        raise ProbabilityError(
-            f"p_cin: expected scalar or shape ({batch},), got {pc.shape}"
-        )
-    if np.isnan(pc).any() or (pc < 0).any() or (pc > 1).any():
-        raise ProbabilityError("p_cin: all entries must lie in [0, 1]")
+    pa = probability_grid(p_a, batch, n, "p_a")
+    pb = probability_grid(p_b, batch, n, "p_b")
+    pc = probability_row(p_cin, batch, "p_cin")
 
     with _metrics.timed("core.vectorized.analyze_batch"), \
             trace_span("core.vectorized.analyze_batch", width=n, batch=batch):
@@ -139,8 +121,10 @@ def analyze_batch(
         c0 = 1.0 - pc
         p_success = np.zeros(batch)
         for i, table in enumerate(cells):
-            mkl = derive_matrices(table)
-            m, k, l = mkl.as_arrays()
+            if matrices is not None:
+                m, k, l = matrices[i]
+            else:
+                m, k, l = derive_matrices(table).as_arrays()
             ipm = _ipm_batch(pa[:, i], pb[:, i], c1, c0)
             if i == n - 1:
                 p_success = ipm @ l
@@ -160,7 +144,13 @@ def error_batch(
     p_cin: object = 0.5,
     batch: Optional[int] = None,
 ) -> np.ndarray:
-    """``1 - analyze_batch(...)``: batched error probabilities."""
+    """``1 - analyze_batch(...)``: batched error probabilities.
+
+    .. deprecated::
+        Use ``repro.engine.run_batch`` (one request per probability
+        point) instead; it reuses cached stage matrices across requests.
+    """
+    warn_deprecated("core.vectorized.error_batch", "repro.engine.run_batch")
     return 1.0 - analyze_batch(cell, width, p_a, p_b, p_cin, batch)
 
 
@@ -204,15 +194,7 @@ def success_by_width(
     if np.isnan(p_arr).any() or (p_arr < 0).any() or (p_arr > 1).any():
         raise ProbabilityError("p: all entries must lie in [0, 1]")
     batch = p_arr.shape[0]
-    pc = np.asarray(p_cin, dtype=np.float64)
-    if pc.ndim == 0:
-        pc = np.full(batch, float(pc))
-    elif pc.shape != (batch,):
-        raise ProbabilityError(
-            f"p_cin: expected scalar or shape ({batch},), got {pc.shape}"
-        )
-    if np.isnan(pc).any() or (pc < 0).any() or (pc > 1).any():
-        raise ProbabilityError("p_cin: all entries must lie in [0, 1]")
+    pc = probability_row(p_cin, batch, "p_cin")
 
     table = resolve_chain(cell, 1)[0]
     m, k, l = derive_matrices(table).as_arrays()
@@ -240,5 +222,12 @@ def error_by_width(
     p: object = 0.5,
     p_cin: object = 0.5,
 ) -> np.ndarray:
-    """``1 - success_by_width(...)``: Fig. 5's error curves."""
+    """``1 - success_by_width(...)``: Fig. 5's error curves.
+
+    .. deprecated::
+        Use ``repro.engine.error_curves`` instead; same values, shared
+        stage-matrix cache, obs counters under ``engine.*``.
+    """
+    warn_deprecated("core.vectorized.error_by_width",
+                    "repro.engine.error_curves")
     return 1.0 - success_by_width(cell, max_width, p, p_cin)

@@ -1,0 +1,96 @@
+"""Unified, cached, batch-first analysis engine.
+
+This package is the single front door to every analysis and simulation
+backend in the library:
+
+* :mod:`repro.engine.request` -- the :class:`AnalysisRequest` /
+  :class:`AnalysisResult` protocol all backends speak;
+* :mod:`repro.engine.registry` -- capability metadata and abstract cost
+  estimates per backend, consumed by both the default selector and the
+  :mod:`repro.runtime.router` degradation ladder;
+* :mod:`repro.engine.cache` -- the process-wide stage-matrix LRU keyed
+  by (cell truth-table fingerprint, quantized operand probabilities);
+* :mod:`repro.engine.executor` -- :func:`run`, :func:`run_batch` and
+  :func:`error_curves`, instrumented through :mod:`repro.obs`.
+
+Typical use::
+
+    from repro import engine
+
+    result = engine.run("axa3", 8, p_a=0.3)        # analytical, cached
+    result = engine.run("axa3", 24, simulate=True)  # routed simulation
+    curves = engine.error_curves("axa2", 16)
+
+    request = engine.AnalysisRequest.for_gear(config)
+    result = engine.run(request)
+
+Layering rule: ``core/`` never imports this package; the engine sits on
+top of ``core``, ``simulation``, ``baselines``, ``gear`` and
+``multiop`` and is in turn used by ``runtime.router``, ``explore``,
+``circuits``, ``apps`` and the CLI.
+"""
+
+from .cache import (
+    GLOBAL_CACHE,
+    CacheStats,
+    StageMatrixCache,
+    StageTransition,
+    analysis_matrices,
+    cache_stats,
+    clear_cache,
+    configure_cache,
+    mask_arrays,
+    stage_transition,
+)
+from .registry import (
+    FAMILY_ANALYTICAL,
+    FAMILY_SIMULATION,
+    REGISTRY,
+    EngineInfo,
+    EngineRegistry,
+)
+from .request import (
+    KIND_CHAIN,
+    KIND_GEAR,
+    KIND_MULTIOP,
+    KNOWN_METRICS,
+    METRIC_P_ERROR,
+    METRIC_P_SUCCESS,
+    AnalysisRequest,
+    AnalysisResult,
+)
+from .backends import register_builtin_engines
+from .executor import error_curves, run, run_batch, select_engine
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "CacheStats",
+    "EngineInfo",
+    "EngineRegistry",
+    "FAMILY_ANALYTICAL",
+    "FAMILY_SIMULATION",
+    "GLOBAL_CACHE",
+    "KIND_CHAIN",
+    "KIND_GEAR",
+    "KIND_MULTIOP",
+    "KNOWN_METRICS",
+    "METRIC_P_ERROR",
+    "METRIC_P_SUCCESS",
+    "REGISTRY",
+    "StageMatrixCache",
+    "StageTransition",
+    "analysis_matrices",
+    "cache_stats",
+    "clear_cache",
+    "configure_cache",
+    "error_curves",
+    "mask_arrays",
+    "register_builtin_engines",
+    "run",
+    "run_batch",
+    "select_engine",
+    "stage_transition",
+]
+
+register_builtin_engines()

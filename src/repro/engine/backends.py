@@ -1,0 +1,401 @@
+"""Built-in engine registrations.
+
+Each runner normalises one backend's native call convention and result
+shape into the :class:`~repro.engine.request.AnalysisResult` protocol.
+Heavy backend modules are imported *inside* the runners (the registry
+itself stays import-light); static capability constants
+(``MAX_EXHAUSTIVE_WIDTH``, ``BLOCK_CASES``, ...) are read once at
+registration time from their owning modules, so the registry never
+duplicates a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.truth_table import FullAdderTruthTable
+from ..obs import metrics as _metrics
+from ..obs.tracing import trace_span
+from .cache import mask_arrays, stage_transition
+from .registry import (
+    FAMILY_ANALYTICAL,
+    FAMILY_SIMULATION,
+    REGISTRY,
+    EngineInfo,
+)
+from .request import (
+    KIND_CHAIN,
+    KIND_GEAR,
+    KIND_MULTIOP,
+    AnalysisRequest,
+    AnalysisResult,
+)
+
+#: Abstract cost units per recursion stage (scalar path, cache warm).
+_STAGE_COST = 8.0
+
+#: NumPy dispatch overhead of a batch=1 vectorised call, in the same
+#: units.  Keeps the cached scalar loop the default for single-point
+#: requests while ``run_batch`` feeds the vectorised engine directly.
+_VECTOR_OVERHEAD = 400.0
+
+# Per-chain masking-exactness memo, keyed on the full stage sequence's
+# truth-table rows: True iff the recursion's P(Error) is exact (not
+# merely an upper bound) for that exact sequence of cells.
+_MASKING_EXACT: Dict[Tuple[Tuple[Tuple[int, int], ...], ...], bool] = {}
+
+
+def _chain_is_upper_bound(request: AnalysisRequest) -> bool:
+    if not request.check_masking:
+        return False
+    from ..core.masking import chain_is_exact
+
+    # Masking is a property of the whole chain, not of any single cell:
+    # one stage's silent carry divergence only becomes a masked error if
+    # the *downstream* cells absorb it, so per-cell checks miss hybrid
+    # combinations.  Memoised on the full stage sequence.
+    key = tuple(table.rows for table in request.cells)
+    exact = _MASKING_EXACT.get(key)
+    if exact is None:
+        exact = chain_is_exact(list(request.cells))
+        _MASKING_EXACT[key] = exact
+    return not exact
+
+
+def _chain_result(
+    request: AnalysisRequest,
+    p_success: float,
+    engine: str,
+    exact: bool,
+    **extra: object,
+) -> AnalysisResult:
+    return AnalysisResult(
+        p_error=1.0 - p_success,
+        p_success=p_success,
+        engine=engine,
+        exact=exact,
+        width=request.width,
+        kind=request.kind,
+        cell_names=request.cell_names,
+        is_upper_bound=exact and _chain_is_upper_bound(request),
+        **extra,  # type: ignore[arg-type]
+    )
+
+
+def run_recursive(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """Scalar recursion over cached stage transitions (Algorithm 1)."""
+    cells = request.cells
+    pa, pb = request.p_a, request.p_b
+    if request.keep_trace:
+        from ..core.recursive import analyze_chain
+
+        native = analyze_chain(list(cells), None, list(pa), list(pb),
+                               request.p_cin, keep_trace=True)
+        return _chain_result(request, float(native.p_success),
+                             "recursive", True,
+                             trace=native.trace, raw=native)
+    n = len(cells)
+    # Cache-accelerated execution of the same recursion as
+    # ``core.recursive.analyze_chain``; it honours that function's
+    # observability contract (span + calls/stages counters) so existing
+    # dashboards keep working regardless of which path served the run.
+    with _metrics.timed("core.recursive.analyze_chain"), \
+            trace_span("core.recursive.analyze_chain", width=n):
+        c1 = request.p_cin
+        c0 = 1.0 - c1
+        for i in range(n - 1):
+            c0, c1 = stage_transition(cells[i], pa[i], pb[i]).apply(c0, c1)
+        p_success = stage_transition(cells[-1], pa[-1], pb[-1]).success(c0, c1)
+    if _metrics.is_enabled():
+        registry = _metrics.get_registry()
+        registry.counter("core.recursive.calls").add(1)
+        registry.counter("core.recursive.stages").add(n)
+    return _chain_result(request, p_success, "recursive", True)
+
+
+def run_vectorized(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """Single-point entry of the NumPy batch engine (cache-fed masks)."""
+    from ..core.vectorized import analyze_batch
+
+    cells = list(request.cells)
+    p_success = analyze_batch(
+        cells, None,
+        np.asarray(request.p_a), np.asarray(request.p_b), request.p_cin,
+        batch=1, matrices=[mask_arrays(t) for t in cells],
+    )
+    return _chain_result(request, float(p_success[0]), "vectorized", True)
+
+
+def run_correlated(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """Correlated-operand recursion (per-stage joint laws)."""
+    from ..core.correlated import analyze_chain_correlated
+
+    p_success, trace = analyze_chain_correlated(
+        list(request.cells), list(request.joints or ()), request.p_cin
+    )
+    return _chain_result(request, float(p_success), "correlated", True,
+                         trace=tuple(trace))
+
+
+def run_inclusion_exclusion(
+    request: AnalysisRequest, **options: object
+) -> AnalysisResult:
+    """The exponential inclusion-exclusion baseline (Table 3)."""
+    from ..baselines.inclusion_exclusion import _inclusion_exclusion_impl
+
+    report = _inclusion_exclusion_impl(
+        list(request.cells), None,
+        list(request.p_a), list(request.p_b), request.p_cin,
+    )
+    return _chain_result(request, 1.0 - report.p_error,
+                         "inclusion-exclusion", True, raw=report)
+
+
+def run_exhaustive(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """Weighted exhaustive enumeration (budgetable, checkpointable)."""
+    from ..simulation.exhaustive import (
+        exhaustive_error_probability,
+        exhaustive_report,
+    )
+
+    plain = (
+        options.get("budget") is None
+        and options.get("checkpoint_path") is None
+        and options.get("progress") is None
+        and not options.get("routed", False)
+    )
+    if plain:
+        # Single-shot enumeration: no chunk boundaries, so no budget
+        # checks, checkpoint flushes or chaos ticks -- same contract as
+        # the original ``exhaustive_error_probability`` entry point.
+        p_error = exhaustive_error_probability(
+            list(request.cells), None,
+            list(request.p_a), list(request.p_b), request.p_cin,
+        )
+        return _chain_result(
+            request, 1.0 - p_error, "exhaustive", True,
+            cases=1 << (2 * request.width + 1), truncated=False,
+        )
+
+    report = exhaustive_report(
+        list(request.cells), None,
+        list(request.p_a), list(request.p_b), request.p_cin,
+        budget=options.get("budget"),
+        progress=options.get("progress"),
+        checkpoint_path=options.get("checkpoint_path"),
+        resume=bool(options.get("resume", False)),
+    )
+    return _chain_result(
+        request, 1.0 - report.p_error, "exhaustive", True,
+        cases=report.cases, truncated=report.truncated,
+        stop_reason=report.stop_reason, raw=report,
+    )
+
+
+def run_montecarlo(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """Seeded Monte-Carlo estimation (budgetable, checkpointable)."""
+    from ..simulation.montecarlo import (
+        PAPER_SAMPLE_COUNT,
+        simulate_error_probability,
+    )
+
+    samples = options.get("samples") or PAPER_SAMPLE_COUNT
+    result = simulate_error_probability(
+        list(request.cells), None,
+        list(request.p_a), list(request.p_b), request.p_cin,
+        samples=int(samples),  # type: ignore[arg-type]
+        seed=options.get("seed", 0),  # type: ignore[arg-type]
+        budget=options.get("budget"),
+        progress=options.get("progress"),
+        checkpoint_path=options.get("checkpoint_path"),
+        resume=bool(options.get("resume", False)),
+    )
+    return _chain_result(
+        request, 1.0 - result.p_error, "montecarlo", False,
+        samples=result.samples, truncated=result.truncated,
+        stop_reason=result.stop_reason,
+        interval=result.wilson_interval(), raw=result,
+    )
+
+
+def _gear_result(
+    request: AnalysisRequest, p_error: float, engine: str, exact: bool,
+    **extra: object,
+) -> AnalysisResult:
+    return AnalysisResult(
+        p_error=p_error, p_success=1.0 - p_error,
+        engine=engine, exact=exact,
+        width=request.width, kind=KIND_GEAR,
+        **extra,  # type: ignore[arg-type]
+    )
+
+
+def run_gear_dp(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """GeAr linear DP (exact in O(N*P))."""
+    from ..gear.analysis import gear_success_probability
+
+    p_success = gear_success_probability(
+        request.gear, list(request.p_a), list(request.p_b)
+    )
+    return _gear_result(request, 1.0 - p_success, "gear-dp", True)
+
+
+def run_gear_ie(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """GeAr inclusion-exclusion over sub-adder error events."""
+    from ..gear.analysis import gear_inclusion_exclusion
+
+    report = gear_inclusion_exclusion(
+        request.gear, list(request.p_a), list(request.p_b)
+    )
+    return _gear_result(request, report.p_error, "gear-ie", True, raw=report)
+
+
+def run_gear_mc(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """Seeded GeAr Monte-Carlo estimate."""
+    from ..gear.analysis import gear_monte_carlo
+
+    samples = int(options.get("samples") or 1_000_000)  # type: ignore[arg-type]
+    p_error = gear_monte_carlo(
+        request.gear, list(request.p_a), list(request.p_b),
+        samples=samples, seed=options.get("seed"),  # type: ignore[arg-type]
+    )
+    return _gear_result(request, p_error, "gear-mc", False, samples=samples)
+
+
+def run_multiop_exact(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """Weighted enumeration over all multi-operand inputs."""
+    from ..multiop.analysis import multi_operand_error_exact
+
+    p_error = multi_operand_error_exact(
+        [list(row) for row in request.operands], request.width,
+        compress_cell=request.compress_cell,
+        final_adder=list(request.final_adder) or None,
+    )
+    cases = 1 << (len(request.operands) * request.width)
+    return AnalysisResult(
+        p_error=p_error, p_success=1.0 - p_error,
+        engine="multiop-exact", exact=True,
+        width=request.width, kind=KIND_MULTIOP, cases=cases,
+    )
+
+
+def run_multiop_mc(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """Monte-Carlo over the functional CSA-tree model."""
+    from ..multiop.analysis import multi_operand_error_probability_mc
+
+    samples = int(options.get("samples") or 200_000)  # type: ignore[arg-type]
+    p_error = multi_operand_error_probability_mc(
+        [list(row) for row in request.operands], request.width,
+        compress_cell=request.compress_cell,
+        final_adder=list(request.final_adder) or None,
+        samples=samples, seed=options.get("seed"),  # type: ignore[arg-type]
+    )
+    return AnalysisResult(
+        p_error=p_error, p_success=1.0 - p_error,
+        engine="multiop-mc", exact=False,
+        width=request.width, kind=KIND_MULTIOP, samples=samples,
+    )
+
+
+_REGISTERED = False
+
+
+def register_builtin_engines() -> None:
+    """Populate :data:`~repro.engine.registry.REGISTRY` (idempotent).
+
+    Width limits, chunking thresholds and default sample counts are read
+    from the owning backend modules so the registry can never drift from
+    the engines' own guards.
+    """
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    from ..baselines.inclusion_exclusion import MAX_IE_WIDTH
+    from ..simulation.exhaustive import BLOCK_CASES, MAX_EXHAUSTIVE_WIDTH
+    from ..simulation.montecarlo import PAPER_SAMPLE_COUNT
+
+    REGISTRY.register(EngineInfo(
+        name="recursive", family=FAMILY_ANALYTICAL,
+        request_kinds=(KIND_CHAIN,), exact=True,
+        run=run_recursive, supports_trace=True,
+        cost_estimate=lambda width, samples=None: _STAGE_COST * width,
+        description="paper Algorithm 1 over cached stage transitions",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="vectorized", family=FAMILY_ANALYTICAL,
+        request_kinds=(KIND_CHAIN,), exact=True,
+        run=run_vectorized, supports_batch=True,
+        cost_estimate=lambda width, samples=None: (
+            _VECTOR_OVERHEAD + 12.0 * width),
+        description="NumPy batch recursion (cache-fed mask arrays)",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="correlated", family=FAMILY_ANALYTICAL,
+        request_kinds=(KIND_CHAIN,), exact=True,
+        run=run_correlated, supports_correlated=True,
+        cost_estimate=lambda width, samples=None: 60.0 * width,
+        description="recursion under per-stage joint operand laws",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="inclusion-exclusion", family=FAMILY_ANALYTICAL,
+        request_kinds=(KIND_CHAIN,), exact=True,
+        run=run_inclusion_exclusion, max_width=MAX_IE_WIDTH,
+        cost_estimate=lambda width, samples=None: width * (2.0 ** width),
+        description="the exponential baseline the paper beats (Table 3)",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="exhaustive", family=FAMILY_SIMULATION,
+        request_kinds=(KIND_CHAIN,), exact=True,
+        run=run_exhaustive, max_width=MAX_EXHAUSTIVE_WIDTH,
+        block_cases=BLOCK_CASES,
+        cost_estimate=lambda width, samples=None: 2.0 ** (2 * width + 1),
+        description="weighted enumeration of all 2^(2N+1) cases",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="montecarlo", family=FAMILY_SIMULATION,
+        request_kinds=(KIND_CHAIN,), exact=False,
+        run=run_montecarlo, default_samples=PAPER_SAMPLE_COUNT,
+        cost_estimate=lambda width, samples=None: float(
+            samples if samples else PAPER_SAMPLE_COUNT),
+        description="seeded sampling estimate with Wilson intervals",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="gear-dp", family=FAMILY_ANALYTICAL,
+        request_kinds=(KIND_GEAR,), exact=True,
+        run=run_gear_dp,
+        cost_estimate=lambda width, samples=None: 10.0 * width,
+        description="GeAr linear DP over (carry, run) states",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="gear-ie", family=FAMILY_ANALYTICAL,
+        request_kinds=(KIND_GEAR,), exact=True,
+        run=run_gear_ie,
+        cost_estimate=lambda width, samples=None: 100.0 + 2.0 ** width,
+        description="GeAr inclusion-exclusion over sub-adder events",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="gear-mc", family=FAMILY_SIMULATION,
+        request_kinds=(KIND_GEAR,), exact=False,
+        run=run_gear_mc, default_samples=1_000_000,
+        cost_estimate=lambda width, samples=None: float(
+            samples if samples else 1_000_000),
+        description="seeded GeAr Monte-Carlo estimate",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="multiop-exact", family=FAMILY_SIMULATION,
+        request_kinds=(KIND_MULTIOP,), exact=True,
+        run=run_multiop_exact,
+        cost_estimate=lambda width, samples=None: 4.0 ** width,
+        description="weighted enumeration of the CSA tree + final adder",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="multiop-mc", family=FAMILY_SIMULATION,
+        request_kinds=(KIND_MULTIOP,), exact=False,
+        run=run_multiop_mc, default_samples=200_000,
+        cost_estimate=lambda width, samples=None: float(
+            samples if samples else 200_000),
+        description="Monte-Carlo over the functional CSA-tree model",
+    ))
+    _REGISTERED = True

@@ -1,0 +1,312 @@
+"""Batch-first execution core: ``run`` / ``run_batch`` / ``error_curves``.
+
+``run`` is the single analysis entry point the CLI, ``explore/``,
+``gear/``, ``multiop/`` and ``apps/`` call.  Engine selection is
+registry-driven: analytical questions default to the cheapest capable
+exact engine; ``simulate=True`` walks the
+:mod:`repro.runtime.router` degradation ladder (exhaustive -> chunked ->
+Monte-Carlo), which itself reads cost estimates and width limits from
+the registry and stamps ``degraded_from`` provenance.
+
+``run_batch`` turns N requests into as few vectorised
+``analyze_batch`` calls as possible: chain requests sharing a cell
+sequence are stacked into one ``(batch, width)`` grid, chunked at
+:data:`BATCH_CHUNK` rows with a :class:`~repro.runtime.budget.BudgetMeter`
+checked between chunks.  ``engine.batch.*`` obs counters report group
+count and vectorised occupancy; ``engine.cache.*`` the stage-matrix
+cache hit rate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import AnalysisError
+from ..obs import metrics as _metrics
+from ..obs.log import get_logger, log_event
+from ..obs.tracing import trace_span
+from ..runtime.budget import RunBudget, make_meter
+from ..runtime.router import EngineDecision, plan_engine
+from . import backends
+from .cache import mask_arrays
+from .registry import FAMILY_ANALYTICAL, REGISTRY
+from .request import (
+    KIND_CHAIN,
+    KIND_GEAR,
+    KIND_MULTIOP,
+    AnalysisRequest,
+    AnalysisResult,
+)
+
+#: Rows per vectorised chunk in ``run_batch``; budget checks happen at
+#: chunk boundaries (the library-wide cooperative-cancellation idiom).
+BATCH_CHUNK = 1024
+
+#: Case guard for the exact multi-operand enumerator (mirrors
+#: ``multi_operand_error_exact``'s default ``max_cases``).
+_MULTIOP_EXACT_CASES = 1 << 22
+
+_logger = get_logger("engine.executor")
+
+backends.register_builtin_engines()
+
+
+def select_engine(
+    request: AnalysisRequest,
+    budget: Optional[RunBudget] = None,
+    samples: Optional[int] = None,
+) -> EngineDecision:
+    """Pick an engine for *request* from the registry.
+
+    Analytical chain/GeAr questions take the cheapest capable exact
+    analytical engine.  Multi-operand questions degrade from exact
+    enumeration to Monte-Carlo when the case count exceeds the
+    enumerator's guard, recording ``degraded_from``.
+    """
+    if request.kind == KIND_MULTIOP:
+        cases = 1 << (len(request.operands) * request.width)
+        if cases <= _MULTIOP_EXACT_CASES:
+            return EngineDecision(
+                engine="multiop-exact",
+                reason=f"{cases} operand combinations are enumerable",
+                estimated_cases=cases,
+            )
+        info = REGISTRY.get("multiop-mc")
+        return EngineDecision(
+            engine="multiop-mc",
+            reason=f"{cases} operand combinations exceed the exact "
+                   f"enumerator's guard ({_MULTIOP_EXACT_CASES})",
+            degraded_from="multiop-exact",
+            estimated_cases=cases,
+            samples=samples or info.default_samples,
+        )
+    if request.joints is not None:
+        return EngineDecision(
+            engine="correlated",
+            reason="per-stage joint operand laws require the "
+                   "correlated engine",
+        )
+    candidates = REGISTRY.for_request(
+        request, family=FAMILY_ANALYTICAL, exact=True
+    )
+    if not candidates:
+        raise AnalysisError(
+            f"no analytical engine accepts this {request.kind!r} request"
+        )
+    info = candidates[0]
+    return EngineDecision(
+        engine=info.name,
+        reason=f"cheapest exact analytical engine for width {request.width}",
+    )
+
+
+def run(
+    cell: object = None,
+    width: Optional[int] = None,
+    p_a: object = 0.5,
+    p_b: object = 0.5,
+    p_cin: float = 0.5,
+    *,
+    request: Optional[AnalysisRequest] = None,
+    engine: Optional[str] = None,
+    simulate: bool = False,
+    budget: Optional[RunBudget] = None,
+    samples: Optional[int] = None,
+    seed: Optional[int] = 0,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[object] = None,
+    joints: Optional[Sequence[object]] = None,
+    keep_trace: bool = False,
+) -> AnalysisResult:
+    """Answer one analysis question through the registry.
+
+    Accepts either a prebuilt :class:`AnalysisRequest` (via *request*,
+    or as the first positional argument) or the library-wide
+    ``(cell, width, p_a, p_b, p_cin)`` convention.  *engine* forces a
+    registered backend by name; ``simulate=True`` asks for a simulation
+    answer routed down the budget-aware degradation ladder instead of
+    the analytical default.
+    """
+    if request is None and isinstance(cell, AnalysisRequest):
+        request, cell = cell, None
+    if request is None:
+        if cell is None:
+            raise AnalysisError("run() needs a cell spec or a request")
+        request = AnalysisRequest.chain(
+            cell, width, p_a, p_b, p_cin,
+            joints=joints, keep_trace=keep_trace,
+        )
+
+    decision: Optional[EngineDecision] = None
+    if engine is None:
+        if simulate:
+            if request.kind != KIND_CHAIN:
+                raise AnalysisError(
+                    "simulate=True routing applies to chain requests only"
+                )
+            decision = plan_engine(request.width, budget, samples)
+        else:
+            decision = select_engine(request, budget, samples)
+        engine_name = decision.engine
+        if decision.samples is not None and samples is None:
+            samples = decision.samples
+    else:
+        engine_name = engine
+
+    # "chunked-exhaustive" is a routing refinement of the exhaustive
+    # engine (same enumerator, block-wise); the registry runs it there.
+    lookup = ("exhaustive" if engine_name == "chunked-exhaustive"
+              else engine_name)
+    info = REGISTRY.get(lookup)
+    if not info.accepts(request):
+        raise AnalysisError(
+            f"engine {engine_name!r} cannot serve this request "
+            f"(kind={request.kind}, width={request.width})"
+        )
+
+    with _metrics.timed("engine.run"), \
+            trace_span("engine.run", engine=engine_name,
+                       kind=request.kind, width=request.width):
+        result = info.run(
+            request, budget=budget, samples=samples, seed=seed,
+            checkpoint_path=checkpoint_path, resume=resume,
+            progress=progress, routed=bool(simulate),
+        )
+    if _metrics.is_enabled():
+        _metrics.inc("engine.requests")
+        _metrics.inc(f"engine.selected.{engine_name}")
+
+    if decision is not None:
+        result = _stamp_decision(result, decision, engine_name)
+        log_event(_logger, "engine.run", engine=engine_name,
+                  kind=request.kind, width=request.width,
+                  degraded_from=decision.degraded_from)
+    return result
+
+
+def _stamp_decision(
+    result: AnalysisResult, decision: EngineDecision, engine_name: str
+) -> AnalysisResult:
+    """Fold routing provenance into the result (and its manifest)."""
+    from dataclasses import replace as _replace
+
+    raw = result.raw
+    if decision.degraded_from is not None \
+            and getattr(raw, "manifest", None) is not None:
+        raw = _replace(
+            raw, manifest=_replace(raw.manifest,
+                                   degraded_from=decision.degraded_from),
+        )
+    return _replace(
+        result, engine=engine_name, reason=decision.reason,
+        degraded_from=decision.degraded_from, raw=raw,
+    )
+
+
+def run_batch(
+    requests: Sequence[AnalysisRequest],
+    budget: Optional[RunBudget] = None,
+) -> List[Optional[AnalysisResult]]:
+    """Answer N requests, vectorising wherever the backend allows.
+
+    Chain requests that share a cell sequence (and need no trace or
+    correlation handling) are stacked into one ``analyze_batch`` call
+    over a ``(batch, width)`` grid, chunked at :data:`BATCH_CHUNK` rows;
+    the *budget* is charged one config per request at chunk boundaries
+    and a stop reason leaves the remaining entries ``None`` (the
+    positions of completed requests always hold well-formed results).
+    Everything else falls back to :func:`run` per request.
+    """
+    results: List[Optional[AnalysisResult]] = [None] * len(requests)
+    groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+    singles: List[int] = []
+    for i, request in enumerate(requests):
+        if (request.kind == KIND_CHAIN and request.joints is None
+                and not request.keep_trace):
+            groups.setdefault(request.cells, []).append(i)
+        else:
+            singles.append(i)
+
+    meter = make_meter(budget)
+    stopped = False
+    vector_points = 0
+    with _metrics.timed("engine.run_batch"), \
+            trace_span("engine.run_batch", requests=len(requests),
+                       groups=len(groups)):
+        for cells, indices in groups.items():
+            if stopped:
+                break
+            matrices = [mask_arrays(t) for t in cells]
+            start = 0
+            while start < len(indices):
+                if meter.stop_reason() is not None:
+                    stopped = True
+                    break
+                step = meter.remaining_configs(BATCH_CHUNK)
+                if step == 0:
+                    stopped = True
+                    break
+                chunk = indices[start:start + step]
+                start += len(chunk)
+                pa = np.array([requests[i].p_a for i in chunk])
+                pb = np.array([requests[i].p_b for i in chunk])
+                pc = np.array([requests[i].p_cin for i in chunk])
+                from ..core.vectorized import analyze_batch
+
+                p_success = analyze_batch(
+                    list(cells), None, pa, pb, pc,
+                    batch=len(chunk), matrices=matrices,
+                )
+                for j, i in enumerate(chunk):
+                    results[i] = backends._chain_result(
+                        requests[i], float(p_success[j]), "vectorized", True
+                    )
+                vector_points += len(chunk)
+                meter.charge(configs=len(chunk))
+        for i in singles:
+            if meter.stop_reason() is not None:
+                stopped = True
+                break
+            results[i] = run(request=requests[i], budget=budget)
+            meter.charge(configs=1)
+
+    if _metrics.is_enabled():
+        registry = _metrics.get_registry()
+        registry.counter("engine.batch.requests").add(len(requests))
+        registry.counter("engine.batch.groups").add(len(groups))
+        registry.counter("engine.batch.vectorized_points").add(vector_points)
+        if requests:
+            _metrics.set_gauge("engine.batch.occupancy",
+                               vector_points / len(requests))
+    if stopped:
+        log_event(_logger, "engine.run_batch.truncated",
+                  reason=meter.stop_reason(),
+                  done=sum(r is not None for r in results),
+                  total=len(requests))
+    return results
+
+
+def error_curves(
+    cell: object,
+    max_width: int,
+    p: object = 0.5,
+    p_cin: object = 0.5,
+) -> np.ndarray:
+    """``P(Error)`` of a uniform chain for every width ``1..max_width``.
+
+    The engine-layer replacement for the deprecated
+    ``core.vectorized.error_by_width``: one vectorised recursion pass
+    reports every prefix width (optionally over a batch of probability
+    points at once -- scalar *p* gives ``(max_width,)``, a ``(batch,)``
+    *p* gives ``(batch, max_width)``).
+    """
+    from ..core.recursive import resolve_chain
+    from ..core.vectorized import success_by_width
+
+    table = resolve_chain(cell, 1)[0]
+    with trace_span("engine.error_curves", max_width=max_width):
+        return 1.0 - success_by_width(table, max_width, p, p_cin)

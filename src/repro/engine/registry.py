@@ -1,0 +1,107 @@
+"""Engine registry: capability metadata and cost estimates per backend.
+
+Every analytical and simulation backend registers an
+:class:`EngineInfo` here (see :mod:`repro.engine.backends`).  Selection
+-- both the executor's default choice and the
+:mod:`repro.runtime.router` degradation ladder -- reads capabilities
+(``max_width``, ``exact``, ``supports_batch``) and the abstract
+``cost_estimate(width, samples)`` from the registry instead of
+hard-coding per-backend thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.exceptions import AnalysisError
+from .request import AnalysisRequest
+
+#: Engine families.
+FAMILY_ANALYTICAL = "analytical"
+FAMILY_SIMULATION = "simulation"
+
+#: Abstract cost units the estimators speak: one unit ~ one enumerated
+#: case / drawn sample / recursion stage-op.  Used with
+#: ``ops_per_second`` to judge deadline affordability.
+CostEstimator = Callable[[int, Optional[int]], float]
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Registration record for one backend."""
+
+    name: str
+    family: str                    # FAMILY_ANALYTICAL | FAMILY_SIMULATION
+    request_kinds: Tuple[str, ...]
+    exact: bool
+    run: Callable[..., object]     # (request, **options) -> AnalysisResult
+    cost_estimate: CostEstimator
+    supports_batch: bool = False
+    supports_trace: bool = False
+    supports_correlated: bool = False
+    max_width: Optional[int] = None
+    block_cases: Optional[int] = None   # chunking threshold (exhaustive)
+    ops_per_second: float = 2_000_000.0
+    default_samples: Optional[int] = None
+    description: str = ""
+
+    def accepts(self, request: AnalysisRequest) -> bool:
+        """Static capability check (kind, width, correlation, trace)."""
+        if request.kind not in self.request_kinds:
+            return False
+        if self.max_width is not None and request.width > self.max_width:
+            return False
+        if request.joints is not None and not self.supports_correlated:
+            return False
+        if request.keep_trace and not self.supports_trace:
+            return False
+        return True
+
+
+class EngineRegistry:
+    """Name -> :class:`EngineInfo` map with capability queries."""
+
+    def __init__(self) -> None:
+        self._engines: Dict[str, EngineInfo] = {}
+
+    def register(self, info: EngineInfo, replace: bool = False) -> EngineInfo:
+        if not replace and info.name in self._engines:
+            raise AnalysisError(f"engine {info.name!r} already registered")
+        self._engines[info.name] = info
+        return info
+
+    def get(self, name: str) -> EngineInfo:
+        try:
+            return self._engines[name]
+        except KeyError:
+            known = ", ".join(sorted(self._engines)) or "<none>"
+            raise AnalysisError(
+                f"unknown engine {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._engines)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._engines
+
+    def for_request(
+        self,
+        request: AnalysisRequest,
+        family: Optional[str] = None,
+        exact: Optional[bool] = None,
+    ) -> List[EngineInfo]:
+        """Capable engines for *request*, cheapest first."""
+        found = [
+            info for info in self._engines.values()
+            if info.accepts(request)
+            and (family is None or info.family == family)
+            and (exact is None or info.exact == exact)
+        ]
+        found.sort(key=lambda info: info.cost_estimate(request.width, None))
+        return found
+
+
+#: The process-wide registry, populated by :mod:`repro.engine.backends`.
+REGISTRY = EngineRegistry()

@@ -1,0 +1,234 @@
+"""The ``AnalysisRequest`` / ``AnalysisResult`` protocol.
+
+Every analysis and simulation backend in the library answers the same
+question -- "with what probability is this approximate adder wrong?" --
+through what used to be eight divergent call conventions.  The engine
+layer normalises the question into one immutable, hashable
+:class:`AnalysisRequest` (built via :meth:`AnalysisRequest.chain`,
+:meth:`AnalysisRequest.for_gear` or :meth:`AnalysisRequest.for_multiop`)
+and the answer into one :class:`AnalysisResult`.
+
+Requests carry *float* probabilities (quantizable, batchable,
+cacheable).  Digit-exact ``fractions.Fraction`` analysis remains the
+scalar primitive's domain (:func:`repro.core.recursive.analyze_chain`),
+which is not deprecated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple, Union
+
+from ..core.exceptions import AnalysisError
+from ..core.truth_table import FullAdderTruthTable
+
+#: Request kinds understood by the registry.
+KIND_CHAIN = "chain"
+KIND_GEAR = "gear"
+KIND_MULTIOP = "multiop"
+
+#: Metric names a request may ask for.
+METRIC_P_ERROR = "p_error"
+METRIC_P_SUCCESS = "p_success"
+KNOWN_METRICS = (METRIC_P_ERROR, METRIC_P_SUCCESS)
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One normalised analysis question.
+
+    ``cells``/``p_a``/``p_b``/``p_cin`` describe a (possibly hybrid)
+    ripple chain; ``gear`` a GeAr configuration; ``operands`` a
+    multi-operand CSA reduction.  ``joints`` (per-stage
+    :class:`~repro.core.correlated.JointBitDistribution`) switches the
+    chain analysis to the correlated-operand engine;
+    ``check_masking=True`` stamps ``is_upper_bound`` on analytical
+    results for chains that can mask internal errors.
+
+    Instances are frozen and hashable, so they group and deduplicate
+    naturally in the batch executor.
+    """
+
+    kind: str = KIND_CHAIN
+    cells: Tuple[FullAdderTruthTable, ...] = ()
+    p_a: Tuple[float, ...] = ()
+    p_b: Tuple[float, ...] = ()
+    p_cin: float = 0.5
+    metrics: Tuple[str, ...] = (METRIC_P_ERROR,)
+    joints: Optional[Tuple[object, ...]] = None
+    check_masking: bool = True
+    keep_trace: bool = False
+    gear: Optional[object] = None          # GeArConfig for KIND_GEAR
+    operands: Tuple[Tuple[float, ...], ...] = ()   # rows for KIND_MULTIOP
+    compress_cell: Optional[FullAdderTruthTable] = None
+    final_adder: Tuple[FullAdderTruthTable, ...] = ()
+
+    @property
+    def width(self) -> int:
+        """Stage count (chain), bit width (GeAr) or operand width."""
+        if self.kind == KIND_CHAIN:
+            return len(self.cells)
+        if self.kind == KIND_GEAR:
+            return self.gear.n  # type: ignore[union-attr]
+        return len(self.operands[0]) if self.operands else 0
+
+    @property
+    def cell_names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.cells)
+
+    @classmethod
+    def chain(
+        cls,
+        cell: object,
+        width: Optional[int] = None,
+        p_a: object = 0.5,
+        p_b: object = 0.5,
+        p_cin: float = 0.5,
+        metrics: Sequence[str] = (METRIC_P_ERROR,),
+        joints: Optional[Sequence[object]] = None,
+        check_masking: bool = True,
+        keep_trace: bool = False,
+    ) -> "AnalysisRequest":
+        """Normalise a ripple-chain question.
+
+        *cell* follows the library-wide convention: a registered name, a
+        truth table, a :class:`~repro.core.hybrid.HybridChain`, or a
+        per-stage sequence of any of those (then *width* is optional).
+        """
+        from ..core.probability import float_probability_vector
+        from ..core.recursive import resolve_chain
+        from ..core.types import validate_probability
+
+        cells = tuple(resolve_chain(_unwrap_chain(cell), width))
+        n = len(cells)
+        request = cls(
+            kind=KIND_CHAIN,
+            cells=cells,
+            p_a=tuple(float_probability_vector(p_a, n, "p_a")),
+            p_b=tuple(float_probability_vector(p_b, n, "p_b")),
+            p_cin=float(validate_probability(p_cin, "p_cin")),
+            metrics=_normalise_metrics(metrics),
+            check_masking=check_masking,
+            keep_trace=keep_trace,
+        )
+        if joints is not None:
+            if len(joints) != n:
+                raise AnalysisError(
+                    f"need one joint distribution per stage: got "
+                    f"{len(joints)} for {n} stages"
+                )
+            request = replace(request, joints=tuple(joints))
+        return request
+
+    @classmethod
+    def for_gear(
+        cls,
+        config: object,
+        p_a: object = 0.5,
+        p_b: object = 0.5,
+        metrics: Sequence[str] = (METRIC_P_ERROR,),
+    ) -> "AnalysisRequest":
+        """Normalise a GeAr question from a ``GeArConfig``."""
+        from ..core.probability import float_probability_vector
+        from ..gear.config import GeArConfig
+
+        if not isinstance(config, GeArConfig):
+            raise AnalysisError(
+                f"for_gear expects a GeArConfig, got {type(config).__name__}"
+            )
+        return cls(
+            kind=KIND_GEAR,
+            gear=config,
+            p_a=tuple(float_probability_vector(p_a, config.n, "p_a")),
+            p_b=tuple(float_probability_vector(p_b, config.n, "p_b")),
+            metrics=_normalise_metrics(metrics),
+        )
+
+    @classmethod
+    def for_multiop(
+        cls,
+        operand_probabilities: Sequence[Sequence[float]],
+        width: int,
+        compress_cell: object = "accurate",
+        final_adder: object = None,
+        metrics: Sequence[str] = (METRIC_P_ERROR,),
+    ) -> "AnalysisRequest":
+        """Normalise a multi-operand (CSA tree + final adder) question."""
+        from ..core.probability import float_probability_vector
+        from ..core.recursive import resolve_cell, resolve_chain
+
+        rows = tuple(
+            tuple(float_probability_vector(row, width, "operand"))
+            for row in operand_probabilities
+        )
+        if not rows:
+            raise AnalysisError("need at least one operand probability row")
+        final: Tuple[FullAdderTruthTable, ...] = ()
+        if final_adder is not None:
+            final = tuple(resolve_chain(final_adder, width))
+        return cls(
+            kind=KIND_MULTIOP,
+            operands=rows,
+            compress_cell=resolve_cell(compress_cell),
+            final_adder=final,
+            metrics=_normalise_metrics(metrics),
+        )
+
+
+def _unwrap_chain(cell: object) -> object:
+    """Accept HybridChain transparently (its cells tuple is the chain)."""
+    cells = getattr(cell, "cells", None)
+    if cells is not None and not isinstance(cell, (str, FullAdderTruthTable)):
+        return list(cells)
+    return cell
+
+
+def _normalise_metrics(metrics: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(dict.fromkeys(metrics))  # dedupe, keep first-seen order
+    if not names:
+        raise AnalysisError("metrics must name at least one quantity")
+    for name in names:
+        if name not in KNOWN_METRICS:
+            raise AnalysisError(
+                f"unknown metric {name!r}; known: {', '.join(KNOWN_METRICS)}"
+            )
+    return names
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """One engine answer, in a backend-independent shape.
+
+    ``engine`` names the backend that actually ran; ``exact`` is its
+    registry capability (``False`` for Monte-Carlo estimates);
+    ``degraded_from``/``reason`` carry the selection provenance when the
+    budget forced a downgrade; ``raw`` keeps the backend-native result
+    (``MonteCarloResult``, ``ExhaustiveResult``, ``GeArIEReport``, ...)
+    for callers that need manifests, checkpoints or term counts.
+    """
+
+    p_error: float
+    p_success: float
+    engine: str
+    exact: bool
+    width: int
+    kind: str = KIND_CHAIN
+    cell_names: Tuple[str, ...] = ()
+    samples: Optional[int] = None
+    cases: Optional[int] = None
+    truncated: bool = False
+    stop_reason: Optional[str] = None
+    degraded_from: Optional[str] = None
+    reason: Optional[str] = None
+    interval: Optional[Tuple[float, float]] = None
+    is_upper_bound: bool = False
+    trace: Tuple = ()
+    raw: object = field(default=None, repr=False, compare=False)
+
+    def value(self, metric: str) -> float:
+        """Look up one of the request's metric names."""
+        if metric == METRIC_P_ERROR:
+            return self.p_error
+        if metric == METRIC_P_SUCCESS:
+            return self.p_success
+        raise AnalysisError(f"unknown metric {metric!r}")

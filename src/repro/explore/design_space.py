@@ -15,7 +15,7 @@ import numpy as np
 from ..circuits.power import PowerModel
 from ..core.exceptions import ExplorationError
 from ..core.recursive import CellSpec, resolve_cell
-from ..core.vectorized import error_by_width
+from ..engine import error_curves
 
 
 @dataclass(frozen=True)
@@ -69,7 +69,7 @@ def sweep_design_space(
         table = resolve_cell(spec)
         # The paper's operating points tie the carry-in to the operand
         # probability (e.g. Table 7's "A_i = B_i = C_in = 0.1").
-        curves = error_by_width(table, max_width, prob_array, p_cin=prob_array)
+        curves = error_curves(table, max_width, prob_array, p_cin=prob_array)
         curves = np.atleast_2d(curves)
         for pi, p in enumerate(prob_list):
             for width in width_list:
@@ -122,6 +122,6 @@ def useful_width_limit(
     Quantifies the paper's §5 remark that "none of the LPAA is useful
     beyond 10-bits cascading" for equally probable inputs.
     """
-    curve = error_by_width(cell, max_width, p)
+    curve = error_curves(cell, max_width, p)
     above = np.nonzero(curve > threshold)[0]
     return int(above[0]) + 1 if above.size else None

@@ -35,10 +35,11 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..circuits.power import PowerModel
 from ..core.exceptions import ExplorationError
 from ..core.hybrid import HybridChain
-from ..core.matrices import derive_matrices
+from ..core.probability import float_probability_vector
 from ..core.recursive import CellSpec, resolve_cell
 from ..core.truth_table import FullAdderTruthTable
-from ..core.types import validate_probability, validate_probability_vector
+from ..core.types import validate_probability
+from ..engine.cache import stage_transition
 from ..obs import metrics as _metrics
 from ..obs.log import get_logger, log_event
 from ..obs.provenance import RunManifest, StopWatch, build_manifest
@@ -61,40 +62,18 @@ def _stage_matrix(
     """2x2 map ``v_next = T v`` of one stage (rows: next c0/c1 mass).
 
     ``T[out][in]``: contribution of incoming mass with carry *in* to the
-    outgoing success mass with carry *out*.
+    outgoing success mass with carry *out*.  Served from the
+    process-wide stage-matrix cache -- the DP revisits the same
+    ``(cell, p_a, p_b)`` combination once per frontier vector.
     """
-    mkl = derive_matrices(table)
-    qa, qb = 1.0 - p_a, 1.0 - p_b
-    pair = (qa * qb, qa * p_b, p_a * qb, p_a * p_b)
-    t = [[0.0, 0.0], [0.0, 0.0]]
-    for row in range(8):
-        ab = row >> 1  # (a<<1 | b) index into pair products
-        cin = row & 1
-        weight = pair[ab]
-        if mkl.k[row]:
-            t[0][cin] += weight
-        if mkl.m[row]:
-            t[1][cin] += weight
-    return (tuple(t[0]), tuple(t[1]))  # type: ignore[return-value]
+    return stage_transition(table, p_a, p_b).matrix
 
 
 def _final_vector(
     table: FullAdderTruthTable, p_a: float, p_b: float
 ) -> Tuple[float, float]:
     """Functional ``l`` with ``P(Succ) = l . v`` at the last stage."""
-    mkl = derive_matrices(table)
-    qa, qb = 1.0 - p_a, 1.0 - p_b
-    pair = (qa * qb, qa * p_b, p_a * qb, p_a * p_b)
-    l0 = l1 = 0.0
-    for row in range(8):
-        if not mkl.l[row]:
-            continue
-        weight = pair[row >> 1]
-        if row & 1:
-            l1 += weight
-        else:
-            l0 += weight
-    return (l0, l1)
+    return stage_transition(table, p_a, p_b).final
 
 
 @dataclass(frozen=True)
@@ -198,8 +177,8 @@ def optimal_hybrid(
         raise ExplorationError("power_weight must be >= 0")
     if power_weight > 0 and power_model is None:
         power_model = PowerModel()
-    pa = [float(p) for p in validate_probability_vector(p_a, width, "p_a")]
-    pb = [float(p) for p in validate_probability_vector(p_b, width, "p_b")]
+    pa = float_probability_vector(p_a, width, "p_a")
+    pb = float_probability_vector(p_b, width, "p_b")
     pc = float(validate_probability(p_cin, "p_cin"))
 
     def stage_penalty(table: FullAdderTruthTable, i: int) -> float:
@@ -360,8 +339,8 @@ def brute_force_hybrid(
         )
     if resume and checkpoint_path is None:
         raise ExplorationError("resume=True requires checkpoint_path")
-    pa = [float(p) for p in validate_probability_vector(p_a, width, "p_a")]
-    pb = [float(p) for p in validate_probability_vector(p_b, width, "p_b")]
+    pa = float_probability_vector(p_a, width, "p_a")
+    pb = float_probability_vector(p_b, width, "p_b")
     pc = float(validate_probability(p_cin, "p_cin"))
     watch = StopWatch()
     fingerprint = config_fingerprint(
@@ -591,8 +570,8 @@ def greedy_hybrid(
     tests exhibit its gap against :func:`optimal_hybrid`).
     """
     tables = [resolve_cell(c) for c in cells]
-    pa = [float(p) for p in validate_probability_vector(p_a, width, "p_a")]
-    pb = [float(p) for p in validate_probability_vector(p_b, width, "p_b")]
+    pa = float_probability_vector(p_a, width, "p_a")
+    pb = float_probability_vector(p_b, width, "p_b")
     pc = float(validate_probability(p_cin, "p_cin"))
     v = (1.0 - pc, pc)
     chosen: List[FullAdderTruthTable] = []

@@ -34,8 +34,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .._compat import warn_deprecated
 from ..core.exceptions import AnalysisError
-from ..core.types import Probability, validate_probability_vector
+from ..core.probability import float_probability_vector
+from ..core.types import Probability
 from .config import GeArConfig
 from .functional import gear_add_array
 
@@ -50,8 +52,8 @@ def _normalise_probs(
     p_a: Union[Probability, Sequence[Probability]],
     p_b: Union[Probability, Sequence[Probability]],
 ) -> Tuple[List[float], List[float]]:
-    pa = [float(p) for p in validate_probability_vector(p_a, config.n, "p_a")]
-    pb = [float(p) for p in validate_probability_vector(p_b, config.n, "p_b")]
+    pa = float_probability_vector(p_a, config.n, "p_a")
+    pb = float_probability_vector(p_b, config.n, "p_b")
     return pa, pb
 
 
@@ -129,7 +131,14 @@ def gear_error_probability(
     p_a: Union[Probability, Sequence[Probability]] = 0.5,
     p_b: Union[Probability, Sequence[Probability]] = 0.5,
 ) -> float:
-    """``1 - gear_success_probability(...)``."""
+    """``1 - gear_success_probability(...)``.
+
+    .. deprecated::
+        Use ``repro.engine.run(AnalysisRequest.for_gear(config, ...))``
+        (engine ``"gear-dp"``) instead.
+    """
+    warn_deprecated("gear.analysis.gear_error_probability",
+                    'repro.engine.run(AnalysisRequest.for_gear(...))')
     return 1.0 - gear_success_probability(config, p_a, p_b)
 
 

@@ -92,10 +92,11 @@ def variant_comparison(n: int) -> List[Dict[str, object]]:
     L), matching :func:`repro.circuits.timing.gear_delay_model`.
     """
     from ..circuits.timing import gear_delay_model
-    from .analysis import gear_error_probability
+    from .. import engine as _engine
 
     rows = []
     for name, config in named_variants(n).items():
+        request = _engine.AnalysisRequest.for_gear(config)
         rows.append(
             {
                 "name": name,
@@ -103,7 +104,7 @@ def variant_comparison(n: int) -> List[Dict[str, object]]:
                 "l": config.l,
                 "subadders": config.num_subadders,
                 "delay": gear_delay_model(config),
-                "p_error": gear_error_probability(config),
+                "p_error": _engine.run(request).p_error,
             }
         )
     rows.sort(key=lambda r: (r["p_error"], r["delay"]))

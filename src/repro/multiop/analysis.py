@@ -27,16 +27,17 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from ..core.exceptions import AnalysisError
-from ..core.matrices import derive_matrices
+from ..core.probability import float_probability_vector
 from ..core.recursive import CellSpec, resolve_cell
-from ..core.types import validate_probability_vector
 from .compressor import multi_operand_add, multi_operand_add_array
 
 
 def _column_distribution(cell, p_x: float, p_y: float, p_z: float):
     """Per-column probabilities: (P(cell accurate), P(sum=1), P(carry=1))."""
+    from ..engine.cache import analysis_matrices
+
     table = resolve_cell(cell)
-    mkl = derive_matrices(table)
+    mkl = analysis_matrices(table)
     p_ok = p_sum = p_carry = 0.0
     for idx in range(8):
         x, y, z = (idx >> 2) & 1, (idx >> 1) & 1, idx & 1
@@ -69,9 +70,9 @@ def csa_layer_success_probability(
     cases all shift the column total (checked against enumeration in the
     tests).
     """
-    px = [float(p) for p in validate_probability_vector(p_x, width, "p_x")]
-    py = [float(p) for p in validate_probability_vector(p_y, width, "p_y")]
-    pz = [float(p) for p in validate_probability_vector(p_z, width, "p_z")]
+    px = float_probability_vector(p_x, width, "p_x")
+    py = float_probability_vector(p_y, width, "p_y")
+    pz = float_probability_vector(p_z, width, "p_z")
     product = 1.0
     for i in range(width):
         p_ok, _, _ = _column_distribution(cell, px[i], py[i], pz[i])
@@ -92,7 +93,7 @@ def csa_tree_success_product(
     level; an approximation beyond (tested within tolerance of MC).
     """
     probs: List[List[float]] = [
-        [float(p) for p in validate_probability_vector(row, width, "operand")]
+        float_probability_vector(row, width, "operand")
         for row in operand_probabilities
     ]
     if not probs:
@@ -135,7 +136,7 @@ def multi_operand_error_probability_mc(
     if samples < 1:
         raise AnalysisError(f"samples must be >= 1, got {samples}")
     rows = [
-        [float(p) for p in validate_probability_vector(row, width, "operand")]
+        float_probability_vector(row, width, "operand")
         for row in operand_probabilities
     ]
     rng = np.random.default_rng(seed)
@@ -164,7 +165,7 @@ def multi_operand_error_exact(
     Cost is ``2^(n_operands * width)``; guarded by *max_cases*.
     """
     rows = [
-        [float(p) for p in validate_probability_vector(row, width, "operand")]
+        float_probability_vector(row, width, "operand")
         for row in operand_probabilities
     ]
     n = len(rows)

@@ -149,6 +149,12 @@ class BudgetMeter:
             return want
         return max(0, min(want, self.budget.max_cases - self.cases))
 
+    def remaining_configs(self, want: int) -> int:
+        """Clamp a desired chunk of configurations to the remainder."""
+        if self.budget.max_configs is None:
+            return want
+        return max(0, min(want, self.budget.max_configs - self.configs))
+
 
 def make_meter(budget: Optional[RunBudget]) -> BudgetMeter:
     """Engine-side meter factory honouring an installed chaos shim.

@@ -8,24 +8,28 @@ ladder
 
     exhaustive (one block)  ->  chunked exhaustive  ->  Monte-Carlo
 
-using the closed-form case counts from :mod:`repro.simulation.cost_model`
-and the :class:`~repro.runtime.budget.RunBudget`: a width beyond the
-exhaustive limit, a case count over the budget's ``max_cases``, or a
-deadline too short for the estimated enumeration throughput each push
-the query one rung down instead of erroring or hanging.  Every
-downgrade is recorded in the result's provenance manifest
-(``degraded_from``), so a number produced by a fallback engine can
-never masquerade as the exact oracle.
+using the engines' own registry metadata
+(:data:`repro.engine.registry.REGISTRY`: ``max_width``, ``block_cases``,
+``cost_estimate``, ``ops_per_second``) and the
+:class:`~repro.runtime.budget.RunBudget`: a width beyond the exhaustive
+limit, a case count over the budget's ``max_cases``, or a deadline too
+short for the estimated enumeration throughput each push the query one
+rung down instead of erroring or hanging.  Every downgrade is recorded
+in the result's provenance manifest (``degraded_from``), so a number
+produced by a fallback engine can never masquerade as the exact oracle.
 
-:func:`resilient_error_probability` executes the plan, threading the
-budget (and optional checkpointing) into the chosen engine.
+:func:`resilient_error_probability` is now a deprecated shim over
+:func:`repro.engine.run` with ``simulate=True``, which executes the plan
+and threads the budget (and optional checkpointing) into the chosen
+engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Optional
 
+from .._compat import warn_deprecated
 from ..core.exceptions import AnalysisError
 from ..obs.log import get_logger, log_event
 from .budget import RunBudget
@@ -35,9 +39,11 @@ ENGINE_CHUNKED_EXHAUSTIVE = "chunked-exhaustive"
 ENGINE_MONTECARLO = "montecarlo"
 
 #: Conservative enumeration throughput (cases/second) used to judge
-#: whether a deadline can afford exhaustive enumeration at all.  Real
-#: machines do better; underestimating only degrades earlier, which is
-#: the safe direction.
+#: whether a deadline can afford exhaustive enumeration at all.  Kept
+#: for backwards compatibility; the ladder itself now reads the
+#: exhaustive engine's registered ``ops_per_second`` (same default).
+#: Real machines do better; underestimating only degrades earlier,
+#: which is the safe direction.
 CASES_PER_SECOND_ESTIMATE = 2_000_000
 
 _logger = get_logger("runtime.router")
@@ -66,26 +72,37 @@ def plan_engine(
     Monte-Carlo (estimate, bounded everything).  *samples* is the
     Monte-Carlo fallback's sample count (clamped to the budget's
     ``max_samples``).
+
+    Thresholds come from the engine registry rather than hard-coded
+    width constants: the exhaustive engine's ``max_width``,
+    ``block_cases``, ``cost_estimate`` (its abstract cost *is* the case
+    count) and ``ops_per_second``, and the Monte-Carlo engine's
+    ``default_samples``.
     """
-    from ..simulation.exhaustive import BLOCK_CASES, MAX_EXHAUSTIVE_WIDTH
-    from ..simulation.cost_model import exhaustive_case_count
-    from ..simulation.montecarlo import PAPER_SAMPLE_COUNT
+    from ..engine.backends import register_builtin_engines
+    from ..engine.registry import REGISTRY
+
+    register_builtin_engines()
+    exhaustive = REGISTRY.get(ENGINE_EXHAUSTIVE)
+    montecarlo = REGISTRY.get(ENGINE_MONTECARLO)
 
     if width < 1:
         raise AnalysisError(f"width must be >= 1, got {width}")
-    mc_samples = samples if samples is not None else PAPER_SAMPLE_COUNT
+    mc_samples = (samples if samples is not None
+                  else montecarlo.default_samples or 1)
     if budget is not None and budget.max_samples is not None:
         mc_samples = min(mc_samples, budget.max_samples)
 
-    if width > MAX_EXHAUSTIVE_WIDTH:
+    if exhaustive.max_width is not None and width > exhaustive.max_width:
         return EngineDecision(
             engine=ENGINE_MONTECARLO,
             reason=f"width {width} exceeds the exhaustive limit "
-                   f"({MAX_EXHAUSTIVE_WIDTH})",
+                   f"({exhaustive.max_width})",
             degraded_from=ENGINE_CHUNKED_EXHAUSTIVE,
             samples=mc_samples,
         )
-    cases = exhaustive_case_count(width)
+    cases = int(exhaustive.cost_estimate(width, None))
+    cases_per_second = int(exhaustive.ops_per_second)
     if budget is not None:
         if budget.max_cases is not None and cases > budget.max_cases:
             return EngineDecision(
@@ -97,18 +114,18 @@ def plan_engine(
                 samples=mc_samples,
             )
         if budget.deadline_s is not None:
-            affordable = int(budget.deadline_s * CASES_PER_SECOND_ESTIMATE)
+            affordable = int(budget.deadline_s * cases_per_second)
             if cases > affordable:
                 return EngineDecision(
                     engine=ENGINE_MONTECARLO,
                     reason=f"{cases} cases would overrun the "
                            f"{budget.deadline_s:g}s deadline at "
-                           f"~{CASES_PER_SECOND_ESTIMATE} cases/s",
+                           f"~{cases_per_second} cases/s",
                     degraded_from=ENGINE_CHUNKED_EXHAUSTIVE,
                     estimated_cases=cases,
                     samples=mc_samples,
                 )
-    if cases <= BLOCK_CASES:
+    if exhaustive.block_cases is None or cases <= exhaustive.block_cases:
         return EngineDecision(
             engine=ENGINE_EXHAUSTIVE,
             reason=f"{cases} cases fit a single enumeration block",
@@ -153,39 +170,30 @@ def resilient_error_probability(
 ) -> RoutedResult:
     """Compute ``P(Error)`` with the strongest engine the budget affords.
 
+    .. deprecated::
+        Call ``repro.engine.run(cell, width, ..., simulate=True)``
+        instead; the routed decision lands on the result as
+        ``engine`` / ``reason`` / ``degraded_from`` and the
+        backend-native report as ``raw``.
+
     Routes per :func:`plan_engine`, threads the budget and optional
     checkpointing into the chosen engine, and stamps the downgrade (if
     any) into the result's provenance manifest.  Never hangs on an
     absurd width and never errors merely because the exact oracle is
     unaffordable -- the answer degrades to an estimate instead.
     """
-    from ..core.recursive import resolve_chain
-    from ..simulation.exhaustive import exhaustive_report
-    from ..simulation.montecarlo import simulate_error_probability
+    warn_deprecated("runtime.router.resilient_error_probability",
+                    "repro.engine.run(..., simulate=True)")
+    from .. import engine as _engine
 
-    cells = resolve_chain(cell, width)
-    n = len(cells)
-    decision = plan_engine(n, budget, samples)
+    request = _engine.AnalysisRequest.chain(cell, width, p_a, p_b, p_cin)
+    decision = plan_engine(request.width, budget, samples)
     log_event(_logger, "router.decision", engine=decision.engine,
-              degraded_from=decision.degraded_from, width=n,
+              degraded_from=decision.degraded_from, width=request.width,
               reason=decision.reason)
-    if decision.engine == ENGINE_MONTECARLO:
-        result = simulate_error_probability(
-            cells, None, p_a, p_b, p_cin,
-            samples=decision.samples or 1, seed=seed, budget=budget,
-            checkpoint_path=checkpoint_path, resume=resume,
-            progress=progress,
-        )
-    else:
-        result = exhaustive_report(
-            cells, None, p_a, p_b, p_cin, budget=budget,
-            checkpoint_path=checkpoint_path, resume=resume,
-            progress=progress,
-        )
-    if decision.degraded_from is not None and result.manifest is not None:
-        result = replace(
-            result,
-            manifest=replace(result.manifest,
-                             degraded_from=decision.degraded_from),
-        )
-    return RoutedResult(decision=decision, result=result)
+    answer = _engine.run(
+        request=request, simulate=True, budget=budget, samples=samples,
+        seed=seed, checkpoint_path=checkpoint_path, resume=resume,
+        progress=progress,
+    )
+    return RoutedResult(decision=decision, result=answer.raw)

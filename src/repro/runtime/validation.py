@@ -82,12 +82,16 @@ def validate_against_simulation(
     so the guard itself can never blow a deadline.
     """
     from ..core.masking import chain_is_exact
-    from ..core.recursive import error_probability, resolve_chain
+    from ..core.recursive import resolve_chain
     from ..simulation.montecarlo import simulate_error_probability
 
     cells = resolve_chain(cell, width)
     if analytical is None:
-        analytical = float(error_probability(cells, None, p_a, p_b, p_cin))
+        from .. import engine as _engine
+
+        analytical = float(
+            _engine.run(cells, None, p_a, p_b, p_cin).p_error
+        )
     exact = chain_is_exact(cells)
     mc = simulate_error_probability(
         cells, None, p_a, p_b, p_cin,

@@ -31,8 +31,9 @@ from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.exceptions import AnalysisError
+from ..core.probability import float_probability_vector
 from ..core.recursive import CellSpec, resolve_chain
-from ..core.types import Probability, validate_probability, validate_probability_vector
+from ..core.types import Probability, validate_probability
 from ..obs import metrics as _metrics
 from ..obs.log import Progress, ProgressCallback, get_logger, log_event
 from ..obs.provenance import RunManifest, StopWatch, build_manifest
@@ -46,7 +47,6 @@ from ..runtime.checkpoint import (
     save_checkpoint,
 )
 from .functional import ripple_add_array
-from .montecarlo import _reject_nonfinite
 
 #: Widths above this would enumerate > 2^33 cases; refuse rather than hang.
 MAX_EXHAUSTIVE_WIDTH = 16
@@ -164,11 +164,9 @@ def exhaustive_error_probability(
     cells = resolve_chain(cell, width)
     n = len(cells)
     _check_width(n)
-    pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
-    pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
+    pa = float_probability_vector(p_a, n, "p_a")
+    pb = float_probability_vector(p_b, n, "p_b")
     pc = float(validate_probability(p_cin, "p_cin"))
-    _reject_nonfinite(pa, "p_a")
-    _reject_nonfinite(pb, "p_b")
 
     total_cases = _count_cases(n)
     reporter = Progress(total_cases, "exhaustive.cases", callback=progress,
@@ -228,11 +226,9 @@ def exhaustive_report(
         )
     if resume and checkpoint_path is None:
         raise AnalysisError("resume=True requires checkpoint_path")
-    pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
-    pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
+    pa = float_probability_vector(p_a, n, "p_a")
+    pb = float_probability_vector(p_b, n, "p_b")
     pc = float(validate_probability(p_cin, "p_cin"))
-    _reject_nonfinite(pa, "p_a")
-    _reject_nonfinite(pb, "p_b")
 
     step = _block_step(n, budget)
     total_cases = _count_cases(n)
@@ -387,8 +383,8 @@ def exhaustive_error_pmf(
     cells = resolve_chain(cell, width)
     n = len(cells)
     _check_width(n)
-    pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
-    pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
+    pa = float_probability_vector(p_a, n, "p_a")
+    pb = float_probability_vector(p_b, n, "p_b")
     pc = float(validate_probability(p_cin, "p_cin"))
 
     total_cases = _count_cases(n)

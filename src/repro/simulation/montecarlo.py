@@ -34,8 +34,9 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.exceptions import AnalysisError
+from ..core.probability import float_probability_vector
 from ..core.recursive import CellSpec, resolve_chain
-from ..core.types import Probability, validate_probability, validate_probability_vector
+from ..core.types import Probability, validate_probability
 from ..obs import metrics as _metrics
 from ..obs.log import Progress, ProgressCallback, get_logger, log_event
 from ..obs.provenance import RunManifest, StopWatch, build_manifest
@@ -172,11 +173,9 @@ def simulate_samples(
     n = len(cells)
     if samples < 1:
         raise AnalysisError(f"samples must be >= 1, got {samples}")
-    pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
-    pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
+    pa = float_probability_vector(p_a, n, "p_a")
+    pb = float_probability_vector(p_b, n, "p_b")
     pc = float(validate_probability(p_cin, "p_cin"))
-    _reject_nonfinite(pa, "p_a")
-    _reject_nonfinite(pb, "p_b")
 
     rng = np.random.default_rng(seed)
     approx_parts = []
@@ -257,11 +256,9 @@ def simulate_error_probability(
         )
     if resume and checkpoint_path is None:
         raise AnalysisError("resume=True requires checkpoint_path")
-    pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
-    pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]
+    pa = float_probability_vector(p_a, n, "p_a")
+    pb = float_probability_vector(p_b, n, "p_b")
     pc = float(validate_probability(p_cin, "p_cin"))
-    _reject_nonfinite(pa, "p_a")
-    _reject_nonfinite(pb, "p_b")
 
     eff_batch = _effective_batch_size(batch_size, n, budget)
     fingerprint = config_fingerprint(
@@ -377,22 +374,3 @@ def simulate_error_probability(
         manifest=manifest, truncated=truncated, stop_reason=stop_reason,
         requested_samples=samples if truncated else None,
     )
-
-
-def _reject_nonfinite(probs: Sequence[float], name: str) -> None:
-    """Belt-and-braces NaN/inf guard on an already-validated vector.
-
-    :func:`repro.core.types.validate_probability` rejects non-finite
-    scalars, but engines re-check the final float vectors here so a
-    poisoned value can never reach the samplers through a future
-    validation regression -- a NaN weight silently zeroes comparisons
-    instead of failing loudly.
-    """
-    arr = np.asarray(probs, dtype=np.float64)
-    bad = np.flatnonzero(~np.isfinite(arr))
-    if bad.size:
-        from ..core.exceptions import ProbabilityError
-
-        raise ProbabilityError(
-            f"{name}[{int(bad[0])}] is not finite: {arr[int(bad[0])]!r}"
-        )
