@@ -61,6 +61,25 @@ def _ipm_batch(
     )
 
 
+def _masked_sum(ipm: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``ipm @ mask`` with a fixed left-to-right reduction order.
+
+    ``numpy``'s matmul hands the contraction to BLAS kernels whose
+    summation order varies with the batch shape, so the same
+    probability row can land on a different last ulp depending on which
+    rows happen to share its batch.  The parallel executor
+    (:mod:`repro.engine.parallel`) shards batches across worker
+    processes and promises results bit-identical to the serial path, so
+    the 8-term reduction is accumulated explicitly in canonical row
+    order instead: elementwise multiplies and adds are exactly rounded,
+    which makes every row's value independent of its batch mates.
+    """
+    out = ipm[:, 0] * mask[0]
+    for j in range(1, ipm.shape[1]):
+        out += ipm[:, j] * mask[j]
+    return out
+
+
 def analyze_batch(
     cell: Union[CellSpec, Sequence[CellSpec]],
     width: Optional[int] = None,
@@ -127,10 +146,10 @@ def analyze_batch(
                 m, k, l = derive_matrices(table).as_arrays()
             ipm = _ipm_batch(pa[:, i], pb[:, i], c1, c0)
             if i == n - 1:
-                p_success = ipm @ l
+                p_success = _masked_sum(ipm, l)
             else:
-                c1 = ipm @ m
-                c0 = ipm @ k
+                c1 = _masked_sum(ipm, m)
+                c0 = _masked_sum(ipm, k)
     if _metrics.is_enabled():
         _metrics.get_registry().counter("core.vectorized.points").add(batch)
     return p_success
@@ -207,8 +226,8 @@ def success_by_width(
         out = np.zeros((batch, max_width))
         for i in range(max_width):
             ipm = _ipm_batch(p_arr, p_arr, c1, c0)
-            out[:, i] = ipm @ l
-            c1, c0 = ipm @ m, ipm @ k
+            out[:, i] = _masked_sum(ipm, l)
+            c1, c0 = _masked_sum(ipm, m), _masked_sum(ipm, k)
     if _metrics.is_enabled():
         _metrics.get_registry().counter("core.vectorized.points").add(
             batch * max_width

@@ -61,6 +61,13 @@ from .request import (
 )
 from .backends import register_builtin_engines
 from .executor import error_curves, run, run_batch, select_engine
+from .parallel import (
+    PARALLEL_EXHAUSTIVE,
+    budget_allows_parallel,
+    parallel_exhaustive,
+    resolve_jobs,
+    run_batch_parallel,
+)
 
 __all__ = [
     "AnalysisRequest",
@@ -77,18 +84,23 @@ __all__ = [
     "KNOWN_METRICS",
     "METRIC_P_ERROR",
     "METRIC_P_SUCCESS",
+    "PARALLEL_EXHAUSTIVE",
     "REGISTRY",
     "StageMatrixCache",
     "StageTransition",
     "analysis_matrices",
+    "budget_allows_parallel",
     "cache_stats",
     "clear_cache",
     "configure_cache",
     "error_curves",
     "mask_arrays",
+    "parallel_exhaustive",
     "register_builtin_engines",
+    "resolve_jobs",
     "run",
     "run_batch",
+    "run_batch_parallel",
     "select_engine",
     "stage_transition",
 ]

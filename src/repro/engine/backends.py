@@ -319,14 +319,14 @@ def register_builtin_engines() -> None:
     REGISTRY.register(EngineInfo(
         name="recursive", family=FAMILY_ANALYTICAL,
         request_kinds=(KIND_CHAIN,), exact=True,
-        run=run_recursive, supports_trace=True,
+        run=run_recursive, supports_trace=True, parallel_safe=True,
         cost_estimate=lambda width, samples=None: _STAGE_COST * width,
         description="paper Algorithm 1 over cached stage transitions",
     ))
     REGISTRY.register(EngineInfo(
         name="vectorized", family=FAMILY_ANALYTICAL,
         request_kinds=(KIND_CHAIN,), exact=True,
-        run=run_vectorized, supports_batch=True,
+        run=run_vectorized, supports_batch=True, parallel_safe=True,
         cost_estimate=lambda width, samples=None: (
             _VECTOR_OVERHEAD + 12.0 * width),
         description="NumPy batch recursion (cache-fed mask arrays)",
@@ -342,6 +342,7 @@ def register_builtin_engines() -> None:
         name="inclusion-exclusion", family=FAMILY_ANALYTICAL,
         request_kinds=(KIND_CHAIN,), exact=True,
         run=run_inclusion_exclusion, max_width=MAX_IE_WIDTH,
+        parallel_safe=True,
         cost_estimate=lambda width, samples=None: width * (2.0 ** width),
         description="the exponential baseline the paper beats (Table 3)",
     ))
@@ -349,7 +350,7 @@ def register_builtin_engines() -> None:
         name="exhaustive", family=FAMILY_SIMULATION,
         request_kinds=(KIND_CHAIN,), exact=True,
         run=run_exhaustive, max_width=MAX_EXHAUSTIVE_WIDTH,
-        block_cases=BLOCK_CASES,
+        block_cases=BLOCK_CASES, parallel_safe=True,
         cost_estimate=lambda width, samples=None: 2.0 ** (2 * width + 1),
         description="weighted enumeration of all 2^(2N+1) cases",
     ))
@@ -357,6 +358,7 @@ def register_builtin_engines() -> None:
         name="montecarlo", family=FAMILY_SIMULATION,
         request_kinds=(KIND_CHAIN,), exact=False,
         run=run_montecarlo, default_samples=PAPER_SAMPLE_COUNT,
+        parallel_safe=True,
         cost_estimate=lambda width, samples=None: float(
             samples if samples else PAPER_SAMPLE_COUNT),
         description="seeded sampling estimate with Wilson intervals",
@@ -364,21 +366,21 @@ def register_builtin_engines() -> None:
     REGISTRY.register(EngineInfo(
         name="gear-dp", family=FAMILY_ANALYTICAL,
         request_kinds=(KIND_GEAR,), exact=True,
-        run=run_gear_dp,
+        run=run_gear_dp, parallel_safe=True,
         cost_estimate=lambda width, samples=None: 10.0 * width,
         description="GeAr linear DP over (carry, run) states",
     ))
     REGISTRY.register(EngineInfo(
         name="gear-ie", family=FAMILY_ANALYTICAL,
         request_kinds=(KIND_GEAR,), exact=True,
-        run=run_gear_ie,
+        run=run_gear_ie, parallel_safe=True,
         cost_estimate=lambda width, samples=None: 100.0 + 2.0 ** width,
         description="GeAr inclusion-exclusion over sub-adder events",
     ))
     REGISTRY.register(EngineInfo(
         name="gear-mc", family=FAMILY_SIMULATION,
         request_kinds=(KIND_GEAR,), exact=False,
-        run=run_gear_mc, default_samples=1_000_000,
+        run=run_gear_mc, default_samples=1_000_000, parallel_safe=True,
         cost_estimate=lambda width, samples=None: float(
             samples if samples else 1_000_000),
         description="seeded GeAr Monte-Carlo estimate",
@@ -386,14 +388,14 @@ def register_builtin_engines() -> None:
     REGISTRY.register(EngineInfo(
         name="multiop-exact", family=FAMILY_SIMULATION,
         request_kinds=(KIND_MULTIOP,), exact=True,
-        run=run_multiop_exact,
+        run=run_multiop_exact, parallel_safe=True,
         cost_estimate=lambda width, samples=None: 4.0 ** width,
         description="weighted enumeration of the CSA tree + final adder",
     ))
     REGISTRY.register(EngineInfo(
         name="multiop-mc", family=FAMILY_SIMULATION,
         request_kinds=(KIND_MULTIOP,), exact=False,
-        run=run_multiop_mc, default_samples=200_000,
+        run=run_multiop_mc, default_samples=200_000, parallel_safe=True,
         cost_estimate=lambda width, samples=None: float(
             samples if samples else 200_000),
         description="Monte-Carlo over the functional CSA-tree model",

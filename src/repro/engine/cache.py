@@ -193,14 +193,18 @@ class StageMatrixCache:
                round(float(p_a), QUANT_DIGITS),
                round(float(p_b), QUANT_DIGITS))
         if self._capacity:
+            # Counter read-modify-writes happen only while holding the
+            # LRU lock; the obs mirror is updated after release so the
+            # cache lock never nests inside the metrics locks.
             with self._lock:
                 cached = self._transitions.get(key)
                 if cached is not None:
                     self._transitions.move_to_end(key)
                     self._hits += 1
-                    if _metrics.is_enabled():
-                        _metrics.inc("engine.cache.hits")
-                    return cached
+            if cached is not None:
+                if _metrics.is_enabled():
+                    _metrics.inc("engine.cache.hits")
+                return cached
         transition = _build_transition(
             self.analysis_matrices(table), float(p_a), float(p_b)
         )
@@ -216,6 +220,29 @@ class StageMatrixCache:
             _metrics.inc("engine.cache.misses")
             _metrics.set_gauge("engine.cache.size", size)
         return transition
+
+    def merge_stats(self, hits: int = 0, misses: int = 0) -> None:
+        """Fold external hit/miss deltas into this cache's totals.
+
+        :mod:`repro.engine.parallel` workers serve lookups from their
+        own per-process cache; their per-chunk deltas are merged here so
+        ``stats()`` and the ``engine.cache.*`` obs counters describe the
+        whole run, not just the parent process.
+        """
+        if hits < 0 or misses < 0:
+            raise ValueError(
+                f"stat deltas must be >= 0, got hits={hits} misses={misses}"
+            )
+        if not (hits or misses):
+            return
+        with self._lock:
+            self._hits += hits
+            self._misses += misses
+        if _metrics.is_enabled():
+            if hits:
+                _metrics.inc("engine.cache.hits", hits)
+            if misses:
+                _metrics.inc("engine.cache.misses", misses)
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -121,6 +121,7 @@ def run(
     progress: Optional[object] = None,
     joints: Optional[Sequence[object]] = None,
     keep_trace: bool = False,
+    jobs: object = None,
 ) -> AnalysisResult:
     """Answer one analysis question through the registry.
 
@@ -129,8 +130,13 @@ def run(
     ``(cell, width, p_a, p_b, p_cin)`` convention.  *engine* forces a
     registered backend by name; ``simulate=True`` asks for a simulation
     answer routed down the budget-aware degradation ladder instead of
-    the analytical default.
+    the analytical default.  *jobs* (``"auto"`` or a worker count)
+    offers the router a process pool: an exhaustive enumeration that
+    would overrun the deadline on one core may then run sharded as
+    ``parallel-exhaustive`` instead of degrading to Monte-Carlo.
     """
+    from . import parallel as _parallel
+
     if request is None and isinstance(cell, AnalysisRequest):
         request, cell = cell, None
     if request is None:
@@ -141,6 +147,7 @@ def run(
             joints=joints, keep_trace=keep_trace,
         )
 
+    jobs_n = _parallel.resolve_jobs(jobs) if jobs is not None else 0
     decision: Optional[EngineDecision] = None
     if engine is None:
         if simulate:
@@ -148,7 +155,8 @@ def run(
                 raise AnalysisError(
                     "simulate=True routing applies to chain requests only"
                 )
-            decision = plan_engine(request.width, budget, samples)
+            decision = plan_engine(request.width, budget, samples,
+                                   jobs=jobs_n or None)
         else:
             decision = select_engine(request, budget, samples)
         engine_name = decision.engine
@@ -156,6 +164,30 @@ def run(
             samples = decision.samples
     else:
         engine_name = engine
+
+    if engine_name == _parallel.PARALLEL_EXHAUSTIVE:
+        # Sharded enumeration lives outside the registry: capability is
+        # the exhaustive engine's, execution is the process pool's.
+        if not REGISTRY.get("exhaustive").accepts(request):
+            raise AnalysisError(
+                f"engine {engine_name!r} cannot serve this request "
+                f"(kind={request.kind}, width={request.width})"
+            )
+        with _metrics.timed("engine.run"), \
+                trace_span("engine.run", engine=engine_name,
+                           kind=request.kind, width=request.width):
+            result = _parallel.parallel_exhaustive(
+                request, jobs=jobs_n, budget=budget, progress=progress,
+            )
+        if _metrics.is_enabled():
+            _metrics.inc("engine.requests")
+            _metrics.inc(f"engine.selected.{engine_name}")
+        if decision is not None:
+            result = _stamp_decision(result, decision, engine_name)
+            log_event(_logger, "engine.run", engine=engine_name,
+                      kind=request.kind, width=request.width,
+                      degraded_from=decision.degraded_from)
+        return result
 
     # "chunked-exhaustive" is a routing refinement of the exhaustive
     # engine (same enumerator, block-wise); the registry runs it there.
@@ -210,6 +242,12 @@ def _stamp_decision(
 def run_batch(
     requests: Sequence[AnalysisRequest],
     budget: Optional[RunBudget] = None,
+    *,
+    parallelism: object = "off",
+    engine: Optional[str] = None,
+    simulate: bool = False,
+    samples: Optional[int] = None,
+    seed: Optional[int] = 0,
 ) -> List[Optional[AnalysisResult]]:
     """Answer N requests, vectorising wherever the backend allows.
 
@@ -220,7 +258,48 @@ def run_batch(
     and a stop reason leaves the remaining entries ``None`` (the
     positions of completed requests always hold well-formed results).
     Everything else falls back to :func:`run` per request.
+
+    ``parallelism`` (``"auto"``, a worker count, or ``"off"``) shards
+    the grouped chunks across a process pool
+    (:mod:`repro.engine.parallel`) with bit-identical results; budgets
+    capping ``max_samples``/``max_cases`` keep the run serial so the
+    caps stay exact.  *engine*/*simulate*/*samples*/*seed* force the
+    same :func:`run` options onto every request (e.g. a Monte-Carlo
+    sweep at a fixed seed) instead of the analytical default.
     """
+    from . import parallel as _parallel
+
+    jobs = _parallel.resolve_jobs(parallelism)
+    if jobs and len(requests) > 1 \
+            and _parallel.budget_allows_parallel(budget):
+        return _parallel.run_batch_parallel(
+            requests, budget=budget, jobs=jobs, engine=engine,
+            simulate=simulate, samples=samples, seed=seed,
+        )
+    if engine is not None or simulate or samples is not None:
+        # Forced options: every request is a single through run().
+        forced: List[Optional[AnalysisResult]] = [None] * len(requests)
+        forced_meter = make_meter(budget)
+        with _metrics.timed("engine.run_batch"), \
+                trace_span("engine.run_batch", requests=len(requests),
+                           groups=0):
+            for i, request in enumerate(requests):
+                if forced_meter.stop_reason() is not None:
+                    break
+                forced[i] = run(
+                    request=request, budget=budget, engine=engine,
+                    simulate=simulate, samples=samples, seed=seed,
+                )
+                forced_meter.charge(configs=1)
+        if _metrics.is_enabled():
+            _metrics.get_registry().counter(
+                "engine.batch.requests").add(len(requests))
+        if forced_meter.stop_reason() is not None:
+            log_event(_logger, "engine.run_batch.truncated",
+                      reason=forced_meter.stop_reason(),
+                      done=sum(r is not None for r in forced),
+                      total=len(requests))
+        return forced
     results: List[Optional[AnalysisResult]] = [None] * len(requests)
     groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
     singles: List[int] = []
@@ -295,6 +374,7 @@ def error_curves(
     max_width: int,
     p: object = 0.5,
     p_cin: object = 0.5,
+    parallelism: object = "off",
 ) -> np.ndarray:
     """``P(Error)`` of a uniform chain for every width ``1..max_width``.
 
@@ -302,11 +382,20 @@ def error_curves(
     ``core.vectorized.error_by_width``: one vectorised recursion pass
     reports every prefix width (optionally over a batch of probability
     points at once -- scalar *p* gives ``(max_width,)``, a ``(batch,)``
-    *p* gives ``(batch, max_width)``).
+    *p* gives ``(batch, max_width)``).  With ``parallelism`` enabled a
+    batched *p* is sliced across worker processes and re-concatenated
+    (the recursion is elementwise along the batch axis, so the rows are
+    bit-identical either way); a scalar *p* always runs serially.
     """
     from ..core.recursive import resolve_chain
     from ..core.vectorized import success_by_width
+    from . import parallel as _parallel
 
     table = resolve_chain(cell, 1)[0]
+    jobs = _parallel.resolve_jobs(parallelism)
+    if jobs and np.ndim(p) == 1 and np.shape(p)[0] > 1:
+        return _parallel.error_curves_parallel(
+            table, max_width, p, p_cin, jobs
+        )
     with trace_span("engine.error_curves", max_width=max_width):
         return 1.0 - success_by_width(table, max_width, p, p_cin)

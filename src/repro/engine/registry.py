@@ -40,6 +40,11 @@ class EngineInfo:
     supports_batch: bool = False
     supports_trace: bool = False
     supports_correlated: bool = False
+    #: Safe to execute in a worker process: the runner is a pure function
+    #: of a picklable request + options (no shared mutable state beyond
+    #: the per-process stage-matrix cache, whose hit/miss deltas are
+    #: merged back by :mod:`repro.engine.parallel`).
+    parallel_safe: bool = False
     max_width: Optional[int] = None
     block_cases: Optional[int] = None   # chunking threshold (exhaustive)
     ops_per_second: float = 2_000_000.0

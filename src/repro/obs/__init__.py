@@ -64,6 +64,7 @@ from .tracing import (
     Span,
     Tracer,
     get_tracer,
+    graft_spans,
     install_tracer,
     trace_span,
     use_tracer,
@@ -75,8 +76,8 @@ __all__ = [
     "disable", "enable", "get_registry", "inc", "is_enabled", "observe",
     "set_gauge", "snapshot_to_json", "timed", "use_registry",
     # tracing
-    "TRACE_FORMAT", "Span", "Tracer", "get_tracer", "install_tracer",
-    "trace_span", "use_tracer",
+    "TRACE_FORMAT", "Span", "Tracer", "get_tracer", "graft_spans",
+    "install_tracer", "trace_span", "use_tracer",
     # provenance
     "MANIFEST_FORMAT", "RunManifest", "StopWatch", "build_manifest",
     "git_revision", "provenance_line",

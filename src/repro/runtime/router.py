@@ -36,6 +36,7 @@ from .budget import RunBudget
 
 ENGINE_EXHAUSTIVE = "exhaustive"
 ENGINE_CHUNKED_EXHAUSTIVE = "chunked-exhaustive"
+ENGINE_PARALLEL_EXHAUSTIVE = "parallel-exhaustive"
 ENGINE_MONTECARLO = "montecarlo"
 
 #: Conservative enumeration throughput (cases/second) used to judge
@@ -64,14 +65,19 @@ def plan_engine(
     width: int,
     budget: Optional[RunBudget] = None,
     samples: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> EngineDecision:
     """Choose the strongest engine the width and budget allow.
 
     Preference order: single-block exhaustive (exact, fits one
     enumeration block), chunked exhaustive (exact, bounded memory),
+    sharded parallel exhaustive (exact, *jobs* worker processes),
     Monte-Carlo (estimate, bounded everything).  *samples* is the
     Monte-Carlo fallback's sample count (clamped to the budget's
-    ``max_samples``).
+    ``max_samples``).  *jobs* ( >= 2) adds the parallel-exhaustive
+    rung: a deadline one core cannot meet is re-judged against the
+    pool's aggregate throughput before the query degrades to an
+    estimate -- exactness is worth one more rung.
 
     Thresholds come from the engine registry rather than hard-coded
     width constants: the exhaustive engine's ``max_width``,
@@ -116,6 +122,16 @@ def plan_engine(
         if budget.deadline_s is not None:
             affordable = int(budget.deadline_s * cases_per_second)
             if cases > affordable:
+                if jobs is not None and jobs >= 2 \
+                        and cases <= affordable * jobs:
+                    return EngineDecision(
+                        engine=ENGINE_PARALLEL_EXHAUSTIVE,
+                        reason=f"{cases} cases overrun the "
+                               f"{budget.deadline_s:g}s deadline on one "
+                               f"core but fit across {jobs} workers",
+                        degraded_from=ENGINE_EXHAUSTIVE,
+                        estimated_cases=cases,
+                    )
                 return EngineDecision(
                     engine=ENGINE_MONTECARLO,
                     reason=f"{cases} cases would overrun the "

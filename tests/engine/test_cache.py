@@ -139,3 +139,46 @@ class TestDerivedArtifacts:
     def test_global_cache_is_module_singleton(self):
         stage_transition(ACCURATE, 0.5, 0.5)
         assert GLOBAL_CACHE.stats().misses >= 1
+
+
+class TestStatMerging:
+    def test_merge_stats_accumulates(self):
+        cache = StageMatrixCache(capacity=8)
+        cache.stage_transition(ACCURATE, 0.5, 0.5)  # one miss
+        cache.merge_stats(hits=10, misses=3)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (10, 4)
+
+    def test_merge_stats_rejects_negative_deltas(self):
+        cache = StageMatrixCache(capacity=8)
+        with pytest.raises(ValueError, match=">= 0"):
+            cache.merge_stats(hits=-1)
+
+    def test_counters_consistent_under_concurrent_lookups(self):
+        # Regression: hit/miss read-modify-writes must happen under the
+        # LRU lock, or concurrent lookups (threaded callers, the pool's
+        # parent-side merge) lose increments.
+        import threading
+
+        cache = StageMatrixCache(capacity=64)
+        points = [(i / 40.0, 0.5) for i in range(20)]
+        workers = 8
+        rounds = 30
+        barrier = threading.Barrier(workers)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(rounds):
+                for p_a, p_b in points:
+                    cache.stage_transition(ACCURATE, p_a, p_b)
+                cache.merge_stats(hits=1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats()
+        lookups = workers * rounds * len(points)
+        assert stats.hits + stats.misses == lookups + workers * rounds
+        assert stats.misses >= len(points)
