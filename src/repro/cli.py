@@ -14,6 +14,8 @@ hybrid    optimal hybrid chain search
 power     calibrated power/area estimates (Table 2 style)
 cells     list registered cells and their truth tables
 obs       pretty-print saved metrics/trace/manifest files
+serve     HTTP/JSON analysis service with micro-batching and a
+          persistent result cache (see docs/serving.md)
 
 Resilience
 ----------
@@ -440,6 +442,32 @@ def _cmd_ant(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the batching HTTP/JSON analysis service until SIGTERM."""
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.default_deadline,
+        drain_grace_s=args.drain_grace,
+        parallelism=getattr(args, "jobs", "off"),
+        cache_dir=args.cache_dir,
+        max_disk_entries=args.max_disk_entries,
+    )
+    if args.memory_cache_entries is not None:
+        import dataclasses
+
+        config = dataclasses.replace(
+            config, memory_cache_entries=args.memory_cache_entries
+        )
+    run_server(config)
+    return 0
+
+
 def _cmd_cells(args) -> int:
     rows = []
     for cell in registry:
@@ -798,6 +826,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_ant)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP/JSON analysis service with micro-batching and a "
+             "persistent result cache",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port; 0 picks a free one (default 8080)")
+    p.add_argument("--max-batch", type=int, default=64, metavar="N",
+                   help="largest engine micro-batch (1 disables "
+                        "coalescing; default 64)")
+    p.add_argument("--batch-window-ms", type=float, default=5.0,
+                   metavar="MS",
+                   help="how long a request waits for companions "
+                        "(default 5 ms)")
+    p.add_argument("--queue-limit", type=int, default=1024, metavar="N",
+                   help="bounded queue size; beyond it requests are shed "
+                        "with 429 (default 1024)")
+    p.add_argument("--default-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="deadline applied to requests without their own "
+                        "deadline_s (default: none)")
+    p.add_argument("--drain-grace", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="SIGTERM drain grace before pending work is "
+                        "failed (default 5)")
+    p.add_argument("--cache-dir", metavar="PATH", default=None,
+                   help="mount the persistent on-disk result cache at "
+                        "PATH (shared across processes and restarts)")
+    p.add_argument("--memory-cache-entries", type=int, metavar="N",
+                   default=None,
+                   help="in-memory result LRU size above the disk tier")
+    p.add_argument("--max-disk-entries", type=int, metavar="N",
+                   default=None,
+                   help="cap on on-disk cache entries; oldest are "
+                        "evicted (default: unbounded)")
+    _add_jobs_argument(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "obs",

@@ -10,6 +10,9 @@ backend in the library:
   :mod:`repro.runtime.router` degradation ladder;
 * :mod:`repro.engine.cache` -- the process-wide stage-matrix LRU keyed
   by (cell truth-table fingerprint, quantized operand probabilities);
+* :mod:`repro.engine.diskcache` -- the opt-in persistent result tier:
+  an in-memory result LRU over a content-addressed on-disk store shared
+  across processes and restarts (``configure_result_cache``);
 * :mod:`repro.engine.executor` -- :func:`run`, :func:`run_batch` and
   :func:`error_curves`, instrumented through :mod:`repro.obs`.
 
@@ -42,6 +45,18 @@ from .cache import (
     mask_arrays,
     stage_transition,
 )
+from .diskcache import (
+    DEFAULT_MEMORY_ENTRIES,
+    STORE_FORMAT,
+    DiskResultStore,
+    DiskStoreStats,
+    ResultCache,
+    cacheable_result,
+    configure_result_cache,
+    disable_result_cache,
+    get_result_cache,
+    request_key,
+)
 from .registry import (
     FAMILY_ANALYTICAL,
     FAMILY_SIMULATION,
@@ -73,6 +88,16 @@ __all__ = [
     "AnalysisRequest",
     "AnalysisResult",
     "CacheStats",
+    "DEFAULT_MEMORY_ENTRIES",
+    "DiskResultStore",
+    "DiskStoreStats",
+    "ResultCache",
+    "STORE_FORMAT",
+    "cacheable_result",
+    "configure_result_cache",
+    "disable_result_cache",
+    "get_result_cache",
+    "request_key",
     "EngineInfo",
     "EngineRegistry",
     "FAMILY_ANALYTICAL",

@@ -318,14 +318,14 @@ def register_builtin_engines() -> None:
 
     REGISTRY.register(EngineInfo(
         name="recursive", family=FAMILY_ANALYTICAL,
-        request_kinds=(KIND_CHAIN,), exact=True,
+        request_kinds=(KIND_CHAIN,), exact=True, deterministic=True,
         run=run_recursive, supports_trace=True, parallel_safe=True,
         cost_estimate=lambda width, samples=None: _STAGE_COST * width,
         description="paper Algorithm 1 over cached stage transitions",
     ))
     REGISTRY.register(EngineInfo(
         name="vectorized", family=FAMILY_ANALYTICAL,
-        request_kinds=(KIND_CHAIN,), exact=True,
+        request_kinds=(KIND_CHAIN,), exact=True, deterministic=True,
         run=run_vectorized, supports_batch=True, parallel_safe=True,
         cost_estimate=lambda width, samples=None: (
             _VECTOR_OVERHEAD + 12.0 * width),
@@ -333,14 +333,14 @@ def register_builtin_engines() -> None:
     ))
     REGISTRY.register(EngineInfo(
         name="correlated", family=FAMILY_ANALYTICAL,
-        request_kinds=(KIND_CHAIN,), exact=True,
+        request_kinds=(KIND_CHAIN,), exact=True, deterministic=True,
         run=run_correlated, supports_correlated=True,
         cost_estimate=lambda width, samples=None: 60.0 * width,
         description="recursion under per-stage joint operand laws",
     ))
     REGISTRY.register(EngineInfo(
         name="inclusion-exclusion", family=FAMILY_ANALYTICAL,
-        request_kinds=(KIND_CHAIN,), exact=True,
+        request_kinds=(KIND_CHAIN,), exact=True, deterministic=True,
         run=run_inclusion_exclusion, max_width=MAX_IE_WIDTH,
         parallel_safe=True,
         cost_estimate=lambda width, samples=None: width * (2.0 ** width),
@@ -348,7 +348,7 @@ def register_builtin_engines() -> None:
     ))
     REGISTRY.register(EngineInfo(
         name="exhaustive", family=FAMILY_SIMULATION,
-        request_kinds=(KIND_CHAIN,), exact=True,
+        request_kinds=(KIND_CHAIN,), exact=True, deterministic=True,
         run=run_exhaustive, max_width=MAX_EXHAUSTIVE_WIDTH,
         block_cases=BLOCK_CASES, parallel_safe=True,
         cost_estimate=lambda width, samples=None: 2.0 ** (2 * width + 1),
@@ -365,14 +365,14 @@ def register_builtin_engines() -> None:
     ))
     REGISTRY.register(EngineInfo(
         name="gear-dp", family=FAMILY_ANALYTICAL,
-        request_kinds=(KIND_GEAR,), exact=True,
+        request_kinds=(KIND_GEAR,), exact=True, deterministic=True,
         run=run_gear_dp, parallel_safe=True,
         cost_estimate=lambda width, samples=None: 10.0 * width,
         description="GeAr linear DP over (carry, run) states",
     ))
     REGISTRY.register(EngineInfo(
         name="gear-ie", family=FAMILY_ANALYTICAL,
-        request_kinds=(KIND_GEAR,), exact=True,
+        request_kinds=(KIND_GEAR,), exact=True, deterministic=True,
         run=run_gear_ie, parallel_safe=True,
         cost_estimate=lambda width, samples=None: 100.0 + 2.0 ** width,
         description="GeAr inclusion-exclusion over sub-adder events",
@@ -387,7 +387,7 @@ def register_builtin_engines() -> None:
     ))
     REGISTRY.register(EngineInfo(
         name="multiop-exact", family=FAMILY_SIMULATION,
-        request_kinds=(KIND_MULTIOP,), exact=True,
+        request_kinds=(KIND_MULTIOP,), exact=True, deterministic=True,
         run=run_multiop_exact, parallel_safe=True,
         cost_estimate=lambda width, samples=None: 4.0 ** width,
         description="weighted enumeration of the CSA tree + final adder",

@@ -31,6 +31,7 @@ from ..obs.tracing import trace_span
 from ..runtime.budget import RunBudget, make_meter
 from ..runtime.router import EngineDecision, plan_engine
 from . import backends
+from . import diskcache as _diskcache
 from .cache import mask_arrays
 from .registry import FAMILY_ANALYTICAL, REGISTRY
 from .request import (
@@ -147,6 +148,22 @@ def run(
             joints=joints, keep_trace=keep_trace,
         )
 
+    # Persistent result cache (opt-in via diskcache.configure_result_cache):
+    # consulted only for un-forced, un-checkpointed analytical questions,
+    # so forced engines, simulations and resumable runs behave as before.
+    result_cache = _diskcache.get_result_cache()
+    use_result_cache = (
+        result_cache is not None and engine is None and not simulate
+        and checkpoint_path is None and not resume
+    )
+    if use_result_cache:
+        cached = result_cache.get_result(request)
+        if cached is not None:
+            if _metrics.is_enabled():
+                _metrics.inc("engine.requests")
+                _metrics.inc("engine.selected.result-cache")
+            return cached
+
     jobs_n = _parallel.resolve_jobs(jobs) if jobs is not None else 0
     decision: Optional[EngineDecision] = None
     if engine is None:
@@ -217,6 +234,8 @@ def run(
         log_event(_logger, "engine.run", engine=engine_name,
                   kind=request.kind, width=request.width,
                   degraded_from=decision.degraded_from)
+    if use_result_cache:
+        result_cache.put_result(request, result)
     return result
 
 
@@ -301,11 +320,19 @@ def run_batch(
                       total=len(requests))
         return forced
     results: List[Optional[AnalysisResult]] = [None] * len(requests)
+    result_cache = _diskcache.get_result_cache()
+    cache_hits = 0
     groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
     singles: List[int] = []
     for i, request in enumerate(requests):
         if (request.kind == KIND_CHAIN and request.joints is None
                 and not request.keep_trace):
+            if result_cache is not None:
+                cached = result_cache.get_result(request)
+                if cached is not None:
+                    results[i] = cached
+                    cache_hits += 1
+                    continue
             groups.setdefault(request.cells, []).append(i)
         else:
             singles.append(i)
@@ -344,6 +371,8 @@ def run_batch(
                     results[i] = backends._chain_result(
                         requests[i], float(p_success[j]), "vectorized", True
                     )
+                    if result_cache is not None:
+                        result_cache.put_result(requests[i], results[i])
                 vector_points += len(chunk)
                 meter.charge(configs=len(chunk))
         for i in singles:
@@ -358,6 +387,8 @@ def run_batch(
         registry.counter("engine.batch.requests").add(len(requests))
         registry.counter("engine.batch.groups").add(len(groups))
         registry.counter("engine.batch.vectorized_points").add(vector_points)
+        if cache_hits:
+            registry.counter("engine.batch.result_cache_hits").add(cache_hits)
         if requests:
             _metrics.set_gauge("engine.batch.occupancy",
                                vector_points / len(requests))

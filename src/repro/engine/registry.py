@@ -45,6 +45,11 @@ class EngineInfo:
     #: the per-process stage-matrix cache, whose hit/miss deltas are
     #: merged back by :mod:`repro.engine.parallel`).
     parallel_safe: bool = False
+    #: The answer is a pure function of the request alone -- no seed,
+    #: sample budget or wall clock in the output -- so it may be replayed
+    #: from the persistent result cache (:mod:`repro.engine.diskcache`)
+    #: to any future identical request.
+    deterministic: bool = False
     max_width: Optional[int] = None
     block_cases: Optional[int] = None   # chunking threshold (exhaustive)
     ops_per_second: float = 2_000_000.0

@@ -62,6 +62,19 @@ class RunBudget:
                     f"got {value!r}"
                 )
 
+    @classmethod
+    def for_deadline(cls, seconds: Optional[float]) -> Optional["RunBudget"]:
+        """Deadline-only budget, or ``None`` for no limit.
+
+        The serving layer derives one of these per dispatched
+        micro-batch from the tightest remaining per-request deadline, so
+        a slow engine run is cut at exactly the moment the most
+        impatient waiting client would give up.
+        """
+        if seconds is None:
+            return None
+        return cls(deadline_s=seconds)
+
     @property
     def unlimited(self) -> bool:
         """True when no limit is set (the meter never stops a run)."""

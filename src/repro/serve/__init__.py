@@ -1,0 +1,59 @@
+"""Async batching HTTP/JSON service over the analysis engine.
+
+``repro.serve`` turns the library into a long-running daemon: concurrent
+clients POST chain questions, the service coalesces them into vectorised
+:func:`repro.engine.run_batch` micro-batches, and (optionally) answers
+repeat questions from the persistent two-tier result store
+(:mod:`repro.engine.diskcache`) without touching an engine at all.
+
+Three layers, importable separately:
+
+* :mod:`repro.serve.config` -- :class:`ServeConfig`, every operator knob;
+* :mod:`repro.serve.service` -- :class:`AnalysisService`, the
+  protocol-agnostic batching/shedding/deadline core;
+* :mod:`repro.serve.http` -- :class:`AnalysisServer`, the stdlib asyncio
+  HTTP front-end, plus :func:`run_server` (the ``sealpaa serve`` entry
+  point).
+
+In-process use (tests, notebooks, benchmarks)::
+
+    from repro.serve import AnalysisServer, ServeConfig
+
+    server = AnalysisServer(ServeConfig(port=0))   # port 0 = pick free
+    url = server.start()                           # background thread
+    ...                                            # urllib against url
+    server.stop()                                  # graceful drain
+
+Operator use: ``sealpaa serve --port 8080 --cache-dir /var/cache/sealpaa``
+(see ``docs/serving.md``).
+"""
+
+from .config import ServeConfig
+from .http import MAX_BODY_BYTES, AnalysisServer, run_server
+from .service import (
+    MAX_DEADLINE_S,
+    AnalysisService,
+    ClosingError,
+    DeadlineError,
+    OverloadedError,
+    RequestParseError,
+    parse_analysis_doc,
+    parse_deadline,
+    result_to_doc,
+)
+
+__all__ = [
+    "AnalysisServer",
+    "AnalysisService",
+    "ClosingError",
+    "DeadlineError",
+    "MAX_BODY_BYTES",
+    "MAX_DEADLINE_S",
+    "OverloadedError",
+    "RequestParseError",
+    "ServeConfig",
+    "parse_analysis_doc",
+    "parse_deadline",
+    "result_to_doc",
+    "run_server",
+]

@@ -1,0 +1,76 @@
+"""Operator-facing configuration for the analysis service.
+
+Every batching, shedding and caching knob the operator guide
+(``docs/serving.md``) documents lives in one frozen dataclass, validated
+eagerly, so a bad flag fails at start-up instead of under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.exceptions import AnalysisError
+from ..engine.diskcache import DEFAULT_MEMORY_ENTRIES
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one :class:`~repro.serve.AnalysisServer` instance.
+
+    *Batching*: an incoming request waits at most ``batch_window_s`` for
+    companions; up to ``max_batch`` requests are coalesced into one
+    vectorised :func:`repro.engine.run_batch` dispatch.  ``max_batch=1``
+    disables coalescing (every request runs alone -- the baseline the
+    throughput benchmark compares against).
+
+    *Load shedding*: at most ``queue_limit`` requests may be waiting; a
+    request arriving at a full queue is refused immediately with HTTP
+    429 and a ``Retry-After`` hint of ``retry_after_s`` seconds.
+
+    *Deadlines*: ``default_deadline_s`` bounds each request that does
+    not carry its own ``deadline_s``; the dispatcher derives a
+    deadline-only :class:`~repro.runtime.budget.RunBudget` per batch
+    from the tightest waiting request.
+
+    *Caching*: ``cache_dir`` mounts the persistent two-tier result store
+    (:mod:`repro.engine.diskcache`) so answers survive restarts and are
+    shared across server processes on one host.
+
+    *Shutdown*: on SIGTERM the server stops accepting connections,
+    finishes everything already queued, and force-closes whatever is
+    still open after ``drain_grace_s`` seconds.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch: int = 64
+    batch_window_s: float = 0.005
+    queue_limit: int = 1024
+    default_deadline_s: Optional[float] = None
+    retry_after_s: float = 0.05
+    drain_grace_s: float = 5.0
+    parallelism: object = "off"
+    cache_dir: Optional[str] = None
+    memory_cache_entries: int = DEFAULT_MEMORY_ENTRIES
+    max_disk_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise AnalysisError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.queue_limit < 1:
+            raise AnalysisError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.batch_window_s < 0:
+            raise AnalysisError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        for name in ("default_deadline_s", "retry_after_s", "drain_grace_s"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise AnalysisError(f"{name} must be >= 0, got {value}")
+        if not 0 <= self.port <= 65535:
+            raise AnalysisError(f"port out of range: {self.port}")

@@ -1,0 +1,288 @@
+"""Persistent result cache: keying, two tiers, corruption, concurrency."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import engine
+from repro.engine.diskcache import (
+    STORE_FORMAT,
+    DiskResultStore,
+    ResultCache,
+    cacheable_result,
+    payload_from_result,
+    request_key,
+    result_from_payload,
+)
+from repro.engine.request import AnalysisRequest
+
+
+@pytest.fixture(autouse=True)
+def _no_process_cache():
+    """Each test opts in explicitly; never leak the global cache."""
+    engine.disable_result_cache()
+    yield
+    engine.disable_result_cache()
+
+
+def _request(width=4, p_a=0.3, cell="LPAA 1", **kwargs):
+    return AnalysisRequest.chain(cell, width, p_a=p_a, **kwargs)
+
+
+def _payload(width=4, p_a=0.3):
+    return payload_from_result(engine.run(_request(width, p_a)))
+
+
+class TestRequestKey:
+    def test_stable_across_equivalent_requests(self):
+        assert request_key(_request()) == request_key(_request())
+
+    def test_quantisation_merges_float_noise(self):
+        base = request_key(_request(p_a=0.3))
+        jitter = request_key(_request(p_a=0.3 + 1e-15))
+        assert base == jitter
+
+    def test_distinct_questions_get_distinct_keys(self):
+        keys = {
+            request_key(_request(p_a=0.3)),
+            request_key(_request(p_a=0.4)),
+            request_key(_request(width=5)),
+            request_key(_request(cell="LPAA 2")),
+        }
+        assert len(keys) == 4
+
+    def test_uncacheable_shapes_have_no_key(self):
+        assert request_key(_request(keep_trace=True)) is None
+        gear_like = AnalysisRequest.chain("LPAA 1", 4, joints=((0.25,) * 4,) * 4)
+        assert request_key(gear_like) is None
+
+    def test_check_masking_is_part_of_the_identity(self):
+        masked = request_key(_request(check_masking=True))
+        unmasked = request_key(_request(check_masking=False))
+        assert masked != unmasked
+
+
+class TestCacheability:
+    def test_analytical_result_is_cacheable(self):
+        assert cacheable_result(engine.run(_request()))
+
+    def test_montecarlo_result_is_not(self):
+        result = engine.run(_request(), engine="montecarlo",
+                            samples=500, seed=1)
+        assert not cacheable_result(result)
+
+    def test_payload_roundtrip_is_bit_identical(self):
+        result = engine.run(_request(width=6, p_a=0.37))
+        restored = result_from_payload(
+            json.loads(json.dumps(payload_from_result(result)))
+        )
+        assert restored.p_error == result.p_error
+        assert restored.p_success == result.p_success
+        assert restored.engine == result.engine
+        assert restored.cell_names == result.cell_names
+
+
+class TestDiskResultStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = DiskResultStore(tmp_path)
+        key = request_key(_request())
+        assert store.get(key) is None
+        store.put(key, _payload())
+        assert store.get(key)["p_error"] == _payload()["p_error"]
+        stats = store.stats()
+        assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+
+    def test_restart_survival_bit_identical(self, tmp_path):
+        request = _request(width=8, p_a=0.42)
+        key = request_key(request)
+        result = engine.run(request)
+        DiskResultStore(tmp_path).put(key, payload_from_result(result))
+        # A brand-new store over the same directory = process restart.
+        reborn = DiskResultStore(tmp_path)
+        replayed = result_from_payload(reborn.get(key))
+        assert replayed.p_error == result.p_error
+        assert reborn.stats().hits == 1
+
+    @pytest.mark.parametrize("damage", [
+        "truncate", "garbage", "bad-json", "wrong-format", "wrong-key",
+        "payload-missing-field", "payload-out-of-range", "payload-not-dict",
+    ])
+    def test_corrupt_entry_reads_as_miss_and_is_rewritten(
+        self, tmp_path, damage
+    ):
+        store = DiskResultStore(tmp_path)
+        key = request_key(_request())
+        payload = _payload()
+        store.put(key, payload)
+        path = store.entry_path(key)
+        doc = json.loads(path.read_text())
+        if damage == "truncate":
+            path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        elif damage == "garbage":
+            path.write_bytes(b"\x00\xffnot json at all\x80")
+        elif damage == "bad-json":
+            path.write_text('{"format": ')
+        elif damage == "wrong-format":
+            doc["format"] = "sealpaa-diskcache-v999"
+            path.write_text(json.dumps(doc))
+        elif damage == "wrong-key":
+            doc["key"] = "0" * 64
+            path.write_text(json.dumps(doc))
+        elif damage == "payload-missing-field":
+            del doc["payload"]["p_error"]
+            path.write_text(json.dumps(doc))
+        elif damage == "payload-out-of-range":
+            doc["payload"]["p_error"] = 3.5
+            path.write_text(json.dumps(doc))
+        elif damage == "payload-not-dict":
+            doc["payload"] = [1, 2, 3]
+            path.write_text(json.dumps(doc))
+
+        assert store.get(key) is None, damage
+        stats = store.stats()
+        assert stats.corrupt == 1
+        assert not path.exists(), "corrupt entry must be deleted"
+        # The slot is rewritable and healthy again afterwards.
+        store.put(key, payload)
+        assert store.get(key) == payload
+
+    def test_unreadable_entry_is_a_plain_miss_not_corrupt(self, tmp_path):
+        store = DiskResultStore(tmp_path)
+        assert store.get("ab" + "0" * 62) is None
+        stats = store.stats()
+        assert stats.misses == 1 and stats.corrupt == 0
+
+    def test_prune_evicts_oldest_beyond_limit(self, tmp_path):
+        store = DiskResultStore(tmp_path, max_entries=3)
+        payload = _payload()
+        keys = []
+        for width in range(2, 8):
+            key = request_key(_request(width=width))
+            keys.append(key)
+            store.put(key, payload)
+            mtime = 1_000_000_000 + width
+            os.utime(store.entry_path(key), (mtime, mtime))
+        assert store.prune() == 3
+        assert store.entry_count() == 3
+        # The newest three survive.
+        assert all(store.entry_path(k).exists() for k in keys[3:])
+        assert store.stats().evictions == 3
+
+    def test_clear_removes_all_entries(self, tmp_path):
+        store = DiskResultStore(tmp_path)
+        store.put(request_key(_request()), _payload())
+        store.clear()
+        assert store.entry_count() == 0
+
+
+class TestResultCacheTiers:
+    def test_memory_tier_promotes_disk_hits(self, tmp_path):
+        request = _request()
+        result = engine.run(request)
+        writer = ResultCache(DiskResultStore(tmp_path))
+        assert writer.put_result(request, result)
+        # Fresh cache over the same store: first read comes from disk,
+        # the second from the promoted in-memory entry.
+        reader = ResultCache(DiskResultStore(tmp_path))
+        assert reader.get_result(request).p_error == result.p_error
+        assert reader.get_result(request).p_error == result.p_error
+        stats = reader.stats()
+        assert stats["disk"]["hits"] == 1
+        assert stats["memory"]["hits"] == 1
+
+    def test_memory_lru_evicts_oldest(self):
+        cache = ResultCache(store=None, memory_entries=2)
+        requests = [_request(width=w) for w in (2, 3, 4)]
+        for request in requests:
+            cache.put_result(request, engine.run(request))
+        assert cache.get_result(requests[0]) is None  # evicted
+        assert cache.get_result(requests[2]) is not None
+
+    def test_noncacheable_results_are_refused(self):
+        cache = ResultCache(store=None)
+        request = _request()
+        mc = engine.run(request, engine="montecarlo", samples=500, seed=1)
+        assert not cache.put_result(request, mc)
+        assert cache.get_result(request) is None
+
+
+class TestExecutorIntegration:
+    def test_run_replays_from_disk_across_restart(self, tmp_path):
+        request = _request(width=10, p_a=0.21)
+        engine.configure_result_cache(tmp_path)
+        first = engine.run(request)
+        # Simulate a restart: new process-wide cache, same directory.
+        engine.configure_result_cache(tmp_path)
+        replayed = engine.run(request)
+        assert replayed.p_error == first.p_error
+        assert engine.get_result_cache().stats()["disk"]["hits"] == 1
+
+    def test_run_batch_mixes_cached_and_fresh(self, tmp_path):
+        requests = [_request(width=w, p_a=0.3) for w in (3, 4, 5, 6)]
+        engine.configure_result_cache(tmp_path)
+        baseline = engine.run_batch(requests[:2])
+        engine.configure_result_cache(tmp_path)  # drop the memory tier
+        mixed = engine.run_batch(requests)
+        assert [r.p_error for r in mixed[:2]] == [r.p_error for r in baseline]
+        disk = engine.get_result_cache().stats()["disk"]
+        # The two replayed answers hit; only the two fresh ones write.
+        assert disk["hits"] == 2 and disk["writes"] == 2
+
+    def test_forced_engine_and_simulation_bypass_the_cache(self, tmp_path):
+        engine.configure_result_cache(tmp_path)
+        request = _request()
+        engine.run(request, engine="recursive")
+        engine.run(request, engine="montecarlo", samples=500, seed=1)
+        stats = engine.get_result_cache().stats()
+        assert stats["disk"]["writes"] == 0
+
+
+# -- concurrent multi-process writers ----------------------------------------
+
+_N_KEYS = 8
+
+
+def _hammer_store(root: str, worker: int) -> int:
+    """One writer process: repeatedly rewrite a shared key set."""
+    from repro.engine.diskcache import DiskResultStore
+
+    store = DiskResultStore(root)
+    payload = {
+        "p_error": 0.25, "p_success": 0.75, "engine": "recursive",
+        "exact": True, "width": 4, "kind": "chain",
+        "cell_names": ["LPAA 1"] * 4, "is_upper_bound": False,
+        "worker": worker,
+    }
+    wrote = 0
+    for round_no in range(20):
+        for i in range(_N_KEYS):
+            key = ("%02x" % i) + ("%02x" % worker) * 31
+            store.put(key, dict(payload, round=round_no))
+            wrote += 1
+            store.get(("%02x" % i) + ("%02x" % ((worker + 1) % 4)) * 31)
+    return wrote
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_never_corrupt_the_store(self, tmp_path):
+        workers = 4
+        with multiprocessing.Pool(workers) as pool:
+            wrote = pool.starmap(
+                _hammer_store, [(str(tmp_path), w) for w in range(workers)]
+            )
+        assert sum(wrote) == workers * 20 * _N_KEYS
+        # Every surviving entry parses and validates; nothing is torn.
+        store = DiskResultStore(tmp_path)
+        seen = 0
+        for path in sorted(tmp_path.glob("??/*.json")):
+            key = path.stem
+            payload = store.get(key)
+            assert payload is not None, f"torn entry at {path}"
+            assert payload["p_error"] == 0.25
+            seen += 1
+        assert seen == store.entry_count() == workers * _N_KEYS
+        assert store.stats().corrupt == 0
