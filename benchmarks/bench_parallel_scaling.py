@@ -26,7 +26,8 @@ import time
 from repro.engine import AnalysisRequest, run_batch
 from repro.reporting import ascii_table
 
-from conftest import emit
+from bench_trajectory import metric, write_trajectory
+from conftest import bench_output_path, emit
 
 import pytest
 
@@ -52,9 +53,14 @@ def _sweep_requests(configs: int = CONFIGS, width: int = WIDTH):
 def test_parallel_sweep_bit_identical(benchmark):
     """The 512-config analytical sweep: serial == parallel, bitwise."""
     requests = _sweep_requests()
+    start = time.perf_counter()
     serial = run_batch(requests)
+    serial_s = time.perf_counter() - start
     jobs = min(JOBS, max(os.cpu_count() or 1, 2))
-    parallel = benchmark(lambda: run_batch(requests, parallelism=jobs))
+    start = time.perf_counter()
+    parallel = run_batch(requests, parallelism=jobs)
+    parallel_s = time.perf_counter() - start
+    benchmark(lambda: run_batch(requests, parallelism=jobs))
     mismatches = sum(
         1 for s, p in zip(serial, parallel) if s.p_error != p.p_error
     )
@@ -64,6 +70,20 @@ def test_parallel_sweep_bit_identical(benchmark):
          ["parallel", len(parallel), parallel[0].engine, mismatches]],
         title=f"{CONFIGS}-config {WIDTH}-bit sweep (jobs={jobs})",
     ))
+    # Pin the trajectory before the assertions (see BENCH_parallel.json
+    # and scripts/bench_trajectory.py).  The analytical sweep is cold on
+    # the serial pass, so configs/s is the headline, not the speedup --
+    # parallel wall time includes process fan-out overhead that only
+    # pays for itself on simulation-grade work.
+    write_trajectory(bench_output_path("BENCH_parallel.json"),
+                     "parallel_scaling", [
+        metric("serial_sweep_s", serial_s, unit="s",
+               higher_is_better=False),
+        metric("parallel_sweep_s", parallel_s, unit="s",
+               higher_is_better=False),
+        metric("sweep_configs_per_s", len(requests) / serial_s
+               if serial_s > 0 else 0.0, unit="configs/s"),
+    ])
     assert mismatches == 0
     assert all(s.engine == p.engine == "vectorized"
                for s, p in zip(serial, parallel))

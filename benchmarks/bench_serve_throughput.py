@@ -27,7 +27,8 @@ from repro.obs import metrics
 from repro.reporting import ascii_table
 from repro.serve import AnalysisServer, ServeConfig
 
-from conftest import emit
+from bench_trajectory import metric, write_trajectory
+from conftest import bench_output_path, emit
 
 CLIENTS = 32
 REQUESTS_PER_CLIENT = 6
@@ -107,6 +108,15 @@ def test_batching_triples_request_throughput(benchmark):
             title=f"{CLIENTS} concurrent clients, "
                   f"{len(docs)} x {WIDTH}-bit {CELL} requests",
         ))
+
+        # Pin the trajectory *before* the acceptance assertion so a
+        # failing run still leaves its numbers behind for comparison.
+        write_trajectory(bench_output_path("BENCH_serve.json"),
+                         "serve_throughput", [
+            metric("serial_rps", serial_rps, unit="req/s"),
+            metric("batched_rps", batched_rps, unit="req/s"),
+            metric("batching_speedup", speedup, unit="x"),
+        ])
 
         assert speedup >= 3.0, (
             f"micro-batching only {speedup:.2f}x over batch-1 "

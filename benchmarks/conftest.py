@@ -8,10 +8,34 @@ reports, and times the computational kernel with pytest-benchmark.
 
 from __future__ import annotations
 
+import os
 import sys
+
+# Benches share the trajectory writer with review/CI tooling
+# (scripts/bench_trajectory.py); make the scripts directory importable.
+_SCRIPTS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "scripts"
+)
+if _SCRIPTS_DIR not in sys.path:
+    sys.path.insert(0, _SCRIPTS_DIR)
 
 
 def emit(text: str) -> None:
     """Print a reproduced table so it lands in the bench log."""
     print(text)
     sys.stdout.flush()
+
+
+def bench_output_path(filename: str) -> str:
+    """Where a bench writes its BENCH_*.json trajectory document.
+
+    Defaults to the repo root (next to the committed baselines) so a
+    local run refreshes them in place; ``SEALPAA_BENCH_DIR`` redirects
+    the output (CI writes to a scratch dir and uploads as artifacts).
+    """
+    out_dir = os.environ.get(
+        "SEALPAA_BENCH_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."),
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    return os.path.join(out_dir, filename)

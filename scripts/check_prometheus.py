@@ -1,0 +1,76 @@
+"""Lint a Prometheus text exposition (the `/metrics` scrape) from CI.
+
+Reads the exposition from a file, stdin (``-``) or straight off a
+running server (``--url``), runs :func:`repro.obs.prometheus.
+lint_exposition` over it, and exits non-zero listing every problem:
+bad metric names, samples without a preceding ``# TYPE``, non-cumulative
+or non-ascending histogram buckets, a missing ``+Inf`` bucket,
+unparseable sample values, a missing trailing newline.
+
+CI usage (the serve-smoke job)::
+
+    curl -sf -H 'Accept: text/plain' http://127.0.0.1:18080/metrics \
+        | python scripts/check_prometheus.py -
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import urllib.request
+from typing import Optional, Sequence
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.obs.prometheus import lint_exposition  # noqa: E402
+
+
+def _read_text(args: argparse.Namespace) -> str:
+    if args.url:
+        request = urllib.request.Request(
+            args.url, headers={"Accept": "text/plain"}
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.read().decode("utf-8")
+    if args.file == "-":
+        return sys.stdin.read()
+    with open(args.file) as handle:
+        return handle.read()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="lint a Prometheus text exposition"
+    )
+    parser.add_argument("file", nargs="?", default="-",
+                        help="exposition file, or '-' for stdin (default)")
+    parser.add_argument("--url", default=None,
+                        help="scrape this /metrics URL instead of a file")
+    args = parser.parse_args(argv)
+
+    text = _read_text(args)
+    if not text.strip():
+        print("empty exposition (is the server serving Prometheus text?)",
+              file=sys.stderr)
+        return 1
+    problems = lint_exposition(text)
+    samples = sum(
+        1 for line in text.splitlines()
+        if line and not line.startswith("#")
+    )
+    if problems:
+        for problem in problems:
+            print(f"exposition: {problem}", file=sys.stderr)
+        print(f"{len(problems)} problem(s) in {samples} samples",
+              file=sys.stderr)
+        return 1
+    print(f"exposition ok: {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

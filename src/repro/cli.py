@@ -444,6 +444,7 @@ def _cmd_ant(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Run the batching HTTP/JSON analysis service until SIGTERM."""
+    from .obs.slo import SloPolicy
     from .serve import ServeConfig, run_server
 
     config = ServeConfig(
@@ -457,15 +458,46 @@ def _cmd_serve(args) -> int:
         parallelism=getattr(args, "jobs", "off"),
         cache_dir=args.cache_dir,
         max_disk_entries=args.max_disk_entries,
+        access_log=args.access_log,
+        slo=SloPolicy(
+            # A negative flag value disables that objective.
+            max_p50_s=None if args.slo_p50 < 0 else args.slo_p50,
+            max_p99_s=None if args.slo_p99 < 0 else args.slo_p99,
+            max_shed_rate=(None if args.slo_shed_rate < 0
+                           else args.slo_shed_rate),
+            min_cache_hit_rate=(
+                None if args.slo_cache_hit_rate is None
+                or args.slo_cache_hit_rate < 0
+                else args.slo_cache_hit_rate),
+        ),
     )
+    overrides = {}
     if args.memory_cache_entries is not None:
+        overrides["memory_cache_entries"] = args.memory_cache_entries
+    if args.access_log_max_bytes is not None:
+        overrides["access_log_max_bytes"] = args.access_log_max_bytes
+    if args.access_log_backups is not None:
+        overrides["access_log_backups"] = args.access_log_backups
+    if overrides:
         import dataclasses
 
-        config = dataclasses.replace(
-            config, memory_cache_entries=args.memory_cache_entries
-        )
+        config = dataclasses.replace(config, **overrides)
     run_server(config)
     return 0
+
+
+def _cmd_dashboard(args) -> int:
+    """Live curses console over a running server's ``/metrics``."""
+    from .serve.dashboard import render_once, run_dashboard
+
+    base_url = args.url.rstrip("/")
+    if not base_url.startswith(("http://", "https://")):
+        base_url = "http://" + base_url
+    if args.once:
+        print(render_once(base_url))
+        return 0
+    return run_dashboard(base_url, interval_s=args.interval,
+                         iterations=args.iterations)
 
 
 def _cmd_cells(args) -> int:
@@ -488,30 +520,84 @@ def _print_metrics_snapshot(data) -> None:
     counters = data.get("counters") or {}
     gauges = data.get("gauges") or {}
     timers = data.get("timers") or {}
+    histograms = data.get("histograms") or {}
+    service = data.get("service") or {}
+    printed = False
+
+    def gap():
+        nonlocal printed
+        if printed:
+            print()
+        printed = True
+
     if counters:
+        gap()
         print(ascii_table(
             ["Counter", "Value"], sorted(counters.items()),
         ))
     if gauges:
-        if counters:
-            print()
+        gap()
         print(ascii_table(
             ["Gauge", "Value"], sorted(gauges.items()),
         ))
     if timers:
-        if counters or gauges:
-            print()
+        gap()
         rows = [
             [name, s.get("count"), s.get("total_s"), s.get("mean_s"),
-             s.get("p50_s"), s.get("p95_s"), s.get("max_s")]
+             s.get("p50_s"), s.get("p95_s"), s.get("p99_s"),
+             s.get("max_s")]
             for name, s in sorted(timers.items())
         ]
         print(ascii_table(
             ["Timer", "count", "total s", "mean s", "p50 s", "p95 s",
-             "max s"],
+             "p99 s", "max s"],
             rows, digits=6,
         ))
-    if not (counters or gauges or timers):
+    if histograms:
+        gap()
+        rows = [
+            [name, s.get("count"), s.get("min"), s.get("mean"),
+             s.get("p50"), s.get("p95"), s.get("p99"), s.get("max")]
+            for name, s in sorted(histograms.items())
+        ]
+        print(ascii_table(
+            ["Histogram", "count", "min", "mean", "p50", "p95", "p99",
+             "max"],
+            rows, digits=6,
+        ))
+    if service:
+        gap()
+        rows = [
+            [key, value] for key, value in sorted(service.items())
+            if not isinstance(value, dict)
+        ]
+        for tier, tier_doc in sorted(
+            (service.get("result_cache") or {}).items()
+        ):
+            if isinstance(tier_doc, dict):
+                for key, value in sorted(tier_doc.items()):
+                    rows.append([f"result_cache.{tier}.{key}", value])
+        print(ascii_table(["Service", "Value"], rows, digits=6,
+                          title="serve stats"))
+    # A serving snapshot carries enough signal to judge the default SLO
+    # offline -- same evaluation the live /healthz endpoint runs.
+    if service or "serve.http.analyze.seconds" in timers:
+        from .obs.slo import SloPolicy, evaluate_slo
+
+        slo = evaluate_slo(data, SloPolicy(),
+                           shed_rate=service.get("recent_shed_rate"))
+        gap()
+        rows = [
+            [c["name"], c["status"],
+             "" if c.get("observed") is None else c["observed"],
+             "" if c.get("threshold") is None else c["threshold"]]
+            for c in slo["checks"]
+        ]
+        print(ascii_table(
+            ["SLO check", "status", "observed", "threshold"], rows,
+            digits=6, title=f"SLO: {slo['status']}",
+        ))
+    if not printed:
         print("snapshot contains no metrics (was collection enabled?)")
 
 
@@ -864,8 +950,52 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="cap on on-disk cache entries; oldest are "
                         "evicted (default: unbounded)")
+    telemetry = p.add_argument_group("telemetry")
+    telemetry.add_argument(
+        "--access-log", metavar="PATH", default=None,
+        help="append a JSONL access log (one line per request, "
+             "request_id correlated) with size-based rotation")
+    telemetry.add_argument(
+        "--access-log-max-bytes", type=int, metavar="N", default=None,
+        help="rotate the access log past N bytes (default 8 MiB)")
+    telemetry.add_argument(
+        "--access-log-backups", type=int, metavar="N", default=None,
+        help="rotated access-log files to keep (default 3)")
+    telemetry.add_argument(
+        "--slo-p50", type=float, metavar="SECONDS", default=1.0,
+        help="degrade /healthz when rolling p50 latency exceeds this "
+             "(default 1.0; negative disables)")
+    telemetry.add_argument(
+        "--slo-p99", type=float, metavar="SECONDS", default=5.0,
+        help="degrade /healthz when rolling p99 latency exceeds this "
+             "(default 5.0; negative disables)")
+    telemetry.add_argument(
+        "--slo-shed-rate", type=float, metavar="RATIO", default=0.5,
+        help="degrade /healthz when the recent shed rate exceeds this "
+             "(default 0.5; negative disables)")
+    telemetry.add_argument(
+        "--slo-cache-hit-rate", type=float, metavar="RATIO", default=None,
+        help="degrade /healthz when the result-cache hit rate falls "
+             "below this (default: disabled)")
     _add_jobs_argument(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="live terminal console over a running `sealpaa serve` "
+             "(/metrics + /healthz)",
+    )
+    p.add_argument("url", nargs="?", default="http://127.0.0.1:8080",
+                   help="server base URL (default http://127.0.0.1:8080)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="poll/refresh interval (default 1 s)")
+    p.add_argument("--once", action="store_true",
+                   help="print one plain-text sample and exit (no curses; "
+                        "for pipes and CI)")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="stop after N refreshes (default: run until q)")
+    p.set_defaults(func=_cmd_dashboard)
 
     p = sub.add_parser(
         "obs",

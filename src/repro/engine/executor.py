@@ -191,6 +191,7 @@ def run(
                 f"(kind={request.kind}, width={request.width})"
             )
         with _metrics.timed("engine.run"), \
+                _metrics.timed(f"engine.{engine_name}.seconds"), \
                 trace_span("engine.run", engine=engine_name,
                            kind=request.kind, width=request.width):
             result = _parallel.parallel_exhaustive(
@@ -217,7 +218,11 @@ def run(
             f"(kind={request.kind}, width={request.width})"
         )
 
+    # The per-backend timer attributes latency to the engine that ran
+    # (engine.vectorized.seconds, engine.montecarlo.seconds, ...), so
+    # the dashboard can tell a slow backend from a slow batch.
     with _metrics.timed("engine.run"), \
+            _metrics.timed(f"engine.{engine_name}.seconds"), \
             trace_span("engine.run", engine=engine_name,
                        kind=request.kind, width=request.width):
         result = info.run(
@@ -363,10 +368,11 @@ def run_batch(
                 pc = np.array([requests[i].p_cin for i in chunk])
                 from ..core.vectorized import analyze_batch
 
-                p_success = analyze_batch(
-                    list(cells), None, pa, pb, pc,
-                    batch=len(chunk), matrices=matrices,
-                )
+                with _metrics.timed("engine.vectorized.seconds"):
+                    p_success = analyze_batch(
+                        list(cells), None, pa, pb, pc,
+                        batch=len(chunk), matrices=matrices,
+                    )
                 for j, i in enumerate(chunk):
                     results[i] = backends._chain_result(
                         requests[i], float(p_success[j]), "vectorized", True

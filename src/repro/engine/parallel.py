@@ -167,9 +167,12 @@ def _run_chunk(payload: Dict[str, object]) -> Dict[str, object]:
     re-enters the *serial* executor -- ``run_batch`` for analytical
     groups, ``run`` per request when engine/simulate options are forced
     -- so results are bit-identical to a serial run.  Returns results
-    plus the chunk's stage-matrix cache delta and (optionally) its span
-    trees for parent-side merging.
+    plus the chunk's stage-matrix cache delta, its metric-registry delta
+    and (optionally) its span trees for parent-side merging.
     """
+    from contextlib import ExitStack
+
+    from ..obs.correlate import use_request_id
     from ..obs.tracing import Tracer, use_tracer
     from . import executor
 
@@ -205,18 +208,34 @@ def _run_chunk(payload: Dict[str, object]) -> Dict[str, object]:
         return executor.run_batch(requests, budget=budget)
 
     tracer = Tracer() if payload.get("trace") else None
-    if tracer is not None:
-        with use_tracer(tracer), \
+    # A fresh registry scoped to the chunk collects this chunk's metric
+    # delta in isolation (the forked registry holds stale parent counts,
+    # and the parent never sees worker memory anyway); the delta is
+    # shipped back and folded in under the parent registry's locks.
+    worker_registry = _metrics.MetricsRegistry() if _metrics.is_enabled() \
+        else None
+    with ExitStack() as stack:
+        stack.enter_context(
+            use_request_id(payload.get("request_id")))  # type: ignore[arg-type]
+        if worker_registry is not None:
+            stack.enter_context(_metrics.use_registry(worker_registry))
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+            stack.enter_context(
                 trace_span("engine.parallel.chunk",
-                           requests=len(requests), pid=os.getpid()):
-            results = compute()
-    else:
+                           requests=len(requests), pid=os.getpid()))
         results = compute()
     after = GLOBAL_CACHE.stats()
     return {
         "results": results,
         "hits": after.hits - before.hits,
         "misses": after.misses - before.misses,
+        # engine.cache.* counters travel with the hit/miss delta above
+        # (merge_stats mirrors them); exporting them here too would
+        # double-count.
+        "metrics": (worker_registry.export_state(
+            exclude_prefixes=("engine.cache.",))
+            if worker_registry is not None else None),
         "spans": tracer.to_dict()["spans"] if tracer is not None else [],
         "pid": os.getpid(),
         "elapsed_s": time.perf_counter() - t0,
@@ -381,6 +400,14 @@ class _PoolRun:
         GLOBAL_CACHE.merge_stats(int(out.get("hits", 0)),  # type: ignore[arg-type]
                                  int(out.get("misses", 0)))  # type: ignore[arg-type]
 
+    def merge_metrics(self, out: Dict[str, object]) -> None:
+        """Fold a chunk's metric-registry delta into the parent registry
+        (counters add; timer/histogram bucket counts add exactly), the
+        same parent-side folding as the stage-matrix cache delta."""
+        state = out.get("metrics")
+        if state and _metrics.is_enabled():
+            _metrics.get_registry().merge_state(state)  # type: ignore[arg-type]
+
     def finish(self, worker_requests: int = 0) -> None:
         self.pool.shutdown(wait=True)
         wall = time.perf_counter() - self._t0
@@ -474,6 +501,11 @@ def run_batch_parallel(
 
     chunk_size = _chunk_sizes(max(allowed, 1), jobs, BATCH_CHUNK)
     trace_active = get_tracer() is not None
+    # Contextvars do not cross the process boundary: the correlation ID
+    # rides in each chunk payload and is re-scoped worker-side.
+    from ..obs.correlate import current_request_id
+
+    request_id = current_request_id()
     worker_done = 0
     stopped = allowed < eligible_total
 
@@ -506,6 +538,7 @@ def run_batch_parallel(
                         "budget": budget_doc,
                         "options": options,
                         "trace": trace_active,
+                        "request_id": request_id,
                     }
                     run_state.submit(_run_chunk, payload, tuple(chunk))
             for chunk, out in run_state.completions():
@@ -518,6 +551,7 @@ def run_batch_parallel(
                 worker_done += done
                 meter.charge(configs=done)
                 run_state.merge_cache(out)
+                run_state.merge_metrics(out)
                 run_state.graft(out)
                 if done < len(chunk):
                     stopped = True

@@ -2,8 +2,17 @@
 
 The analysis and simulation engines are instrumented with this package:
 
-* :mod:`repro.obs.metrics` -- counters/gauges/timers behind a single
-  enable switch (disabled by default; hot paths pay one bool check);
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms/timers behind a
+  single enable switch (disabled by default; hot paths pay one bool
+  check); bounded memory, mergeable across worker processes;
+* :mod:`repro.obs.prometheus` -- renders a metrics snapshot in the
+  Prometheus text exposition format (``text/plain; version=0.0.4``);
+* :mod:`repro.obs.correlate` -- `contextvars`-based request-correlation
+  IDs threaded from the serving layer through engine spans;
+* :mod:`repro.obs.accesslog` -- structured JSONL event log with
+  size-based rotation on the atomic-write primitives in `repro.io`;
+* :mod:`repro.obs.slo` -- rolling-window SLO evaluation over the live
+  registry (latency quantiles, shed rate, cache hit rate);
 * :mod:`repro.obs.tracing` -- `contextvars`-based span trees exportable
   as JSON or Chrome ``trace_event`` files;
 * :mod:`repro.obs.provenance` -- run manifests (seed, cells, version,
@@ -34,10 +43,18 @@ from .log import (
     get_logger,
     log_event,
 )
+from .accesslog import AccessLog
+from .correlate import (
+    current_request_id,
+    new_request_id,
+    use_request_id,
+)
 from .metrics import (
+    DEFAULT_BUCKET_BOUNDS,
     METRICS_FORMAT,
     Counter,
     Gauge,
+    Histogram,
     MetricsRegistry,
     Timer,
     disable,
@@ -46,11 +63,14 @@ from .metrics import (
     inc,
     is_enabled,
     observe,
+    observe_histogram,
     set_gauge,
     snapshot_to_json,
     timed,
     use_registry,
 )
+from .prometheus import render_prometheus
+from .slo import SloPolicy, evaluate_slo
 from .provenance import (
     MANIFEST_FORMAT,
     RunManifest,
@@ -72,9 +92,13 @@ from .tracing import (
 
 __all__ = [
     # metrics
-    "METRICS_FORMAT", "Counter", "Gauge", "MetricsRegistry", "Timer",
-    "disable", "enable", "get_registry", "inc", "is_enabled", "observe",
+    "DEFAULT_BUCKET_BOUNDS", "METRICS_FORMAT", "Counter", "Gauge",
+    "Histogram", "MetricsRegistry", "Timer", "disable", "enable",
+    "get_registry", "inc", "is_enabled", "observe", "observe_histogram",
     "set_gauge", "snapshot_to_json", "timed", "use_registry",
+    # exposition / correlation / access log / SLO
+    "render_prometheus", "current_request_id", "new_request_id",
+    "use_request_id", "AccessLog", "SloPolicy", "evaluate_slo",
     # tracing
     "TRACE_FORMAT", "Span", "Tracer", "get_tracer", "graft_spans",
     "install_tracer", "trace_span", "use_tracer",

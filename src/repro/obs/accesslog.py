@@ -1,0 +1,155 @@
+"""Structured JSONL access/event log with size-based rotation.
+
+One JSON object per line, so the log is greppable (``grep req-...``)
+and machine-parseable without a log-shipping dependency.  Every record
+carries:
+
+* ``ts``    -- unix timestamp (seconds, float);
+* ``event`` -- dotted event name (``serve.request``, ``serve.shed``...);
+* ``request_id`` -- the correlation ID active when the event was
+  emitted (filled from :mod:`repro.obs.correlate` unless given);
+* any extra keyword fields the caller attaches.
+
+Rotation is size-based: when the active file would exceed
+``max_bytes``, it is renamed to ``<path>.1`` (shifting ``.1`` to
+``.2``... up to ``backups``) with the same atomic ``os.replace`` +
+bounded-retry policy as :func:`repro.io.atomic_write_text`, so a reader
+never observes a half-rotated file and a crash mid-rotation loses at
+most the rename, never written bytes.  Writes themselves are plain
+appends -- each line is written and flushed in one call, which on POSIX
+appends of this size is atomic enough that concurrent writers do not
+interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .correlate import current_request_id
+
+#: Default rotation threshold: 8 MiB per file keeps a misbehaving load
+#: test from filling a disk while retaining hours of normal traffic.
+DEFAULT_MAX_BYTES = 8 * 1024 * 1024
+
+#: Rotated generations kept (``<path>.1`` .. ``<path>.N``).
+DEFAULT_BACKUPS = 3
+
+
+class AccessLog:
+    """Append-only JSONL event log with size-based rotation.
+
+    Thread-safe; the serving layer emits from the asyncio event loop
+    and (for shed events) from socket threads concurrently.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        backups: int = DEFAULT_BACKUPS,
+    ):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if backups < 0:
+            raise ValueError(f"backups must be >= 0, got {backups}")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self._lock = threading.Lock()
+        self._size: Optional[int] = None  # lazy: stat on first write
+
+    def emit(self, event: str, **fields: object) -> Dict[str, object]:
+        """Append one event record; returns the record written."""
+        record: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "event": event,
+        }
+        request_id = fields.pop("request_id", None) or current_request_id()
+        if request_id is not None:
+            record["request_id"] = request_id
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"),
+                          default=str) + "\n"
+        encoded = line.encode("utf-8")
+        with self._lock:
+            if self._size is None:
+                try:
+                    self._size = self.path.stat().st_size
+                except OSError:
+                    self._size = 0
+            if self._size and self._size + len(encoded) > self.max_bytes:
+                self._rotate_locked()
+            with open(self.path, "ab") as handle:
+                handle.write(encoded)
+            self._size += len(encoded)
+        return record
+
+    def _rotate_locked(self) -> None:
+        """Shift ``path -> .1 -> .2 ...``; oldest generation drops off.
+
+        Uses the same atomic-rename + bounded-retry policy as
+        :func:`repro.io.atomic_write_text` (shared constants), so the
+        rotation either happens completely for each generation or
+        leaves the previous file in place.
+        """
+        from ..io import ATOMIC_WRITE_RETRIES, ATOMIC_WRITE_RETRY_WAIT_S
+
+        if self.backups == 0:
+            self._replace_with_retry(
+                self.path, None,
+                ATOMIC_WRITE_RETRIES, ATOMIC_WRITE_RETRY_WAIT_S)
+            self._size = 0
+            return
+        for generation in range(self.backups - 1, 0, -1):
+            src = self._generation_path(generation)
+            if src.exists():
+                self._replace_with_retry(
+                    src, self._generation_path(generation + 1),
+                    ATOMIC_WRITE_RETRIES, ATOMIC_WRITE_RETRY_WAIT_S)
+        if self.path.exists():
+            self._replace_with_retry(
+                self.path, self._generation_path(1),
+                ATOMIC_WRITE_RETRIES, ATOMIC_WRITE_RETRY_WAIT_S)
+        self._size = 0
+
+    def _generation_path(self, generation: int) -> Path:
+        return self.path.with_name(f"{self.path.name}.{generation}")
+
+    @staticmethod
+    def _replace_with_retry(
+        src: Path, dst: Optional[Path], retries: int, wait_s: float
+    ) -> None:
+        last: Optional[OSError] = None
+        for attempt in range(retries + 1):
+            try:
+                if dst is None:
+                    os.unlink(src)
+                else:
+                    os.replace(src, dst)
+                return
+            except FileNotFoundError:
+                return
+            except OSError as exc:
+                last = exc
+                if attempt < retries:
+                    time.sleep(wait_s)
+        raise OSError(
+            f"could not rotate {src} after {retries + 1} attempts: {last}"
+        ) from last
+
+    def read_events(self) -> List[Dict[str, object]]:
+        """Parse the active file back into records (tests / tooling)."""
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return []
+        events: List[Dict[str, object]] = []
+        for line in text.splitlines():
+            if line.strip():
+                events.append(json.loads(line))
+        return events

@@ -1,7 +1,7 @@
-"""Process-local metrics: counters, gauges and timers.
+"""Process-local metrics: counters, gauges, histograms and timers.
 
 The registry is deliberately tiny and dependency-free.  Everything is
-built around two rules:
+built around three rules:
 
 * **near-zero overhead when disabled** -- instrumented call sites guard
   on :func:`is_enabled` (one module-global read) and skip all metric
@@ -10,10 +10,37 @@ built around two rules:
   `contextvars.ContextVar`, so concurrent runs (threads, asyncio tasks,
   nested CLI invocations in tests) can each collect into their own
   registry via :func:`use_registry` without seeing each other's numbers.
-  The default is one shared process-global registry.
+  The default is one shared process-global registry;
+* **bounded memory, mergeable state** -- no metric retains unbounded
+  per-sample state.  Distributions live in :class:`Histogram` (fixed
+  exponential buckets) plus, for :class:`Timer`, a deterministic
+  rolling window of the most recent samples.  Bucket counts and the
+  exact count/total/min/max scalars add, so worker-process deltas fold
+  back into the parent registry (:meth:`MetricsRegistry.merge_state`)
+  the same way the stage-matrix cache merges hit/miss deltas.
+
+Quantile-accuracy contract
+--------------------------
+
+Two estimators coexist, with different guarantees:
+
+* *Rolling-window quantiles* (``Timer.stats()``): exact nearest-rank
+  quantiles over the **last** :data:`TIMER_WINDOW` ``observe()`` calls
+  in this process.  Deterministic -- the window is the most recent N
+  samples, never a random reservoir -- so repeated runs of the same
+  workload report identical quantiles.
+* *Bucketed quantiles* (``Histogram.quantile()`` and everything that
+  crosses a process boundary): the sample count per exponential bucket
+  is exact; a quantile is reported as the geometric midpoint of its
+  bucket, so the relative error of any reported quantile is bounded by
+  ``sqrt(HISTOGRAM_FACTOR)`` (about +/-19% with the default
+  ``sqrt(2)`` spacing).  Counts merge exactly; only the position
+  *within* a bucket is approximate.
 
 Snapshot documents are plain JSON (``sealpaa-metrics-v1``) so they can
-be written by ``--metrics-out`` and re-read by ``sealpaa obs``.
+be written by ``--metrics-out``, re-read by ``sealpaa obs``, scraped
+from ``sealpaa serve``'s ``/metrics``, and rendered to Prometheus text
+exposition by :mod:`repro.obs.prometheus`.
 """
 
 from __future__ import annotations
@@ -21,16 +48,36 @@ from __future__ import annotations
 import json
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 METRICS_FORMAT = "sealpaa-metrics-v1"
 
-#: Ring-buffer capacity per timer: enough for every realistic run here
-#: (Monte-Carlo batches, per-stage spans); beyond it the oldest samples
-#: are overwritten so percentiles describe a recent window.
-TIMER_RESERVOIR = 8192
+#: Rolling-window capacity per timer: the most recent N samples, kept
+#: for exact short-horizon quantiles (p50/p95/p99 of *recent* traffic).
+#: Deterministic by construction -- last-N, not a random reservoir --
+#: and a hard memory cap: 2048 floats (16 KiB) per timer, however long
+#: the process lives.
+TIMER_WINDOW = 2048
+
+#: Smallest bucket upper bound of the default exponential ladder, in
+#: the metric's native unit (seconds for timers): 1 microsecond.
+HISTOGRAM_MIN = 1e-6
+
+#: Ratio between consecutive bucket bounds.  ``sqrt(2)`` bounds the
+#: relative error of any bucketed quantile by ``2**0.25`` (~19%).
+HISTOGRAM_FACTOR = 2.0 ** 0.5
+
+#: Number of finite buckets: 56 half-octaves span 1 us .. ~268 s; an
+#: implicit overflow bucket (``+Inf``) catches everything beyond.
+HISTOGRAM_BUCKETS = 56
+
+#: The default bucket upper bounds (``le`` values, ascending).
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    HISTOGRAM_MIN * HISTOGRAM_FACTOR ** i for i in range(HISTOGRAM_BUCKETS)
+)
 
 
 class Counter:
@@ -71,35 +118,220 @@ class Gauge:
         return self._value
 
 
-class Timer:
-    """Duration histogram with exact count/total/min/max and
-    reservoir-based percentiles."""
+class Histogram:
+    """Fixed-bucket exponential histogram with exact, mergeable counts.
 
-    __slots__ = ("name", "_count", "_total", "_min", "_max", "_samples",
-                 "_lock")
+    Buckets follow the Prometheus classic-histogram convention: bucket
+    ``i`` counts observations ``<= bounds[i]``; one implicit overflow
+    bucket catches values above the last bound.  Per-bucket counts and
+    the count/sum/min/max scalars are exact and *add*, so two
+    histograms over the same bounds merge losslessly
+    (:meth:`merge_state`) -- the property the parallel executor relies
+    on to fold worker deltas into the parent registry.
+
+    Memory is a fixed ``len(bounds) + 1`` integers per histogram no
+    matter how many observations arrive.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_count", "_sum",
+                 "_min", "_max", "_lock")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS):
+        if not bounds or list(bounds) != sorted(float(b) for b in bounds):
+            raise ValueError("bucket bounds must be non-empty and ascending")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # + overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (thread-safe)."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is overflow."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs.
+
+        The final pair is ``(inf, total_count)`` -- the ``+Inf`` bucket.
+        """
+        with self._lock:
+            counts = list(self._counts)
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + counts[-1]))
+        return pairs
+
+    def _quantile_locked(self, counts: List[int], q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = q * (self._count - 1)
+        running = 0
+        for index, count in enumerate(counts):
+            running += count
+            if running > rank:
+                break
+        else:
+            index = len(counts) - 1
+        if index >= len(self.bounds):  # overflow bucket
+            estimate = self._max
+        else:
+            hi = self.bounds[index]
+            lo = (self.bounds[index - 1] if index
+                  else hi / HISTOGRAM_FACTOR)
+            # geometric midpoint: relative error <= sqrt(factor)
+            estimate = (lo * hi) ** 0.5
+        return min(max(estimate, self._min), self._max)
+
+    def quantile(self, q: float) -> float:
+        """Bucketed quantile estimate (see the module accuracy contract)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+        return self._quantile_locked(counts, q)
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate view: count/total plus bucketed p50/p95/p99."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            lo = self._min
+            hi = self._max
+            counts = list(self._counts)
+        if count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": count,
+            "total": total,
+            "min": lo,
+            "mean": total / count,
+            "p50": self._quantile_locked(counts, 0.50),
+            "p95": self._quantile_locked(counts, 0.95),
+            "p99": self._quantile_locked(counts, 0.99),
+            "max": hi,
+        }
+
+    # -- mergeable state ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialisable delta state (counts + exact scalars)."""
+        with self._lock:
+            return {
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+            }
+
+    def merge_state(self, state: Mapping[str, object]) -> None:
+        """Fold another histogram's :meth:`state_dict` into this one.
+
+        Bucket counts add exactly; the two histograms must share bucket
+        bounds (always true for states produced by the same code).
+        """
+        counts = list(state.get("counts") or [])
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"bucket mismatch: got {len(counts)} buckets, "
+                f"have {len(self._counts)}"
+            )
+        count = int(state.get("count") or 0)
+        if count == 0:
+            return
+        other_min = state.get("min")
+        other_max = state.get("max")
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += int(c)
+            self._count += count
+            self._sum += float(state.get("sum") or 0.0)
+            if other_min is not None and float(other_min) < self._min:
+                self._min = float(other_min)
+            if other_max is not None and float(other_max) > self._max:
+                self._max = float(other_max)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready document: stats plus non-empty cumulative buckets."""
+        doc: Dict[str, object] = self.stats()
+        buckets = [
+            [bound if bound != float("inf") else "+Inf", cumulative]
+            for bound, cumulative in self.cumulative_buckets()
+        ]
+        total = buckets[-1][1]  # the +Inf cumulative count
+        if total == 0:
+            doc["buckets"] = []
+            return doc
+        # Trim the empty head and the saturated tail: keep the span of
+        # buckets that actually discriminate, plus the final +Inf total
+        # (cumulative counts stay self-describing either way).
+        first = next(i for i, (_, c) in enumerate(buckets) if c)
+        last = next(i for i, (_, c) in enumerate(buckets) if c == total)
+        doc["buckets"] = buckets[first:last + 1] + (
+            [buckets[-1]] if last < len(buckets) - 1 else [])
+        return doc
+
+
+class Timer:
+    """Duration metric: exact scalars, bucketed whole-run distribution,
+    and a deterministic rolling window for exact recent quantiles.
+
+    ``stats()`` quantiles are nearest-rank over the **last**
+    :data:`TIMER_WINDOW` samples -- an exact description of recent
+    behaviour (the window the serving layer's SLO evaluation reads).
+    The embedded :class:`Histogram` carries the whole-run distribution
+    in bounded memory and is what merges across process boundaries.
+    """
+
+    __slots__ = ("name", "_hist", "_window", "_window_pos", "_lock")
 
     def __init__(self, name: str):
         self.name = name
-        self._count = 0
-        self._total = 0.0
-        self._min = float("inf")
-        self._max = 0.0
-        self._samples: List[float] = []
+        self._hist = Histogram(name)
+        self._window: List[float] = []
+        self._window_pos = 0
         self._lock = threading.Lock()
 
     def observe(self, seconds: float) -> None:
         """Record one duration in seconds."""
+        seconds = float(seconds)
+        self._hist.observe(seconds)
         with self._lock:
-            if len(self._samples) < TIMER_RESERVOIR:
-                self._samples.append(seconds)
+            if len(self._window) < TIMER_WINDOW:
+                self._window.append(seconds)
             else:
-                self._samples[self._count % TIMER_RESERVOIR] = seconds
-            self._count += 1
-            self._total += seconds
-            if seconds < self._min:
-                self._min = seconds
-            if seconds > self._max:
-                self._max = seconds
+                self._window[self._window_pos] = seconds
+                self._window_pos = (self._window_pos + 1) % TIMER_WINDOW
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -112,11 +344,16 @@ class Timer:
 
     @property
     def count(self) -> int:
-        return self._count
+        return self._hist.count
 
     @property
     def total(self) -> float:
-        return self._total
+        return self._hist.sum
+
+    @property
+    def histogram(self) -> Histogram:
+        """The bounded whole-run distribution behind this timer."""
+        return self._hist
 
     @staticmethod
     def _quantile(ordered: List[float], q: float) -> float:
@@ -127,33 +364,64 @@ class Timer:
         return ordered[index]
 
     def stats(self) -> Dict[str, float]:
-        """Aggregate view: count, total and min/mean/p50/p95/max seconds."""
+        """Count/total/min/mean/max (exact, whole run) + p50/p95/p99
+        (exact nearest-rank over the rolling window)."""
+        hist_stats = self._hist.stats()
         with self._lock:
-            count = self._count
-            total = self._total
-            lo = self._min
-            hi = self._max
-            ordered = sorted(self._samples)
+            ordered = sorted(self._window)
+        count = int(hist_stats["count"])
         if count == 0:
             return {"count": 0, "total_s": 0.0, "min_s": 0.0, "mean_s": 0.0,
-                    "p50_s": 0.0, "p95_s": 0.0, "max_s": 0.0}
+                    "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
+        if ordered:
+            p50 = self._quantile(ordered, 0.50)
+            p95 = self._quantile(ordered, 0.95)
+            p99 = self._quantile(ordered, 0.99)
+        else:
+            # merged-only timer: no local window; fall back to buckets
+            p50, p95, p99 = (hist_stats["p50"], hist_stats["p95"],
+                             hist_stats["p99"])
         return {
             "count": count,
-            "total_s": total,
-            "min_s": lo,
-            "mean_s": total / count,
-            "p50_s": self._quantile(ordered, 0.50),
-            "p95_s": self._quantile(ordered, 0.95),
-            "max_s": hi,
+            "total_s": hist_stats["total"],
+            "min_s": hist_stats["min"],
+            "mean_s": hist_stats["mean"],
+            "p50_s": p50,
+            "p95_s": p95,
+            "p99_s": p99,
+            "max_s": hist_stats["max"],
         }
+
+    def snapshot(self) -> Dict[str, object]:
+        """``stats()`` plus the cumulative bucket pairs, JSON-ready."""
+        doc: Dict[str, object] = dict(self.stats())
+        hist_doc = self._hist.snapshot()
+        doc["buckets"] = hist_doc["buckets"]
+        return doc
+
+    # -- mergeable state ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialisable whole-run state (bucket counts + scalars).
+
+        The rolling window deliberately stays process-local: windows
+        from concurrent processes interleave non-deterministically, and
+        merged quantiles come from the exact bucket counts instead.
+        """
+        return self._hist.state_dict()
+
+    def merge_state(self, state: Mapping[str, object]) -> None:
+        """Fold a worker timer's :meth:`state_dict` into this one."""
+        self._hist.merge_state(state)
 
 
 class MetricsRegistry:
-    """A named collection of counters, gauges and timers."""
+    """A named collection of counters, gauges, histograms and timers."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._timers: Dict[str, Timer] = {}
         self._lock = threading.Lock()
 
@@ -171,6 +439,15 @@ class MetricsRegistry:
                 metric = self._gauges[name] = Gauge(name)
         return metric
 
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS,
+                  ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, bounds)
+        return metric
+
     def timer(self, name: str) -> Timer:
         with self._lock:
             metric = self._timers.get(name)
@@ -183,6 +460,7 @@ class MetricsRegistry:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
+            self._histograms.clear()
             self._timers.clear()
 
     def snapshot(self) -> Dict[str, object]:
@@ -190,16 +468,66 @@ class MetricsRegistry:
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
             timers = dict(self._timers)
         return {
             "format": METRICS_FORMAT,
             "counters": {k: c.value for k, c in sorted(counters.items())},
             "gauges": {k: g.value for k, g in sorted(gauges.items())},
-            "timers": {k: t.stats() for k, t in sorted(timers.items())},
+            "histograms": {k: h.snapshot()
+                           for k, h in sorted(histograms.items())},
+            "timers": {k: t.snapshot() for k, t in sorted(timers.items())},
         }
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent)
+
+    # -- cross-process delta merging ---------------------------------------
+
+    def export_state(
+        self, exclude_prefixes: Sequence[str] = ()
+    ) -> Dict[str, object]:
+        """Serialisable delta document for :meth:`merge_state`.
+
+        Counters export their values, timers and histograms their
+        bucketed states.  Gauges are last-write-wins and meaningless to
+        add, so they are excluded.  *exclude_prefixes* drops metric
+        families merged through a different channel (the parallel
+        executor excludes ``engine.cache.*``, which travels with the
+        stage-matrix cache deltas instead).
+        """
+        def keep(name: str) -> bool:
+            return not any(name.startswith(p) for p in exclude_prefixes)
+
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+            timers = dict(self._timers)
+        return {
+            "counters": {k: c.value for k, c in counters.items()
+                         if keep(k) and c.value},
+            "histograms": {k: h.state_dict() for k, h in histograms.items()
+                           if keep(k) and h.count},
+            "timers": {k: t.state_dict() for k, t in timers.items()
+                       if keep(k) and t.count},
+        }
+
+    def merge_state(self, state: Optional[Mapping[str, object]]) -> None:
+        """Fold a worker registry's :meth:`export_state` into this one.
+
+        Bucket counts and counter values add exactly, so merging N
+        worker deltas in any order equals having observed every sample
+        in one registry -- the property the parallel-merge regression
+        tests pin.
+        """
+        if not state:
+            return
+        for name, value in (state.get("counters") or {}).items():
+            self.counter(str(name)).add(int(value))
+        for name, hist_state in (state.get("histograms") or {}).items():
+            self.histogram(str(name)).merge_state(hist_state)
+        for name, timer_state in (state.get("timers") or {}).items():
+            self.timer(str(name)).merge_state(timer_state)
 
 
 #: The process-global default registry.
@@ -267,6 +595,12 @@ def observe(name: str, seconds: float) -> None:
     """Record a duration on timer *name* (no-op while disabled)."""
     if _enabled:
         get_registry().timer(name).observe(seconds)
+
+
+def observe_histogram(name: str, value: float) -> None:
+    """Record *value* on histogram *name* (no-op while disabled)."""
+    if _enabled:
+        get_registry().histogram(name).observe(value)
 
 
 class _NullTimerContext:

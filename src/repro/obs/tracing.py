@@ -239,10 +239,19 @@ def trace_span(name: str, **attrs: object):
 
     No-op (shared null context) when no tracer is installed, so it is
     safe to leave in hot paths.  Attributes must be JSON-serialisable.
+    When a correlation ID is scoped (see :mod:`repro.obs.correlate`),
+    it is stamped on the span as ``request_id``, so serving-layer spans
+    join up with access-log lines and worker trace lanes.
     """
     tracer = _tracer_var.get()
     if tracer is None:
         return _NULL_SPAN
+    if "request_id" not in attrs:
+        from .correlate import current_request_id
+
+        request_id = current_request_id()
+        if request_id is not None:
+            attrs["request_id"] = request_id
     return _SpanContext(tracer, name, attrs)
 
 

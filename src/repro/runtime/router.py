@@ -31,6 +31,7 @@ from typing import Optional
 
 from .._compat import warn_deprecated
 from ..core.exceptions import AnalysisError
+from ..obs import metrics as _metrics
 from ..obs.log import get_logger, log_event
 from .budget import RunBudget
 
@@ -59,6 +60,17 @@ class EngineDecision:
     degraded_from: Optional[str] = None
     estimated_cases: Optional[int] = None
     samples: Optional[int] = None
+
+
+def _record_decision(decision: EngineDecision) -> EngineDecision:
+    """Telemetry: count routing outcomes (and degradations) per engine,
+    so operators can see *why* latency changed -- e.g. deadline pressure
+    pushing exact queries down to Monte-Carlo."""
+    if _metrics.is_enabled():
+        _metrics.inc(f"runtime.router.decision.{decision.engine}")
+        if decision.degraded_from is not None:
+            _metrics.inc("runtime.router.degraded")
+    return decision
 
 
 def plan_engine(
@@ -100,39 +112,39 @@ def plan_engine(
         mc_samples = min(mc_samples, budget.max_samples)
 
     if exhaustive.max_width is not None and width > exhaustive.max_width:
-        return EngineDecision(
+        return _record_decision(EngineDecision(
             engine=ENGINE_MONTECARLO,
             reason=f"width {width} exceeds the exhaustive limit "
                    f"({exhaustive.max_width})",
             degraded_from=ENGINE_CHUNKED_EXHAUSTIVE,
             samples=mc_samples,
-        )
+        ))
     cases = int(exhaustive.cost_estimate(width, None))
     cases_per_second = int(exhaustive.ops_per_second)
     if budget is not None:
         if budget.max_cases is not None and cases > budget.max_cases:
-            return EngineDecision(
+            return _record_decision(EngineDecision(
                 engine=ENGINE_MONTECARLO,
                 reason=f"{cases} cases exceed the budget's max_cases "
                        f"({budget.max_cases})",
                 degraded_from=ENGINE_CHUNKED_EXHAUSTIVE,
                 estimated_cases=cases,
                 samples=mc_samples,
-            )
+            ))
         if budget.deadline_s is not None:
             affordable = int(budget.deadline_s * cases_per_second)
             if cases > affordable:
                 if jobs is not None and jobs >= 2 \
                         and cases <= affordable * jobs:
-                    return EngineDecision(
+                    return _record_decision(EngineDecision(
                         engine=ENGINE_PARALLEL_EXHAUSTIVE,
                         reason=f"{cases} cases overrun the "
                                f"{budget.deadline_s:g}s deadline on one "
                                f"core but fit across {jobs} workers",
                         degraded_from=ENGINE_EXHAUSTIVE,
                         estimated_cases=cases,
-                    )
-                return EngineDecision(
+                    ))
+                return _record_decision(EngineDecision(
                     engine=ENGINE_MONTECARLO,
                     reason=f"{cases} cases would overrun the "
                            f"{budget.deadline_s:g}s deadline at "
@@ -140,19 +152,19 @@ def plan_engine(
                     degraded_from=ENGINE_CHUNKED_EXHAUSTIVE,
                     estimated_cases=cases,
                     samples=mc_samples,
-                )
+                ))
     if exhaustive.block_cases is None or cases <= exhaustive.block_cases:
-        return EngineDecision(
+        return _record_decision(EngineDecision(
             engine=ENGINE_EXHAUSTIVE,
             reason=f"{cases} cases fit a single enumeration block",
             estimated_cases=cases,
-        )
-    return EngineDecision(
+        ))
+    return _record_decision(EngineDecision(
         engine=ENGINE_CHUNKED_EXHAUSTIVE,
         reason=f"{cases} cases require chunked enumeration",
         degraded_from=ENGINE_EXHAUSTIVE,
         estimated_cases=cases,
-    )
+    ))
 
 
 @dataclass(frozen=True)

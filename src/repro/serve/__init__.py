@@ -13,7 +13,9 @@ Three layers, importable separately:
   protocol-agnostic batching/shedding/deadline core;
 * :mod:`repro.serve.http` -- :class:`AnalysisServer`, the stdlib asyncio
   HTTP front-end, plus :func:`run_server` (the ``sealpaa serve`` entry
-  point).
+  point);
+* :mod:`repro.serve.dashboard` -- the ``sealpaa dashboard`` curses
+  operator console polling a running server's ``/metrics``.
 
 In-process use (tests, notebooks, benchmarks)::
 
@@ -29,6 +31,7 @@ Operator use: ``sealpaa serve --port 8080 --cache-dir /var/cache/sealpaa``
 """
 
 from .config import ServeConfig
+from .dashboard import render_once, run_dashboard
 from .http import MAX_BODY_BYTES, AnalysisServer, run_server
 from .service import (
     MAX_DEADLINE_S,
@@ -54,6 +57,8 @@ __all__ = [
     "ServeConfig",
     "parse_analysis_doc",
     "parse_deadline",
+    "render_once",
     "result_to_doc",
+    "run_dashboard",
     "run_server",
 ]

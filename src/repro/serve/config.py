@@ -12,6 +12,11 @@ from typing import Optional
 
 from ..core.exceptions import AnalysisError
 from ..engine.diskcache import DEFAULT_MEMORY_ENTRIES
+from ..obs.accesslog import (
+    DEFAULT_BACKUPS as DEFAULT_ACCESS_LOG_BACKUPS,
+    DEFAULT_MAX_BYTES as DEFAULT_ACCESS_LOG_MAX_BYTES,
+)
+from ..obs.slo import SloPolicy
 
 
 @dataclass(frozen=True)
@@ -40,6 +45,12 @@ class ServeConfig:
     *Shutdown*: on SIGTERM the server stops accepting connections,
     finishes everything already queued, and force-closes whatever is
     still open after ``drain_grace_s`` seconds.
+
+    *Telemetry*: ``access_log`` enables the structured JSONL request
+    log (one record per request, correlation ID included) rotated at
+    ``access_log_max_bytes`` keeping ``access_log_backups``
+    generations; ``slo`` carries the rolling-window thresholds
+    ``/healthz`` evaluates (see :class:`repro.obs.slo.SloPolicy`).
     """
 
     host: str = "127.0.0.1"
@@ -54,6 +65,10 @@ class ServeConfig:
     cache_dir: Optional[str] = None
     memory_cache_entries: int = DEFAULT_MEMORY_ENTRIES
     max_disk_entries: Optional[int] = None
+    access_log: Optional[str] = None
+    access_log_max_bytes: int = DEFAULT_ACCESS_LOG_MAX_BYTES
+    access_log_backups: int = DEFAULT_ACCESS_LOG_BACKUPS
+    slo: SloPolicy = SloPolicy()
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -74,3 +89,13 @@ class ServeConfig:
                 raise AnalysisError(f"{name} must be >= 0, got {value}")
         if not 0 <= self.port <= 65535:
             raise AnalysisError(f"port out of range: {self.port}")
+        if self.access_log_max_bytes < 1:
+            raise AnalysisError(
+                "access_log_max_bytes must be >= 1, got "
+                f"{self.access_log_max_bytes}"
+            )
+        if self.access_log_backups < 0:
+            raise AnalysisError(
+                f"access_log_backups must be >= 0, got "
+                f"{self.access_log_backups}"
+            )

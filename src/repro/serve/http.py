@@ -30,7 +30,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import engine
 from ..obs import metrics as _metrics
+from ..obs.accesslog import AccessLog
+from ..obs.correlate import new_request_id, use_request_id
 from ..obs.log import get_logger, log_event
+from ..obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..obs.prometheus import render_prometheus
+from ..obs.slo import evaluate_slo
 from .config import ServeConfig
 from .service import (
     AnalysisService,
@@ -70,15 +75,29 @@ class _HttpError(Exception):
 
 
 class _HttpRequest:
-    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+    __slots__ = ("method", "path", "query", "headers", "body", "keep_alive",
+                 "request_id")
 
     def __init__(self, method: str, path: str, headers: Dict[str, str],
                  body: bytes, keep_alive: bool):
         self.method = method
-        self.path = path
+        self.path, _, self.query = path.partition("?")
         self.headers = headers
         self.body = body
         self.keep_alive = keep_alive
+        self.request_id: Optional[str] = None
+
+    def wants_prometheus(self) -> bool:
+        """Content negotiation: does the client prefer text exposition?
+
+        ``Accept: text/plain`` (what Prometheus scrapers and ``curl -H``
+        send) or ``?format=prometheus`` selects the text format; the
+        default stays the JSON snapshot ``sealpaa obs`` consumes.
+        """
+        if "format=prometheus" in self.query:
+            return True
+        accept = self.headers.get("accept", "")
+        return "text/plain" in accept or "openmetrics" in accept
 
 
 async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
@@ -112,16 +131,31 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
     return _HttpRequest(method.upper(), path, headers, body, keep_alive)
 
 
+class _RawText:
+    """A pre-rendered non-JSON response body with its content type."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str):
+        self.text = text
+        self.content_type = content_type
+
+
 def _encode_response(
     status: int,
     doc: object,
     keep_alive: bool,
     extra_headers: Sequence[Tuple[str, str]] = (),
 ) -> bytes:
-    payload = (json.dumps(doc) + "\n").encode()
+    if isinstance(doc, _RawText):
+        payload = doc.text.encode("utf-8")
+        content_type = doc.content_type
+    else:
+        payload = (json.dumps(doc) + "\n").encode()
+        content_type = "application/json"
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(payload)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
@@ -139,6 +173,12 @@ class AnalysisServer:
     def __init__(self, config: Optional[ServeConfig] = None):
         self.config = config or ServeConfig()
         self.service = AnalysisService(self.config)
+        self.access_log: Optional[AccessLog] = (
+            AccessLog(self.config.access_log,
+                      max_bytes=self.config.access_log_max_bytes,
+                      backups=self.config.access_log_backups)
+            if self.config.access_log else None
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: "set[asyncio.Task]" = set()
         self._port: Optional[int] = None
@@ -284,6 +324,11 @@ class AnalysisServer:
                 pass
 
     async def _respond(self, request: _HttpRequest) -> bytes:
+        # Correlation: honour an inbound X-Request-Id (so a gateway's ID
+        # follows the request through spans and the access log), else
+        # mint one; either way it is echoed on the response.
+        request.request_id = (request.headers.get("x-request-id")
+                              or new_request_id())
         route = f"{request.method} {request.path}"
         endpoint = {
             "POST /v1/analyze": ("analyze", self._handle_analyze),
@@ -296,15 +341,19 @@ class AnalysisServer:
             known_paths = ("/v1/analyze", "/v1/analyze_batch",
                            "/healthz", "/metrics")
             status = 405 if request.path in known_paths else 404
+            self._log_access(request, status, 0.0)
             return _encode_response(
                 status, _error_doc(status, f"no route {route}"),
                 request.keep_alive,
+                extra_headers=[("X-Request-Id", request.request_id)],
             )
         name, handler = endpoint
         if _metrics.is_enabled():
             _metrics.inc(f"serve.http.{name}.requests")
+        started = asyncio.get_running_loop().time()
         try:
-            with _metrics.timed(f"serve.http.{name}.seconds"):
+            with use_request_id(request.request_id), \
+                    _metrics.timed(f"serve.http.{name}.seconds"):
                 status, doc, headers = await handler(request)
         except _HttpError as exc:
             status, doc, headers = exc.status, _error_doc(exc.status,
@@ -315,7 +364,26 @@ class AnalysisServer:
             status, doc, headers = 500, _error_doc(500, "internal error"), ()
         if _metrics.is_enabled():
             _metrics.inc(f"serve.http.status.{status}")
+        elapsed = asyncio.get_running_loop().time() - started
+        self._log_access(request, status, elapsed)
+        headers = list(headers) + [("X-Request-Id", request.request_id)]
         return _encode_response(status, doc, request.keep_alive, headers)
+
+    def _log_access(self, request: _HttpRequest, status: int,
+                    elapsed_s: float) -> None:
+        if self.access_log is None:
+            return
+        try:
+            self.access_log.emit(
+                "serve.request",
+                request_id=request.request_id,
+                method=request.method,
+                path=request.path,
+                status=status,
+                duration_ms=round(elapsed_s * 1000, 3),
+            )
+        except OSError as exc:  # a full disk must not kill the server
+            log_event(_logger, "serve.accesslog.error", error=repr(exc))
 
     # -- endpoint handlers -------------------------------------------------
 
@@ -390,16 +458,32 @@ class AnalysisServer:
 
     async def _handle_healthz(self, request: _HttpRequest):
         draining = self.service.draining
+        stats = self.service.stats()
+        slo = evaluate_slo(
+            _metrics.get_registry().snapshot(), self.config.slo,
+            shed_rate=stats.get("recent_shed_rate"),
+        )
+        if draining:
+            status = "draining"
+        else:
+            # Degraded is still alive: the process serves, so /healthz
+            # answers 200 and the verdict carries the nuance (liveness
+            # probes keep passing; alerting reads the slo block).
+            status = slo["status"]
         doc = {
-            "status": "draining" if draining else "ok",
-            "queue_depth": self.service.stats()["queue_depth"],
+            "status": status,
+            "queue_depth": stats["queue_depth"],
             "max_batch": self.config.max_batch,
+            "slo": slo,
         }
         return (503 if draining else 200), doc, ()
 
     async def _handle_metrics(self, request: _HttpRequest):
         doc = _metrics.get_registry().snapshot()
         doc["service"] = self.service.stats()
+        if request.wants_prometheus():
+            text = render_prometheus(doc)
+            return 200, _RawText(text, _PROM_CONTENT_TYPE), ()
         return 200, doc, ()
 
 

@@ -37,7 +37,9 @@ from .. import engine
 from ..core.exceptions import AnalysisError, ReproError
 from ..engine.request import AnalysisRequest, AnalysisResult
 from ..obs import metrics as _metrics
+from ..obs.correlate import current_request_id, use_request_id
 from ..obs.log import get_logger, log_event
+from ..obs.slo import RollingRatio
 from ..runtime.budget import RunBudget
 from .config import ServeConfig
 
@@ -163,14 +165,16 @@ def result_to_doc(result: AnalysisResult) -> Dict[str, object]:
 class _Pending:
     """One queued request: the future its client awaits plus its deadline."""
 
-    __slots__ = ("request", "future", "deadline_at")
+    __slots__ = ("request", "future", "deadline_at", "request_id")
 
     def __init__(self, request: AnalysisRequest,
                  future: "asyncio.Future[AnalysisResult]",
-                 deadline_at: Optional[float]):
+                 deadline_at: Optional[float],
+                 request_id: Optional[str] = None):
         self.request = request
         self.future = future
         self.deadline_at = deadline_at
+        self.request_id = request_id
 
     def remaining(self, now: float) -> Optional[float]:
         if self.deadline_at is None:
@@ -192,6 +196,10 @@ class AnalysisService:
         self._batches = 0
         self._served = 0
         self._shed = 0
+        # Rolling window of admission outcomes (True = shed) feeding
+        # the /healthz shed-rate SLO -- cumulative counters cannot tell
+        # "shed a lot an hour ago" from "shedding right now".
+        self._shed_window = RollingRatio()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -269,14 +277,17 @@ class AnalysisService:
         loop = asyncio.get_running_loop()
         deadline_at = (loop.time() + deadline_s
                        if deadline_s is not None else None)
-        pending = _Pending(request, loop.create_future(), deadline_at)
+        pending = _Pending(request, loop.create_future(), deadline_at,
+                           request_id=current_request_id())
         try:
             self._queue.put_nowait(pending)
         except asyncio.QueueFull:
             self._shed += 1
+            self._shed_window.record(True)
             if _metrics.is_enabled():
                 _metrics.inc("serve.shed")
             raise OverloadedError(self.config.retry_after_s) from None
+        self._shed_window.record(False)
         if _metrics.is_enabled():
             _metrics.inc("serve.enqueued")
             _metrics.set_gauge("serve.queue_depth", self._queue.qsize())
@@ -346,10 +357,27 @@ class AnalysisService:
         tightest = min((d for d in deadlines if d is not None), default=None)
         budget = RunBudget.for_deadline(tightest)
         requests = [p.request for p in live]
-        runner = functools.partial(
+        # One correlation ID represents the whole micro-batch in engine
+        # spans and worker trace lanes: the (only) member's ID for a
+        # solo batch, else the first member's ID tagged with the count.
+        member_ids = [p.request_id for p in live if p.request_id]
+        if not member_ids:
+            batch_id = None
+        elif len(live) == 1:
+            batch_id = member_ids[0]
+        else:
+            batch_id = f"{member_ids[0]}+{len(live) - 1}"
+        run = functools.partial(
             engine.run_batch, requests, budget,
             parallelism=self.config.parallelism,
         )
+
+        def runner():
+            # Contextvars do not propagate into executor threads; the
+            # correlation ID must be re-scoped inside the callable.
+            with use_request_id(batch_id):
+                return run()
+
         try:
             with _metrics.timed("serve.batch_seconds"):
                 results = await loop.run_in_executor(None, runner)
@@ -363,6 +391,9 @@ class AnalysisService:
             _metrics.inc("serve.batches")
             _metrics.inc("serve.batched_requests", len(live))
             _metrics.set_gauge("serve.batch_size", len(live))
+            # Distribution of batch occupancy, not just the last value:
+            # the dashboard's coalescing-health signal.
+            _metrics.observe_histogram("serve.batch_occupancy", len(live))
         for pending, result in zip(live, results):
             if pending.future.done():
                 continue
@@ -382,6 +413,7 @@ class AnalysisService:
             "served": self._served,
             "batches": self._batches,
             "shed": self._shed,
+            "recent_shed_rate": self._shed_window.rate(),
             "queue_depth": self._queue.qsize(),
             "draining": self._closing,
             "mean_batch_size": (self._served / self._batches

@@ -245,6 +245,63 @@ class TestObsMerging:
         finally:
             clear_cache()
 
+    def test_worker_metric_deltas_merge_to_the_serial_totals(self):
+        # S4 hammer: the per-backend timers and request counters the
+        # workers record must fold back into the parent registry with
+        # exactly the counts a serial pass produces -- bucket counts are
+        # exact sums, never sampled or lost at the process boundary.
+        from repro.obs import metrics
+
+        def run(parallelism):
+            registry = metrics.MetricsRegistry()
+            metrics.enable()
+            try:
+                with metrics.use_registry(registry):
+                    engine.run_batch(_chain_requests(8),
+                                     parallelism=parallelism,
+                                     engine="recursive")
+            finally:
+                metrics.disable()
+            return registry.snapshot()
+
+        serial = run(0)
+        parallel = run(JOBS)
+        for counter in ("engine.requests", "engine.selected.recursive",
+                        "core.recursive.calls", "core.recursive.stages"):
+            assert parallel["counters"][counter] == \
+                serial["counters"][counter], counter
+        # The workers' timer histograms merge bucket-for-bucket: same
+        # observation count, all of them inside finite buckets.
+        serial_timer = serial["timers"]["engine.recursive.seconds"]
+        merged_timer = parallel["timers"]["engine.recursive.seconds"]
+        assert merged_timer["count"] == serial_timer["count"] == 8
+        assert merged_timer["buckets"][-1][0] == "+Inf"
+        assert merged_timer["buckets"][-1][1] == 8
+        assert merged_timer["total_s"] > 0
+        # Quantiles survive the merge (bucketed fallback path).
+        assert merged_timer["p50_s"] > 0
+
+    def test_worker_request_id_reaches_chunk_spans(self):
+        from repro.obs.correlate import use_request_id
+        from repro.obs.tracing import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_request_id("req-parallel"), use_tracer(tracer):
+            engine.run_batch(_chain_requests(6), parallelism=JOBS)
+        chunk_attrs = []
+
+        def walk(span):
+            if span.name == "engine.parallel.chunk":
+                chunk_attrs.append(span.attrs)
+            for child in span.children:
+                walk(child)
+
+        for root in tracer.roots:
+            walk(root)
+        assert chunk_attrs
+        assert all(a.get("request_id") == "req-parallel"
+                   for a in chunk_attrs)
+
     def test_worker_spans_graft_with_pid_lanes(self):
         from repro.obs.tracing import Tracer, use_tracer
 

@@ -1,0 +1,92 @@
+"""JSONL access log: record shape, correlation, size rotation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.accesslog import AccessLog
+from repro.obs.correlate import use_request_id
+
+
+class TestRecords:
+    def test_emit_appends_parseable_jsonl(self, tmp_path):
+        log = AccessLog(tmp_path / "access.jsonl")
+        log.emit("serve.request", method="POST", status=200)
+        log.emit("serve.request", method="GET", status=404)
+        events = log.read_events()
+        assert [e["event"] for e in events] == ["serve.request"] * 2
+        assert events[0]["method"] == "POST"
+        assert events[1]["status"] == 404
+        assert all("ts" in e for e in events)
+
+    def test_ambient_request_id_is_stamped(self, tmp_path):
+        log = AccessLog(tmp_path / "access.jsonl")
+        with use_request_id("req-ambient"):
+            log.emit("serve.request")
+        log.emit("serve.request", request_id="req-explicit")
+        log.emit("background.tick")  # no ID in scope
+        events = log.read_events()
+        assert events[0]["request_id"] == "req-ambient"
+        assert events[1]["request_id"] == "req-explicit"
+        assert "request_id" not in events[2]
+
+    def test_lines_are_compact_single_objects(self, tmp_path):
+        log = AccessLog(tmp_path / "access.jsonl")
+        log.emit("e", nested={"a": 1})
+        raw = (tmp_path / "access.jsonl").read_text()
+        assert raw.count("\n") == 1
+        assert json.loads(raw)["nested"] == {"a": 1}
+
+    def test_rejects_bad_limits(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            AccessLog(tmp_path / "a", max_bytes=0)
+        with pytest.raises(ValueError, match="backups"):
+            AccessLog(tmp_path / "a", backups=-1)
+
+
+class TestRotation:
+    def test_rotates_past_max_bytes_keeping_backups(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path, max_bytes=300, backups=2)
+        for i in range(40):
+            log.emit("serve.request", seq=i)
+        assert path.exists()
+        assert (tmp_path / "access.jsonl.1").exists()
+        assert (tmp_path / "access.jsonl.2").exists()
+        assert not (tmp_path / "access.jsonl.3").exists()
+        # The active file stays under the cap and every surviving line
+        # is intact JSON (rotation never tears a record).
+        assert path.stat().st_size <= 300
+        for name in ("access.jsonl", "access.jsonl.1", "access.jsonl.2"):
+            for line in (tmp_path / name).read_text().splitlines():
+                json.loads(line)
+
+    def test_rotation_preserves_newest_records(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path, max_bytes=300, backups=1)
+        for i in range(40):
+            log.emit("serve.request", seq=i)
+        newest = log.read_events()[-1]["seq"]
+        assert newest == 39
+
+    def test_zero_backups_truncates_instead_of_renaming(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path, max_bytes=200, backups=0)
+        for i in range(30):
+            log.emit("serve.request", seq=i)
+        assert path.exists()
+        assert not (tmp_path / "access.jsonl.1").exists()
+
+    def test_fresh_instance_resumes_existing_file_size(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        first = AccessLog(path, max_bytes=250, backups=1)
+        for i in range(10):
+            first.emit("serve.request", seq=i)
+        # A restarted server (new AccessLog over the same path) must
+        # count the existing bytes toward the rotation threshold.
+        second = AccessLog(path, max_bytes=250, backups=1)
+        for i in range(10):
+            second.emit("serve.request", seq=100 + i)
+        assert (tmp_path / "access.jsonl.1").exists()

@@ -1,0 +1,66 @@
+"""Request-correlation IDs: minting, scoping, thread isolation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.correlate import (
+    current_request_id,
+    new_request_id,
+    use_request_id,
+)
+
+
+class TestMinting:
+    def test_ids_are_unique_and_prefixed(self):
+        ids = {new_request_id() for _ in range(1000)}
+        assert len(ids) == 1000
+        assert all(rid.startswith("req-") for rid in ids)
+
+    def test_unique_under_concurrency(self):
+        out: list = []
+        lock = threading.Lock()
+
+        def mint():
+            local = [new_request_id() for _ in range(200)]
+            with lock:
+                out.extend(local)
+
+        threads = [threading.Thread(target=mint) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == len(out)
+
+
+class TestScoping:
+    def test_no_ambient_id_by_default(self):
+        assert current_request_id() is None
+
+    def test_use_request_id_scopes_and_restores(self):
+        with use_request_id("req-outer"):
+            assert current_request_id() == "req-outer"
+            with use_request_id("req-inner"):
+                assert current_request_id() == "req-inner"
+            assert current_request_id() == "req-outer"
+        assert current_request_id() is None
+
+    def test_none_clears_an_inherited_id(self):
+        # Workers re-scope with the payload's ID; a payload without one
+        # must not leak the parent's ambient ID into worker records.
+        with use_request_id("req-parent"):
+            with use_request_id(None):
+                assert current_request_id() is None
+
+    def test_fresh_threads_do_not_inherit_the_scope(self):
+        seen: list = []
+
+        def worker():
+            seen.append(current_request_id())
+
+        with use_request_id("req-main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]

@@ -1,0 +1,129 @@
+"""Prometheus text exposition: rendering and the CI linter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    assert_valid_exposition,
+    lint_exposition,
+    render_prometheus,
+    sanitize_name,
+)
+
+
+@pytest.fixture
+def snapshot():
+    """A realistic snapshot with every metric kind populated."""
+    registry = metrics.MetricsRegistry()
+    metrics.enable()
+    try:
+        with metrics.use_registry(registry):
+            metrics.inc("engine.cache.hits", 12)
+            metrics.set_gauge("serve.queue_depth", 4.0)
+            metrics.observe("serve.http.analyze.seconds", 0.012)
+            metrics.observe("serve.http.analyze.seconds", 0.210)
+            metrics.observe("engine.run", 0.004)
+            metrics.observe_histogram("serve.batch_occupancy", 7.0)
+            return registry.snapshot()
+    finally:
+        metrics.disable()
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores_with_namespace(self):
+        assert sanitize_name("engine.cache.hits") == \
+            "sealpaa_engine_cache_hits"
+
+    def test_output_always_matches_the_grammar(self):
+        import re
+
+        grammar = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        for raw in ("9lives", "a-b c/d", "engine.run", "::"):
+            assert grammar.match(sanitize_name(raw)), raw
+
+
+class TestRender:
+    def test_exposition_lints_clean(self, snapshot):
+        assert_valid_exposition(render_prometheus(snapshot))
+
+    def test_counter_becomes_total_with_type_line(self, snapshot):
+        text = render_prometheus(snapshot)
+        assert "# TYPE sealpaa_engine_cache_hits_total counter" in text
+        assert "sealpaa_engine_cache_hits_total 12" in text
+
+    def test_timer_becomes_seconds_histogram(self, snapshot):
+        text = render_prometheus(snapshot)
+        assert ("# TYPE sealpaa_serve_http_analyze_seconds histogram"
+                in text)
+        assert 'sealpaa_serve_http_analyze_seconds_bucket{le="+Inf"} 2' \
+            in text
+        assert "sealpaa_serve_http_analyze_seconds_count 2" in text
+        # A timer not already named *.seconds gets the suffix appended
+        # exactly once.
+        assert "sealpaa_engine_run_seconds_count 1" in text
+        assert "_seconds_seconds" not in text
+
+    def test_plain_histogram_rendered_unitless(self, snapshot):
+        text = render_prometheus(snapshot)
+        assert "# TYPE sealpaa_serve_batch_occupancy histogram" in text
+        assert "sealpaa_serve_batch_occupancy_sum 7" in text
+
+    def test_bucket_series_is_cumulative_and_inf_terminated(self, snapshot):
+        lines = [
+            line for line in render_prometheus(snapshot).splitlines()
+            if line.startswith("sealpaa_serve_http_analyze_seconds_bucket")
+        ]
+        values = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert values == sorted(values)
+        assert 'le="+Inf"' in lines[-1]
+
+    def test_ends_with_newline(self, snapshot):
+        assert render_prometheus(snapshot).endswith("\n")
+        assert render_prometheus({}) == "\n"
+
+    def test_content_type_is_version_0_0_4(self):
+        assert CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+
+class TestLinter:
+    def test_accepts_minimal_valid_exposition(self):
+        text = ("# TYPE sealpaa_up gauge\n"
+                "sealpaa_up 1\n")
+        assert lint_exposition(text) == []
+
+    def test_flags_sample_without_type(self):
+        problems = lint_exposition("sealpaa_orphan 1\n")
+        assert any("before any TYPE" in p for p in problems)
+
+    def test_flags_missing_trailing_newline(self):
+        problems = lint_exposition("# TYPE sealpaa_up gauge\nsealpaa_up 1")
+        assert any("newline" in p for p in problems)
+
+    def test_flags_non_cumulative_buckets(self):
+        text = ("# TYPE sealpaa_h histogram\n"
+                'sealpaa_h_bucket{le="0.1"} 5\n'
+                'sealpaa_h_bucket{le="+Inf"} 3\n'
+                "sealpaa_h_sum 1\n"
+                "sealpaa_h_count 3\n")
+        problems = lint_exposition(text)
+        assert any("non-cumulative" in p for p in problems)
+
+    def test_flags_missing_inf_bucket(self):
+        text = ("# TYPE sealpaa_h histogram\n"
+                'sealpaa_h_bucket{le="0.1"} 1\n'
+                "sealpaa_h_sum 0.05\n"
+                "sealpaa_h_count 1\n")
+        problems = lint_exposition(text)
+        assert any("+Inf" in p for p in problems)
+
+    def test_flags_bad_sample_value(self):
+        problems = lint_exposition(
+            "# TYPE sealpaa_up gauge\nsealpaa_up banana\n")
+        assert any("bad sample value" in p for p in problems)
+
+    def test_assert_raises_with_every_problem_listed(self):
+        with pytest.raises(ValueError, match="invalid Prometheus"):
+            assert_valid_exposition("sealpaa_orphan 1")
