@@ -1,0 +1,242 @@
+"""Chaos soak: the multi-worker fleet under injected faults stays correct.
+
+The robustness ISSUE's acceptance criterion, measured end to end against
+a real ``sealpaa serve --workers 2`` supervisor subprocess:
+
+* **faults on**: every worker runs with a ``SEALPAA_CHAOS`` spec that
+  fails every 7th engine dispatch, delays every batch by 2 ms, and
+  fails every 5th disk-cache read; on top of that the soak SIGKILLs a
+  live worker twice, mid-traffic;
+* **zero incorrect responses**: every answer a retrying
+  :class:`repro.serve.AnalysisClient` accepts must be bit-identical to
+  the same request served by a plain single-worker in-process server
+  with no chaos at all -- crash recovery is allowed to cost latency,
+  never correctness;
+* **bounded client-visible error rate**: after the client's retry
+  budget the residual failure rate stays under 10%;
+* **recovery within the restart budget**: the supervisor restores the
+  full worker fleet after each kill, and its ``/healthz`` SLO verdict
+  stays a sane document throughout;
+* the headline numbers land in ``BENCH_chaos.json``
+  (``sealpaa-bench-v1``) for trajectory comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve import AnalysisClient, AnalysisServer, ServeConfig
+from repro.serve.client import ClientError
+
+from bench_trajectory import metric, write_trajectory
+from conftest import bench_output_path, emit
+
+WORKERS = 2
+CLIENT_THREADS = 4
+KILLS = 2
+SOAK_S = float(os.environ.get("SEALPAA_SOAK_S", "20"))
+CHAOS_SPEC = {
+    "engine_fail_every": 7,   # every 7th engine dispatch raises
+    "engine_delay_s": 0.002,  # every dispatch is a little slow
+    "cache_read_fail_every": 5,
+}
+_BANNER = re.compile(
+    r"http://([\d.]+):(\d+)\s+\(status/metrics on http://[\d.]+:(\d+)")
+
+
+def _docs():
+    """A pool of distinct requests the soak cycles through."""
+    docs = []
+    for k in range(40):
+        width = 16
+        p_a = [((k * 37 + i) % 1009) / 1009.0 for i in range(width)]
+        docs.append({"cell": "LPAA 6", "width": width, "p_a": p_a})
+    return docs
+
+
+def _golden_answers(docs):
+    """The ground truth: a single worker, in-process, zero chaos."""
+    server = AnalysisServer(ServeConfig(port=0, batch_window_s=0.002))
+    base = server.start()
+    try:
+        with AnalysisClient(base, total_deadline_s=60.0) as client:
+            return [client.analyze(doc)["p_error"] for doc in docs]
+    finally:
+        server.stop()
+
+
+def _healthz(host, port):
+    try:
+        with urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=5) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def _ready_pids(host, status_port):
+    """Workers that have bound their listener, not merely been spawned."""
+    with urllib.request.urlopen(
+            f"http://{host}:{status_port}/metrics", timeout=5) as resp:
+        doc = json.loads(resp.read().decode())
+    return [w["pid"] for w in doc["supervisor"]["workers"] if w["ready"]]
+
+
+def _wait_fleet(host, status_port, n, deadline_s, without_pid=None):
+    """Seconds until *n* workers are ready (none of them *without_pid*)."""
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        try:
+            pids = _ready_pids(host, status_port)
+            if len(pids) == n and without_pid not in pids:
+                return time.monotonic() - start, pids
+        except OSError:
+            pass
+        time.sleep(0.1)
+    raise AssertionError(f"fleet did not recover to {n} workers "
+                         f"within {deadline_s}s")
+
+
+class _Soaker(threading.Thread):
+    """One open-loop client cycling the doc pool until told to stop."""
+
+    def __init__(self, base_url, docs, golden, stop):
+        super().__init__(daemon=True)
+        self.docs, self.golden, self.stop = docs, golden, stop
+        self.client = AnalysisClient(base_url, total_deadline_s=10.0,
+                                     max_attempts=8, backoff_max_s=1.0)
+        self.ok = 0
+        self.failed = 0
+        self.incorrect = 0
+
+    def run(self):
+        k = 0
+        while not self.stop.is_set():
+            index = k % len(self.docs)
+            k += 1
+            try:
+                answer = self.client.analyze(self.docs[index])
+            except ClientError:
+                self.failed += 1
+                continue
+            if answer["p_error"] == self.golden[index]:
+                self.ok += 1
+            else:
+                self.incorrect += 1
+        self.client.close()
+
+
+def test_chaos_soak_zero_incorrect_responses(tmp_path):
+    docs = _docs()
+    golden = _golden_answers(docs)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in (
+        os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src")),
+        env.get("PYTHONPATH")) if p)
+    env["SEALPAA_CHAOS"] = json.dumps(CHAOS_SPEC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--workers", str(WORKERS), "--port", "0",
+         "--batch-window-ms", "2", "--drain-grace", "2",
+         "--restart-budget", str(4 * KILLS),
+         "--cache-dir", str(tmp_path / "cache")],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, cwd=str(tmp_path))
+    try:
+        match = _BANNER.search(proc.stdout.readline())
+        assert match, "no supervisor banner"
+        host, port, status_port = (match.group(1), int(match.group(2)),
+                                   int(match.group(3)))
+        _wait_fleet(host, status_port, WORKERS, 30.0)
+
+        stop = threading.Event()
+        soakers = [_Soaker(f"http://{host}:{port}", docs, golden, stop)
+                   for _ in range(CLIENT_THREADS)]
+        started = time.monotonic()
+        for soaker in soakers:
+            soaker.start()
+
+        recoveries = []
+        kill_at = [SOAK_S * (k + 1) / (KILLS + 1) for k in range(KILLS)]
+        for when in kill_at:
+            time.sleep(max(0.0, started + when - time.monotonic()))
+            victim = _ready_pids(host, status_port)[0]
+            os.kill(victim, signal.SIGKILL)
+            recovery_s, _ = _wait_fleet(host, status_port, WORKERS, 30.0,
+                                        without_pid=victim)
+            recoveries.append(recovery_s)
+
+        time.sleep(max(0.0, started + SOAK_S - time.monotonic()))
+        stop.set()
+        for soaker in soakers:
+            soaker.join(timeout=30)
+        elapsed = time.monotonic() - started
+
+        status, health = _healthz(host, status_port)
+        proc.send_signal(signal.SIGTERM)
+        exit_code = proc.wait(timeout=30)
+
+        ok = sum(s.ok for s in soakers)
+        failed = sum(s.failed for s in soakers)
+        incorrect = sum(s.incorrect for s in soakers)
+        total = ok + failed + incorrect
+        error_rate = failed / total if total else 1.0
+        retries = sum(s.client.requests_sent for s in soakers) - total
+
+        emit(f"chaos soak: {total} requests over {elapsed:.1f}s "
+             f"({CLIENT_THREADS} clients, {KILLS} worker kills, "
+             f"engine fault every {CHAOS_SPEC['engine_fail_every']}th "
+             f"dispatch)")
+        emit(f"  ok={ok} failed={failed} incorrect={incorrect} "
+             f"retries={retries}")
+        emit(f"  client-visible error rate: {error_rate:.4f}")
+        emit(f"  fleet recovery after kills: "
+             f"{', '.join(f'{r:.2f}s' for r in recoveries)}")
+        emit(f"  final /healthz: {status} {health['status']} "
+             f"restarts {health['workers']['restarts_used']}"
+             f"/{health['workers']['restart_budget']}")
+
+        # Pin the trajectory before the assertions so a failing run
+        # still leaves its numbers behind.
+        write_trajectory(bench_output_path("BENCH_chaos.json"),
+                         "serve_chaos", [
+            metric("client_error_rate", error_rate, unit="ratio",
+                   higher_is_better=False),
+            metric("incorrect_responses", float(incorrect), unit="count",
+                   higher_is_better=False),
+            metric("max_recovery_s", max(recoveries), unit="s",
+                   higher_is_better=False),
+            metric("soak_rps", ok / elapsed, unit="req/s"),
+            metric("retries_per_request",
+                   retries / total if total else 0.0, unit="ratio",
+                   higher_is_better=False),
+        ])
+
+        assert incorrect == 0, (
+            f"{incorrect} responses differed from the chaos-free "
+            "single-worker golden answers")
+        assert total >= 50, f"soak too thin to be meaningful: {total}"
+        assert error_rate <= 0.10, (
+            f"client-visible error rate {error_rate:.3f} exceeds 10% "
+            "after retries")
+        assert all(r <= 30.0 for r in recoveries)
+        assert health["status"] in ("ok", "degraded")
+        assert (health["workers"]["restarts_used"]
+                <= health["workers"]["restart_budget"])
+        assert {c["name"] for c in health["slo"]["checks"]} >= {
+            "latency_p50", "latency_p99", "shed_rate"}
+        assert exit_code == 0, f"drain after soak exited {exit_code}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()

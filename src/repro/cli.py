@@ -459,6 +459,11 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         max_disk_entries=args.max_disk_entries,
         access_log=args.access_log,
+        breaker_failures=args.breaker_failures,
+        breaker_reset_s=args.breaker_reset,
+        rate_limit_rps=(None if args.rate_limit is None
+                        or args.rate_limit <= 0 else args.rate_limit),
+        rate_limit_burst=args.rate_burst,
         slo=SloPolicy(
             # A negative flag value disables that objective.
             max_p50_s=None if args.slo_p50 < 0 else args.slo_p50,
@@ -482,6 +487,16 @@ def _cmd_serve(args) -> int:
         import dataclasses
 
         config = dataclasses.replace(config, **overrides)
+    if args.workers > 1:
+        from .serve import SupervisorConfig, run_supervisor
+
+        sup = SupervisorConfig(
+            workers=args.workers,
+            restart_budget=args.restart_budget,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            status_port=args.status_port,
+        )
+        return run_supervisor(config, sup)
     run_server(config)
     return 0
 
@@ -943,6 +958,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="PATH", default=None,
                    help="mount the persistent on-disk result cache at "
                         "PATH (shared across processes and restarts)")
+    fleet = p.add_argument_group("multi-worker supervision")
+    fleet.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run N supervised worker processes sharing this port "
+             "(SO_REUSEPORT), with crash detection and restarts "
+             "(default 1: single in-process server)")
+    fleet.add_argument(
+        "--restart-budget", type=int, default=8, metavar="N",
+        help="total worker restarts before the supervisor gives up "
+             "and exits nonzero (default 8)")
+    fleet.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0,
+        metavar="SECONDS",
+        help="a worker silent this long is declared hung and "
+             "restarted (default 10)")
+    fleet.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="supervisor status/merged-metrics port "
+             "(default: serve port + 1)")
+    robust = p.add_argument_group("admission control and circuit breaker")
+    robust.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="per-client token-bucket admission limit in requests/s, "
+             "keyed by X-API-Key or peer address; over-limit requests "
+             "get 429 + Retry-After before queueing (default: off)")
+    robust.add_argument(
+        "--rate-burst", type=float, default=None, metavar="N",
+        help="token-bucket burst capacity (default: max(1, RPS))")
+    robust.add_argument(
+        "--breaker-failures", type=int, default=0, metavar="N",
+        help="open the engine circuit breaker after N consecutive "
+             "batch failures; open = fast 503 + Retry-After until a "
+             "half-open probe succeeds (default 0: disabled)")
+    robust.add_argument(
+        "--breaker-reset", type=float, default=5.0, metavar="SECONDS",
+        help="how long the breaker stays open before probing "
+             "(default 5)")
     p.add_argument("--memory-cache-entries", type=int, metavar="N",
                    default=None,
                    help="in-memory result LRU size above the disk tier")

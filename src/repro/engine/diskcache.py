@@ -25,7 +25,13 @@ corruption-tolerant -- a truncated, garbage or wrong-key entry is
 counted under ``engine.cache.disk.corrupt``, deleted best-effort and
 treated as a miss, never raised.
 
-Obs metrics: ``engine.cache.disk.{hits,misses,writes,corrupt,evictions}``
+Any number of processes may prune and unlink concurrently: an entry
+that vanishes underneath a ``stat``/``unlink`` (another pruner got
+there first) is tolerated and counted under
+``engine.cache.disk.races`` -- never raised.
+
+Obs metrics:
+``engine.cache.disk.{hits,misses,writes,corrupt,evictions,races}``
 counters and the ``engine.cache.disk.entries`` gauge for the disk tier;
 ``engine.cache.result.{hits,misses}`` and ``engine.cache.result.size``
 for the in-memory result LRU in front of it.
@@ -43,6 +49,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..obs import metrics as _metrics
+from ..runtime import chaos as _chaos
 from .cache import QUANT_DIGITS
 from .request import KIND_CHAIN, AnalysisRequest, AnalysisResult
 
@@ -132,6 +139,9 @@ class DiskStoreStats:
     writes: int
     corrupt: int
     evictions: int
+    #: Cross-process races survived: an entry another process deleted
+    #: between our listing/probing it and our stat/unlink of it.
+    races: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -164,6 +174,7 @@ class DiskResultStore:
         self._writes = 0
         self._corrupt = 0
         self._evictions = 0
+        self._races = 0
 
     def entry_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -184,6 +195,7 @@ class DiskResultStore:
         """
         path = self.entry_path(key)
         try:
+            _chaos.cache_read_check(str(path))
             raw = path.read_bytes()
         except OSError:
             self._count("misses")
@@ -200,6 +212,10 @@ class DiskResultStore:
             self._count("misses")
             try:
                 os.unlink(path)
+            except FileNotFoundError:
+                # Another process unlinked the corrupt entry between our
+                # read and our delete -- the outcome we wanted anyway.
+                self._count("races")
             except OSError:
                 pass
             return None
@@ -229,28 +245,38 @@ class DiskResultStore:
         """Evict oldest entries (by mtime) beyond *max_entries*.
 
         Concurrent pruners and writers are tolerated: an entry deleted
-        underneath us is simply skipped.  Returns the eviction count.
+        underneath us -- between listing and ``stat``, or between
+        ``stat`` and ``unlink`` -- is skipped and counted under
+        ``races``, never raised.  Returns the eviction count.
         """
         limit = max_entries if max_entries is not None else self.max_entries
         if limit is None:
             return 0
         entries = []
+        races = 0
         for path in self.root.glob("??/*.json"):
             try:
                 entries.append((path.stat().st_mtime, path))
+            except FileNotFoundError:
+                races += 1
             except OSError:
                 continue
         excess = len(entries) - limit
-        if excess <= 0:
-            return 0
-        entries.sort(key=lambda item: item[0])
         evicted = 0
-        for _, path in entries[:excess]:
-            try:
-                os.unlink(path)
-                evicted += 1
-            except OSError:
-                continue
+        if excess > 0:
+            entries.sort(key=lambda item: item[0])
+            for _, path in entries[:excess]:
+                try:
+                    os.unlink(path)
+                    evicted += 1
+                except FileNotFoundError:
+                    # A concurrent pruner beat us to this entry; its
+                    # eviction is already counted in that process.
+                    races += 1
+                except OSError:
+                    continue
+        if races:
+            self._count("races", races)
         if evicted:
             self._count("evictions", evicted)
         return evicted
@@ -268,6 +294,7 @@ class DiskResultStore:
             return DiskStoreStats(
                 hits=self._hits, misses=self._misses, writes=self._writes,
                 corrupt=self._corrupt, evictions=self._evictions,
+                races=self._races,
             )
 
 
@@ -369,7 +396,7 @@ class ResultCache:
             doc["disk"] = {
                 "hits": disk.hits, "misses": disk.misses,
                 "writes": disk.writes, "corrupt": disk.corrupt,
-                "evictions": disk.evictions,
+                "evictions": disk.evictions, "races": disk.races,
             }
         return doc
 

@@ -16,9 +16,13 @@ Everything a multi-hour run needs to survive the real world:
   analytical recursion against a budgeted simulation (Wilson score
   interval), raising :class:`~repro.core.exceptions.ValidationError`
   on disagreement;
+* :mod:`~repro.runtime.breaker` -- a three-state circuit breaker
+  (closed / open / half-open) the serving layer wraps around engine
+  dispatch so a demonstrably sick dependency fails fast instead of
+  costing every caller a full timeout;
 * :mod:`~repro.runtime.chaos` -- a fault-injection shim (virtual clock,
-  injected IO failures, simulated interrupts) that the resilience tests
-  drive; inert unless installed.
+  injected IO failures, simulated interrupts, and serve-facing engine /
+  cache faults) that the resilience tests drive; inert unless installed.
 
 Import order matters here: the engines import :mod:`budget`,
 :mod:`chaos` and :mod:`checkpoint` at module level, so those three must
@@ -35,6 +39,7 @@ from .budget import (
     RunBudget,
     make_meter,
 )
+from .breaker import BreakerOpenError, CircuitBreaker
 from .chaos import ChaosShim, get_chaos, install_chaos
 from .checkpoint import (
     CHECKPOINT_FORMAT,
@@ -86,4 +91,6 @@ __all__ = [
     "ChaosShim",
     "install_chaos",
     "get_chaos",
+    "CircuitBreaker",
+    "BreakerOpenError",
 ]

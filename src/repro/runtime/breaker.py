@@ -1,0 +1,228 @@
+"""Circuit breaker: fail fast while a dependency is demonstrably sick.
+
+A dependency that answers every call with an exception (a wedged engine
+pool, a dead disk behind the result cache) should not cost every caller
+a full dispatch + failure round-trip.  :class:`CircuitBreaker`
+implements the classic three-state machine around any call site:
+
+* **closed** -- normal operation.  Failures are counted; *consecutive*
+  failures reaching ``failure_threshold`` trip the breaker open.  Any
+  success resets the streak.
+* **open** -- every call is refused instantly with
+  :class:`BreakerOpenError` carrying a positive, finite
+  ``retry_after_s`` (the time until the next probe window).  After
+  ``reset_timeout_s`` the breaker moves to half-open.
+* **half-open** -- up to ``half_open_max`` probe calls are let through.
+  The first recorded success closes the breaker; any failure snaps it
+  back open for another full ``reset_timeout_s``.
+
+The breaker is thread-safe, clock-injectable (tests drive it with a
+virtual clock -- no sleeps), and emits obs metrics under a caller-chosen
+prefix: ``<prefix>.state`` gauge (0 closed, 1 half-open, 2 open) and the
+``<prefix>.{opened,closed,rejected,probes,failures}`` counters.
+
+Usage around a dispatch::
+
+    breaker = CircuitBreaker(failure_threshold=5, reset_timeout_s=5.0)
+    breaker.check()              # raises BreakerOpenError while open
+    try:
+        result = dispatch(...)
+    except Exception:
+        breaker.record_failure()
+        raise
+    breaker.record_success()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ..core.exceptions import ReproError
+from ..obs import metrics as _metrics
+
+#: Stable state names (also the order of the state gauge values).
+STATE_CLOSED = "closed"
+STATE_HALF_OPEN = "half_open"
+STATE_OPEN = "open"
+
+_STATE_GAUGE = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+#: Floor applied to every reported ``retry_after_s`` -- a Retry-After of
+#: zero (or less) tells clients to hammer the service, the opposite of
+#: what an open breaker wants.
+MIN_RETRY_AFTER_S = 0.001
+
+
+class BreakerOpenError(ReproError):
+    """The circuit breaker is open; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float):
+        retry_after_s = max(float(retry_after_s), MIN_RETRY_AFTER_S)
+        super().__init__(
+            "circuit breaker is open; "
+            f"retry after {retry_after_s:.3f}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    """Three-state (closed / open / half-open) failure isolator.
+
+    *failure_threshold* consecutive failures open the breaker;
+    ``failure_threshold=0`` disables it entirely (every ``check`` and
+    ``allow`` passes and nothing is recorded).  *reset_timeout_s* is
+    the open→half-open cool-down; *half_open_max* bounds concurrent
+    probes while half-open.  *clock* defaults to ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 5.0,
+        half_open_max: int = 1,
+        metric_prefix: str = "breaker",
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 0:
+            raise ValueError(
+                f"failure_threshold must be >= 0, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be positive, got {reset_timeout_s}"
+            )
+        if half_open_max < 1:
+            raise ValueError(
+                f"half_open_max must be >= 1, got {half_open_max}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.half_open_max = int(half_open_max)
+        self.metric_prefix = metric_prefix
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._opened_total = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """``False`` when ``failure_threshold == 0`` (breaker disabled)."""
+        return self.failure_threshold > 0
+
+    @property
+    def state(self) -> str:
+        """Current state name, resolving an elapsed open cool-down."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    @property
+    def opened_total(self) -> int:
+        """How many times this breaker has tripped open."""
+        return self._opened_total
+
+    # -- gate --------------------------------------------------------------
+
+    def check(self) -> None:
+        """Raise :class:`BreakerOpenError` unless a call may proceed."""
+        allowed, retry_after = self.allow()
+        if not allowed:
+            self._count("rejected")
+            raise BreakerOpenError(retry_after)
+
+    def allow(self) -> "tuple[bool, float]":
+        """``(allowed, retry_after_s)`` without raising.
+
+        While half-open, an allowance consumes one probe slot; callers
+        that were allowed **must** eventually call
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        if not self.enabled:
+            return True, 0.0
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == STATE_CLOSED:
+                return True, 0.0
+            if self._state == STATE_HALF_OPEN:
+                if self._probes_in_flight < self.half_open_max:
+                    self._probes_in_flight += 1
+                    probe = True
+                else:
+                    probe = False
+            else:
+                probe = False
+            if probe:
+                self._count_locked("probes")
+                return True, 0.0
+            remaining = (self._opened_at + self.reset_timeout_s
+                         - self._clock())
+            return False, max(remaining, MIN_RETRY_AFTER_S)
+
+    # -- outcome recording -------------------------------------------------
+
+    def record_success(self) -> None:
+        """One dispatch succeeded: close from half-open, reset the streak."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._maybe_half_open_locked()
+            self._consecutive_failures = 0
+            if self._probes_in_flight:
+                self._probes_in_flight -= 1
+            if self._state != STATE_CLOSED:
+                self._transition_locked(STATE_CLOSED)
+                self._count_locked("closed")
+
+    def record_failure(self) -> None:
+        """One dispatch failed: trip open past the threshold / from probe."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._maybe_half_open_locked()
+            self._count_locked("failures")
+            if self._probes_in_flight:
+                self._probes_in_flight -= 1
+            if self._state == STATE_HALF_OPEN:
+                self._trip_locked()
+                return
+            self._consecutive_failures += 1
+            if (self._state == STATE_CLOSED
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._trip_locked()
+
+    # -- internals ---------------------------------------------------------
+
+    def _maybe_half_open_locked(self) -> None:
+        if (self._state == STATE_OPEN
+                and self._clock() - self._opened_at >= self.reset_timeout_s):
+            self._transition_locked(STATE_HALF_OPEN)
+            self._probes_in_flight = 0
+
+    def _trip_locked(self) -> None:
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self._opened_total += 1
+        self._transition_locked(STATE_OPEN)
+        self._count_locked("opened")
+
+    def _transition_locked(self, state: str) -> None:
+        self._state = state
+        if _metrics.is_enabled():
+            _metrics.set_gauge(f"{self.metric_prefix}.state",
+                               _STATE_GAUGE[state])
+
+    def _count_locked(self, event: str) -> None:
+        if _metrics.is_enabled():
+            _metrics.inc(f"{self.metric_prefix}.{event}")
+
+    def _count(self, event: str) -> None:
+        with self._lock:
+            self._count_locked(event)

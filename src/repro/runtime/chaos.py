@@ -17,15 +17,52 @@ survive:
   boundary; an armed shim raises ``KeyboardInterrupt`` on the N-th
   tick, simulating a user/scheduler kill between batches.
 
+The serving layer adds three more, exercised by the chaos soak
+(``benchmarks/bench_serve_chaos.py``):
+
+* **engine faults** -- :func:`engine_call_check` runs before every
+  engine dispatch inside :class:`~repro.serve.service.AnalysisService`;
+  the shim can fail the first N dispatches, fail every Nth dispatch,
+  or delay each one (deadline blowouts on demand);
+* **cache read faults** -- :func:`cache_read_check` runs inside
+  :meth:`~repro.engine.diskcache.DiskResultStore.get`; an injected
+  ``OSError`` must surface as a cache miss, never as a request failure;
+* **worker crashes** -- ``kill_after_batches`` sends ``SIGKILL`` to the
+  *current process* on the N-th engine dispatch, the deterministic way
+  to die mid-batch with requests in flight.
+
 Installation is a context manager (:func:`install_chaos`) so a failed
-test can never leak chaos into the rest of the suite.  When no shim is
-installed every hook is a single ``is None`` check.
+test can never leak chaos into the rest of the suite; worker processes
+instead install permanently from a JSON spec in the ``SEALPAA_CHAOS``
+environment variable (:func:`install_chaos_from_env`), which is how the
+supervisor transports faults across the process boundary.  When no shim
+is installed every hook is a single ``is None`` check.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional
+import json
+import os
+import signal
+import time
+from typing import Any, Dict, Iterator, Optional
+
+#: Environment variable the supervisor/bench harness uses to arm chaos
+#: inside freshly spawned worker processes.
+CHAOS_ENV_VAR = "SEALPAA_CHAOS"
+
+#: Constructor knobs that round-trip through :meth:`ChaosShim.to_spec`.
+_SPEC_FIELDS = (
+    "fail_io_times",
+    "interrupt_after_ticks",
+    "advance_per_tick",
+    "fail_engine_times",
+    "engine_fail_every",
+    "engine_delay_s",
+    "cache_read_fail_every",
+    "kill_after_batches",
+)
 
 _active: Optional["ChaosShim"] = None
 
@@ -38,6 +75,11 @@ class ChaosShim:
         fail_io_times: int = 0,
         interrupt_after_ticks: Optional[int] = None,
         advance_per_tick: float = 0.0,
+        fail_engine_times: int = 0,
+        engine_fail_every: int = 0,
+        engine_delay_s: float = 0.0,
+        cache_read_fail_every: int = 0,
+        kill_after_batches: Optional[int] = None,
     ) -> None:
         #: How many further IO commits should fail (-1 = fail forever).
         self.fail_io_times = fail_io_times
@@ -46,9 +88,49 @@ class ChaosShim:
         #: Virtual seconds the clock jumps at every chunk boundary --
         #: the deterministic way to expire a deadline mid-run.
         self.advance_per_tick = advance_per_tick
+        #: How many further engine dispatches should fail (-1 = forever).
+        self.fail_engine_times = fail_engine_times
+        #: Additionally fail every Nth engine dispatch (0 = never) -- a
+        #: steady background failure rate rather than a burst.
+        self.engine_fail_every = engine_fail_every
+        #: Real seconds to sleep before every engine dispatch (slow
+        #: dependency / deadline-blowout injection).
+        self.engine_delay_s = engine_delay_s
+        #: Raise ``OSError`` on every Nth disk-cache read (0 = never).
+        self.cache_read_fail_every = cache_read_fail_every
+        #: ``SIGKILL`` the current process on this 1-based engine
+        #: dispatch, if set -- dies mid-batch with requests in flight.
+        self.kill_after_batches = kill_after_batches
         self.io_failures_injected = 0
         self.ticks_seen = 0
+        self.engine_calls_seen = 0
+        self.engine_faults_injected = 0
+        self.cache_reads_seen = 0
+        self.cache_faults_injected = 0
         self._now = 0.0
+
+    # -- spec round-trip ---------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "ChaosShim":
+        """Build a shim from a (possibly partial) spec dictionary.
+
+        Unknown keys are rejected loudly -- a typo in a chaos spec that
+        silently injects *nothing* would make a passing soak meaningless.
+        """
+        unknown = sorted(set(spec) - set(_SPEC_FIELDS))
+        if unknown:
+            raise ValueError(f"unknown chaos spec fields: {unknown}")
+        return cls(**spec)
+
+    def to_spec(self) -> Dict[str, Any]:
+        """Non-default constructor knobs as a JSON-serialisable dict."""
+        defaults = ChaosShim()
+        return {
+            field: getattr(self, field)
+            for field in _SPEC_FIELDS
+            if getattr(self, field) != getattr(defaults, field)
+        }
 
     # -- virtual clock -----------------------------------------------------
 
@@ -84,6 +166,42 @@ class ChaosShim:
                 f"(tick {self.ticks_seen})"
             )
 
+    def on_engine_call(self, label: str) -> None:
+        """Pre-dispatch hook; may kill the process, sleep, or raise."""
+        self.engine_calls_seen += 1
+        if (
+            self.kill_after_batches is not None
+            and self.engine_calls_seen >= self.kill_after_batches
+        ):
+            # Die the way a segfault/OOM-kill does: no cleanup, no
+            # drain, requests in flight.  The supervisor must notice.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.engine_delay_s > 0:
+            time.sleep(self.engine_delay_s)
+        burst = self.fail_engine_times != 0
+        if burst and self.fail_engine_times > 0:
+            self.fail_engine_times -= 1
+        periodic = (
+            self.engine_fail_every > 0
+            and self.engine_calls_seen % self.engine_fail_every == 0
+        )
+        if burst or periodic:
+            self.engine_faults_injected += 1
+            raise RuntimeError(
+                f"chaos: injected engine failure at {label} "
+                f"(call {self.engine_calls_seen})"
+            )
+
+    def on_cache_read(self, path: str) -> None:
+        """Disk-cache read hook; may raise ``OSError``."""
+        self.cache_reads_seen += 1
+        if (
+            self.cache_read_fail_every > 0
+            and self.cache_reads_seen % self.cache_read_fail_every == 0
+        ):
+            self.cache_faults_injected += 1
+            raise OSError(f"chaos: injected cache read failure for {path}")
+
 
 def get_chaos() -> Optional[ChaosShim]:
     """The currently installed shim, or ``None``."""
@@ -112,3 +230,35 @@ def io_fault_check(path: str) -> None:
     """IO commit hook for :func:`repro.io.atomic_write_text`."""
     if _active is not None:
         _active.maybe_fail_io(path)
+
+
+def engine_call_check(label: str) -> None:
+    """Engine dispatch hook (no-op unless a shim is installed)."""
+    if _active is not None:
+        _active.on_engine_call(label)
+
+
+def cache_read_check(path: str) -> None:
+    """Disk-cache read hook (no-op unless a shim is installed)."""
+    if _active is not None:
+        _active.on_cache_read(path)
+
+
+def install_chaos_from_env(environ: Optional[Dict[str, str]] = None,
+                           ) -> Optional[ChaosShim]:
+    """Permanently install a shim described by ``SEALPAA_CHAOS``.
+
+    Worker processes call this once at startup; unlike
+    :func:`install_chaos` there is no scope to restore, because the
+    process *is* the scope.  Returns the installed shim, or ``None``
+    when the variable is unset/empty.  A malformed spec raises --
+    silently running a chaos soak with no chaos would be worse.
+    """
+    global _active
+    raw = (environ if environ is not None else os.environ).get(
+        CHAOS_ENV_VAR, "")
+    if not raw.strip():
+        return None
+    shim = ChaosShim.from_spec(json.loads(raw))
+    _active = shim
+    return shim

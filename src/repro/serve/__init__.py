@@ -14,6 +14,14 @@ Three layers, importable separately:
 * :mod:`repro.serve.http` -- :class:`AnalysisServer`, the stdlib asyncio
   HTTP front-end, plus :func:`run_server` (the ``sealpaa serve`` entry
   point);
+* :mod:`repro.serve.admission` -- per-client token-bucket admission
+  control (429 before queueing, distinct from queue-full shedding);
+* :mod:`repro.serve.supervisor` -- the ``sealpaa serve --workers N``
+  multi-process supervisor: shared-port workers, heartbeats, restart
+  budget, merged ``/metrics``;
+* :mod:`repro.serve.client` -- :class:`AnalysisClient`, the retrying
+  deadline-aware client (backoff + jitter, Retry-After, fingerprinted
+  idempotent retries);
 * :mod:`repro.serve.dashboard` -- the ``sealpaa dashboard`` curses
   operator console polling a running server's ``/metrics``.
 
@@ -30,9 +38,17 @@ Operator use: ``sealpaa serve --port 8080 --cache-dir /var/cache/sealpaa``
 (see ``docs/serving.md``).
 """
 
-from .config import ServeConfig
+from .admission import AdmissionController
+from .client import (
+    AnalysisClient,
+    ClientError,
+    RetryBudgetError,
+    ServerStatusError,
+)
+from .config import ServeConfig, config_from_doc, config_to_doc
 from .dashboard import render_once, run_dashboard
 from .http import MAX_BODY_BYTES, AnalysisServer, run_server
+from .supervisor import SupervisorConfig, run_supervisor
 from .service import (
     MAX_DEADLINE_S,
     AnalysisService,
@@ -46,19 +62,28 @@ from .service import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AnalysisClient",
     "AnalysisServer",
     "AnalysisService",
+    "ClientError",
     "ClosingError",
     "DeadlineError",
     "MAX_BODY_BYTES",
     "MAX_DEADLINE_S",
     "OverloadedError",
     "RequestParseError",
+    "RetryBudgetError",
     "ServeConfig",
+    "ServerStatusError",
+    "SupervisorConfig",
+    "config_from_doc",
+    "config_to_doc",
     "parse_analysis_doc",
     "parse_deadline",
     "render_once",
     "result_to_doc",
     "run_dashboard",
     "run_server",
+    "run_supervisor",
 ]

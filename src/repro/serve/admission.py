@@ -1,0 +1,155 @@
+"""Per-client admission control: refuse a hot client, not the service.
+
+Queue-full shedding (:class:`~repro.serve.service.OverloadedError`) is
+indiscriminate -- when one client floods the queue, *everybody* gets
+429s.  Admission control moves the refusal to the front door and makes
+it per-client: each client key (the ``X-API-Key`` header when present,
+else the peer IP) gets a token bucket refilled at ``rate_rps`` with
+capacity ``burst``; a request finding the bucket empty is refused with
+429 + ``Retry-After`` *before* it touches the queue, so a misbehaving
+client throttles only itself.
+
+The two refusals stay distinguishable in telemetry:
+``serve.admission.rejected`` counts per-client refusals,
+``serve.shed`` (the service counter) counts queue-full shedding.
+
+Bucket state is bounded: at most ``max_clients`` keys are tracked in an
+LRU; evicting a stale key merely grants that client a fresh burst,
+which is the safe failure direction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+from ..obs import metrics as _metrics
+
+#: Header consulted for the client key before falling back to peer IP.
+API_KEY_HEADER = "x-api-key"
+
+#: Default cap on simultaneously tracked client buckets.
+DEFAULT_MAX_CLIENTS = 4096
+
+#: Floor for the Retry-After hint handed to a refused client.
+MIN_RETRY_AFTER_S = 0.001
+
+
+def client_key(headers, peername) -> str:
+    """The admission identity of one request.
+
+    *headers* is a lower-cased header mapping; *peername* is the
+    transport's peer address tuple (or ``None`` on exotic transports).
+    An explicit API key always wins -- it survives NAT and proxies.
+    """
+    api_key = headers.get(API_KEY_HEADER, "").strip()
+    if api_key:
+        return f"key:{api_key}"
+    if isinstance(peername, (tuple, list)) and peername:
+        return f"ip:{peername[0]}"
+    return "ip:unknown"
+
+
+class TokenBucket:
+    """Classic leaky token bucket with lazy refill (no timers)."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated_at = now
+
+    def try_take(self, now: float) -> Tuple[bool, float]:
+        """``(admitted, retry_after_s)`` for one request at *now*."""
+        elapsed = max(0.0, now - self.updated_at)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated_at = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        deficit = 1.0 - self.tokens
+        return False, max(deficit / self.rate, MIN_RETRY_AFTER_S)
+
+
+class AdmissionController:
+    """LRU of per-client token buckets, shared by every connection.
+
+    ``rate_rps=None`` disables admission entirely (every ``check``
+    admits and records nothing) -- the default, preserving PR-5
+    behaviour.  *burst* defaults to ``max(1, rate_rps)``: a client may
+    briefly send one second's allowance at once, which forgives bursty
+    but well-behaved callers without raising the sustained rate.
+    """
+
+    def __init__(
+        self,
+        rate_rps: Optional[float] = None,
+        burst: Optional[float] = None,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        metric_prefix: str = "serve.admission",
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate_rps is not None and rate_rps <= 0:
+            raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+        if burst is not None and burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate_rps = rate_rps
+        self.burst = (burst if burst is not None
+                      else max(1.0, rate_rps or 1.0))
+        self.max_clients = max_clients
+        self.metric_prefix = metric_prefix
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._buckets = OrderedDict()  # type: OrderedDict[str, TokenBucket]
+        self._admitted = 0
+        self._rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_rps is not None
+
+    def check(self, key: str) -> Optional[float]:
+        """Admit one request for *key*.
+
+        Returns ``None`` when admitted, else the positive
+        ``retry_after_s`` to surface as ``Retry-After`` on the 429.
+        """
+        if not self.enabled:
+            return None
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_rps, self.burst, now)
+                self._buckets[key] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(key)
+            admitted, retry_after = bucket.try_take(now)
+            if admitted:
+                self._admitted += 1
+            else:
+                self._rejected += 1
+            tracked = len(self._buckets)
+        if _metrics.is_enabled():
+            outcome = "admitted" if admitted else "rejected"
+            _metrics.inc(f"{self.metric_prefix}.{outcome}")
+            _metrics.set_gauge(f"{self.metric_prefix}.clients", tracked)
+        return None if admitted else retry_after
+
+    def stats(self) -> dict:
+        """Point-in-time admission statistics (JSON-ready)."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "clients": len(self._buckets),
+            }

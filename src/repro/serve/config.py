@@ -7,8 +7,9 @@ eagerly, so a bad flag fails at start-up instead of under load.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..core.exceptions import AnalysisError
 from ..engine.diskcache import DEFAULT_MEMORY_ENTRIES
@@ -51,6 +52,15 @@ class ServeConfig:
     ``access_log_max_bytes`` keeping ``access_log_backups``
     generations; ``slo`` carries the rolling-window thresholds
     ``/healthz`` evaluates (see :class:`repro.obs.slo.SloPolicy`).
+
+    *Robustness* (PR 7): ``breaker_failures`` consecutive engine
+    failures open a circuit breaker around engine dispatch (503 +
+    ``Retry-After`` while open; 0 disables), cooling down for
+    ``breaker_reset_s`` and letting ``breaker_half_open_max`` probes
+    through half-open.  ``rate_limit_rps`` arms per-client token-bucket
+    admission control (429 before queueing, keyed on API key / peer IP;
+    ``None`` disables) with burst capacity ``rate_limit_burst``
+    (``None`` = one second's allowance).
     """
 
     host: str = "127.0.0.1"
@@ -69,6 +79,11 @@ class ServeConfig:
     access_log_max_bytes: int = DEFAULT_ACCESS_LOG_MAX_BYTES
     access_log_backups: int = DEFAULT_ACCESS_LOG_BACKUPS
     slo: SloPolicy = SloPolicy()
+    breaker_failures: int = 0
+    breaker_reset_s: float = 5.0
+    breaker_half_open_max: int = 1
+    rate_limit_rps: Optional[float] = None
+    rate_limit_burst: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -99,3 +114,56 @@ class ServeConfig:
                 f"access_log_backups must be >= 0, got "
                 f"{self.access_log_backups}"
             )
+        if self.breaker_failures < 0:
+            raise AnalysisError(
+                f"breaker_failures must be >= 0, got {self.breaker_failures}"
+            )
+        if self.breaker_reset_s <= 0:
+            raise AnalysisError(
+                f"breaker_reset_s must be positive, got {self.breaker_reset_s}"
+            )
+        if self.breaker_half_open_max < 1:
+            raise AnalysisError(
+                "breaker_half_open_max must be >= 1, got "
+                f"{self.breaker_half_open_max}"
+            )
+        if self.rate_limit_rps is not None and self.rate_limit_rps <= 0:
+            raise AnalysisError(
+                f"rate_limit_rps must be positive, got {self.rate_limit_rps}"
+            )
+        if self.rate_limit_burst is not None and self.rate_limit_burst < 1:
+            raise AnalysisError(
+                f"rate_limit_burst must be >= 1, got {self.rate_limit_burst}"
+            )
+
+
+def config_to_doc(config: ServeConfig) -> Dict[str, object]:
+    """*config* as a JSON-safe document (the supervisor→worker wire form).
+
+    Only non-default fields are emitted, so documents stay readable and
+    a worker running a slightly newer build with *new* knobs still
+    accepts a document from an older supervisor.
+    """
+    defaults = ServeConfig()
+    doc: Dict[str, object] = {}
+    for field in dataclasses.fields(ServeConfig):
+        value = getattr(config, field.name)
+        if value == getattr(defaults, field.name):
+            continue
+        if field.name == "slo":
+            doc[field.name] = dataclasses.asdict(value)
+        else:
+            doc[field.name] = value
+    return doc
+
+
+def config_from_doc(doc: Dict[str, object]) -> ServeConfig:
+    """Rebuild a :class:`ServeConfig` from :func:`config_to_doc` output."""
+    known = {field.name for field in dataclasses.fields(ServeConfig)}
+    unknown = sorted(set(doc) - known)
+    if unknown:
+        raise AnalysisError(f"unknown serve config fields: {unknown}")
+    kwargs = dict(doc)
+    if "slo" in kwargs:
+        kwargs["slo"] = SloPolicy(**kwargs["slo"])  # type: ignore[arg-type]
+    return ServeConfig(**kwargs)  # type: ignore[arg-type]

@@ -10,9 +10,13 @@ A deliberately small HTTP/1.1 implementation -- request line, headers,
 ``GET /metrics``          obs metrics snapshot + service/cache statistics
 ========================  =====================================================
 
-Error mapping: parse failures are 400, queue overload is 429 with a
-``Retry-After`` header, expired deadlines are 504, and a draining server
-answers 503.  See ``docs/serving.md`` for the operator guide.
+Error mapping: parse failures are 400, per-client admission refusals
+and queue overload are 429 with a ``Retry-After`` header, expired
+deadlines are 504, and a draining server or an open circuit breaker
+answers 503 (breaker refusals also carry ``Retry-After``).  Every
+``Retry-After`` value passes :func:`format_retry_after`, which clamps
+it positive and finite.  See ``docs/serving.md`` for the operator
+guide and ``docs/robustness.md`` for the failure-path contracts.
 
 :class:`AnalysisServer` hosts the service either *inside* an existing
 event loop (``start_async``/``stop_async``, used by the CLI runner) or
@@ -24,7 +28,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
+import socket
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,6 +42,8 @@ from ..obs.log import get_logger, log_event
 from ..obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from ..obs.prometheus import render_prometheus
 from ..obs.slo import evaluate_slo
+from ..runtime.breaker import BreakerOpenError
+from .admission import AdmissionController, client_key
 from .config import ServeConfig
 from .service import (
     AnalysisService,
@@ -53,8 +61,34 @@ _logger = get_logger("serve.http")
 #: Largest accepted request body (a batch of a few thousand questions).
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
+#: How much of an oversized body we are willing to read-and-discard to
+#: keep the connection synchronised; beyond this the connection closes.
+_MAX_DRAIN_BYTES = 64 * 1024 * 1024
+
 #: Hard cap on headers per request (defensive; we only read a handful).
 _MAX_HEADERS = 64
+
+#: Clamp range for every Retry-After value we emit: always positive
+#: (a zero tells clients to hammer us) and never absurd.
+_RETRY_AFTER_MIN_S = 0.001
+_RETRY_AFTER_MAX_S = 3600.0
+
+
+def format_retry_after(seconds: object) -> str:
+    """*seconds* as a ``Retry-After`` header value, clamped sane.
+
+    Whatever upstream hands us -- negative, zero, ``inf``, ``nan`` or
+    garbage -- the emitted value is positive and finite, because a
+    malformed backoff hint turns a polite client into a battering ram.
+    """
+    try:
+        value = float(seconds)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        value = _RETRY_AFTER_MIN_S
+    if not math.isfinite(value):
+        value = _RETRY_AFTER_MAX_S
+    value = min(max(value, _RETRY_AFTER_MIN_S), _RETRY_AFTER_MAX_S)
+    return f"{value:.3f}"
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -65,18 +99,27 @@ _REASONS = {
 
 
 class _HttpError(Exception):
-    """Routing-level failure carrying its HTTP status."""
+    """Routing-level failure carrying its HTTP status.
+
+    ``recoverable=True`` means the parser stayed synchronised with the
+    byte stream (the offending request was fully consumed), so the
+    keep-alive connection survives and pipelined successors still get
+    answers; ``False`` means we cannot trust our position and the
+    connection closes after the error response.
+    """
 
     def __init__(self, status: int, message: str,
-                 headers: Sequence[Tuple[str, str]] = ()):
+                 headers: Sequence[Tuple[str, str]] = (),
+                 recoverable: bool = False):
         super().__init__(message)
         self.status = status
         self.headers = tuple(headers)
+        self.recoverable = recoverable
 
 
 class _HttpRequest:
     __slots__ = ("method", "path", "query", "headers", "body", "keep_alive",
-                 "request_id")
+                 "request_id", "peername")
 
     def __init__(self, method: str, path: str, headers: Dict[str, str],
                  body: bytes, keep_alive: bool):
@@ -86,6 +129,7 @@ class _HttpRequest:
         self.body = body
         self.keep_alive = keep_alive
         self.request_id: Optional[str] = None
+        self.peername: Optional[tuple] = None
 
     def wants_prometheus(self) -> bool:
         """Content negotiation: does the client prefer text exposition?
@@ -124,7 +168,19 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
     except ValueError:
         raise _HttpError(400, f"bad Content-Length: {length_text!r}") from None
     if length > MAX_BODY_BYTES:
-        raise _HttpError(413, f"body over {MAX_BODY_BYTES} bytes")
+        # Read-and-discard the oversized body (bounded) so the stream
+        # stays synchronised and pipelined requests behind it survive.
+        recoverable = length <= _MAX_DRAIN_BYTES
+        if recoverable:
+            remaining = length
+            while remaining > 0:
+                chunk = await reader.read(min(remaining, 1 << 16))
+                if not chunk:
+                    recoverable = False
+                    break
+                remaining -= len(chunk)
+        raise _HttpError(413, f"body over {MAX_BODY_BYTES} bytes",
+                         recoverable=recoverable)
     body = await reader.readexactly(length) if length else b""
     connection = headers.get("connection", "").lower()
     keep_alive = connection != "close" and version.strip().endswith("1.1")
@@ -173,6 +229,10 @@ class AnalysisServer:
     def __init__(self, config: Optional[ServeConfig] = None):
         self.config = config or ServeConfig()
         self.service = AnalysisService(self.config)
+        self.admission = AdmissionController(
+            rate_rps=self.config.rate_limit_rps,
+            burst=self.config.rate_limit_burst,
+        )
         self.access_log: Optional[AccessLog] = (
             AccessLog(self.config.access_log,
                       max_bytes=self.config.access_log_max_bytes,
@@ -180,8 +240,10 @@ class AnalysisServer:
             if self.config.access_log else None
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._admin_server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: "set[asyncio.Task]" = set()
         self._port: Optional[int] = None
+        self._admin_port: Optional[int] = None
         self._metrics_were_enabled = False
         # Background-thread hosting state (sync start()/stop()).
         self._thread: Optional[threading.Thread] = None
@@ -203,20 +265,57 @@ class AnalysisServer:
     def base_url(self) -> str:
         return f"http://{self.config.host}:{self.port}"
 
+    @property
+    def admin_port(self) -> int:
+        """The loopback admin port (after :meth:`start_admin_async`)."""
+        if self._admin_port is None:
+            raise RuntimeError("admin listener has not started")
+        return self._admin_port
+
     # -- event-loop lifecycle ---------------------------------------------
 
-    async def start_async(self) -> None:
-        """Bind the listening socket and start serving (non-blocking)."""
+    async def start_async(self, sock: Optional[socket.socket] = None,
+                          reuse_port: bool = False) -> None:
+        """Bind the listening socket and start serving (non-blocking).
+
+        *sock* serves on an already-bound listening socket (the
+        supervisor's inherited-FD fallback); *reuse_port* binds with
+        ``SO_REUSEPORT`` so sibling worker processes can share one
+        address and let the kernel balance accepts between them.
+        """
         self._metrics_were_enabled = _metrics.is_enabled()
         if not self._metrics_were_enabled:
             _metrics.enable()
         await self.service.start()
-        self._server = await asyncio.start_server(
-            self._client_connected, self.config.host, self.config.port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._client_connected, sock=sock
+            )
+        elif reuse_port:
+            self._server = await asyncio.start_server(
+                self._client_connected, self.config.host, self.config.port,
+                reuse_port=True,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._client_connected, self.config.host, self.config.port
+            )
         self._port = self._server.sockets[0].getsockname()[1]
         log_event(_logger, "serve.listen", host=self.config.host,
                   port=self._port)
+
+    async def start_admin_async(self) -> int:
+        """Open a private loopback listener serving the same routes.
+
+        Under the supervisor every worker shares one public port, so
+        "scrape *this* worker's /metrics" needs a per-process address;
+        the supervisor aggregates across these.  Returns the port.
+        """
+        self._admin_server = await asyncio.start_server(
+            self._client_connected, "127.0.0.1", 0
+        )
+        self._admin_port = self._admin_server.sockets[0].getsockname()[1]
+        return self._admin_port
 
     async def stop_async(self) -> None:
         """Graceful drain: close the listener, finish the queue, stop."""
@@ -224,6 +323,10 @@ class AnalysisServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._admin_server is not None:
+            self._admin_server.close()
+            await self._admin_server.wait_closed()
+            self._admin_server = None
         await self.service.drain()
         for task in list(self._conn_tasks):
             task.cancel()
@@ -294,6 +397,7 @@ class AnalysisServer:
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
+        peername = writer.get_extra_info("peername")
         try:
             while True:
                 try:
@@ -301,14 +405,18 @@ class AnalysisServer:
                 except _HttpError as exc:
                     writer.write(_encode_response(
                         exc.status, _error_doc(exc.status, str(exc)),
-                        keep_alive=False, extra_headers=exc.headers,
+                        keep_alive=exc.recoverable,
+                        extra_headers=exc.headers,
                     ))
                     await writer.drain()
+                    if exc.recoverable:
+                        continue
                     break
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
                 if request is None:
                     break
+                request.peername = peername
                 response = await self._respond(request)
                 writer.write(response)
                 await writer.drain()
@@ -393,22 +501,47 @@ class AnalysisServer:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
 
-    async def _submit_doc(self, doc: object) -> Dict[str, object]:
+    async def _submit_doc(self, doc: object,
+                          admission_key: Optional[str] = None
+                          ) -> Dict[str, object]:
+        if admission_key is not None:
+            retry_after = self.admission.check(admission_key)
+            if retry_after is not None:
+                raise _HttpError(
+                    429, "client rate limit exceeded; retry after "
+                         f"{format_retry_after(retry_after)}s",
+                    headers=[("Retry-After",
+                              format_retry_after(retry_after))],
+                    recoverable=True,
+                )
         analysis = parse_analysis_doc(doc)
         deadline = parse_deadline(doc, self.config.default_deadline_s)
         result = await self.service.submit(analysis, deadline)
         return result_to_doc(result)
 
+    def _admission_key(self, request: _HttpRequest) -> Optional[str]:
+        if not self.admission.enabled:
+            return None
+        return client_key(request.headers, request.peername)
+
     async def _handle_analyze(self, request: _HttpRequest):
         doc = self._parse_body(request)
         try:
-            return 200, await self._submit_doc(doc), ()
+            return 200, await self._submit_doc(
+                doc, self._admission_key(request)), ()
         except RequestParseError as exc:
             raise _HttpError(400, str(exc)) from exc
         except OverloadedError as exc:
             raise _HttpError(
                 429, str(exc),
-                headers=[("Retry-After", f"{exc.retry_after_s:.3f}")],
+                headers=[("Retry-After",
+                          format_retry_after(exc.retry_after_s))],
+            ) from exc
+        except BreakerOpenError as exc:
+            raise _HttpError(
+                503, str(exc),
+                headers=[("Retry-After",
+                          format_retry_after(exc.retry_after_s))],
             ) from exc
         except DeadlineError as exc:
             raise _HttpError(504, str(exc)) from exc
@@ -428,31 +561,40 @@ class AnalysisServer:
                 413, f"batch of {len(items)} exceeds the queue limit "
                      f"({self.config.queue_limit})",
             )
+        admission_key = self._admission_key(request)
         outcomes = await asyncio.gather(
-            *(self._submit_doc(item) for item in items),
+            *(self._submit_doc(item, admission_key) for item in items),
             return_exceptions=True,
         )
         results: List[Dict[str, object]] = []
-        shed = 0
+        refused = 0
         for outcome in outcomes:
             if isinstance(outcome, dict):
                 results.append(outcome)
             elif isinstance(outcome, RequestParseError):
                 results.append(_error_doc(400, str(outcome)))
             elif isinstance(outcome, OverloadedError):
-                shed += 1
+                refused += 1
                 results.append(_error_doc(429, str(outcome)))
+            elif isinstance(outcome, _HttpError):
+                # Per-item admission refusal (each item costs a token).
+                refused += 1
+                results.append(_error_doc(outcome.status, str(outcome)))
+            elif isinstance(outcome, BreakerOpenError):
+                refused += 1
+                results.append(_error_doc(503, str(outcome)))
             elif isinstance(outcome, DeadlineError):
                 results.append(_error_doc(504, str(outcome)))
             elif isinstance(outcome, ClosingError):
                 results.append(_error_doc(503, str(outcome)))
             elif isinstance(outcome, BaseException):
                 raise outcome
-        if shed == len(items):
-            # Nothing was accepted: surface pure overload as a 429 so
+        if refused == len(items):
+            # Nothing was accepted: surface pure refusal as a 429 so
             # naive clients back off, with the same Retry-After hint.
             return 429, {"results": results}, (
-                ("Retry-After", f"{self.config.retry_after_s:.3f}"),
+                ("Retry-After",
+                 format_retry_after(self.config.retry_after_s)),
             )
         return 200, {"results": results}, ()
 
@@ -479,6 +621,14 @@ class AnalysisServer:
         return (503 if draining else 200), doc, ()
 
     async def _handle_metrics(self, request: _HttpRequest):
+        if "format=state" in request.query:
+            # Mergeable wire form: exact histogram/timer state the
+            # supervisor folds across workers via merge_state().
+            doc = {
+                "state": _metrics.get_registry().export_state(),
+                "service": self.service.stats(),
+            }
+            return 200, doc, ()
         doc = _metrics.get_registry().snapshot()
         doc["service"] = self.service.stats()
         if request.wants_prometheus():

@@ -21,10 +21,19 @@
 * ``drain()`` implements graceful shutdown: stop accepting, finish what
   is queued, give up after a grace period.
 
+Engine dispatch is additionally wrapped in a
+:class:`~repro.runtime.breaker.CircuitBreaker` (``breaker_failures``
+consecutive dispatch failures open it; 503 + ``Retry-After`` upstream
+while open) and a failed *multi-request* batch is isolated: each member
+re-runs alone, so one poisoned request costs only its own client a 500
+instead of failing every batch-mate.
+
 Obs metrics: ``serve.enqueued`` / ``serve.shed`` / ``serve.expired`` /
-``serve.batches`` / ``serve.batched_requests`` counters, the
-``serve.queue_depth`` and ``serve.batch_size`` gauges, and the
-``serve.batch_seconds`` timer around each engine dispatch.
+``serve.batches`` / ``serve.batched_requests`` /
+``serve.batch_isolated`` counters, the ``serve.queue_depth`` and
+``serve.batch_size`` gauges, the ``serve.batch_seconds`` timer around
+each engine dispatch, and the ``serve.breaker.*`` family from the
+circuit breaker.
 """
 
 from __future__ import annotations
@@ -40,6 +49,8 @@ from ..obs import metrics as _metrics
 from ..obs.correlate import current_request_id, use_request_id
 from ..obs.log import get_logger, log_event
 from ..obs.slo import RollingRatio
+from ..runtime import chaos as _chaos
+from ..runtime.breaker import CircuitBreaker
 from ..runtime.budget import RunBudget
 from .config import ServeConfig
 
@@ -200,6 +211,13 @@ class AnalysisService:
         # the /healthz shed-rate SLO -- cumulative counters cannot tell
         # "shed a lot an hour ago" from "shedding right now".
         self._shed_window = RollingRatio()
+        self._isolated = 0
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failures,
+            reset_timeout_s=self.config.breaker_reset_s,
+            half_open_max=self.config.breaker_half_open_max,
+            metric_prefix="serve.breaker",
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -267,6 +285,8 @@ class AnalysisService:
         """Queue one request and await its engine answer.
 
         Raises :class:`ClosingError` while draining,
+        :class:`~repro.runtime.breaker.BreakerOpenError` while the
+        engine circuit breaker is open (HTTP 503 upstream),
         :class:`OverloadedError` when the bounded queue is full and
         :class:`DeadlineError` when *deadline_s* elapses first.
         """
@@ -274,6 +294,7 @@ class AnalysisService:
             raise ClosingError("service is draining; no new work accepted")
         if not self._started:
             raise AnalysisError("AnalysisService.start() has not run")
+        self.breaker.check()
         loop = asyncio.get_running_loop()
         deadline_at = (loop.time() + deadline_s
                        if deadline_s is not None else None)
@@ -376,16 +397,30 @@ class AnalysisService:
             # Contextvars do not propagate into executor threads; the
             # correlation ID must be re-scoped inside the callable.
             with use_request_id(batch_id):
+                _chaos.engine_call_check("serve.batch")
                 return run()
 
         try:
             with _metrics.timed("serve.batch_seconds"):
                 results = await loop.run_in_executor(None, runner)
         except Exception as exc:  # engine bug: fail the batch, not the server
-            for pending in live:
-                if not pending.future.done():
-                    pending.future.set_exception(exc)
+            self.breaker.record_failure()
+            log_event(_logger, "serve.batch.failed",
+                      size=len(live), error=repr(exc))
+            if len(live) > 1:
+                await self._isolate_batch(live)
+            else:
+                for pending in live:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
             return
+        if any(result is not None for result in results):
+            self.breaker.record_success()
+        else:
+            # Every member blew its deadline inside the engine -- from
+            # the callers' seats that is indistinguishable from a wedged
+            # dependency, so it counts against the breaker too.
+            self.breaker.record_failure()
         self._batches += 1
         if _metrics.is_enabled():
             _metrics.inc("serve.batches")
@@ -405,6 +440,59 @@ class AnalysisService:
                 self._served += 1
                 pending.future.set_result(result)
 
+    async def _isolate_batch(self, live: List[_Pending]) -> None:
+        """Re-run each member of a failed multi-request batch alone.
+
+        One poisoned request must cost exactly one client its request;
+        batch-mates that happened to share the micro-batch get their
+        answers from a solo re-dispatch.  Each re-run records its own
+        breaker outcome, so a genuinely sick engine still accumulates a
+        failure streak while a single bad request does not.
+        """
+        loop = asyncio.get_running_loop()
+        self._isolated += 1
+        if _metrics.is_enabled():
+            _metrics.inc("serve.batch_isolated")
+        log_event(_logger, "serve.batch.isolated", size=len(live))
+        for pending in live:
+            if pending.future.done():
+                continue
+            remaining = pending.remaining(loop.time())
+            if remaining is not None and remaining <= 0:
+                pending.future.set_exception(DeadlineError(
+                    "deadline expired during batch isolation"
+                ))
+                continue
+            run_solo = functools.partial(
+                engine.run_batch, [pending.request],
+                RunBudget.for_deadline(remaining),
+                parallelism=self.config.parallelism,
+            )
+            request_id = pending.request_id
+
+            def runner():
+                with use_request_id(request_id):
+                    _chaos.engine_call_check("serve.isolate")
+                    return run_solo()
+
+            try:
+                results = await loop.run_in_executor(None, runner)
+            except Exception as exc:
+                self.breaker.record_failure()
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+                continue
+            self.breaker.record_success()
+            if pending.future.done():
+                continue
+            if results[0] is None:
+                pending.future.set_exception(DeadlineError(
+                    "engine budget exhausted before this request ran"
+                ))
+            else:
+                self._served += 1
+                pending.future.set_result(results[0])
+
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
@@ -413,11 +501,17 @@ class AnalysisService:
             "served": self._served,
             "batches": self._batches,
             "shed": self._shed,
+            "isolated": self._isolated,
             "recent_shed_rate": self._shed_window.rate(),
             "queue_depth": self._queue.qsize(),
             "draining": self._closing,
             "mean_batch_size": (self._served / self._batches
                                 if self._batches else 0.0),
+            "breaker": {
+                "enabled": self.breaker.enabled,
+                "state": self.breaker.state,
+                "opened_total": self.breaker.opened_total,
+            },
         }
         cache = engine.get_result_cache()
         if cache is not None:

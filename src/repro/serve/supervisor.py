@@ -1,0 +1,729 @@
+"""Multi-worker supervision: ``sealpaa serve --workers N``.
+
+One asyncio process is the PR-5 ceiling *and* a single point of failure.
+This module runs N serve workers as child processes sharing one
+listening address, watches them, and restarts the ones that die:
+
+* **shared port** -- each worker binds the public address with
+  ``SO_REUSEPORT`` and the kernel balances accepted connections across
+  them; the supervisor holds a bound (non-listening) *reservation*
+  socket so ``--port 0`` resolves once and the port survives moments
+  when every worker is down.  Platforms without ``SO_REUSEPORT`` (or
+  runs forcing ``SEALPAA_NO_REUSEPORT=1``) fall back to one listening
+  socket created by the supervisor and inherited by every worker.
+* **liveness** -- each worker holds the write end of a pipe and sends a
+  JSON heartbeat line every ``heartbeat_interval_s``; a worker that
+  exits (pipe EOF / waitpid) or goes silent for ``heartbeat_timeout_s``
+  (wedged event loop) is declared dead -- silent ones are SIGKILLed
+  first.
+* **restarts** -- dead workers respawn with exponential backoff
+  (``backoff_base_s`` doubling to ``backoff_max_s``); a total of
+  ``restart_budget`` respawns may be spent, after which the supervisor
+  gives up: drains the survivors and exits nonzero.  A worker that ran
+  healthily long enough resets its own backoff.
+* **one pane of glass** -- a small status HTTP server (default: public
+  port + 1) answers ``/healthz`` (worker counts, restart budget, merged
+  SLO verdict) and ``/metrics`` (every worker's registry scraped over
+  its private admin port and folded together with
+  ``MetricsRegistry.merge_state`` -- histogram buckets add exactly, so
+  merged quantiles are as trustworthy as single-process ones).  The
+  ``sealpaa dashboard`` points at this port unchanged.
+* **signals** -- SIGTERM/SIGINT fan out as SIGTERM to every worker,
+  each worker drains (finishes queued work, ``drain_grace_s``), and the
+  supervisor reaps them before exiting -- 0 for SIGTERM, the
+  KeyboardInterrupt → 130 contract for Ctrl-C.
+
+The worker half of the protocol lives here too: ``python -m
+repro.serve.supervisor`` with ``SEALPAA_WORKER_CONFIG`` in the
+environment runs :func:`worker_main`, which is how the supervisor
+spawns children (a fresh interpreter per worker, no fork-with-threads
+hazards).  Chaos specs in ``SEALPAA_CHAOS`` are installed inside every
+worker, which is how the chaos soak reaches across the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.server
+import json
+import os
+import select
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.exceptions import AnalysisError
+from ..obs import metrics as _metrics
+from ..obs.log import get_logger, log_event
+from ..obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..obs.prometheus import render_prometheus
+from ..obs.slo import evaluate_slo
+from ..runtime.chaos import install_chaos_from_env
+from .config import ServeConfig, config_from_doc, config_to_doc
+from .http import AnalysisServer
+
+_logger = get_logger("serve.supervisor")
+
+#: Environment variable carrying the worker's JSON bootstrap document.
+WORKER_CONFIG_ENV = "SEALPAA_WORKER_CONFIG"
+
+#: Environment variable forcing the inherited-FD fallback (tests).
+NO_REUSEPORT_ENV = "SEALPAA_NO_REUSEPORT"
+
+#: A worker alive this long gets its restart backoff reset.
+_HEALTHY_UPTIME_S = 10.0
+
+#: Extra seconds past ``drain_grace_s`` before stragglers are SIGKILLed.
+_DRAIN_MARGIN_S = 3.0
+
+#: Supervisor poll tick (select timeout) -- bounds signal latency.
+_POLL_S = 0.2
+
+#: Timeout for one worker admin-port scrape.
+_SCRAPE_TIMEOUT_S = 2.0
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs of the multi-worker supervisor (see module docstring)."""
+
+    workers: int = 2
+    restart_budget: int = 8
+    backoff_base_s: float = 0.25
+    backoff_max_s: float = 5.0
+    heartbeat_interval_s: float = 1.0
+    heartbeat_timeout_s: float = 10.0
+    status_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise AnalysisError(f"workers must be >= 1, got {self.workers}")
+        if self.restart_budget < 0:
+            raise AnalysisError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        if self.backoff_base_s <= 0 or self.backoff_max_s <= 0:
+            raise AnalysisError("backoff values must be positive")
+        if self.heartbeat_interval_s <= 0:
+            raise AnalysisError(
+                "heartbeat_interval_s must be positive, got "
+                f"{self.heartbeat_interval_s}"
+            )
+        if self.heartbeat_timeout_s <= 2 * self.heartbeat_interval_s:
+            raise AnalysisError(
+                "heartbeat_timeout_s must exceed twice the interval "
+                f"({self.heartbeat_timeout_s} vs "
+                f"{self.heartbeat_interval_s})"
+            )
+        if (self.status_port is not None
+                and not 0 <= self.status_port <= 65535):
+            raise AnalysisError(
+                f"status_port out of range: {self.status_port}"
+            )
+
+
+def backoff_delay(attempt: int, base_s: float, max_s: float) -> float:
+    """Restart delay for the *attempt*-th consecutive quick death."""
+    return min(max_s, base_s * (2 ** attempt))
+
+
+def reuseport_available() -> bool:
+    """Can workers share the public port via ``SO_REUSEPORT``?"""
+    if os.environ.get(NO_REUSEPORT_ENV):
+        return False
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+class _WorkerSlot:
+    """Book-keeping for one of the N worker positions."""
+
+    __slots__ = ("index", "proc", "pipe_r", "buffer", "last_beat",
+                 "started_at", "admin_port", "attempt", "next_restart_at")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.proc: Optional[subprocess.Popen] = None
+        self.pipe_r: Optional[int] = None
+        self.buffer = b""
+        self.last_beat = 0.0
+        self.started_at = 0.0
+        self.admin_port: Optional[int] = None
+        self.attempt = 0
+        self.next_restart_at: Optional[float] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    @property
+    def ready(self) -> bool:
+        return self.alive and self.admin_port is not None
+
+
+class Supervisor:
+    """Owns the worker fleet for one ``serve --workers N`` invocation."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 sup: Optional[SupervisorConfig] = None):
+        self.config = config or ServeConfig()
+        self.sup = sup or SupervisorConfig()
+        self._slots = [_WorkerSlot(i) for i in range(self.sup.workers)]
+        self._lock = threading.Lock()
+        self._restarts_used = 0
+        self._state = "starting"  # -> serving / stopping / given_up
+        self._stop_signal: Optional[int] = None
+        self._mode = "reuseport" if reuseport_available() else "fd"
+        self._reserve_sock: Optional[socket.socket] = None
+        self._listen_sock: Optional[socket.socket] = None
+        self._status_httpd: Optional[http.server.ThreadingHTTPServer] = None
+        self.port: Optional[int] = None
+        self.status_port: Optional[int] = None
+
+    # -- sockets -----------------------------------------------------------
+
+    def bind(self) -> int:
+        """Resolve and reserve the public port; returns it.
+
+        ``reuseport`` mode holds a bound non-listening reservation
+        socket (TCP only balances across *listening* sockets, so the
+        reservation never steals a connection but keeps the port ours
+        while workers restart); ``fd`` mode creates the one real
+        listening socket every worker will inherit.
+        """
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if self._mode == "reuseport":
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self.config.host, self.config.port))
+            self._reserve_sock = sock
+        else:
+            sock.bind((self.config.host, self.config.port))
+            sock.listen(1024)
+            self._listen_sock = sock
+        self.port = sock.getsockname()[1]
+        return self.port
+
+    # -- worker spawning ---------------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        now = time.monotonic()
+        read_fd, write_fd = os.pipe()
+        os.set_blocking(read_fd, False)
+        pass_fds = [write_fd]
+        listen_fd: Optional[int] = None
+        if self._listen_sock is not None:
+            listen_fd = self._listen_sock.fileno()
+            pass_fds.append(listen_fd)
+        worker_doc = {
+            "serve": config_to_doc(self._worker_config()),
+            "worker": {
+                "index": slot.index,
+                "heartbeat_fd": write_fd,
+                "heartbeat_interval_s": self.sup.heartbeat_interval_s,
+                "listen_fd": listen_fd,
+            },
+        }
+        env = dict(os.environ)
+        env[WORKER_CONFIG_ENV] = json.dumps(worker_doc)
+        # Not ``-m repro.serve.supervisor``: runpy would re-execute a
+        # module the ``repro.serve`` package import already ran.
+        slot.proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.serve.supervisor import worker_main; "
+             "sys.exit(worker_main())"],
+            env=env, pass_fds=tuple(pass_fds), close_fds=True,
+        )
+        os.close(write_fd)
+        with self._lock:
+            slot.pipe_r = read_fd
+            slot.buffer = b""
+            slot.admin_port = None
+            slot.last_beat = now
+            slot.started_at = now
+            slot.next_restart_at = None
+        log_event(_logger, "supervisor.spawn", worker=slot.index,
+                  pid=slot.proc.pid)
+
+    def _worker_config(self) -> ServeConfig:
+        """The per-worker serve config: resolved port, shared cache."""
+        import dataclasses
+
+        return dataclasses.replace(self.config, port=self.port or 0)
+
+    def _reap(self, slot: _WorkerSlot) -> None:
+        with self._lock:
+            if slot.pipe_r is not None:
+                try:
+                    os.close(slot.pipe_r)
+                except OSError:
+                    pass
+                slot.pipe_r = None
+            slot.admin_port = None
+            slot.proc = None
+
+    # -- heartbeat intake --------------------------------------------------
+
+    def _drain_pipes(self) -> None:
+        fds = {slot.pipe_r: slot for slot in self._slots
+               if slot.pipe_r is not None}
+        if not fds:
+            time.sleep(_POLL_S)
+            return
+        try:
+            readable, _, _ = select.select(list(fds), [], [], _POLL_S)
+        except OSError:
+            return
+        for fd in readable:
+            slot = fds[fd]
+            try:
+                chunk = os.read(fd, 65536)
+            except (BlockingIOError, InterruptedError):
+                continue
+            except OSError:
+                chunk = b""
+            if not chunk:
+                continue  # EOF is handled via proc.poll()
+            slot.buffer += chunk
+            while b"\n" in slot.buffer:
+                line, _, slot.buffer = slot.buffer.partition(b"\n")
+                self._on_worker_line(slot, line)
+
+    def _on_worker_line(self, slot: _WorkerSlot, line: bytes) -> None:
+        try:
+            doc = json.loads(line.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return
+        now = time.monotonic()
+        with self._lock:
+            slot.last_beat = now
+            if doc.get("event") == "ready":
+                slot.admin_port = doc.get("admin_port")
+        if doc.get("event") == "ready":
+            log_event(_logger, "supervisor.worker_ready",
+                      worker=slot.index, pid=doc.get("pid"),
+                      admin_port=doc.get("admin_port"))
+
+    # -- death detection and restarts --------------------------------------
+
+    def _check_workers(self) -> bool:
+        """Detect deaths, schedule/execute restarts.
+
+        Returns ``False`` when the restart budget is exhausted (time to
+        give up), ``True`` otherwise.
+        """
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.proc is not None:
+                exit_code = slot.proc.poll()
+                dead = exit_code is not None
+                if (not dead and now - slot.last_beat
+                        > self.sup.heartbeat_timeout_s):
+                    # Alive but silent: a wedged event loop serves
+                    # nobody.  Kill it so the slot can restart.
+                    log_event(_logger, "supervisor.worker_hung",
+                              worker=slot.index, pid=slot.proc.pid,
+                              silent_s=round(now - slot.last_beat, 1))
+                    try:
+                        slot.proc.kill()
+                    except OSError:
+                        pass
+                    slot.proc.wait()
+                    exit_code, dead = None, True
+                if dead:
+                    uptime = now - slot.started_at
+                    log_event(_logger, "supervisor.worker_died",
+                              worker=slot.index, exit_code=exit_code,
+                              uptime_s=round(uptime, 1))
+                    self._reap(slot)
+                    if uptime >= _HEALTHY_UPTIME_S:
+                        slot.attempt = 0
+                    if self._restarts_used >= self.sup.restart_budget:
+                        return False
+                    self._restarts_used += 1
+                    delay = backoff_delay(slot.attempt,
+                                          self.sup.backoff_base_s,
+                                          self.sup.backoff_max_s)
+                    slot.attempt += 1
+                    slot.next_restart_at = now + delay
+                    log_event(_logger, "supervisor.restart_scheduled",
+                              worker=slot.index, delay_s=round(delay, 3),
+                              restarts_used=self._restarts_used,
+                              restart_budget=self.sup.restart_budget)
+            elif (slot.next_restart_at is not None
+                    and now >= slot.next_restart_at):
+                self._spawn(slot)
+        return True
+
+    # -- aggregation -------------------------------------------------------
+
+    def _worker_targets(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [
+                {"index": slot.index, "admin_port": slot.admin_port,
+                 "pid": slot.proc.pid if slot.proc else None,
+                 "alive": slot.alive, "ready": slot.ready}
+                for slot in self._slots
+            ]
+
+    def merged_metrics(self) -> Dict[str, object]:
+        """Every live worker's registry and service stats, folded."""
+        registry = _metrics.MetricsRegistry()
+        services: List[dict] = []
+        workers_doc: List[Dict[str, object]] = []
+        for target in self._worker_targets():
+            entry: Dict[str, object] = {
+                "index": target["index"], "pid": target["pid"],
+                "alive": target["alive"], "ready": target["ready"],
+                "scraped": False,
+            }
+            if target["alive"] and target["admin_port"]:
+                url = (f"http://127.0.0.1:{target['admin_port']}"
+                       "/metrics?format=state")
+                try:
+                    with urllib.request.urlopen(
+                            url, timeout=_SCRAPE_TIMEOUT_S) as resp:
+                        doc = json.loads(resp.read().decode())
+                    registry.merge_state(doc.get("state"))
+                    if isinstance(doc.get("service"), dict):
+                        services.append(doc["service"])
+                    entry["scraped"] = True
+                except (OSError, ValueError):
+                    pass  # a worker mid-restart is not an error
+            workers_doc.append(entry)
+        snapshot = registry.snapshot()
+        snapshot["service"] = merge_service_stats(services)
+        alive = sum(1 for w in workers_doc if w["alive"])
+        ready = sum(1 for w in workers_doc if w["ready"])
+        snapshot["supervisor"] = {
+            "mode": self._mode,
+            "state": self._state,
+            "workers_target": self.sup.workers,
+            "workers_alive": alive,
+            "workers_ready": ready,
+            "restarts_used": self._restarts_used,
+            "restart_budget": self.sup.restart_budget,
+            "workers": workers_doc,
+        }
+        return snapshot
+
+    def health_doc(self) -> Dict[str, object]:
+        snapshot = self.merged_metrics()
+        service = snapshot.get("service") or {}
+        slo = evaluate_slo(snapshot, self.config.slo,
+                           shed_rate=service.get("recent_shed_rate"))
+        info = snapshot["supervisor"]
+        if self._state in ("stopping", "given_up"):
+            status = self._state
+        elif info["workers_ready"] < info["workers_target"]:
+            # A spawned-but-still-booting worker is not serving yet --
+            # in reuseport mode the shared port refuses connections
+            # until a worker's listener is bound, so health must gate
+            # on readiness (ready event received), not process launch.
+            status = "degraded"
+        else:
+            status = slo["status"]
+        return {
+            "status": status,
+            "workers": {
+                "target": info["workers_target"],
+                "alive": info["workers_alive"],
+                "ready": info["workers_ready"],
+                "restarts_used": info["restarts_used"],
+                "restart_budget": info["restart_budget"],
+            },
+            "slo": slo,
+        }
+
+    # -- status server -----------------------------------------------------
+
+    def start_status_server(self) -> int:
+        wanted = self.sup.status_port
+        if wanted is None:
+            wanted = (self.port + 1) if self.port else 0
+        supervisor = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def log_message(self, *args):  # quiet by default
+                pass
+
+            def _send(self, status: int, doc: object,
+                      content_type: str = "application/json") -> None:
+                payload = (doc.encode() if isinstance(doc, str)
+                           else (json.dumps(doc) + "\n").encode())
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self):
+                path, _, query = self.path.partition("?")
+                try:
+                    if path == "/healthz":
+                        doc = supervisor.health_doc()
+                        bad = doc["status"] in ("stopping", "given_up")
+                        self._send(503 if bad else 200, doc)
+                    elif path == "/metrics":
+                        snapshot = supervisor.merged_metrics()
+                        accept = self.headers.get("Accept", "")
+                        if ("format=prometheus" in query
+                                or "text/plain" in accept
+                                or "openmetrics" in accept):
+                            self._send(200, render_prometheus(snapshot),
+                                       _PROM_CONTENT_TYPE)
+                        else:
+                            self._send(200, snapshot)
+                    else:
+                        self._send(404, {"error": {
+                            "code": 404, "message": f"no route {path}"}})
+                except Exception as exc:  # keep the status server alive
+                    try:
+                        self._send(500, {"error": {
+                            "code": 500, "message": repr(exc)}})
+                    except OSError:
+                        pass
+
+        try:
+            httpd = http.server.ThreadingHTTPServer(
+                (self.config.host, wanted), Handler)
+        except OSError:
+            # The conventional port+1 is taken; any free port will do.
+            httpd = http.server.ThreadingHTTPServer(
+                (self.config.host, 0), Handler)
+        httpd.daemon_threads = True
+        self._status_httpd = httpd
+        self.status_port = httpd.server_address[1]
+        threading.Thread(target=httpd.serve_forever,
+                         name="sealpaa-status", daemon=True).start()
+        return self.status_port
+
+    # -- shutdown ----------------------------------------------------------
+
+    def _shutdown_workers(self, grace_s: float) -> None:
+        for slot in self._slots:
+            slot.next_restart_at = None
+            if slot.alive:
+                try:
+                    slot.proc.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + grace_s
+        while (any(slot.alive for slot in self._slots)
+               and time.monotonic() < deadline):
+            self._drain_pipes()
+            for slot in self._slots:
+                if slot.proc is not None and slot.proc.poll() is not None:
+                    self._reap(slot)
+        for slot in self._slots:
+            if slot.alive:
+                log_event(_logger, "supervisor.worker_kill",
+                          worker=slot.index, pid=slot.proc.pid)
+                try:
+                    slot.proc.kill()
+                    slot.proc.wait()
+                except OSError:
+                    pass
+            if slot.proc is not None:
+                self._reap(slot)
+
+    def _close(self) -> None:
+        if self._status_httpd is not None:
+            self._status_httpd.shutdown()
+            self._status_httpd.server_close()
+            self._status_httpd = None
+        for sock in (self._reserve_sock, self._listen_sock):
+            if sock is not None:
+                sock.close()
+        self._reserve_sock = self._listen_sock = None
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> int:
+        """Supervise until a signal or the restart budget runs out.
+
+        Returns the process exit code (0 after a drain, 1 after giving
+        up); Ctrl-C raises ``KeyboardInterrupt`` after the drain so the
+        CLI's exit-130 contract holds.
+        """
+        self.bind()
+        self.start_status_server()
+        previous_handlers = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(
+                signum, self._on_signal)
+        try:
+            for slot in self._slots:
+                self._spawn(slot)
+            self._state = "serving"
+            print(
+                f"supervising {self.sup.workers} workers on "
+                f"http://{self.config.host}:{self.port}  "
+                f"(status/metrics on "
+                f"http://{self.config.host}:{self.status_port}, "
+                f"mode={self._mode}, "
+                f"restart_budget={self.sup.restart_budget}); "
+                "SIGTERM drains gracefully",
+                flush=True,
+            )
+            while self._stop_signal is None:
+                self._drain_pipes()
+                if not self._check_workers():
+                    self._state = "given_up"
+                    log_event(_logger, "supervisor.give_up",
+                              restarts_used=self._restarts_used,
+                              restart_budget=self.sup.restart_budget)
+                    print("restart budget exhausted; giving up",
+                          flush=True)
+                    self._shutdown_workers(
+                        self.config.drain_grace_s + _DRAIN_MARGIN_S)
+                    return 1
+            self._state = "stopping"
+            print("draining workers...", flush=True)
+            self._shutdown_workers(
+                self.config.drain_grace_s + _DRAIN_MARGIN_S)
+            print("stopped", flush=True)
+            if self._stop_signal == signal.SIGINT:
+                raise KeyboardInterrupt
+            return 0
+        finally:
+            self._state = ("given_up" if self._state == "given_up"
+                           else "stopping")
+            self._shutdown_workers(1.0)
+            self._close()
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+
+    def _on_signal(self, signum, frame) -> None:
+        self._stop_signal = signum
+
+
+def merge_service_stats(docs: List[dict]) -> Dict[str, object]:
+    """Fold per-worker ``service`` stats into one fleet-wide document.
+
+    Counters add; ``recent_shed_rate`` takes the *worst* worker (an
+    average would hide one drowning worker behind N-1 idle ones);
+    ``mean_batch_size`` is recomputed from the summed totals;
+    ``draining`` is true if anyone is.
+    """
+    merged: Dict[str, object] = _merge_numeric_docs(docs)
+    if docs:
+        merged["recent_shed_rate"] = max(
+            (doc.get("recent_shed_rate") or 0.0) for doc in docs)
+        served = merged.get("served") or 0
+        batches = merged.get("batches") or 0
+        merged["mean_batch_size"] = (served / batches) if batches else 0.0
+        merged["draining"] = any(doc.get("draining") for doc in docs)
+        merged["workers_reporting"] = len(docs)
+    return merged
+
+
+def _merge_numeric_docs(docs: List[dict]) -> Dict[str, object]:
+    merged: Dict[str, object] = {}
+    for doc in docs:
+        for key, value in doc.items():
+            if isinstance(value, bool):
+                merged[key] = bool(merged.get(key)) or value
+            elif isinstance(value, (int, float)):
+                merged[key] = (merged.get(key) or 0) + value
+            elif isinstance(value, dict):
+                nested = merged.setdefault(key, {})
+                if isinstance(nested, dict):
+                    merged[key] = _merge_numeric_docs(
+                        [nested, value])  # type: ignore[list-item]
+            elif key not in merged:
+                merged[key] = value
+    return merged
+
+
+def run_supervisor(config: Optional[ServeConfig] = None,
+                   sup: Optional[SupervisorConfig] = None) -> int:
+    """Blocking entry point of ``sealpaa serve --workers N``."""
+    return Supervisor(config, sup).run()
+
+
+# ---------------------------------------------------------------------------
+# Worker half: ``python -m repro.serve.supervisor`` with
+# SEALPAA_WORKER_CONFIG set runs one serve worker.
+# ---------------------------------------------------------------------------
+
+
+async def _worker_body(config: ServeConfig, worker: Dict[str, object],
+                       heartbeat) -> None:
+    server = AnalysisServer(config)
+    listen_fd = worker.get("listen_fd")
+    if listen_fd is not None:
+        sock = socket.socket(fileno=int(listen_fd))  # type: ignore[arg-type]
+        await server.start_async(sock=sock)
+    else:
+        await server.start_async(reuse_port=True)
+    admin_port = await server.start_admin_async()
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+
+    def send(doc: Dict[str, object]) -> bool:
+        try:
+            heartbeat.write(json.dumps(doc) + "\n")
+            heartbeat.flush()
+            return True
+        except OSError:
+            return False
+
+    send({"event": "ready", "pid": os.getpid(),
+          "port": server.port, "admin_port": admin_port,
+          "worker": worker.get("index")})
+    interval = float(worker.get("heartbeat_interval_s") or 1.0)
+
+    async def beat() -> None:
+        while not stop.is_set():
+            await asyncio.sleep(interval)
+            if not send({"event": "heartbeat", "pid": os.getpid()}):
+                # The supervisor is gone; an orphan worker serving a
+                # port nobody supervises is worse than no worker.
+                stop.set()
+
+    beat_task = asyncio.get_running_loop().create_task(beat())
+    await stop.wait()
+    beat_task.cancel()
+    await server.stop_async()
+
+
+def worker_main() -> int:
+    """Entry point of one supervised worker process."""
+    raw = os.environ.get(WORKER_CONFIG_ENV)
+    if not raw:
+        print("repro.serve.supervisor is the worker entry point; "
+              f"run it with {WORKER_CONFIG_ENV} set (the supervisor "
+              "does this for you)", file=sys.stderr)
+        return 2
+    doc = json.loads(raw)
+    config = config_from_doc(doc.get("serve") or {})
+    worker = doc.get("worker") or {}
+    install_chaos_from_env()
+    heartbeat = os.fdopen(int(worker["heartbeat_fd"]), "w")
+    try:
+        asyncio.run(_worker_body(config, worker, heartbeat))
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        try:
+            heartbeat.close()
+        except OSError:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

@@ -1,0 +1,124 @@
+"""Cross-process prune/unlink races: tolerated and counted, never raised."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pathlib
+
+import pytest
+
+from repro.engine.diskcache import STORE_FORMAT, DiskResultStore
+
+WIDTH = 64  # hex chars in a sha256 key
+
+
+def _key(i: int) -> str:
+    return format(i, "x").rjust(WIDTH, "0")
+
+
+def _payload(i: int = 0):
+    return {
+        "p_error": 0.25, "p_success": 0.75, "engine": "recursive",
+        "exact": True, "width": 4, "kind": "chain",
+        "cell_names": ["LPAA 1"] * 4, "is_upper_bound": False, "i": i,
+    }
+
+
+def _fill(store: DiskResultStore, n: int) -> None:
+    for i in range(n):
+        store.put(_key(i), _payload(i))
+
+
+class TestDeterministicRaces:
+    """Each race window forced open with a vanish-underneath wrapper."""
+
+    def test_corrupt_unlink_race_counts_not_raises(self, tmp_path,
+                                                   monkeypatch):
+        store = DiskResultStore(tmp_path)
+        path = store.entry_path(_key(1))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ not json")
+
+        real_unlink = os.unlink
+
+        def vanish_then_unlink(target, *args, **kwargs):
+            real_unlink(target)  # "another process" deletes it first
+            return real_unlink(target, *args, **kwargs)
+
+        monkeypatch.setattr(os, "unlink", vanish_then_unlink)
+        assert store.get(_key(1)) is None  # miss, no exception
+        stats = store.stats()
+        assert stats.corrupt == 1
+        assert stats.races == 1
+
+    def test_prune_stat_race_counts_not_raises(self, tmp_path, monkeypatch):
+        store = DiskResultStore(tmp_path, max_entries=1)
+        _fill(store, 4)
+
+        real_stat = pathlib.Path.stat
+        vanished = []
+
+        def vanish_then_stat(self, *args, **kwargs):
+            if self.suffix == ".json" and not vanished:
+                vanished.append(self)
+                os.unlink(self)
+            return real_stat(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "stat", vanish_then_stat)
+        store.prune()
+        monkeypatch.undo()
+        assert store.stats().races == 1
+        assert store.entry_count() == 1
+
+    def test_prune_unlink_race_counts_not_raises(self, tmp_path,
+                                                 monkeypatch):
+        store = DiskResultStore(tmp_path, max_entries=1)
+        _fill(store, 3)
+
+        real_unlink = os.unlink
+
+        def vanish_then_unlink(target, *args, **kwargs):
+            real_unlink(target)
+            return real_unlink(target, *args, **kwargs)
+
+        monkeypatch.setattr(os, "unlink", vanish_then_unlink)
+        evicted = store.prune()
+        monkeypatch.undo()
+        stats = store.stats()
+        # Both excess entries are gone, but the wrapper stole each
+        # unlink, so prune saw two races and claimed no evictions.
+        assert evicted == 0
+        assert stats.races == 2
+        assert store.entry_count() == 1
+
+
+def _prune_hammer(root: str) -> dict:
+    """One pruner process: shrink a shared overfull store to one entry."""
+    from repro.engine.diskcache import DiskResultStore
+
+    store = DiskResultStore(root, max_entries=1)
+    evicted = 0
+    for _ in range(5):
+        evicted += store.prune()
+    stats = store.stats()
+    return {"evicted": evicted, "races": stats.races}
+
+
+class TestConcurrentPruners:
+    def test_parallel_pruners_partition_the_evictions(self, tmp_path):
+        n_entries, workers = 200, 4
+        _fill(DiskResultStore(tmp_path), n_entries)
+        with multiprocessing.Pool(workers) as pool:
+            outcomes = pool.map(_prune_hammer, [str(tmp_path)] * workers)
+        # Nobody raised; every entry beyond the limit was unlinked by
+        # exactly one pruner (evictions partition, races absorb the
+        # collisions), and the survivor still parses.
+        survivor_store = DiskResultStore(tmp_path)
+        survivors = survivor_store.entry_count()
+        assert survivors == 1
+        assert sum(o["evicted"] for o in outcomes) == n_entries - survivors
+        for path in tmp_path.glob("??/*.json"):
+            doc = json.loads(path.read_text())
+            assert doc["format"] == STORE_FORMAT

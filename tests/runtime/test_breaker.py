@@ -1,0 +1,208 @@
+"""State machine and metric contract of :mod:`repro.runtime.breaker`."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import metrics as _metrics
+from repro.runtime.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerOpenError,
+    CircuitBreaker,
+)
+
+
+class _Clock:
+    """Manually advanced virtual clock (no sleeps in these tests)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return _Clock()
+
+
+def make_breaker(clock, threshold=3, reset=5.0, half_open_max=1):
+    return CircuitBreaker(
+        failure_threshold=threshold, reset_timeout_s=reset,
+        half_open_max=half_open_max, clock=clock,
+    )
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == STATE_CLOSED
+        breaker.check()  # does not raise
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = make_breaker(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+    def test_consecutive_failures_trip_it_open(self, clock):
+        breaker = make_breaker(clock, threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.opened_total == 1
+
+
+class TestOpenState:
+    def test_open_refuses_with_positive_finite_retry_after(self, clock):
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        with pytest.raises(BreakerOpenError) as info:
+            breaker.check()
+        assert 0 < info.value.retry_after_s <= 5.0
+        assert info.value.retry_after_s == pytest.approx(5.0)
+
+    def test_retry_after_shrinks_as_the_cooldown_elapses(self, clock):
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(4.0)
+        allowed, retry_after = breaker.allow()
+        assert not allowed
+        assert retry_after == pytest.approx(1.0)
+
+    def test_retry_after_never_hits_zero(self, clock):
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0 - 1e-9)  # a hair before the probe window
+        allowed, retry_after = breaker.allow()
+        assert not allowed
+        assert retry_after > 0
+
+
+class TestHalfOpenState:
+    def test_cooldown_elapsing_moves_to_half_open(self, clock):
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_probe_budget_bounds_half_open_calls(self, clock):
+        breaker = make_breaker(clock, threshold=1, reset=5.0,
+                               half_open_max=2)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()[0]
+        assert breaker.allow()[0]
+        allowed, retry_after = breaker.allow()  # third probe refused
+        assert not allowed and retry_after > 0
+
+    def test_probe_success_closes(self, clock):
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()[0]
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        breaker.check()
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self, clock):
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()[0]
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.opened_total == 2
+        clock.advance(4.9)
+        assert breaker.state == STATE_OPEN
+        clock.advance(0.1)
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_closing_frees_the_probe_slots(self, clock):
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()[0]
+        breaker.record_success()
+        # closed again: unlimited allowance, no probe bookkeeping
+        for _ in range(5):
+            assert breaker.allow()[0]
+
+
+class TestDisabledBreaker:
+    def test_threshold_zero_disables_everything(self, clock):
+        breaker = make_breaker(clock, threshold=0)
+        assert not breaker.enabled
+        for _ in range(100):
+            breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+        breaker.check()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": -1},
+        {"reset_timeout_s": 0},
+        {"reset_timeout_s": -1.0},
+        {"half_open_max": 0},
+    ])
+    def test_bad_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+
+class TestMetrics:
+    def test_lifecycle_emits_counters_and_state_gauge(self, clock):
+        registry = _metrics.MetricsRegistry()
+        with _metrics.use_registry(registry):
+            _metrics.enable()
+            try:
+                breaker = CircuitBreaker(
+                    failure_threshold=1, reset_timeout_s=5.0,
+                    metric_prefix="serve.breaker", clock=clock,
+                )
+                breaker.record_failure()           # trips open
+                with pytest.raises(BreakerOpenError):
+                    breaker.check()                # rejected
+                clock.advance(5.0)
+                breaker.check()                    # probe allowed
+                breaker.record_success()           # closes
+            finally:
+                _metrics.disable()
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["serve.breaker.opened"] == 1
+        assert counters["serve.breaker.rejected"] == 1
+        assert counters["serve.breaker.probes"] == 1
+        assert counters["serve.breaker.closed"] == 1
+        assert counters["serve.breaker.failures"] == 1
+        assert snapshot["gauges"]["serve.breaker.state"] == 0  # closed
+
+
+class TestThreadSafety:
+    def test_concurrent_outcomes_keep_state_consistent(self, clock):
+        breaker = make_breaker(clock, threshold=50)
+        threads = [
+            threading.Thread(target=lambda: [
+                (breaker.record_failure(), breaker.record_success())
+                for _ in range(200)
+            ])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # interleaved success/failure pairs never accumulate a streak
+        assert breaker.state == STATE_CLOSED

@@ -1,0 +1,128 @@
+"""Serve-facing chaos faults: engine/cache hooks, spec transport, kill."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime import ChaosShim, install_chaos
+from repro.runtime.chaos import (
+    CHAOS_ENV_VAR,
+    cache_read_check,
+    engine_call_check,
+    install_chaos_from_env,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+class TestEngineFaults:
+    def test_hooks_are_noops_with_no_shim_installed(self):
+        engine_call_check("idle")
+        cache_read_check("/nowhere")
+
+    def test_burst_fails_the_first_n_dispatches(self):
+        shim = ChaosShim(fail_engine_times=2)
+        with install_chaos(shim):
+            for _ in range(2):
+                with pytest.raises(RuntimeError, match="injected engine"):
+                    engine_call_check("batch")
+            engine_call_check("batch")  # burst exhausted
+        assert shim.engine_faults_injected == 2
+        assert shim.engine_calls_seen == 3
+
+    def test_periodic_fails_every_nth_dispatch(self):
+        shim = ChaosShim(engine_fail_every=3)
+        with install_chaos(shim):
+            outcomes = []
+            for _ in range(9):
+                try:
+                    engine_call_check("batch")
+                    outcomes.append("ok")
+                except RuntimeError:
+                    outcomes.append("fail")
+        assert outcomes == ["ok", "ok", "fail"] * 3
+        assert shim.engine_faults_injected == 3
+
+    def test_delay_sleeps_before_dispatch(self):
+        import time
+
+        shim = ChaosShim(engine_delay_s=0.02)
+        with install_chaos(shim):
+            start = time.monotonic()
+            engine_call_check("batch")
+            assert time.monotonic() - start >= 0.02
+
+
+class TestCacheFaults:
+    def test_every_nth_read_raises_oserror(self):
+        shim = ChaosShim(cache_read_fail_every=2)
+        with install_chaos(shim):
+            cache_read_check("a.json")
+            with pytest.raises(OSError, match="injected cache read"):
+                cache_read_check("b.json")
+            cache_read_check("c.json")
+        assert shim.cache_faults_injected == 1
+        assert shim.cache_reads_seen == 3
+
+
+class TestSpecTransport:
+    def test_round_trip_keeps_only_non_defaults(self):
+        shim = ChaosShim(engine_fail_every=5, engine_delay_s=0.1,
+                         kill_after_batches=7)
+        spec = shim.to_spec()
+        assert spec == {"engine_fail_every": 5, "engine_delay_s": 0.1,
+                        "kill_after_batches": 7}
+        clone = ChaosShim.from_spec(spec)
+        assert clone.engine_fail_every == 5
+        assert clone.kill_after_batches == 7
+
+    def test_default_shim_serialises_empty(self):
+        assert ChaosShim().to_spec() == {}
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos spec"):
+            ChaosShim.from_spec({"engine_fail_evry": 1})
+
+    def test_env_install(self):
+        from repro.runtime import chaos as chaos_mod
+
+        previous = chaos_mod._active
+        try:
+            spec = json.dumps({"cache_read_fail_every": 1})
+            shim = install_chaos_from_env({CHAOS_ENV_VAR: spec})
+            assert shim is not None
+            assert chaos_mod.get_chaos() is shim
+            with pytest.raises(OSError):
+                cache_read_check("x")
+        finally:
+            chaos_mod._active = previous
+
+    def test_env_install_without_variable_is_inert(self):
+        assert install_chaos_from_env({}) is None
+        assert install_chaos_from_env({CHAOS_ENV_VAR: "  "}) is None
+
+
+class TestKillAfterBatches:
+    def test_sigkills_the_process_on_the_nth_dispatch(self):
+        # SIGKILL is uncatchable, so prove it on a sacrificial child.
+        code = (
+            "import json, os\n"
+            f"os.environ[{CHAOS_ENV_VAR!r}] = json.dumps("
+            "{'kill_after_batches': 2})\n"
+            "from repro.runtime.chaos import (engine_call_check,\n"
+            "                                 install_chaos_from_env)\n"
+            "install_chaos_from_env()\n"
+            "engine_call_check('one')\n"
+            "print('survived first dispatch', flush=True)\n"
+            "engine_call_check('two')\n"
+            "print('UNREACHABLE', flush=True)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == -9  # killed by SIGKILL
+        assert "survived first dispatch" in proc.stdout
+        assert "UNREACHABLE" not in proc.stdout

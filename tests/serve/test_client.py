@@ -1,0 +1,288 @@
+"""Tests for :mod:`repro.serve.client` -- the retrying client.
+
+A scripted stub HTTP server plays the service: each test enqueues the
+exact (status, headers, body) sequence the server should emit, and the
+client's sleeps/clock/rng are injected so retry schedules are asserted
+deterministically without real waiting.
+"""
+
+import http.server
+import json
+import socket
+import threading
+from collections import deque
+
+import pytest
+
+from repro.serve.client import (
+    MAX_SLEEP_S,
+    AnalysisClient,
+    ClientError,
+    RetryBudgetError,
+    ServerStatusError,
+    parse_retry_after,
+    request_fingerprint,
+)
+
+
+# -- scripted stub server ---------------------------------------------------
+
+
+class _Script:
+    def __init__(self):
+        self.responses = deque()
+        self.seen = []  # (method, path, headers-dict, body-doc)
+        self.lock = threading.Lock()
+
+    def push(self, status, body=None, headers=(), times=1):
+        for _ in range(times):
+            self.responses.append((status, dict(headers), body))
+
+
+class _Handler(http.server.BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    script = None  # set per-fixture
+
+    def log_message(self, *args):
+        pass
+
+    def _serve(self):
+        script = self.script
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        with script.lock:
+            script.seen.append((
+                self.command, self.path, dict(self.headers),
+                json.loads(raw.decode()) if raw else None,
+            ))
+            status, headers, body = (script.responses.popleft()
+                                     if script.responses
+                                     else (200, {}, {"ok": True}))
+        payload = json.dumps(body).encode() if body is not None else b""
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = do_POST = _serve
+
+
+@pytest.fixture()
+def stub():
+    script = _Script()
+    handler = type("Handler", (_Handler,), {"script": script})
+    httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    httpd.daemon_threads = True
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    script.url = f"http://127.0.0.1:{httpd.server_address[1]}"
+    yield script
+    httpd.shutdown()
+    httpd.server_close()
+
+
+def _client(url, **kwargs):
+    sleeps = []
+    kwargs.setdefault("sleep", sleeps.append)
+    client = AnalysisClient(url, **kwargs)
+    client.sleeps = sleeps
+    return client
+
+
+# -- pure helpers -----------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable(self):
+        doc = {"cell": "LPAA 1", "width": 8}
+        assert (request_fingerprint("POST", "/v1/analyze", doc)
+                == request_fingerprint("POST", "/v1/analyze",
+                                       {"width": 8, "cell": "LPAA 1"}))
+
+    def test_differs_by_body_and_path(self):
+        a = request_fingerprint("POST", "/v1/analyze", {"width": 8})
+        b = request_fingerprint("POST", "/v1/analyze", {"width": 9})
+        c = request_fingerprint("POST", "/v1/analyze_batch", {"width": 8})
+        assert len({a, b, c}) == 3
+
+
+class TestParseRetryAfter:
+    @pytest.mark.parametrize("value,expected", [
+        ("1.5", 1.5), ("0.001", 0.001), ("3600", 3600.0),
+        (None, None), ("", None), ("soon", None),
+        ("0", None), ("-2", None), ("inf", None), ("nan", None),
+    ])
+    def test_cases(self, value, expected):
+        assert parse_retry_after(value) == expected
+
+
+class TestConstruction:
+    def test_rejects_bad_url(self):
+        with pytest.raises(ValueError):
+            AnalysisClient("ftp://nope")
+        with pytest.raises(ValueError):
+            AnalysisClient("localhost:8080")
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ValueError):
+            AnalysisClient("http://h:1", max_attempts=0)
+        with pytest.raises(ValueError):
+            AnalysisClient("http://h:1", total_deadline_s=0)
+
+
+# -- retry engine against the stub ------------------------------------------
+
+
+class TestRetries:
+    def test_success_first_try(self, stub):
+        stub.push(200, {"p_error": 0.25})
+        with _client(stub.url) as client:
+            answer = client.analyze({"cell": "LPAA 1", "width": 8})
+        assert answer == {"p_error": 0.25}
+        assert client.requests_sent == 1
+        assert client.retries == 0
+
+    def test_retries_503_then_succeeds(self, stub):
+        stub.push(503, {"error": {"code": 503, "message": "open"}},
+                  headers={"Retry-After": "0.010"})
+        stub.push(200, {"p_error": 0.5})
+        with _client(stub.url) as client:
+            answer = client.analyze({"cell": "LPAA 1", "width": 4})
+        assert answer == {"p_error": 0.5}
+        assert client.retries == 1
+        # every attempt of one logical request shares one X-Request-Id
+        ids = {headers.get("X-Request-Id") for _, _, headers, _ in stub.seen}
+        assert len(ids) == 1
+        (request_id,) = ids
+        assert request_id.startswith("cli-")
+
+    def test_retry_after_is_a_sleep_floor(self, stub):
+        stub.push(429, {"error": {"code": 429, "message": "limited"}},
+                  headers={"Retry-After": "0.200"})
+        stub.push(200, {"ok": True})
+        with _client(stub.url) as client:
+            client.analyze({"cell": "LPAA 1", "width": 4})
+        assert len(client.sleeps) == 1
+        assert client.sleeps[0] >= 0.200
+
+    def test_sleep_capped_by_max_sleep(self, stub):
+        stub.push(429, {}, headers={"Retry-After": "9999"})
+        stub.push(200, {"ok": True})
+        with _client(stub.url, total_deadline_s=10_000) as client:
+            client.analyze({"cell": "LPAA 1", "width": 4})
+        assert client.sleeps[0] <= MAX_SLEEP_S
+
+    def test_non_retryable_status_raises_immediately(self, stub):
+        stub.push(400, {"error": {"code": 400, "message": "bad width"}})
+        with _client(stub.url) as client:
+            with pytest.raises(ServerStatusError) as info:
+                client.analyze({"cell": "LPAA 1"})
+        assert info.value.status == 400
+        assert "bad width" in str(info.value)
+        assert client.requests_sent == 1
+
+    def test_attempt_budget_exhausted(self, stub):
+        stub.push(503, {"error": {"code": 503, "message": "down"}}, times=3)
+        with _client(stub.url, max_attempts=3) as client:
+            with pytest.raises(RetryBudgetError) as info:
+                client.analyze({"cell": "LPAA 1", "width": 4})
+        assert info.value.attempts == 3
+        assert info.value.last_status == 503
+        # no sleep after the final attempt
+        assert len(client.sleeps) == 2
+
+    def test_total_deadline_bounds_the_dance(self, stub):
+        stub.push(503, {}, times=50)
+        clock = [0.0]
+
+        def fake_sleep(seconds):
+            clock[0] += seconds
+
+        with _client(stub.url, total_deadline_s=0.5, backoff_base_s=0.2,
+                     backoff_max_s=10.0, max_attempts=50,
+                     clock=lambda: clock[0], sleep=fake_sleep) as client:
+            with pytest.raises(RetryBudgetError) as info:
+                client.analyze({"cell": "LPAA 1", "width": 4})
+        assert info.value.attempts < 50
+        assert clock[0] <= 0.5 + 1e-9  # never slept past the deadline
+
+    def test_network_failure_is_retryable(self):
+        # a port with nothing listening: connection refused every time
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = _client(f"http://127.0.0.1:{port}", max_attempts=2,
+                         total_deadline_s=2.0)
+        with pytest.raises(RetryBudgetError) as info:
+            client.analyze({"cell": "LPAA 1", "width": 4})
+        assert info.value.attempts == 2
+        assert info.value.last_status is None
+
+    def test_backoff_grows_with_attempts(self, stub):
+        stub.push(503, {}, times=4)
+        stub.push(200, {"ok": True})
+        caps = []
+
+        class Rng:
+            def uniform(self, low, high):
+                caps.append(high)
+                return high
+
+        with _client(stub.url, max_attempts=8, backoff_base_s=0.1,
+                     backoff_max_s=0.5, rng=Rng()) as client:
+            client.analyze({"cell": "LPAA 1", "width": 4})
+        assert caps == [0.1, 0.2, 0.4, 0.5]  # doubling, then capped
+
+
+# -- endpoint wrappers ------------------------------------------------------
+
+
+class TestEndpoints:
+    def test_analyze_batch_unwraps_results(self, stub):
+        stub.push(200, {"results": [{"p_error": 0.1}, {"p_error": 0.2}]})
+        with _client(stub.url) as client:
+            results = client.analyze_batch(
+                [{"cell": "LPAA 1", "width": 2}] * 2)
+        assert [r["p_error"] for r in results] == [0.1, 0.2]
+        method, path, _, body = stub.seen[0]
+        assert (method, path) == ("POST", "/v1/analyze_batch")
+        assert len(body["requests"]) == 2
+
+    def test_healthz_503_is_an_observation(self, stub):
+        stub.push(503, {"status": "draining"})
+        with _client(stub.url) as client:
+            status, doc = client.healthz()
+        assert status == 503
+        assert doc["status"] == "draining"
+        assert client.retries == 0
+
+    def test_metrics_scrape(self, stub):
+        stub.push(200, {"counters": {"serve.requests": 3}})
+        with _client(stub.url) as client:
+            doc = client.metrics()
+        assert doc["counters"]["serve.requests"] == 3
+
+    def test_api_key_header_sent(self, stub):
+        stub.push(200, {"ok": True})
+        with _client(stub.url, api_key="team-a") as client:
+            client.analyze({"cell": "LPAA 1", "width": 2})
+        _, _, headers, _ = stub.seen[0]
+        assert headers.get("X-API-Key") == "team-a"
+
+    def test_connection_reused_across_requests(self, stub):
+        stub.push(200, {"ok": 1})
+        stub.push(200, {"ok": 2})
+        with _client(stub.url) as client:
+            client.analyze({"cell": "LPAA 1", "width": 2})
+            conn = client._conn
+            client.analyze({"cell": "LPAA 1", "width": 3})
+            assert client._conn is conn
+
+    def test_close_is_idempotent(self, stub):
+        client = _client(stub.url)
+        client.close()
+        client.close()

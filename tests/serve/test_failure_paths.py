@@ -1,0 +1,241 @@
+"""Serving failure paths: the contracts that only matter when things break.
+
+* one poisoned request in a micro-batch fails alone -- its batch-mates
+  are re-run individually and still succeed;
+* a malformed or oversized request on a keep-alive connection gets its
+  error response *and the connection keeps working* for the next,
+  well-formed request;
+* every ``Retry-After`` the server emits is positive and finite;
+* an open circuit breaker answers 503 with Retry-After instead of
+  queueing doomed work, and closes again after the engine recovers;
+* ``/metrics?format=state`` (the supervisor's scrape format) merges
+  losslessly into a fresh registry.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import socket
+import time
+
+import pytest
+
+from repro import engine
+from repro.obs import metrics as _metrics
+from repro.runtime.chaos import ChaosShim, install_chaos
+from repro.serve import AnalysisServer, ServeConfig
+from repro.serve.http import format_retry_after
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_state():
+    engine.disable_result_cache()
+    _metrics.GLOBAL_REGISTRY.reset()
+    yield
+    engine.disable_result_cache()
+    _metrics.GLOBAL_REGISTRY.reset()
+
+
+def _start(config):
+    server = AnalysisServer(config)
+    server.start()
+    return server
+
+
+def _post(conn, path, doc):
+    body = json.dumps(doc).encode() if not isinstance(doc, bytes) else doc
+    conn.request("POST", path, body=body,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    raw = response.read()
+    return response, (json.loads(raw.decode()) if raw else None)
+
+
+class TestRetryAfterFormatting:
+    @pytest.mark.parametrize("value", [
+        0.0, -5.0, 1e-9, float("nan"), float("inf"), -float("inf"), 1e12,
+    ])
+    def test_always_positive_and_finite(self, value):
+        rendered = float(format_retry_after(value))
+        assert math.isfinite(rendered)
+        assert 0 < rendered <= 3600
+
+    def test_normal_values_pass_through(self):
+        assert format_retry_after(1.5) == "1.500"
+        assert format_retry_after(0.25) == "0.250"
+
+
+class TestBatchMateIsolation:
+    def test_transient_batch_failure_spares_the_batch_mates(self):
+        """A batch-level engine fault is retried member-by-member: a
+        fault that burns out after the first call must not fail all N
+        coalesced requests."""
+        server = _start(ServeConfig(port=0, batch_window_s=0.05,
+                                    max_batch=8))
+        try:
+            shim = ChaosShim(fail_engine_times=1)
+            with install_chaos(shim):
+                conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                                  timeout=30)
+                response, doc = _post(
+                    conn, "/v1/analyze_batch",
+                    {"requests": [
+                        {"cell": "LPAA 1", "width": 4, "p_a": 0.1 * (i + 1)}
+                        for i in range(3)
+                    ]})
+                assert response.status == 200
+                assert all("p_error" in r and "error" not in r
+                           for r in doc["results"])
+                conn.close()
+            # the batch attempt failed once, then members ran solo
+            assert shim.engine_faults_injected == 1
+            assert server.service.stats()["isolated"] >= 1
+        finally:
+            server.stop()
+
+
+class TestKeepAliveRecovery:
+    def test_malformed_json_does_not_poison_the_connection(self):
+        server = _start(ServeConfig(port=0, batch_window_s=0.002))
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=30)
+            response, doc = _post(conn, "/v1/analyze", b"{not json")
+            assert response.status == 400
+            assert "JSON" in doc["error"]["message"]
+            # same TCP connection, next request succeeds
+            response, doc = _post(conn, "/v1/analyze",
+                                  {"cell": "LPAA 1", "width": 4})
+            assert response.status == 200
+            assert "p_error" in doc
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_oversized_body_is_drained_and_connection_survives(self):
+        server = _start(ServeConfig(port=0, batch_window_s=0.002))
+        try:
+            from repro.serve.http import MAX_BODY_BYTES
+
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=30)
+            response, doc = _post(conn, "/v1/analyze",
+                                  b" " * (MAX_BODY_BYTES + 1))
+            assert response.status == 413
+            # the declared body was read and discarded, so the same
+            # connection still frames the next request correctly
+            response, doc = _post(conn, "/v1/analyze",
+                                  {"cell": "LPAA 1", "width": 4})
+            assert response.status == 200
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_absurd_content_length_closes_the_connection(self):
+        """Past the drain cap the server refuses to read the body; it
+        must say so with Connection: close instead of desyncing."""
+        server = _start(ServeConfig(port=0, batch_window_s=0.002))
+        try:
+            sock = socket.create_connection(("127.0.0.1", server.port),
+                                            timeout=30)
+            sock.sendall(
+                b"POST /v1/analyze HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Type: application/json\r\n"
+                b"Content-Length: 999999999999\r\n\r\n")
+            data = b""
+            while b"\r\n\r\n" not in data:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+            head = data.decode("latin-1")
+            assert " 413 " in head.splitlines()[0]
+            assert "connection: close" in head.lower()
+            sock.close()
+        finally:
+            server.stop()
+
+
+class TestBreakerOverHttp:
+    def test_open_breaker_answers_503_with_retry_after(self):
+        server = _start(ServeConfig(port=0, batch_window_s=0.002,
+                                    breaker_failures=2, breaker_reset_s=0.2))
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=30)
+            # every engine call fails: two 500s trip the breaker
+            with install_chaos(ChaosShim(fail_engine_times=-1)):
+                statuses = []
+                for _ in range(4):
+                    response, doc = _post(conn, "/v1/analyze",
+                                          {"cell": "LPAA 1", "width": 4})
+                    statuses.append(response.status)
+                    if response.status == 503:
+                        retry_after = response.getheader("Retry-After")
+                        assert retry_after is not None
+                        assert 0 < float(retry_after) <= 3600
+                assert statuses[:2] == [500, 500]
+                assert 503 in statuses[2:]
+                assert server.service.breaker.state == "open"
+            # engine healthy again: after the reset window a half-open
+            # probe succeeds and service resumes
+            time.sleep(0.25)
+            response, doc = _post(conn, "/v1/analyze",
+                                  {"cell": "LPAA 1", "width": 4})
+            assert response.status == 200
+            assert server.service.breaker.state == "closed"
+            snapshot = _metrics.GLOBAL_REGISTRY.snapshot()
+            assert snapshot["counters"]["serve.breaker.opened"] >= 1
+            conn.close()
+        finally:
+            server.stop()
+
+
+class TestAdmissionOverHttp:
+    def test_rate_limited_client_gets_finite_retry_after(self):
+        server = _start(ServeConfig(port=0, batch_window_s=0.002,
+                                    rate_limit_rps=0.5, rate_limit_burst=1))
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=30)
+            response, _ = _post(conn, "/v1/analyze",
+                                {"cell": "LPAA 1", "width": 4})
+            assert response.status == 200
+            response, doc = _post(conn, "/v1/analyze",
+                                  {"cell": "LPAA 1", "width": 4})
+            assert response.status == 429
+            retry_after = float(response.getheader("Retry-After"))
+            assert math.isfinite(retry_after) and retry_after > 0
+            assert "rate limit" in doc["error"]["message"]
+            conn.close()
+        finally:
+            server.stop()
+
+
+class TestStateScrapeFormat:
+    def test_state_merges_losslessly(self):
+        server = _start(ServeConfig(port=0, batch_window_s=0.002))
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=30)
+            for _ in range(3):
+                response, _ = _post(conn, "/v1/analyze",
+                                    {"cell": "LPAA 1", "width": 4})
+                assert response.status == 200
+            conn.request("GET", "/metrics?format=state")
+            response = conn.getresponse()
+            doc = json.loads(response.read().decode())
+            assert set(doc) == {"state", "service"}
+            assert doc["service"]["served"] == 3
+
+            merged = _metrics.MetricsRegistry()
+            merged.merge_state(doc["state"])
+            merged.merge_state(doc["state"])  # a second "worker"
+            snapshot = merged.snapshot()
+            assert (snapshot["counters"]["serve.http.analyze.requests"]
+                    == 2 * 3)
+            conn.close()
+        finally:
+            server.stop()

@@ -1,0 +1,305 @@
+"""Tests for :mod:`repro.serve.supervisor`.
+
+Unit tests cover the pure pieces (backoff schedule, config validation,
+stat merging, health document) in-process; the lifecycle contracts that
+matter -- crash detection, restart within budget, signal fan-out, exit
+codes -- are exercised against real ``sealpaa serve --workers N``
+subprocesses, because process supervision faked with threads proves
+nothing.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.serve.supervisor import (
+    Supervisor,
+    SupervisorConfig,
+    backoff_delay,
+    merge_service_stats,
+    reuseport_available,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+
+_BANNER = re.compile(
+    r"http://([\d.]+):(\d+)\s+\(status/metrics on http://[\d.]+:(\d+), "
+    r"mode=(\w+)")
+
+
+# -- pure pieces ------------------------------------------------------------
+
+
+class TestSupervisorConfig:
+    def test_defaults_valid(self):
+        sup = SupervisorConfig()
+        assert sup.workers == 2
+        assert sup.restart_budget == 8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 0},
+        {"restart_budget": -1},
+        {"backoff_base_s": 0},
+        {"heartbeat_interval_s": 0},
+        {"heartbeat_timeout_s": 1.0, "heartbeat_interval_s": 1.0},
+        {"status_port": 70000},
+    ])
+    def test_rejects(self, kwargs):
+        with pytest.raises(AnalysisError):
+            SupervisorConfig(**kwargs)
+
+
+class TestBackoff:
+    def test_doubles_then_caps(self):
+        delays = [backoff_delay(k, 0.25, 5.0) for k in range(6)]
+        assert delays == [0.25, 0.5, 1.0, 2.0, 4.0, 5.0]
+
+
+class TestReuseportDetection:
+    def test_env_override_forces_fallback(self, monkeypatch):
+        monkeypatch.setenv("SEALPAA_NO_REUSEPORT", "1")
+        assert reuseport_available() is False
+
+    def test_default_matches_platform(self, monkeypatch):
+        monkeypatch.delenv("SEALPAA_NO_REUSEPORT", raising=False)
+        import socket
+
+        assert reuseport_available() == hasattr(socket, "SO_REUSEPORT")
+
+
+class TestMergeServiceStats:
+    def test_counters_add_shed_rate_takes_worst(self):
+        merged = merge_service_stats([
+            {"served": 10, "batches": 5, "shed": 1,
+             "recent_shed_rate": 0.05, "draining": False,
+             "result_cache": {"memory": {"hits": 3}}},
+            {"served": 30, "batches": 5, "shed": 0,
+             "recent_shed_rate": 0.60, "draining": True,
+             "result_cache": {"memory": {"hits": 4}}},
+        ])
+        assert merged["served"] == 40
+        assert merged["shed"] == 1
+        # the worst worker, not the average: one drowning worker must
+        # not be hidden behind an idle one
+        assert merged["recent_shed_rate"] == 0.60
+        assert merged["mean_batch_size"] == 4.0  # 40 served / 10 batches
+        assert merged["draining"] is True
+        assert merged["result_cache"]["memory"]["hits"] == 7
+        assert merged["workers_reporting"] == 2
+
+    def test_empty(self):
+        assert merge_service_stats([]) == {}
+
+
+class TestHealthDoc:
+    def test_spawned_but_unbound_worker_is_not_healthy(self):
+        """The regression behind the readiness gate: a worker process
+        that is running but has not yet bound its listener leaves the
+        shared port refusing connections, so /healthz must report
+        degraded until the ready event arrives."""
+        sup = Supervisor(sup=SupervisorConfig(workers=1))
+        proc = subprocess.Popen([sys.executable, "-c",
+                                 "import time; time.sleep(30)"])
+        try:
+            slot = sup._slots[0]
+            slot.proc = proc  # alive, but no ready event / admin port
+            doc = sup.health_doc()
+            assert doc["workers"]["alive"] == 1
+            assert doc["workers"]["ready"] == 0
+            assert doc["status"] == "degraded"
+            slot.admin_port = 59999  # ready reported (scrape may fail)
+            doc = sup.health_doc()
+            assert doc["workers"]["ready"] == 1
+            assert doc["status"] == "ok"
+        finally:
+            proc.kill()
+            proc.wait()
+
+    def test_no_workers_is_degraded_then_stopping_503(self):
+        sup = Supervisor(sup=SupervisorConfig(workers=2))
+        try:
+            sup.bind()
+            port = sup.start_status_server()
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=5) as resp:
+                doc = json.loads(resp.read().decode())
+            assert resp.status == 200
+            assert doc["status"] == "degraded"  # 0 of 2 workers alive
+            assert doc["workers"] == {
+                "target": 2, "alive": 0, "ready": 0,
+                "restarts_used": 0, "restart_budget": 8,
+            }
+            sup._state = "stopping"
+            try:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=5)
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+                assert json.loads(exc.read().decode())["status"] == "stopping"
+            else:
+                pytest.fail("stopping supervisor must answer 503")
+        finally:
+            sup._close()
+
+    def test_metrics_has_supervisor_section_and_prometheus(self):
+        sup = Supervisor(sup=SupervisorConfig(workers=1))
+        try:
+            sup.bind()
+            port = sup.start_status_server()
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=5) as resp:
+                doc = json.loads(resp.read().decode())
+            info = doc["supervisor"]
+            assert info["workers_target"] == 1
+            assert info["workers_alive"] == 0
+            assert info["workers_ready"] == 0
+            assert info["restart_budget"] == 8
+            req = urllib.request.Request(
+                f"http://127.0.0.1:{port}/metrics?format=prometheus")
+            with urllib.request.urlopen(req, timeout=5) as resp:
+                assert "text/plain" in resp.headers["Content-Type"]
+        finally:
+            sup._close()
+
+
+# -- subprocess lifecycle ---------------------------------------------------
+
+
+def _boot(tmp_path, extra_args=(), extra_env=None, workers=2):
+    env = dict(os.environ, **(extra_env or {}))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath("src"), env.get("PYTHONPATH")) if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--workers", str(workers), "--port", "0",
+         "--batch-window-ms", "1", "--drain-grace", "1",
+         *extra_args],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, cwd=str(tmp_path))
+    line = proc.stdout.readline()
+    match = _BANNER.search(line)
+    assert match, f"unexpected banner: {line!r}"
+    return (proc, match.group(1), int(match.group(2)),
+            int(match.group(3)), match.group(4))
+
+
+def _healthz(host, port, timeout=5):
+    try:
+        with urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def _wait_ready(host, status_port, n, deadline_s=30.0):
+    """Wait for *n* workers with a bound listener (not merely spawned)."""
+    deadline = time.monotonic() + deadline_s
+    doc = {}
+    while time.monotonic() < deadline:
+        try:
+            _, doc = _healthz(host, status_port)
+        except OSError:
+            doc = {}
+        if (doc.get("workers") or {}).get("ready") == n:
+            return doc
+        time.sleep(0.2)
+    pytest.fail(f"never reached {n} ready workers; last: {doc}")
+
+
+def _terminate(proc):
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait()
+
+
+def test_crash_recovery_and_graceful_sigterm(tmp_path):
+    """The headline contract: SIGKILL a worker mid-service, the client
+    keeps getting correct answers, the supervisor restores the fleet,
+    and SIGTERM still drains to exit 0."""
+    from repro.serve.client import AnalysisClient
+
+    proc, host, port, status_port, mode = _boot(tmp_path)
+    try:
+        _wait_ready(host, status_port, 2)
+        client = AnalysisClient(f"http://{host}:{port}",
+                                total_deadline_s=30.0)
+        doc = {"cell": "LPAA 1", "width": 8, "p_a": 0.3}
+        baseline = client.analyze(doc)
+
+        with urllib.request.urlopen(
+                f"http://{host}:{status_port}/metrics", timeout=5) as resp:
+            workers = json.loads(resp.read().decode())["supervisor"]["workers"]
+        victim = next(w["pid"] for w in workers if w["ready"])
+        os.kill(victim, signal.SIGKILL)
+
+        # service continues through the crash, answers stay identical
+        for _ in range(10):
+            assert client.analyze(doc) == baseline
+
+        health = _wait_ready(host, status_port, 2)
+        assert health["workers"]["restarts_used"] >= 1
+        assert health["workers"]["restarts_used"] <= 8
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        client.close()
+    finally:
+        _terminate(proc)
+
+
+def test_fd_fallback_mode_and_sigint_exit_130(tmp_path):
+    """Without SO_REUSEPORT the workers inherit one listening socket;
+    Ctrl-C on the supervisor drains and honours the exit-130 contract."""
+    from repro.serve.client import AnalysisClient
+
+    proc, host, port, status_port, mode = _boot(
+        tmp_path, extra_env={"SEALPAA_NO_REUSEPORT": "1"})
+    try:
+        assert mode == "fd"
+        _wait_ready(host, status_port, 2)
+        with AnalysisClient(f"http://{host}:{port}") as client:
+            answer = client.analyze({"cell": "LPAA 1", "width": 4})
+            assert "p_error" in answer
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=30) == 130
+    finally:
+        _terminate(proc)
+
+
+@pytest.mark.chaos
+def test_restart_budget_give_up_exits_nonzero(tmp_path):
+    """Workers that die on every batch burn the restart budget; the
+    supervisor gives up with a clean nonzero exit instead of flapping
+    forever."""
+    from repro.serve.client import AnalysisClient
+
+    proc, host, port, status_port, _ = _boot(
+        tmp_path,
+        extra_args=("--restart-budget", "1"),
+        extra_env={"SEALPAA_CHAOS": json.dumps({"kill_after_batches": 1})},
+    )
+    try:
+        _wait_ready(host, status_port, 2)
+        client = AnalysisClient(f"http://{host}:{port}",
+                                total_deadline_s=5.0, max_attempts=4)
+        deadline = time.monotonic() + 60.0
+        while proc.poll() is None and time.monotonic() < deadline:
+            try:
+                client.analyze({"cell": "LPAA 1", "width": 4},
+                               total_deadline_s=3.0)
+            except Exception:
+                pass
+            time.sleep(0.2)
+        assert proc.wait(timeout=10) == 1
+        client.close()
+    finally:
+        _terminate(proc)
