@@ -458,6 +458,7 @@ def _cmd_serve(args) -> int:
         parallelism=getattr(args, "jobs", "off"),
         cache_dir=args.cache_dir,
         max_disk_entries=args.max_disk_entries,
+        segment_cache_dir=args.segment_cache_dir,
         access_log=args.access_log,
         breaker_failures=args.breaker_failures,
         breaker_reset_s=args.breaker_reset,
@@ -586,12 +587,13 @@ def _print_metrics_snapshot(data) -> None:
             [key, value] for key, value in sorted(service.items())
             if not isinstance(value, dict)
         ]
-        for tier, tier_doc in sorted(
-            (service.get("result_cache") or {}).items()
-        ):
-            if isinstance(tier_doc, dict):
-                for key, value in sorted(tier_doc.items()):
-                    rows.append([f"result_cache.{tier}.{key}", value])
+        for cache_name in ("result_cache", "segment_cache"):
+            for tier, tier_doc in sorted(
+                (service.get(cache_name) or {}).items()
+            ):
+                if isinstance(tier_doc, dict):
+                    for key, value in sorted(tier_doc.items()):
+                        rows.append([f"{cache_name}.{tier}.{key}", value])
         print(ascii_table(["Service", "Value"], rows, digits=6,
                           title="serve stats"))
     # A serving snapshot carries enough signal to judge the default SLO
@@ -958,6 +960,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="PATH", default=None,
                    help="mount the persistent on-disk result cache at "
                         "PATH (shared across processes and restarts)")
+    p.add_argument("--segment-cache-dir", metavar="PATH", default=None,
+                   help="mount the segment transfer-matrix cache at PATH "
+                        "and prefill its memory tier from disk on boot "
+                        "(exact O(log N) chain analysis, prefix-shared)")
     fleet = p.add_argument_group("multi-worker supervision")
     fleet.add_argument(
         "--workers", type=int, default=1, metavar="N",

@@ -22,9 +22,26 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from .truth_table import FullAdderTruthTable
 
 MaskRow = Tuple[int, int, int, int, int, int, int, int]
+
+# Fingerprint-keyed memos (same keying convention as the stage-matrix
+# LRU: the eight (sum, cout) truth-table rows identify a cell exactly).
+# Sweeps lower the same handful of cells millions of times -- the masks
+# are pure functions of the rows, so recomputing them per call is pure
+# waste.  Unbounded on purpose: there are at most 4^8 distinct tables,
+# and a real run sees a few dozen.  Hit rates are reported under the
+# engine-wide cache namespace (``engine.cache.matrices.*``).
+_MATRICES_MEMO: Dict[Tuple[Tuple[int, int], ...], "AnalysisMatrices"] = {}
+_CARRY_MEMO: Dict[Tuple[Tuple[int, int], ...], Tuple[MaskRow, MaskRow]] = {}
+
+
+def _count_memo(hit: bool) -> None:
+    if _metrics.is_enabled():
+        _metrics.inc("engine.cache.matrices.hits" if hit
+                     else "engine.cache.matrices.misses")
 
 
 @dataclass(frozen=True)
@@ -65,6 +82,11 @@ def derive_matrices(table: FullAdderTruthTable) -> AnalysisMatrices:
     >>> derive_matrices(LPAA1).m
     (0, 0, 0, 1, 0, 1, 1, 1)
     """
+    cached = _MATRICES_MEMO.get(table.rows)
+    if cached is not None:
+        _count_memo(hit=True)
+        return cached
+    _count_memo(hit=False)
     success = table.success_rows()
     m = tuple(
         1 if ok and cout == 1 else 0
@@ -75,7 +97,9 @@ def derive_matrices(table: FullAdderTruthTable) -> AnalysisMatrices:
         for ok, (_, cout) in zip(success, table.rows)
     )
     l = tuple(1 if ok else 0 for ok in success)
-    return AnalysisMatrices(m=m, k=k, l=l)  # type: ignore[arg-type]
+    matrices = AnalysisMatrices(m=m, k=k, l=l)  # type: ignore[arg-type]
+    _MATRICES_MEMO[table.rows] = matrices
+    return matrices
 
 
 def derive_carry_matrices(table: FullAdderTruthTable) -> Tuple[MaskRow, MaskRow]:
@@ -86,9 +110,16 @@ def derive_carry_matrices(table: FullAdderTruthTable) -> Tuple[MaskRow, MaskRow]
     carry distribution of the approximate chain rather than only the
     fully-correct executions.
     """
+    cached = _CARRY_MEMO.get(table.rows)
+    if cached is not None:
+        _count_memo(hit=True)
+        return cached
+    _count_memo(hit=False)
     c1 = tuple(cout for _, cout in table.rows)
     c0 = tuple(1 - cout for _, cout in table.rows)
-    return c1, c0  # type: ignore[return-value]
+    masks = (c1, c0)
+    _CARRY_MEMO[table.rows] = masks
+    return masks  # type: ignore[return-value]
 
 
 def derive_sum_matrix(table: FullAdderTruthTable) -> MaskRow:

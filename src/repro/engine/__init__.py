@@ -13,6 +13,10 @@ backend in the library:
 * :mod:`repro.engine.diskcache` -- the opt-in persistent result tier:
   an in-memory result LRU over a content-addressed on-disk store shared
   across processes and restarts (``configure_result_cache``);
+* :mod:`repro.engine.segcache` -- the opt-in segment tier
+  (``configure_segment_cache``): exact transfer matrices of chain
+  *segments*, content-addressed and prefix-shared, giving O(log N)
+  chain analysis through :mod:`repro.core.transfer`;
 * :mod:`repro.engine.executor` -- :func:`run`, :func:`run_batch` and
   :func:`error_curves`, instrumented through :mod:`repro.obs`.
 
@@ -57,6 +61,13 @@ from .diskcache import (
     get_result_cache,
     request_key,
 )
+from .segcache import (
+    DiskSegmentStore,
+    SegmentCache,
+    configure_segment_cache,
+    disable_segment_cache,
+    get_segment_cache,
+)
 from .registry import (
     FAMILY_ANALYTICAL,
     FAMILY_SIMULATION,
@@ -90,8 +101,10 @@ __all__ = [
     "CacheStats",
     "DEFAULT_MEMORY_ENTRIES",
     "DiskResultStore",
+    "DiskSegmentStore",
     "DiskStoreStats",
     "ResultCache",
+    "SegmentCache",
     "STORE_FORMAT",
     "cacheable_result",
     "configure_result_cache",
@@ -118,6 +131,9 @@ __all__ = [
     "cache_stats",
     "clear_cache",
     "configure_cache",
+    "configure_segment_cache",
+    "disable_segment_cache",
+    "get_segment_cache",
     "error_curves",
     "mask_arrays",
     "parallel_exhaustive",

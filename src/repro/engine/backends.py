@@ -41,6 +41,16 @@ _STAGE_COST = 8.0
 #: requests while ``run_batch`` feeds the vectorised engine directly.
 _VECTOR_OVERHEAD = 400.0
 
+#: Cost model of the segment-tree path: big-int leaf lowering dominates
+#: a cold evaluation (one-time, then content-addressed away), while the
+#: O(log N) compose/evaluate work grows far slower than the recursion's
+#: O(N) stage loop.  The crossover with ``recursive`` (8w vs 600 + 2w)
+#: sits near width 100, so the router sends *long* chains to the segment
+#: path by default and an installed segment cache (see
+#: ``executor.select_engine``) opts shorter ones in explicitly.
+_TRANSFER_OVERHEAD = 600.0
+_TRANSFER_STAGE_COST = 2.0
+
 # Per-chain masking-exactness memo, keyed on the full stage sequence's
 # truth-table rows: True iff the recursion's P(Error) is exact (not
 # merely an upper bound) for that exact sequence of cells.
@@ -71,6 +81,12 @@ def _chain_result(
     exact: bool,
     **extra: object,
 ) -> AnalysisResult:
+    # Float engines can overshoot a probability by an ulp (e.g. an
+    # accurate chain whose success mass sums to 1.0000000000000002,
+    # leaving p_error at -2.2e-16); clamp to the unit interval so every
+    # result is a probability.  The exact transfer path is unaffected:
+    # its correctly-rounded values are already in [0, 1].
+    p_success = min(1.0, max(0.0, p_success))
     return AnalysisResult(
         p_error=1.0 - p_success,
         p_success=p_success,
@@ -113,6 +129,36 @@ def run_recursive(request: AnalysisRequest, **options: object) -> AnalysisResult
         registry.counter("core.recursive.calls").add(1)
         registry.counter("core.recursive.stages").add(n)
     return _chain_result(request, p_success, "recursive", True)
+
+
+def run_transfer(request: AnalysisRequest, **options: object) -> AnalysisResult:
+    """Segment-tree evaluation over exact transfer matrices (O(log N)).
+
+    Served through the process-wide :mod:`repro.engine.segcache` tier
+    when one is installed (``configure_segment_cache``), so chains
+    sharing prefixes reuse composed segments; without one it builds the
+    canonical tree directly.  Either way the answer is the correctly
+    rounded exact value -- bit-identical to ``analyze_chain`` in its
+    documented exact (``Fraction``) mode, and independent of cache
+    state (warm == cold by the transfer module's exactness contract).
+    """
+    from ..core.transfer import analyze_chain_transfer
+    from . import segcache as _segcache
+
+    cells = list(request.cells)
+    cache = _segcache.get_segment_cache()
+    with _metrics.timed("core.transfer.analyze_chain"), \
+            trace_span("core.transfer.analyze_chain", width=len(cells)):
+        if cache is not None:
+            p_success = cache.success_probability(
+                cells, request.p_a, request.p_b, request.p_cin
+            )
+        else:
+            p_success = analyze_chain_transfer(
+                cells, None, list(request.p_a), list(request.p_b),
+                request.p_cin,
+            )
+    return _chain_result(request, p_success, "transfer", True)
 
 
 def run_vectorized(request: AnalysisRequest, **options: object) -> AnalysisResult:
@@ -322,6 +368,14 @@ def register_builtin_engines() -> None:
         run=run_recursive, supports_trace=True, parallel_safe=True,
         cost_estimate=lambda width, samples=None: _STAGE_COST * width,
         description="paper Algorithm 1 over cached stage transitions",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="transfer", family=FAMILY_ANALYTICAL,
+        request_kinds=(KIND_CHAIN,), exact=True, deterministic=True,
+        run=run_transfer, parallel_safe=True,
+        cost_estimate=lambda width, samples=None: (
+            _TRANSFER_OVERHEAD + _TRANSFER_STAGE_COST * width),
+        description="exact segment-tree composition, prefix-cached",
     ))
     REGISTRY.register(EngineInfo(
         name="vectorized", family=FAMILY_ANALYTICAL,

@@ -32,6 +32,7 @@ from ..runtime.budget import RunBudget, make_meter
 from ..runtime.router import EngineDecision, plan_engine
 from . import backends
 from . import diskcache as _diskcache
+from . import segcache as _segcache
 from .cache import mask_arrays
 from .registry import FAMILY_ANALYTICAL, REGISTRY
 from .request import (
@@ -53,6 +54,23 @@ _MULTIOP_EXACT_CASES = 1 << 22
 _logger = get_logger("engine.executor")
 
 backends.register_builtin_engines()
+
+
+def _segment_eligible(request: AnalysisRequest) -> bool:
+    """Should *request* route through the installed segment tier?
+
+    True only when a process-wide segment cache is configured
+    (:func:`repro.engine.segcache.configure_segment_cache`) and the
+    request is a plain chain question: per-stage Table 4 traces
+    (``keep_trace``) force the stage-by-stage recursion, and joint
+    operand laws need the correlated engine.
+    """
+    return (
+        _segcache.get_segment_cache() is not None
+        and request.kind == KIND_CHAIN
+        and request.joints is None
+        and not request.keep_trace
+    )
 
 
 def select_engine(
@@ -89,6 +107,17 @@ def select_engine(
             engine="correlated",
             reason="per-stage joint operand laws require the "
                    "correlated engine",
+        )
+    # Installed segment tier: eligible chain questions take the exact
+    # O(log N) prefix-cached path.  Eligibility depends only on request
+    # shape and process configuration -- never on cache contents -- so
+    # warm and cold runs select identically (and the transfer core's
+    # exactness makes the answer cache-independent anyway).
+    if _segment_eligible(request):
+        return EngineDecision(
+            engine="transfer",
+            reason="segment cache installed: exact O(log N) "
+                   "prefix-cached path",
         )
     candidates = REGISTRY.for_request(
         request, family=FAMILY_ANALYTICAL, exact=True
@@ -345,13 +374,21 @@ def run_batch(
     meter = make_meter(budget)
     stopped = False
     vector_points = 0
+    segment_points = 0
+    # An installed segment tier serves whole groups through the exact
+    # prefix-cached path (grouped requests are segment-eligible by
+    # construction: chain kind, no joints, no trace).  The choice is
+    # process configuration, not cache state, so batches stay
+    # deterministic whichever tier answers.
+    segment_cache = _segcache.get_segment_cache()
     with _metrics.timed("engine.run_batch"), \
             trace_span("engine.run_batch", requests=len(requests),
                        groups=len(groups)):
         for cells, indices in groups.items():
             if stopped:
                 break
-            matrices = [mask_arrays(t) for t in cells]
+            matrices = None if segment_cache is not None \
+                else [mask_arrays(t) for t in cells]
             start = 0
             while start < len(indices):
                 if meter.stop_reason() is not None:
@@ -363,6 +400,24 @@ def run_batch(
                     break
                 chunk = indices[start:start + step]
                 start += len(chunk)
+                if segment_cache is not None:
+                    cell_list = list(cells)
+                    with _metrics.timed("engine.transfer.seconds"):
+                        for i in chunk:
+                            results[i] = backends._chain_result(
+                                requests[i],
+                                segment_cache.success_probability(
+                                    cell_list, requests[i].p_a,
+                                    requests[i].p_b, requests[i].p_cin,
+                                ),
+                                "transfer", True,
+                            )
+                            if result_cache is not None:
+                                result_cache.put_result(requests[i],
+                                                        results[i])
+                    segment_points += len(chunk)
+                    meter.charge(configs=len(chunk))
+                    continue
                 pa = np.array([requests[i].p_a for i in chunk])
                 pb = np.array([requests[i].p_b for i in chunk])
                 pc = np.array([requests[i].p_cin for i in chunk])
@@ -393,11 +448,17 @@ def run_batch(
         registry.counter("engine.batch.requests").add(len(requests))
         registry.counter("engine.batch.groups").add(len(groups))
         registry.counter("engine.batch.vectorized_points").add(vector_points)
+        if segment_points:
+            registry.counter("engine.batch.segment_points").add(
+                segment_points)
         if cache_hits:
             registry.counter("engine.batch.result_cache_hits").add(cache_hits)
         if requests:
+            # Occupancy = share of requests served batch-grouped (by the
+            # vectorised grid or the segment tier) rather than one-by-one.
             _metrics.set_gauge("engine.batch.occupancy",
-                               vector_points / len(requests))
+                               (vector_points + segment_points)
+                               / len(requests))
     if stopped:
         log_event(_logger, "engine.run_batch.truncated",
                   reason=meter.stop_reason(),

@@ -59,6 +59,7 @@ from ..runtime.budget import (
     RunBudget,
     make_meter,
 )
+from . import segcache as _segcache
 from .cache import GLOBAL_CACHE
 from .registry import REGISTRY
 from .request import KIND_CHAIN, AnalysisRequest, AnalysisResult
@@ -186,6 +187,14 @@ def _run_chunk(payload: Dict[str, object]) -> Dict[str, object]:
                               check_masking=masking)
         for pa, pb, pcin, masking in payload["points"]  # type: ignore[union-attr]
     ]
+    # Spawn workers start without the parent's process-wide segment
+    # cache; installing it from the shipped config keeps the engine
+    # choice (and hence provenance) identical across start methods.
+    # Fork workers inherit the parent's cache and this is a no-op.
+    _segcache.ensure_worker_cache(payload.get("segcache"))  # type: ignore[arg-type]
+    seg_cache = _segcache.get_segment_cache()
+    seg_before = (seg_cache.stats()["memory"]
+                  if seg_cache is not None else None)
     before = GLOBAL_CACHE.stats()
 
     def compute() -> List[Optional[AnalysisResult]]:
@@ -226,10 +235,18 @@ def _run_chunk(payload: Dict[str, object]) -> Dict[str, object]:
                            requests=len(requests), pid=os.getpid()))
         results = compute()
     after = GLOBAL_CACHE.stats()
+    segment_hits = segment_misses = 0
+    if seg_cache is not None and seg_before is not None:
+        seg_after = seg_cache.stats()["memory"]
+        segment_hits = int(seg_after["hits"]) - int(seg_before["hits"])  # type: ignore[arg-type]
+        segment_misses = (int(seg_after["misses"])  # type: ignore[arg-type]
+                          - int(seg_before["misses"]))  # type: ignore[arg-type]
     return {
         "results": results,
         "hits": after.hits - before.hits,
         "misses": after.misses - before.misses,
+        "segment_hits": segment_hits,
+        "segment_misses": segment_misses,
         # engine.cache.* counters travel with the hit/miss delta above
         # (merge_stats mirrors them); exporting them here too would
         # double-count.
@@ -399,6 +416,16 @@ class _PoolRun:
     def merge_cache(self, out: Dict[str, object]) -> None:
         GLOBAL_CACHE.merge_stats(int(out.get("hits", 0)),  # type: ignore[arg-type]
                                  int(out.get("misses", 0)))  # type: ignore[arg-type]
+        # Segment-tier deltas ride the same lock path, keeping the
+        # engine.cache.segment.* counters whole-run-accurate after a
+        # parallel fan-out (chunks from pre-segment-cache workers, and
+        # the tradeoff/exhaustive shards, simply ship no delta).
+        seg_cache = _segcache.get_segment_cache()
+        if seg_cache is not None:
+            seg_cache.merge_stats(
+                int(out.get("segment_hits", 0)),  # type: ignore[arg-type]
+                int(out.get("segment_misses", 0)),  # type: ignore[arg-type]
+            )
 
     def merge_metrics(self, out: Dict[str, object]) -> None:
         """Fold a chunk's metric-registry delta into the parent registry
@@ -518,6 +545,8 @@ def run_batch_parallel(
             worker_budget = _worker_budget(budget, meter)
             if worker_budget is not None:
                 budget_doc = worker_budget.as_dict()
+            segcache_doc = _segcache.export_config(
+                _segcache.get_segment_cache())
             quota = allowed
             for cells, indices in groups.items():
                 if quota <= 0:
@@ -537,6 +566,7 @@ def run_batch_parallel(
                         ],
                         "budget": budget_doc,
                         "options": options,
+                        "segcache": segcache_doc,
                         "trace": trace_active,
                         "request_id": request_id,
                     }

@@ -149,10 +149,13 @@ def render_lines(
             f"{float(gauges.get('engine.parallel.occupancy') or 0.0):5.1%}"
         )
 
-    cache: Mapping[str, object] = service.get("result_cache") or {}
-    if cache:
+    for cache_name, title in (("result_cache", "result cache"),
+                              ("segment_cache", "segment cache")):
+        cache: Mapping[str, object] = service.get(cache_name) or {}
+        if not cache:
+            continue
         lines.append("")
-        lines.append("  result cache")
+        lines.append(f"  {title}")
         for tier in ("memory", "disk"):
             tier_doc: Mapping[str, object] = cache.get(tier) or {}
             if not tier_doc:
