@@ -1,0 +1,120 @@
+"""Error-magnitude engines: linear moments vs the full-PMF DP.
+
+The distribution tentpole's perf claim: the headline magnitude metrics
+do not need the full error law.  ``error_moments`` (MED/MSE in O(N))
+and ``worst_case_error`` (WCE via the interval DP, O(N) and exact at
+any width) must beat materialising the PMF by a wide margin -- while
+agreeing with it exactly where the PMF is computable.  The truncated
+rung is timed at width 32 with its MED drift against the exact O(N)
+moments, pinning the documented "bounded drift" claim with a number.
+
+The measured trajectory lands in ``BENCH_errdist.json``
+(``sealpaa-bench-v1``; CI compares it informationally against the
+committed baseline).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import engine
+from repro.core.magnitude import error_moments, error_pmf, worst_case_error
+from repro.engine.request import AnalysisRequest
+from repro.reporting import ascii_table
+
+from bench_trajectory import metric, write_trajectory
+from conftest import bench_output_path, emit
+
+CELL_NAMES = [f"LPAA {i}" for i in range(1, 8)]
+ZOO_WIDTH = 8
+PMF_CELL = "LPAA 5"
+PMF_WIDTH = 16
+TRUNCATED_WIDTH = 32
+WCE_WIDTH = 64
+MIN_SPEEDUP = 25.0
+MAX_TRUNCATED_DRIFT = 1e-2
+
+
+def test_moments_match_the_pmf_across_the_zoo():
+    """Breadth first: O(N) moments == PMF moments for every paper cell."""
+    for cell in CELL_NAMES:
+        pmf = error_pmf(cell, ZOO_WIDTH, 0.5, 0.5, 0.5)
+        mom = error_moments(cell, ZOO_WIDTH, 0.5, 0.5, 0.5)
+        mean_ref = sum(d * p for d, p in pmf.items())
+        m2_ref = sum(d * d * p for d, p in pmf.items())
+        assert abs(mom.mean - mean_ref) < 1e-9
+        assert abs(mom.second_moment - m2_ref) < 1e-6
+        wce = worst_case_error(cell, ZOO_WIDTH)
+        assert wce.wce == max(abs(d) for d in pmf)
+    emit(f"zoo cross-check: {len(CELL_NAMES)} cells at width {ZOO_WIDTH}, "
+         "moments and WCE equal the PMF reductions")
+
+
+def test_linear_metrics_vs_full_pmf(benchmark):
+    """MED/MSE/WCE without the PMF: >= 25x at the exact guard width."""
+    start = time.perf_counter()
+    pmf = error_pmf(PMF_CELL, PMF_WIDTH, 0.5, 0.5, 0.5)
+    pmf_med = sum(abs(d) * p for d, p in pmf.items())
+    pmf_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    mom = error_moments(PMF_CELL, PMF_WIDTH, 0.5, 0.5, 0.5)
+    wce = worst_case_error(PMF_CELL, PMF_WIDTH)
+    linear_s = time.perf_counter() - start
+
+    assert abs(mom.second_moment
+               - sum(d * d * p for d, p in pmf.items())) < 1e-3
+    assert wce.wce == max(abs(d) for d in pmf)
+    speedup = pmf_s / linear_s if linear_s > 0 else float("inf")
+
+    # The truncated rung past the exact guard: wall time and MED drift
+    # against the independent exact O(N) moments.
+    request = AnalysisRequest.distribution(
+        PMF_CELL, TRUNCATED_WIDTH, kind="med")
+    start = time.perf_counter()
+    truncated = engine.run(request, engine="distribution-dp-truncated")
+    truncated_s = time.perf_counter() - start
+    mom32 = error_moments(PMF_CELL, TRUNCATED_WIDTH, 0.5, 0.5, 0.5)
+    drift = abs(truncated.mse - mom32.second_moment) / mom32.second_moment
+
+    start = time.perf_counter()
+    wce64 = worst_case_error(PMF_CELL, WCE_WIDTH)
+    wce64_s = time.perf_counter() - start
+    assert wce64.wce == 2 ** (WCE_WIDTH - 1)
+
+    emit(ascii_table(
+        ["path", "seconds", "answers"],
+        [[f"full PMF DP (width {PMF_WIDTH}, {len(pmf)} deltas)",
+          f"{pmf_s:.3f}", f"MED={pmf_med:.2f}"],
+         [f"O(N) moments + interval DP (width {PMF_WIDTH})",
+          f"{linear_s:.5f}",
+          f"MSE={mom.second_moment:.3g}, WCE={wce.wce}"],
+         [f"truncated DP (width {TRUNCATED_WIDTH})",
+          f"{truncated_s:.3f}", f"MSE drift {drift:.2e}"],
+         [f"interval DP WCE (width {WCE_WIDTH})",
+          f"{wce64_s:.5f}", f"WCE=2^{WCE_WIDTH - 1}"]],
+        title=f"{PMF_CELL}: magnitude metrics with and without the PMF",
+    ))
+
+    write_trajectory(bench_output_path("BENCH_errdist.json"),
+                     "error_metrics", [
+        metric("full_pmf_s", pmf_s, unit="s", higher_is_better=False),
+        metric("linear_metrics_s", linear_s, unit="s",
+               higher_is_better=False),
+        metric("moments_speedup_x", speedup, unit="x"),
+        metric("truncated_w32_s", truncated_s, unit="s",
+               higher_is_better=False),
+        metric("truncated_mse_drift_rel", drift, unit="",
+               higher_is_better=False),
+        metric("wce_w64_s", wce64_s, unit="s", higher_is_better=False),
+    ])
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x over the full-PMF DP, "
+        f"got {speedup:.1f}x"
+    )
+    assert drift < MAX_TRUNCATED_DRIFT, (
+        f"truncated MSE drift {drift:.2e} exceeds the documented bound"
+    )
+
+    benchmark(lambda: error_moments(PMF_CELL, PMF_WIDTH, 0.5, 0.5, 0.5))

@@ -138,6 +138,75 @@ def approximate_box_blur(
     return np.clip(out.reshape(img.shape), 0, 255).astype(np.uint8)
 
 
+def predict_blend_mse(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: int = 8,
+    approx_bits: Optional[int] = 4,
+    p_a: object = 0.5,
+    p_b: object = 0.5,
+) -> float:
+    """Analytically predicted per-pixel MSE of :func:`approximate_blend`.
+
+    The blend computes ``(a + b + D) >> 1`` where ``D`` is the adder
+    chain's arithmetic error, so the pixel-level noise is ``D / 2`` and
+    the predicted MSE is ``E[D^2] / 4`` -- with ``E[D^2]`` taken from
+    the error-magnitude engine (``engine.run(kind="med")``), no
+    simulation involved.  The prediction assumes independent operand
+    bits at the given one-probabilities, which uniform-noise images
+    satisfy; structured images have correlated bits and may land a few
+    dB away.
+    """
+    from .. import engine
+
+    chain = lsb_approximate_chain(cell, width, approx_bits)
+    result = engine.run(chain, None, p_a, p_b, 0.0, kind="med")
+    return float(result.mse) / 4.0
+
+
+def predict_blend_psnr(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: int = 8,
+    approx_bits: Optional[int] = 4,
+    p_a: object = 0.5,
+    p_b: object = 0.5,
+    peak: float = 255.0,
+) -> float:
+    """Predicted :func:`approximate_blend` PSNR in dB, engine-only.
+
+    ``10 * log10(peak^2 / predicted MSE)`` over
+    :func:`predict_blend_mse`; infinity for an exact chain.
+    """
+    mse = predict_blend_mse(cell, width, approx_bits, p_a, p_b)
+    if mse == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / mse))
+
+
+def blend_quality_experiment(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    approx_bits: Optional[int] = 4,
+    shape: Tuple[int, int] = (64, 64),
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """(predicted PSNR, measured PSNR) for one blend configuration.
+
+    Blends two uniform-noise images (whose independent, equiprobable
+    pixel bits match the engine's operand model) through the
+    approximate chain and scores the result against the exact blend;
+    the analytical prediction comes from :func:`predict_blend_psnr`.
+    The two numbers agreeing within ~1 dB is the end-to-end
+    cross-check pinned by ``tests/apps/test_imaging.py``.
+    """
+    image_a = synthetic_image(shape, "noise", seed)
+    image_b = synthetic_image(shape, "noise", seed + 1)
+    exact = approximate_blend(image_a, image_b, "accurate", 8, None)
+    approx = approximate_blend(image_a, image_b, cell, 8, approx_bits)
+    return (
+        predict_blend_psnr(cell, 8, approx_bits),
+        psnr(exact, approx),
+    )
+
+
 def psnr(reference: np.ndarray, test: np.ndarray, peak: float = 255.0) -> float:
     """Peak signal-to-noise ratio in dB (infinity for identical images)."""
     ref = np.asarray(reference, dtype=np.float64)

@@ -9,6 +9,8 @@ analyze   error probability of one chain at one probability point
 sweep     error-vs-width curves for several cells (Fig. 5 style)
 compare   analytical vs exhaustive vs Monte-Carlo cross-validation
 simulate  budget-routed simulation (exhaustive -> Monte-Carlo fallback)
+distribution  error-magnitude metrics (ED / MED / MRED / WCE) with
+          their own exact-DP -> truncated-DP -> Monte-Carlo ladder
 gear      GeAr(N, R, P) error analysis (DP + IE + MC)
 hybrid    optimal hybrid chain search
 power     calibrated power/area estimates (Table 2 style)
@@ -204,6 +206,55 @@ def _cmd_simulate(args) -> int:
 
         save_result(result.raw, args.save)
         print(f"saved      : {args.save}")
+    return 0
+
+
+def _cmd_distribution(args) -> int:
+    """Error-magnitude analysis: how wrong, not just how often."""
+    chain = _chain_from_args(args)
+    request = engine.AnalysisRequest.distribution(
+        chain, None, args.pa, args.pb, args.pcin, kind=args.kind,
+    )
+    result = engine.run(
+        request=request, engine=args.engine,
+        budget=_budget_from_args(args),
+        samples=args.samples, seed=args.seed,
+    )
+    print(f"chain      : {chain.describe()}")
+    print(f"kind       : {result.kind}")
+    line = f"engine     : {result.engine}"
+    if result.reason:
+        line += f"  ({result.reason})"
+    print(line)
+    if result.degraded_from is not None:
+        print(f"degraded   : from {result.degraded_from}")
+    print(f"exact      : {'yes' if result.exact else 'no (estimate)'}")
+    rows = [["ER (P(Error))", f"{result.p_error:.6f}"]]
+    labels = (("med", "MED  E[|D|]"), ("nmed", "NMED"),
+              ("mse", "MSE  E[D^2]"), ("wce", "WCE  max|D|"),
+              ("mred", "MRED"), ("bias", "bias E[D]"))
+    for name, label in labels:
+        value = getattr(result, name)
+        if value is None:
+            continue
+        if name == "wce":
+            rows.append([label, f"{int(value)}"])
+        else:
+            rows.append([label, f"{float(value):.6g}"])
+    print(ascii_table(["Metric", "Value"], rows))
+    if result.interval is not None:
+        lo, hi = result.interval
+        print(f"95% interval: [{lo:.6g}, {hi:.6g}] "
+              f"({result.samples} samples)")
+    if result.distribution is not None:
+        top = sorted(result.distribution, key=lambda dp: -dp[1])
+        top = top[: args.top]
+        print(ascii_table(
+            ["Delta", "Probability"],
+            [[str(d), f"{p:.6g}"] for d, p in sorted(top)],
+            title=f"top {len(top)} of {len(result.distribution)} "
+                  "support points",
+        ))
     return 0
 
 
@@ -839,6 +890,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(p)
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "distribution",
+        help="error-magnitude analysis: ED / MED / MRED / WCE",
+        description="Analyse how wrong the chain's sum is, not just how "
+                    "often: the error-value law D = approx - exact and "
+                    "its summary metrics, routed through the exact DP, "
+                    "the truncated-support DP, or Monte-Carlo.",
+    )
+    _add_chain_arguments(p)
+    _add_point_arguments(p)
+    p.add_argument(
+        "--kind", default="med",
+        choices=["error_distribution", "med", "mred", "wce"],
+        help="which view of the error law to compute (default med)",
+    )
+    p.add_argument(
+        "--engine", default=None,
+        help="force a backend: distribution-dp, "
+             "distribution-dp-truncated, distribution-exhaustive or "
+             "distribution-mc (default: routed)",
+    )
+    p.add_argument("--samples", type=int, default=None,
+                   help="Monte-Carlo sample count (backend default "
+                        "200000)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=10,
+                   help="support points printed for error_distribution "
+                        "(default 10)")
+    _add_runtime_arguments(p, checkpoint=False)
+    _add_obs_arguments(p)
+    p.set_defaults(func=_cmd_distribution)
 
     p = sub.add_parser("gear", help="GeAr(N, R, P) error analysis")
     p.add_argument("--n", type=int, required=True)

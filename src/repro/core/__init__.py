@@ -40,6 +40,7 @@ from .exceptions import (
     ProbabilityError,
     RegistryError,
     ReproError,
+    SupportLimitError,
     SynthesisError,
     TruthTableError,
     ValidationError,
@@ -51,7 +52,15 @@ from .correlated import (
     self_addition_error,
 )
 from .hybrid import HybridChain
-from .magnitude import ErrorMoments, error_moments, error_pmf
+from .magnitude import (
+    ErrorMoments,
+    WorstCaseError,
+    error_moments,
+    error_pmf,
+    joint_error_pmf,
+    relative_error_from_joint,
+    worst_case_error,
+)
 from .masking import MaskingReport, chain_is_exact, masking_analysis
 from .matrices import (
     TABLE5_MATRICES,
@@ -140,6 +149,10 @@ __all__ = [
     "error_pmf",
     "error_moments",
     "ErrorMoments",
+    "WorstCaseError",
+    "worst_case_error",
+    "joint_error_pmf",
+    "relative_error_from_joint",
     "QualityMetrics",
     "metrics_from_pmf",
     "metrics_from_samples",
@@ -169,5 +182,6 @@ __all__ = [
     "AnalysisError",
     "ExplorationError",
     "CheckpointError",
+    "SupportLimitError",
     "ValidationError",
 ]

@@ -48,6 +48,34 @@ class AnalysisError(ReproError, RuntimeError):
     """A statistical analysis could not be carried out on the given inputs."""
 
 
+class SupportLimitError(AnalysisError):
+    """An exact distribution DP outgrew its support guard.
+
+    Raised by :func:`repro.core.magnitude.error_pmf` (and friends) when
+    the intermediate ``(state, delta)`` support exceeds ``max_entries``,
+    and by :func:`repro.core.value_distribution.output_value_pmf` when
+    the width exceeds its ``max_width`` guard.  Carries the structured
+    context -- *width* of the chain, the offending support size
+    (*entries*), the guard that tripped (*limit*) and the DP *stage* --
+    so routers and services can degrade (truncate the support, fall back
+    to Monte-Carlo) instead of string-matching the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        width: int | None = None,
+        entries: int | None = None,
+        limit: int | None = None,
+        stage: int | None = None,
+    ):
+        super().__init__(message)
+        self.width = width
+        self.entries = entries
+        self.limit = limit
+        self.stage = stage
+
+
 class ExplorationError(ReproError, ValueError):
     """A design-space exploration request is inconsistent or infeasible."""
 

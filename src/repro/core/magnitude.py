@@ -17,9 +17,22 @@ can be tracked exactly alongside it:
 * :func:`error_moments` -- exact ``E[D]`` and ``E[D^2]`` for *any*
   width in linear time, by propagating per-state first/second moments
   instead of full distributions.
+* :func:`worst_case_error` -- exact ``max |D|`` (WCE) for *any* width
+  in linear time, by propagating the reachable ``[min, max]`` delta
+  interval per carry-pair state (extremes compose stage-by-stage even
+  though the full distribution does not).
+* :func:`joint_error_pmf` -- the joint law of ``(D, exact sum)``,
+  from which the mean *relative* error distance (MRED) falls out
+  exactly; support is bounded by ``2^(N+1)`` exact values times the
+  delta support, so the same ``max_entries`` guard applies.
 
-Both support hybrid chains and per-bit probabilities, and are
-cross-validated against exhaustive enumeration and each other.
+All support hybrid chains and per-bit probabilities, and are
+cross-validated against exhaustive enumeration and each other.  When a
+guarded DP outgrows ``max_entries`` it raises
+:class:`~repro.core.exceptions.SupportLimitError` carrying the width,
+support size and stage, so callers (the engine's distribution router)
+can degrade to a truncated DP or Monte-Carlo instead of parsing the
+message.
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
-from .exceptions import AnalysisError
+from .exceptions import AnalysisError, SupportLimitError
 from .recursive import CellSpec, resolve_chain
 from .truth_table import ACCURATE
 from .types import (
@@ -119,10 +132,12 @@ def error_pmf(
                     del bucket[d]
         size = sum(len(bucket) for bucket in nxt.values())
         if size > max_entries:
-            raise AnalysisError(
-                f"error_pmf support exceeded max_entries={max_entries} at "
-                f"stage {i}; raise the limit, set prune_below, or use "
-                "error_moments() for wide adders"
+            raise SupportLimitError(
+                f"error_pmf support for the width-{n} chain exceeded "
+                f"max_entries={max_entries} at stage {i} ({size} "
+                f"(state, delta) pairs); raise the limit, set "
+                "prune_below, or use error_moments() for wide adders",
+                width=n, entries=size, limit=max_entries, stage=i,
             )
         dists = nxt
 
@@ -217,3 +232,171 @@ def error_moments(
         mean += m1 + delta * p
         second += m2 + 2.0 * delta * m1 + delta * delta * p
     return ErrorMoments(mean=mean, second_moment=second, width=n)
+
+
+@dataclass(frozen=True)
+class WorstCaseError:
+    """Exact extremes of the arithmetic error ``D`` (all exact integers)."""
+
+    min_delta: int
+    max_delta: int
+    width: int
+
+    @property
+    def wce(self) -> int:
+        """Worst-case error ``max |D|`` over the reachable support."""
+        return max(abs(self.min_delta), abs(self.max_delta))
+
+    @property
+    def normalized_wce(self) -> float:
+        """WCE divided by the maximum exact output ``2^(N+1) - 1``."""
+        return self.wce / float((1 << (self.width + 1)) - 1)
+
+
+def worst_case_error(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+) -> WorstCaseError:
+    """Exact ``max |D|`` (WCE) in O(width) time and O(1) memory.
+
+    The full delta *distribution* does not compose linearly, but its
+    reachable ``[min, max]`` interval does: per carry-pair state we
+    track the extreme deltas attainable with positive probability, and
+    each stage shifts them by the extreme ``(s_approx - s_exact) * 2^i``
+    increments of its reachable transitions.  Zero-probability operand
+    values (``p == 0`` or ``p == 1`` bits) are excluded, so the answer
+    is the exact worst case *under the given input distribution*, in
+    exact integer arithmetic at any width.
+    """
+    cells, n, pa, pb, pc = _weights(cell, width, p_a, p_b, p_cin)
+
+    # state -> (min reachable delta, max reachable delta); states with
+    # zero probability mass are simply absent.
+    spans: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    if pc < 1.0:
+        spans[(0, 0)] = (0, 0)
+    if pc > 0.0:
+        spans[(1, 1)] = (0, 0)
+
+    for i, table in enumerate(cells):
+        weight_bit = 1 << i
+        nxt: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for (ca, ce), (lo, hi) in spans.items():
+            for a in (0, 1):
+                if (pa[i] if a else 1.0 - pa[i]) == 0.0:
+                    continue
+                for b in (0, 1):
+                    if (pb[i] if b else 1.0 - pb[i]) == 0.0:
+                        continue
+                    sa, ca_next = table.evaluate(a, b, ca)
+                    se, ce_next = ACCURATE.evaluate(a, b, ce)
+                    inc = (sa - se) * weight_bit
+                    key = (ca_next, ce_next)
+                    cur = nxt.get(key)
+                    if cur is None:
+                        nxt[key] = (lo + inc, hi + inc)
+                    else:
+                        nxt[key] = (min(cur[0], lo + inc),
+                                    max(cur[1], hi + inc))
+        spans = nxt
+
+    weight_carry = 1 << n
+    lo_all: Optional[int] = None
+    hi_all: Optional[int] = None
+    for (ca, ce), (lo, hi) in spans.items():
+        inc = (ca - ce) * weight_carry
+        lo_all = lo + inc if lo_all is None else min(lo_all, lo + inc)
+        hi_all = hi + inc if hi_all is None else max(hi_all, hi + inc)
+    return WorstCaseError(min_delta=int(lo_all or 0),
+                          max_delta=int(hi_all or 0), width=n)
+
+
+def joint_error_pmf(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+    max_entries: int = 2_000_000,
+    prune_below: float = 0.0,
+) -> Dict[Tuple[int, int], float]:
+    """Exact joint PMF of ``(D, exact sum)``.
+
+    Extends the :func:`error_pmf` DP with the exact adder's partial
+    value, so relative-error metrics (MRED: ``E[|D| / max(exact, 1)]``)
+    come out exactly instead of sample-only.  Support is bounded by the
+    ``2^(N+1)`` exact values times the per-value delta support, so the
+    practical width limit is lower than :func:`error_pmf`'s (~12 bits at
+    the default guard); past it a :class:`SupportLimitError` is raised.
+
+    Returns ``{(delta, exact_sum): probability}``.
+    """
+    cells, n, pa, pb, pc = _weights(cell, width, p_a, p_b, p_cin)
+
+    # state -> {(delta, exact partial value): prob}
+    dists: Dict[Tuple[int, int], Dict[Tuple[int, int], float]] = {
+        (0, 0): {(0, 0): 1.0 - pc} if pc < 1.0 else {},
+        (1, 1): {(0, 0): pc} if pc > 0.0 else {},
+    }
+
+    for i, table in enumerate(cells):
+        weight_bit = 1 << i
+        nxt: Dict[Tuple[int, int], Dict[Tuple[int, int], float]] = {}
+        for (ca, ce), dist in dists.items():
+            if not dist:
+                continue
+            for a in (0, 1):
+                wa = pa[i] if a else 1.0 - pa[i]
+                if wa == 0.0:
+                    continue
+                for b in (0, 1):
+                    wb = pb[i] if b else 1.0 - pb[i]
+                    w = wa * wb
+                    if w == 0.0:
+                        continue
+                    sa, ca_next = table.evaluate(a, b, ca)
+                    se, ce_next = ACCURATE.evaluate(a, b, ce)
+                    delta_inc = (sa - se) * weight_bit
+                    value_inc = se * weight_bit
+                    bucket = nxt.setdefault((ca_next, ce_next), {})
+                    for (delta, value), prob in dist.items():
+                        key = (delta + delta_inc, value + value_inc)
+                        bucket[key] = bucket.get(key, 0.0) + prob * w
+        if prune_below > 0.0:
+            for bucket in nxt.values():
+                stale = [k for k, p in bucket.items() if p < prune_below]
+                for k in stale:
+                    del bucket[k]
+        size = sum(len(bucket) for bucket in nxt.values())
+        if size > max_entries:
+            raise SupportLimitError(
+                f"joint_error_pmf support for the width-{n} chain "
+                f"exceeded max_entries={max_entries} at stage {i} "
+                f"({size} (state, delta, value) entries); raise the "
+                "limit, set prune_below, or estimate MRED by sampling",
+                width=n, entries=size, limit=max_entries, stage=i,
+            )
+        dists = nxt
+
+    weight_carry = 1 << n
+    joint: Dict[Tuple[int, int], float] = {}
+    for (ca, ce), dist in dists.items():
+        delta_inc = (ca - ce) * weight_carry
+        value_inc = ce * weight_carry
+        for (delta, value), prob in dist.items():
+            key = (delta + delta_inc, value + value_inc)
+            joint[key] = joint.get(key, 0.0) + prob
+    return {k: p for k, p in joint.items() if p > 0.0}
+
+
+def relative_error_from_joint(
+    joint: Dict[Tuple[int, int], float]
+) -> float:
+    """MRED ``E[|D| / max(exact, 1)]`` from a :func:`joint_error_pmf`."""
+    return float(sum(
+        abs(delta) / float(max(value, 1)) * prob
+        for (delta, value), prob in joint.items()
+    ))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple, Union
 
-from .exceptions import AnalysisError
+from .exceptions import SupportLimitError
 from .recursive import CellSpec, resolve_chain
 from .truth_table import ACCURATE
 from .types import (
@@ -43,9 +43,11 @@ def output_value_pmf(
     cells = resolve_chain(cell, width)
     n = len(cells)
     if n > max_width:
-        raise AnalysisError(
+        raise SupportLimitError(
             f"output-value PMF at width {n} would hold up to 2^{n + 1} "
-            f"entries; raise max_width explicitly if you mean it"
+            f"entries (max_width={max_width}); raise max_width "
+            "explicitly if you mean it",
+            width=n, entries=1 << (n + 1), limit=max_width,
         )
     pa = [float(p) for p in validate_probability_vector(p_a, n, "p_a")]
     pb = [float(p) for p in validate_probability_vector(p_b, n, "p_b")]

@@ -76,16 +76,35 @@ from .registry import (
     EngineRegistry,
 )
 from .request import (
+    DISTRIBUTION_KINDS,
     KIND_CHAIN,
+    KIND_ERROR_DISTRIBUTION,
     KIND_GEAR,
+    KIND_MED,
+    KIND_MRED,
     KIND_MULTIOP,
+    KIND_WCE,
     KNOWN_METRICS,
+    METRIC_BIAS,
+    METRIC_MED,
+    METRIC_MRED,
+    METRIC_MSE,
+    METRIC_NMED,
     METRIC_P_ERROR,
     METRIC_P_SUCCESS,
+    METRIC_WCE,
     AnalysisRequest,
     AnalysisResult,
 )
 from .backends import register_builtin_engines
+from .distribution import (
+    DIST_EXACT_MAX_WIDTH,
+    DIST_TRUNCATED_MAX_WIDTH,
+    MRED_EXACT_MAX_WIDTH,
+    QUANT_BITS,
+    exact_width_limit,
+    register_distribution_engines,
+)
 from .executor import error_curves, run, run_batch, select_engine
 from .parallel import (
     PARALLEL_EXHAUSTIVE,
@@ -116,13 +135,30 @@ __all__ = [
     "FAMILY_ANALYTICAL",
     "FAMILY_SIMULATION",
     "GLOBAL_CACHE",
+    "DISTRIBUTION_KINDS",
+    "DIST_EXACT_MAX_WIDTH",
+    "DIST_TRUNCATED_MAX_WIDTH",
+    "MRED_EXACT_MAX_WIDTH",
+    "QUANT_BITS",
     "KIND_CHAIN",
+    "KIND_ERROR_DISTRIBUTION",
     "KIND_GEAR",
+    "KIND_MED",
+    "KIND_MRED",
     "KIND_MULTIOP",
+    "KIND_WCE",
     "KNOWN_METRICS",
+    "METRIC_BIAS",
+    "METRIC_MED",
+    "METRIC_MRED",
+    "METRIC_MSE",
+    "METRIC_NMED",
     "METRIC_P_ERROR",
     "METRIC_P_SUCCESS",
+    "METRIC_WCE",
     "PARALLEL_EXHAUSTIVE",
+    "exact_width_limit",
+    "register_distribution_engines",
     "REGISTRY",
     "StageMatrixCache",
     "StageTransition",

@@ -454,4 +454,9 @@ def register_builtin_engines() -> None:
             samples if samples else 200_000),
         description="Monte-Carlo over the functional CSA-tree model",
     ))
+    # The error-magnitude family lives in its own module; registering it
+    # here keeps "import repro.engine" the single activation point.
+    from .distribution import register_distribution_engines
+
+    register_distribution_engines()
     _REGISTERED = True

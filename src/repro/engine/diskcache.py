@@ -51,7 +51,12 @@ from typing import Dict, List, Optional, Union
 from ..obs import metrics as _metrics
 from ..runtime import chaos as _chaos
 from .cache import QUANT_DIGITS
-from .request import KIND_CHAIN, AnalysisRequest, AnalysisResult
+from .request import (
+    DISTRIBUTION_KINDS,
+    KIND_CHAIN,
+    AnalysisRequest,
+    AnalysisResult,
+)
 
 #: On-disk entry document format tag (bump on incompatible layout change;
 #: old-format entries then read as corrupt -> miss -> rewrite).
@@ -69,17 +74,30 @@ _PAYLOAD_FIELDS = (
     "cell_names", "is_upper_bound",
 )
 
+#: Error-magnitude fields stored when present (``None`` values are
+#: omitted, so plain P(error) entries keep their original shape and old
+#: entries stay readable).
+_MAGNITUDE_FIELDS = ("med", "nmed", "mse", "wce", "mred", "bias")
+
+#: Request kinds the cache can address (chain-shaped operands whose
+#: answer is a pure function of the request).
+_CACHEABLE_KINDS = (KIND_CHAIN,) + DISTRIBUTION_KINDS
+
 
 def request_key(request: AnalysisRequest) -> Optional[str]:
     """Content address of a cacheable request, or ``None``.
 
-    Only plain analytical chain questions are addressable: correlated
-    (``joints``) and traced requests depend on state the payload cannot
-    carry, and non-chain kinds keep their own native result shapes.
-    ``check_masking`` is part of the identity because it decides the
-    stored ``is_upper_bound`` flag.
+    Plain analytical chain questions and the error-magnitude kinds
+    (:data:`~repro.engine.request.DISTRIBUTION_KINDS`) are addressable:
+    both are pure functions of ``(kind, cells, operand probabilities)``.
+    Correlated (``joints``) and traced requests depend on state the
+    payload cannot carry, and GeAr/multiop kinds keep their own native
+    result shapes.  ``check_masking`` is part of the identity because
+    it decides the stored ``is_upper_bound`` flag; ``kind`` is part of
+    the hashed document, so a ``med`` answer can never replay to a
+    ``wce`` question over the same chain.
     """
-    if (request.kind != KIND_CHAIN or request.joints is not None
+    if (request.kind not in _CACHEABLE_KINDS or request.joints is not None
             or request.keep_trace or not request.cells):
         return None
     doc = {
@@ -99,11 +117,29 @@ def payload_from_result(result: AnalysisResult) -> Dict[str, object]:
     """The JSON-safe subset of a result an entry stores."""
     payload = {name: getattr(result, name) for name in _PAYLOAD_FIELDS}
     payload["cell_names"] = list(result.cell_names)
+    for name in _MAGNITUDE_FIELDS:
+        value = getattr(result, name)
+        if value is not None:
+            payload[name] = value
+    if result.distribution is not None:
+        payload["distribution"] = [
+            [delta, prob] for delta, prob in result.distribution
+        ]
     return payload
 
 
 def result_from_payload(payload: Dict[str, object]) -> AnalysisResult:
     """Rebuild an :class:`AnalysisResult` from a stored payload."""
+    magnitude: Dict[str, object] = {}
+    for name in _MAGNITUDE_FIELDS:
+        value = payload.get(name)
+        if value is not None:
+            magnitude[name] = float(value)  # type: ignore[arg-type]
+    pairs = payload.get("distribution")
+    if pairs is not None:
+        magnitude["distribution"] = tuple(
+            (int(delta), float(prob)) for delta, prob in pairs  # type: ignore[union-attr]
+        )
     return AnalysisResult(
         p_error=float(payload["p_error"]),          # type: ignore[arg-type]
         p_success=float(payload["p_success"]),      # type: ignore[arg-type]
@@ -113,6 +149,7 @@ def result_from_payload(payload: Dict[str, object]) -> AnalysisResult:
         kind=str(payload.get("kind", KIND_CHAIN)),
         cell_names=tuple(payload.get("cell_names") or ()),  # type: ignore[arg-type]
         is_upper_bound=bool(payload.get("is_upper_bound", False)),
+        **magnitude,  # type: ignore[arg-type]
     )
 
 
@@ -127,6 +164,18 @@ def _validate_payload(payload: object) -> Dict[str, object]:
         value = payload[name]
         if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
             raise ValueError(f"payload {name} out of [0,1]: {value!r}")
+    for name in _MAGNITUDE_FIELDS:
+        if name in payload and not isinstance(payload[name], (int, float)):
+            raise ValueError(f"payload {name} is not a number")
+    pairs = payload.get("distribution")
+    if pairs is not None:
+        if not isinstance(pairs, list) or any(
+            not isinstance(pair, list) or len(pair) != 2
+            or not isinstance(pair[0], int)
+            or not isinstance(pair[1], (int, float))
+            for pair in pairs
+        ):
+            raise ValueError("payload distribution is not a PMF pair list")
     return payload
 
 

@@ -1,0 +1,427 @@
+"""Error-magnitude engines: the distribution kinds' backend family.
+
+The paper's engines answer one question -- word-level ``P(error)``.
+This module registers the backends that answer *how wrong* the sum is,
+for the :data:`~repro.engine.request.DISTRIBUTION_KINDS` request kinds
+(``error_distribution`` / ``med`` / ``mred`` / ``wce``), following Wu
+et al.'s block-based error statistics and Roy & Dhar's fast
+mean-error-distance analysis (PAPERS.md): propagate the error-value law
+``D = approx - exact`` stage by stage over the carry-pair Markov state.
+
+Four engines, one degradation ladder
+(:func:`repro.runtime.router.plan_distribution_engine`):
+
+* ``distribution-dp`` -- exact: the full-PMF DP of
+  :func:`repro.core.magnitude.error_pmf` (practical to
+  :data:`DIST_EXACT_MAX_WIDTH` bits), the joint ``(D, exact)`` DP for
+  MRED (to :data:`MRED_EXACT_MAX_WIDTH` bits), and for the ``wce`` kind
+  the linear-time interval DP
+  (:func:`repro.core.magnitude.worst_case_error`) exact at *any* width.
+  ``E[D]``/``E[D^2]`` always come exact from the linear-time moments.
+* ``distribution-dp-truncated`` -- the truncated-support rung past the
+  exact guard: the same DP with every delta rounded to
+  :data:`QUANT_BITS` significant bits (mass-preserving mantissa
+  quantisation, bounded support at any width).  ``P(error)`` stays
+  exact (a nonzero delta never merges into zero); MED/MSE/bias drift
+  by at most ``~width * 2^(1-QUANT_BITS)`` relative, so results are
+  flagged ``exact=False``.
+* ``distribution-exhaustive`` -- the oracle: one weighted enumeration
+  pass (:func:`repro.simulation.exhaustive.exhaustive_quality`)
+  reporting the PMF, MRED and bias, width-guarded like every
+  exhaustive path.
+* ``distribution-mc`` -- seeded sampling
+  (:func:`repro.simulation.montecarlo.simulate_samples` +
+  :func:`repro.core.metrics.metrics_from_samples`) with a Wilson
+  interval on ER and normal-approximation intervals on MED/MRED.
+
+All results land in the protocol's error-magnitude fields
+(``med``/``nmed``/``mse``/``wce``/``mred``/``bias`` and, for
+``error_distribution`` requests, the full ``distribution`` PMF), so
+serve, the CLI and the result cache carry them without special cases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.exceptions import AnalysisError
+from ..core.metrics import metrics_from_pmf
+from .cache import stage_transition
+from .registry import (
+    FAMILY_ANALYTICAL,
+    FAMILY_SIMULATION,
+    REGISTRY,
+    EngineInfo,
+)
+from .request import (
+    DISTRIBUTION_KINDS,
+    KIND_ERROR_DISTRIBUTION,
+    KIND_MED,
+    KIND_MRED,
+    KIND_WCE,
+    AnalysisRequest,
+    AnalysisResult,
+)
+
+#: Exact full-PMF DP guard: beyond this width the delta support can
+#: outgrow ``error_pmf``'s ``max_entries`` and the router degrades to
+#: the truncated-support DP.  Matches the exhaustive oracle's width so
+#: every exact answer remains oracle-checkable.
+DIST_EXACT_MAX_WIDTH = 16
+
+#: Exact joint ``(delta, exact value)`` DP guard for MRED: the support
+#: also scales with the ``2^(N+1)`` exact values, so the practical
+#: limit sits lower than the marginal PMF's.
+MRED_EXACT_MAX_WIDTH = 12
+
+#: Truncated-support DP guard: bounded support makes the cost linear in
+#: width, but past ~32 bits Monte-Carlo answers faster than the DP.
+DIST_TRUNCATED_MAX_WIDTH = 32
+
+#: Significant bits kept per delta by the truncated-support DP.  Mass
+#: is never dropped -- nearby deltas merge -- so the PMF still sums to
+#: 1 and ER stays exact; magnitude metrics drift by at most
+#: ``~width * 2^(1-QUANT_BITS)`` relative.
+QUANT_BITS = 12
+
+#: Default sample count of ``distribution-mc`` (smaller than the
+#: paper's 1M: magnitude metrics converge on means, not tail counts).
+MC_DEFAULT_SAMPLES = 200_000
+
+#: Largest empirical support ``distribution-mc`` reports as a PMF.
+MC_MAX_SUPPORT = 4096
+
+
+def exact_width_limit(kind: str) -> Optional[int]:
+    """Widest request the exact ``distribution-dp`` serves for *kind*
+    (``None`` = any width: the WCE interval DP is linear-time)."""
+    if kind == KIND_WCE:
+        return None
+    if kind == KIND_MRED:
+        return MRED_EXACT_MAX_WIDTH
+    return DIST_EXACT_MAX_WIDTH
+
+
+def _quantize(delta: int, bits: int = QUANT_BITS) -> int:
+    """Round *delta* toward zero to *bits* significant binary digits."""
+    if delta == 0:
+        return 0
+    magnitude = abs(delta)
+    shift = magnitude.bit_length() - bits
+    if shift <= 0:
+        return delta
+    magnitude = (magnitude >> shift) << shift
+    return magnitude if delta > 0 else -magnitude
+
+
+def _quantized_error_pmf(request: AnalysisRequest) -> Dict[int, float]:
+    """The :func:`~repro.core.magnitude.error_pmf` DP with deltas kept
+    at :data:`QUANT_BITS` significant bits -- bounded support (about
+    ``2^QUANT_BITS * width`` entries per carry state) at any width,
+    total mass exactly preserved."""
+    from ..core.truth_table import ACCURATE
+
+    cells = request.cells
+    pa, pb, pc = request.p_a, request.p_b, request.p_cin
+    dists: Dict[Tuple[int, int], Dict[int, float]] = {}
+    if pc < 1.0:
+        dists[(0, 0)] = {0: 1.0 - pc}
+    if pc > 0.0:
+        dists[(1, 1)] = {0: pc}
+    for i, table in enumerate(cells):
+        weight_bit = 1 << i
+        nxt: Dict[Tuple[int, int], Dict[int, float]] = {}
+        for (ca, ce), dist in dists.items():
+            if not dist:
+                continue
+            for a in (0, 1):
+                wa = pa[i] if a else 1.0 - pa[i]
+                if wa == 0.0:
+                    continue
+                for b in (0, 1):
+                    wb = pb[i] if b else 1.0 - pb[i]
+                    w = wa * wb
+                    if w == 0.0:
+                        continue
+                    sa, ca_next = table.evaluate(a, b, ca)
+                    se, ce_next = ACCURATE.evaluate(a, b, ce)
+                    delta_inc = (sa - se) * weight_bit
+                    bucket = nxt.setdefault((ca_next, ce_next), {})
+                    for delta, prob in dist.items():
+                        key = _quantize(delta + delta_inc)
+                        bucket[key] = bucket.get(key, 0.0) + prob * w
+        dists = nxt
+    weight_carry = 1 << len(cells)
+    pmf: Dict[int, float] = {}
+    for (ca, ce), dist in dists.items():
+        delta_inc = (ca - ce) * weight_carry
+        for delta, prob in dist.items():
+            key = _quantize(delta + delta_inc)
+            pmf[key] = pmf.get(key, 0.0) + prob
+    return {d: p for d, p in pmf.items() if p > 0.0}
+
+
+def _chain_error_probability(request: AnalysisRequest) -> float:
+    """Word-level P(error) of the request's chain via the cached
+    stage-transition recursion (the paper's Algorithm 1)."""
+    cells = request.cells
+    c1 = request.p_cin
+    c0 = 1.0 - c1
+    for i in range(len(cells) - 1):
+        c0, c1 = stage_transition(
+            cells[i], request.p_a[i], request.p_b[i]).apply(c0, c1)
+    p_success = stage_transition(
+        cells[-1], request.p_a[-1], request.p_b[-1]).success(c0, c1)
+    return 1.0 - min(1.0, max(0.0, p_success))
+
+
+def _result(
+    request: AnalysisRequest,
+    engine: str,
+    exact: bool,
+    p_error: float,
+    **fields: object,
+) -> AnalysisResult:
+    p_error = min(1.0, max(0.0, float(p_error)))
+    return AnalysisResult(
+        p_error=p_error,
+        p_success=1.0 - p_error,
+        engine=engine,
+        exact=exact,
+        width=request.width,
+        kind=request.kind,
+        cell_names=request.cell_names,
+        **fields,  # type: ignore[arg-type]
+    )
+
+
+def _pmf_fields(
+    pmf: Dict[int, float], request: AnalysisRequest
+) -> Tuple[Dict[str, object], float]:
+    """(MED/NMED/MSE/WCE/bias fields, error rate) from a delta law."""
+    quality = metrics_from_pmf(pmf, request.width)
+    fields: Dict[str, object] = {
+        "med": quality.med,
+        "nmed": quality.nmed,
+        "mse": quality.mse,
+        "wce": quality.wce,
+        "bias": float(sum(d * p for d, p in pmf.items())),
+    }
+    if request.kind == KIND_ERROR_DISTRIBUTION:
+        fields["distribution"] = tuple(sorted(pmf.items()))
+    return fields, quality.error_rate
+
+
+def run_distribution_dp(
+    request: AnalysisRequest, **options: object
+) -> AnalysisResult:
+    """Exact error-magnitude DP (full PMF / joint MRED / interval WCE).
+
+    Raises :class:`~repro.core.exceptions.SupportLimitError` when the
+    requested kind's DP support outgrows its guard -- the router rungs
+    (:func:`repro.runtime.router.plan_distribution_engine`) exist so
+    un-forced callers never see that.
+    """
+    from ..core.magnitude import (
+        error_moments,
+        error_pmf,
+        joint_error_pmf,
+        relative_error_from_joint,
+        worst_case_error,
+    )
+
+    cells = list(request.cells)
+    pa, pb, pc = list(request.p_a), list(request.p_b), request.p_cin
+    if request.kind == KIND_WCE:
+        moments = error_moments(cells, None, pa, pb, pc)
+        worst = worst_case_error(cells, None, pa, pb, pc)
+        from .backends import _chain_is_upper_bound
+
+        return _result(
+            request, "distribution-dp", True,
+            _chain_error_probability(request),
+            wce=worst.wce, mse=moments.second_moment, bias=moments.mean,
+            is_upper_bound=_chain_is_upper_bound(request),
+        )
+    if request.kind == KIND_MRED:
+        joint = joint_error_pmf(cells, None, pa, pb, pc)
+        pmf: Dict[int, float] = {}
+        for (delta, _value), prob in joint.items():
+            pmf[delta] = pmf.get(delta, 0.0) + prob
+        fields, error_rate = _pmf_fields(pmf, request)
+        fields["mred"] = relative_error_from_joint(joint)
+        return _result(request, "distribution-dp", True, error_rate,
+                       **fields)
+    pmf = error_pmf(cells, None, pa, pb, pc)
+    fields, error_rate = _pmf_fields(pmf, request)
+    return _result(request, "distribution-dp", True, error_rate, **fields)
+
+
+def run_distribution_dp_truncated(
+    request: AnalysisRequest, **options: object
+) -> AnalysisResult:
+    """Truncated-support DP: bounded support at any width.
+
+    Deltas are kept at :data:`QUANT_BITS` significant bits, merging
+    (never dropping) nearby values, so the PMF sums to 1 and
+    ``p_error`` is still exact; MED/MSE/WCE/bias carry a bounded
+    relative drift and the result is flagged ``exact=False``.  MRED is
+    not served here (the joint DP has no mass-preserving truncation);
+    the router sends wide MRED questions to Monte-Carlo instead.
+    """
+    if request.kind == KIND_MRED:
+        raise AnalysisError(
+            "distribution-dp-truncated cannot answer 'mred' (the joint "
+            "(delta, exact) support has no mass-preserving truncation); "
+            "use distribution-mc"
+        )
+    if request.kind == KIND_WCE:
+        # The exact interval DP is linear-time at any width; truncation
+        # would only make the answer worse.
+        return run_distribution_dp(request, **options)
+    pmf = _quantized_error_pmf(request)
+    fields, error_rate = _pmf_fields(pmf, request)
+    return _result(request, "distribution-dp-truncated", False,
+                   error_rate, **fields)
+
+
+def run_distribution_exhaustive(
+    request: AnalysisRequest, **options: object
+) -> AnalysisResult:
+    """The oracle: weighted enumeration of every input combination."""
+    from ..simulation.exhaustive import exhaustive_quality
+
+    report = exhaustive_quality(
+        list(request.cells), None,
+        list(request.p_a), list(request.p_b), request.p_cin,
+        progress=options.get("progress"),
+    )
+    fields, error_rate = _pmf_fields(report.pmf, request)
+    fields["bias"] = report.bias
+    if request.kind == KIND_MRED:
+        fields["mred"] = report.mred
+    return _result(request, "distribution-exhaustive", True, error_rate,
+                   cases=report.cases, **fields)
+
+
+def _mean_interval(
+    values: np.ndarray, z: float = 1.96
+) -> Tuple[float, float]:
+    """Normal-approximation CI for a sample mean, clamped at 0."""
+    n = values.size
+    mean = float(values.mean())
+    std = float(values.std(ddof=1)) if n > 1 else 0.0
+    half = z * std / math.sqrt(n)
+    return (max(0.0, mean - half), mean + half)
+
+
+def _wilson_interval(
+    p: float, n: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a proportion (keeps width at p=0/1)."""
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def run_distribution_mc(
+    request: AnalysisRequest, **options: object
+) -> AnalysisResult:
+    """Seeded sampling estimate of the error-magnitude metrics.
+
+    ``interval`` carries the 95% bound on the request's headline
+    metric: Wilson on ER for ``error_distribution``, a normal
+    approximation on the MED/MRED sample mean otherwise (WCE has no
+    sampling bound -- the observed maximum is only a lower bound, and
+    the result says so via ``exact=False``).
+    """
+    from ..core.metrics import metrics_from_samples
+    from ..simulation.montecarlo import simulate_samples
+
+    samples = int(options.get("samples") or MC_DEFAULT_SAMPLES)  # type: ignore[arg-type]
+    approx, exact_sums = simulate_samples(
+        list(request.cells), None,
+        list(request.p_a), list(request.p_b), request.p_cin,
+        samples=samples, seed=options.get("seed", 0),  # type: ignore[arg-type]
+        progress=options.get("progress"),
+    )
+    quality = metrics_from_samples(approx, exact_sums, request.width)
+    delta = approx - exact_sums
+    abs_delta = np.abs(delta).astype(np.float64)
+    interval: Optional[Tuple[float, float]]
+    if request.kind == KIND_MED:
+        interval = _mean_interval(abs_delta)
+    elif request.kind == KIND_MRED:
+        interval = _mean_interval(abs_delta / np.maximum(exact_sums, 1))
+    elif request.kind == KIND_ERROR_DISTRIBUTION:
+        interval = _wilson_interval(quality.error_rate, samples)
+    else:
+        interval = None
+    fields: Dict[str, object] = {
+        "med": quality.med,
+        "nmed": quality.nmed,
+        "mse": quality.mse,
+        "wce": quality.wce,
+        "mred": quality.mred,
+        "bias": float(delta.mean()),
+        "samples": samples,
+        "interval": interval,
+    }
+    if request.kind == KIND_ERROR_DISTRIBUTION:
+        uniques, counts = np.unique(delta, return_counts=True)
+        if uniques.size <= MC_MAX_SUPPORT:
+            fields["distribution"] = tuple(
+                (int(d), float(c) / samples)
+                for d, c in zip(uniques, counts)
+            )
+    return _result(request, "distribution-mc", False, quality.error_rate,
+                   **fields)
+
+
+def register_distribution_engines() -> None:
+    """Register the four distribution engines (idempotent)."""
+    if "distribution-dp" in REGISTRY:
+        return
+    from ..simulation.exhaustive import MAX_EXHAUSTIVE_WIDTH
+
+    REGISTRY.register(EngineInfo(
+        name="distribution-dp", family=FAMILY_ANALYTICAL,
+        request_kinds=DISTRIBUTION_KINDS, exact=True, deterministic=True,
+        run=run_distribution_dp, parallel_safe=True,
+        cost_estimate=lambda width, samples=None: (
+            8.0 * width * min(2.0 ** width, 4.0e6)),
+        description="exact carry-pair DP: full error PMF, joint MRED, "
+                    "interval WCE",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="distribution-dp-truncated", family=FAMILY_ANALYTICAL,
+        request_kinds=DISTRIBUTION_KINDS, exact=False, deterministic=True,
+        run=run_distribution_dp_truncated, parallel_safe=True,
+        cost_estimate=lambda width, samples=None: 3000.0 * width * width,
+        description=f"error-PMF DP at {QUANT_BITS} significant delta "
+                    "bits (mass-preserving, bounded support)",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="distribution-exhaustive", family=FAMILY_SIMULATION,
+        request_kinds=DISTRIBUTION_KINDS, exact=True, deterministic=True,
+        run=run_distribution_exhaustive, parallel_safe=True,
+        max_width=MAX_EXHAUSTIVE_WIDTH,
+        cost_estimate=lambda width, samples=None: 2.0 ** (2 * width + 1),
+        description="weighted enumeration oracle: PMF, MRED and bias in "
+                    "one pass",
+    ))
+    REGISTRY.register(EngineInfo(
+        name="distribution-mc", family=FAMILY_SIMULATION,
+        request_kinds=DISTRIBUTION_KINDS, exact=False,
+        run=run_distribution_mc, parallel_safe=True,
+        default_samples=MC_DEFAULT_SAMPLES,
+        cost_estimate=lambda width, samples=None: float(
+            samples if samples else MC_DEFAULT_SAMPLES),
+        description="seeded sampling: Wilson-bounded ER, "
+                    "normal-approximation MED/MRED intervals",
+    ))

@@ -29,13 +29,18 @@ from ..obs import metrics as _metrics
 from ..obs.log import get_logger, log_event
 from ..obs.tracing import trace_span
 from ..runtime.budget import RunBudget, make_meter
-from ..runtime.router import EngineDecision, plan_engine
+from ..runtime.router import (
+    EngineDecision,
+    plan_distribution_engine,
+    plan_engine,
+)
 from . import backends
 from . import diskcache as _diskcache
 from . import segcache as _segcache
 from .cache import mask_arrays
 from .registry import FAMILY_ANALYTICAL, REGISTRY
 from .request import (
+    DISTRIBUTION_KINDS,
     KIND_CHAIN,
     KIND_GEAR,
     KIND_MULTIOP,
@@ -83,8 +88,13 @@ def select_engine(
     Analytical chain/GeAr questions take the cheapest capable exact
     analytical engine.  Multi-operand questions degrade from exact
     enumeration to Monte-Carlo when the case count exceeds the
-    enumerator's guard, recording ``degraded_from``.
+    enumerator's guard, recording ``degraded_from``.  Error-magnitude
+    questions (:data:`~repro.engine.request.DISTRIBUTION_KINDS`) walk
+    their own ladder,
+    :func:`repro.runtime.router.plan_distribution_engine`.
     """
+    if request.kind in DISTRIBUTION_KINDS:
+        return plan_distribution_engine(request, budget, samples)
     if request.kind == KIND_MULTIOP:
         cases = 1 << (len(request.operands) * request.width)
         if cases <= _MULTIOP_EXACT_CASES:
@@ -152,6 +162,7 @@ def run(
     joints: Optional[Sequence[object]] = None,
     keep_trace: bool = False,
     jobs: object = None,
+    kind: Optional[str] = None,
 ) -> AnalysisResult:
     """Answer one analysis question through the registry.
 
@@ -164,6 +175,13 @@ def run(
     offers the router a process pool: an exhaustive enumeration that
     would overrun the deadline on one core may then run sharded as
     ``parallel-exhaustive`` instead of degrading to Monte-Carlo.
+
+    *kind* switches the question itself: one of
+    :data:`~repro.engine.request.DISTRIBUTION_KINDS`
+    (``"error_distribution"`` / ``"med"`` / ``"mred"`` / ``"wce"``)
+    asks for the error's *magnitude* law over the same chain operands
+    -- the answer lands in the result's ``med``/``wce``/``mred``/...
+    fields.  Default (``None``) keeps the plain P(error) question.
     """
     from . import parallel as _parallel
 
@@ -172,9 +190,29 @@ def run(
     if request is None:
         if cell is None:
             raise AnalysisError("run() needs a cell spec or a request")
-        request = AnalysisRequest.chain(
-            cell, width, p_a, p_b, p_cin,
-            joints=joints, keep_trace=keep_trace,
+        if kind is not None and kind != KIND_CHAIN:
+            if kind not in DISTRIBUTION_KINDS:
+                raise AnalysisError(
+                    f"run(kind=...) understands {KIND_CHAIN!r} and "
+                    f"{', '.join(repr(k) for k in DISTRIBUTION_KINDS)}; "
+                    f"got {kind!r}"
+                )
+            if joints is not None or keep_trace:
+                raise AnalysisError(
+                    "distribution kinds do not support joints/keep_trace"
+                )
+            request = AnalysisRequest.distribution(
+                cell, width, p_a, p_b, p_cin, kind=kind,
+            )
+        else:
+            request = AnalysisRequest.chain(
+                cell, width, p_a, p_b, p_cin,
+                joints=joints, keep_trace=keep_trace,
+            )
+    elif kind is not None and kind != request.kind:
+        raise AnalysisError(
+            f"run(kind={kind!r}) conflicts with the prebuilt request's "
+            f"kind {request.kind!r}"
         )
 
     # Persistent result cache (opt-in via diskcache.configure_result_cache):
@@ -197,12 +235,18 @@ def run(
     decision: Optional[EngineDecision] = None
     if engine is None:
         if simulate:
-            if request.kind != KIND_CHAIN:
+            if request.kind in DISTRIBUTION_KINDS:
+                decision = EngineDecision(
+                    engine="distribution-mc",
+                    reason="simulate=True forces the sampling backend",
+                )
+            elif request.kind != KIND_CHAIN:
                 raise AnalysisError(
                     "simulate=True routing applies to chain requests only"
                 )
-            decision = plan_engine(request.width, budget, samples,
-                                   jobs=jobs_n or None)
+            else:
+                decision = plan_engine(request.width, budget, samples,
+                                       jobs=jobs_n or None)
         else:
             decision = select_engine(request, budget, samples)
         engine_name = decision.engine

@@ -27,10 +27,35 @@ KIND_CHAIN = "chain"
 KIND_GEAR = "gear"
 KIND_MULTIOP = "multiop"
 
+#: Error-magnitude kinds: same chain operands, but the question is the
+#: error *value* law (or a summary of it) rather than P(error) alone.
+KIND_ERROR_DISTRIBUTION = "error_distribution"
+KIND_MED = "med"
+KIND_MRED = "mred"
+KIND_WCE = "wce"
+DISTRIBUTION_KINDS = (KIND_ERROR_DISTRIBUTION, KIND_MED, KIND_MRED,
+                      KIND_WCE)
+
 #: Metric names a request may ask for.
 METRIC_P_ERROR = "p_error"
 METRIC_P_SUCCESS = "p_success"
-KNOWN_METRICS = (METRIC_P_ERROR, METRIC_P_SUCCESS)
+METRIC_MED = "med"
+METRIC_NMED = "nmed"
+METRIC_MSE = "mse"
+METRIC_WCE = "wce"
+METRIC_MRED = "mred"
+METRIC_BIAS = "bias"
+KNOWN_METRICS = (METRIC_P_ERROR, METRIC_P_SUCCESS, METRIC_MED,
+                 METRIC_NMED, METRIC_MSE, METRIC_WCE, METRIC_MRED,
+                 METRIC_BIAS)
+
+#: Default metric set per distribution kind (what the answer leads with).
+_KIND_DEFAULT_METRICS = {
+    KIND_ERROR_DISTRIBUTION: (METRIC_P_ERROR, METRIC_MED, METRIC_WCE),
+    KIND_MED: (METRIC_MED, METRIC_MSE),
+    KIND_MRED: (METRIC_MRED,),
+    KIND_WCE: (METRIC_WCE,),
+}
 
 
 @dataclass(frozen=True)
@@ -66,7 +91,7 @@ class AnalysisRequest:
     @property
     def width(self) -> int:
         """Stage count (chain), bit width (GeAr) or operand width."""
-        if self.kind == KIND_CHAIN:
+        if self.kind == KIND_CHAIN or self.kind in DISTRIBUTION_KINDS:
             return len(self.cells)
         if self.kind == KIND_GEAR:
             return self.gear.n  # type: ignore[union-attr]
@@ -119,6 +144,42 @@ class AnalysisRequest:
                 )
             request = replace(request, joints=tuple(joints))
         return request
+
+    @classmethod
+    def distribution(
+        cls,
+        cell: object,
+        width: Optional[int] = None,
+        p_a: object = 0.5,
+        p_b: object = 0.5,
+        p_cin: float = 0.5,
+        kind: str = KIND_MED,
+        metrics: Optional[Sequence[str]] = None,
+    ) -> "AnalysisRequest":
+        """Normalise an error-*magnitude* question over a ripple chain.
+
+        Same operand convention as :meth:`chain`, but *kind* selects
+        which view of the error value ``D = approx - exact`` the engine
+        answers:
+
+        * ``"error_distribution"`` -- the full PMF of ``D``;
+        * ``"med"`` -- mean/MSE error distance (``E[|D|]``, ``E[D^2]``);
+        * ``"mred"`` -- mean relative error distance
+          (``E[|D| / max(exact, 1)]``);
+        * ``"wce"`` -- worst-case error ``max |D|``.
+
+        *metrics* defaults to the kind's headline metrics; any name in
+        :data:`KNOWN_METRICS` may be requested explicitly.
+        """
+        if kind not in DISTRIBUTION_KINDS:
+            raise AnalysisError(
+                f"unknown distribution kind {kind!r}; known: "
+                f"{', '.join(DISTRIBUTION_KINDS)}"
+            )
+        base = cls.chain(cell, width, p_a, p_b, p_cin)
+        wanted = (_KIND_DEFAULT_METRICS[kind] if metrics is None
+                  else metrics)
+        return replace(base, kind=kind, metrics=_normalise_metrics(wanted))
 
     @classmethod
     def for_gear(
@@ -205,6 +266,13 @@ class AnalysisResult:
     budget forced a downgrade; ``raw`` keeps the backend-native result
     (``MonteCarloResult``, ``ExhaustiveResult``, ``GeArIEReport``, ...)
     for callers that need manifests, checkpoints or term counts.
+
+    The error-magnitude fields (``med``/``nmed``/``mse``/``wce``/
+    ``mred``/``bias``) are populated by the distribution engines
+    (:data:`DISTRIBUTION_KINDS` requests) and ``None`` for plain
+    P(error) answers; ``distribution`` carries the full
+    ``((delta, probability), ...)`` PMF for ``error_distribution``
+    requests (sorted by delta).
     """
 
     p_error: float
@@ -222,6 +290,13 @@ class AnalysisResult:
     reason: Optional[str] = None
     interval: Optional[Tuple[float, float]] = None
     is_upper_bound: bool = False
+    med: Optional[float] = None
+    nmed: Optional[float] = None
+    mse: Optional[float] = None
+    wce: Optional[float] = None
+    mred: Optional[float] = None
+    bias: Optional[float] = None
+    distribution: Optional[Tuple[Tuple[int, float], ...]] = None
     trace: Tuple = ()
     raw: object = field(default=None, repr=False, compare=False)
 
@@ -231,4 +306,13 @@ class AnalysisResult:
             return self.p_error
         if metric == METRIC_P_SUCCESS:
             return self.p_success
+        if metric in KNOWN_METRICS:
+            found = getattr(self, metric)
+            if found is None:
+                raise AnalysisError(
+                    f"result from engine {self.engine!r} "
+                    f"(kind={self.kind!r}) does not carry metric "
+                    f"{metric!r}"
+                )
+            return float(found)
         raise AnalysisError(f"unknown metric {metric!r}")

@@ -40,6 +40,12 @@ ENGINE_CHUNKED_EXHAUSTIVE = "chunked-exhaustive"
 ENGINE_PARALLEL_EXHAUSTIVE = "parallel-exhaustive"
 ENGINE_MONTECARLO = "montecarlo"
 
+#: The error-magnitude ladder's rungs (see
+#: :mod:`repro.engine.distribution`).
+ENGINE_DISTRIBUTION_DP = "distribution-dp"
+ENGINE_DISTRIBUTION_DP_TRUNCATED = "distribution-dp-truncated"
+ENGINE_DISTRIBUTION_MC = "distribution-mc"
+
 #: Conservative enumeration throughput (cases/second) used to judge
 #: whether a deadline can afford exhaustive enumeration at all.  Kept
 #: for backwards compatibility; the ladder itself now reads the
@@ -164,6 +170,94 @@ def plan_engine(
         reason=f"{cases} cases require chunked enumeration",
         degraded_from=ENGINE_EXHAUSTIVE,
         estimated_cases=cases,
+    ))
+
+
+def plan_distribution_engine(
+    request: object,
+    budget: Optional[RunBudget] = None,
+    samples: Optional[int] = None,
+) -> EngineDecision:
+    """Route an error-*magnitude* question down its own ladder.
+
+    Preference order: exact full-support DP (``distribution-dp``),
+    truncated-support DP (``distribution-dp-truncated``: deltas kept at
+    :data:`~repro.engine.distribution.QUANT_BITS` significant bits --
+    mass-preserving, so ER stays exact and MED/MSE drift is bounded),
+    Monte-Carlo (``distribution-mc``: seeded sampling with
+    Wilson/normal intervals).  Three kinds bend the ladder:
+
+    * ``wce`` never degrades -- the interval DP is linear-time exact at
+      any width, so the first rung always answers;
+    * ``mred`` skips the truncated rung -- the joint ``(delta, exact)``
+      DP has no mass-preserving truncation, so past the exact guard the
+      answer comes from sampling;
+    * a deadline too short even for the truncated DP's estimated cost
+      drops straight to Monte-Carlo.
+
+    Width limits and cost estimates come from the engines' registry
+    metadata, exactly like :func:`plan_engine`.
+    """
+    from ..engine.backends import register_builtin_engines
+    from ..engine.distribution import exact_width_limit
+    from ..engine.registry import REGISTRY
+    from ..engine.request import KIND_MRED, KIND_WCE
+
+    register_builtin_engines()
+    width = request.width  # type: ignore[attr-defined]
+    kind = request.kind  # type: ignore[attr-defined]
+    if width < 1:
+        raise AnalysisError(f"width must be >= 1, got {width}")
+
+    mc = REGISTRY.get(ENGINE_DISTRIBUTION_MC)
+    mc_samples = (samples if samples is not None
+                  else mc.default_samples or 1)
+    if budget is not None and budget.max_samples is not None:
+        mc_samples = min(mc_samples, budget.max_samples)
+
+    def affordable(engine_name: str) -> bool:
+        if budget is None or budget.deadline_s is None:
+            return True
+        info = REGISTRY.get(engine_name)
+        cost = info.cost_estimate(width, None)
+        return cost <= budget.deadline_s * info.ops_per_second
+
+    limit = exact_width_limit(kind)
+    if kind == KIND_WCE:
+        # Exact at any width in O(width): nothing to degrade to.
+        return _record_decision(EngineDecision(
+            engine=ENGINE_DISTRIBUTION_DP,
+            reason="the interval DP answers WCE exactly at any width",
+        ))
+    if (limit is None or width <= limit) \
+            and affordable(ENGINE_DISTRIBUTION_DP):
+        return _record_decision(EngineDecision(
+            engine=ENGINE_DISTRIBUTION_DP,
+            reason=f"width {width} fits the exact DP's support guard "
+                   f"(limit {limit})",
+        ))
+    from ..engine.distribution import DIST_TRUNCATED_MAX_WIDTH
+
+    if kind != KIND_MRED and width <= DIST_TRUNCATED_MAX_WIDTH \
+            and affordable(ENGINE_DISTRIBUTION_DP_TRUNCATED):
+        return _record_decision(EngineDecision(
+            engine=ENGINE_DISTRIBUTION_DP_TRUNCATED,
+            reason=f"width {width} exceeds the exact DP's support guard "
+                   f"({limit}); truncated-support DP keeps ER exact "
+                   "with bounded MED/MSE drift",
+            degraded_from=ENGINE_DISTRIBUTION_DP,
+        ))
+    why = ("the joint (delta, exact) DP has no mass-preserving "
+           "truncation" if kind == KIND_MRED
+           else "the DP rungs are unaffordable past the truncated "
+                f"guard ({DIST_TRUNCATED_MAX_WIDTH}) or deadline")
+    return _record_decision(EngineDecision(
+        engine=ENGINE_DISTRIBUTION_MC,
+        reason=f"width {width} exceeds the exact limit ({limit}) and "
+               f"{why}; sampling with interval bounds",
+        degraded_from=(ENGINE_DISTRIBUTION_DP if kind == KIND_MRED
+                       else ENGINE_DISTRIBUTION_DP_TRUNCATED),
+        samples=mc_samples,
     ))
 
 

@@ -92,19 +92,31 @@ def parse_analysis_doc(doc: object) -> AnalysisRequest:
     * ``{"spec": "LPAA7:4, LPAA1:4", ...}`` -- hybrid spec string.
 
     ``p_a`` / ``p_b`` are a scalar or per-stage list (default 0.5),
-    ``p_cin`` a scalar (default 0.5).  Anything malformed raises
+    ``p_cin`` a scalar (default 0.5).  ``kind`` switches the question
+    from plain P(error) (the default, ``"chain"``) to one of the
+    error-magnitude kinds (``"error_distribution"`` / ``"med"`` /
+    ``"mred"`` / ``"wce"``); the answer document then carries the
+    matching ``med``/``wce``/... fields.  Anything malformed raises
     :class:`RequestParseError` (HTTP 400) *before* the request is
     queued, so bad input never costs engine time.
     """
+    from ..engine.request import DISTRIBUTION_KINDS, KIND_CHAIN
+
     if not isinstance(doc, dict):
         raise RequestParseError(
             f"request body must be a JSON object, got {type(doc).__name__}"
         )
     unknown = set(doc) - {"cell", "cells", "spec", "width",
-                          "p_a", "p_b", "p_cin", "deadline_s"}
+                          "p_a", "p_b", "p_cin", "deadline_s", "kind"}
     if unknown:
         raise RequestParseError(
             f"unknown request fields: {', '.join(sorted(map(str, unknown)))}"
+        )
+    kind = doc.get("kind", KIND_CHAIN)
+    if kind != KIND_CHAIN and kind not in DISTRIBUTION_KINDS:
+        raise RequestParseError(
+            f"unknown kind {kind!r}; known: {KIND_CHAIN}, "
+            f"{', '.join(DISTRIBUTION_KINDS)}"
         )
     spellings = [name for name in ("cell", "cells", "spec") if doc.get(name)]
     if len(spellings) != 1:
@@ -130,6 +142,14 @@ def parse_analysis_doc(doc: object) -> AnalysisRequest:
         except ReproError as exc:
             raise RequestParseError(f"bad chain spec: {exc}") from exc
     try:
+        if kind != KIND_CHAIN:
+            return AnalysisRequest.distribution(
+                chain, chain_width,
+                p_a=doc.get("p_a", 0.5),
+                p_b=doc.get("p_b", 0.5),
+                p_cin=doc.get("p_cin", 0.5),
+                kind=kind,
+            )
         return AnalysisRequest.chain(
             chain, chain_width,
             p_a=doc.get("p_a", 0.5),
@@ -161,8 +181,17 @@ def parse_deadline(doc: object, default_s: Optional[float]) -> Optional[float]:
 
 
 def result_to_doc(result: AnalysisResult) -> Dict[str, object]:
-    """The JSON answer document for one finished analysis."""
-    return {
+    """The JSON answer document for one finished analysis.
+
+    Plain P(error) answers keep their original seven-field shape;
+    error-magnitude answers additionally carry ``kind``, the populated
+    metric fields (``med``/``nmed``/``mse``/``wce``/``mred``/``bias``),
+    and -- for ``error_distribution`` questions -- the full
+    ``distribution`` PMF as ``[[delta, probability], ...]``.
+    """
+    from ..engine.request import KIND_CHAIN
+
+    doc: Dict[str, object] = {
         "p_error": result.p_error,
         "p_success": result.p_success,
         "engine": result.engine,
@@ -171,6 +200,21 @@ def result_to_doc(result: AnalysisResult) -> Dict[str, object]:
         "cells": list(result.cell_names),
         "is_upper_bound": result.is_upper_bound,
     }
+    if result.kind != KIND_CHAIN:
+        doc["kind"] = result.kind
+        for name in ("med", "nmed", "mse", "wce", "mred", "bias"):
+            value = getattr(result, name)
+            if value is not None:
+                doc[name] = value
+        if result.distribution is not None:
+            doc["distribution"] = [
+                [delta, prob] for delta, prob in result.distribution
+            ]
+        if result.interval is not None:
+            doc["interval"] = list(result.interval)
+        if result.samples is not None:
+            doc["samples"] = result.samples
+    return doc
 
 
 class _Pending:

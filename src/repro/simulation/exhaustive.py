@@ -412,3 +412,80 @@ def exhaustive_error_pmf(
             "simulation.exhaustive.cases"
         ).add(total_cases)
     return {d: m for d, m in sorted(pmf.items()) if m > 0.0}
+
+
+@dataclass(frozen=True)
+class ExhaustiveQuality:
+    """Everything one weighted enumeration pass can report at once.
+
+    ``pmf`` is the exact error-delta law (as
+    :func:`exhaustive_error_pmf`), ``mred`` the exact mean relative
+    error distance ``E[|D| / max(exact, 1)]`` and ``bias`` the exact
+    signed mean error ``E[D]`` -- the two quantities the marginal PMF
+    alone cannot (MRED) or should not (re-derive) provide.
+    """
+
+    pmf: Dict[int, float]
+    mred: float
+    bias: float
+    width: int
+    cases: int
+
+
+def exhaustive_quality(
+    cell: Union[CellSpec, Sequence[CellSpec]],
+    width: Optional[int] = None,
+    p_a: Union[Probability, Sequence[Probability]] = 0.5,
+    p_b: Union[Probability, Sequence[Probability]] = 0.5,
+    p_cin: Probability = 0.5,
+    progress: Optional[ProgressCallback] = None,
+) -> ExhaustiveQuality:
+    """Exact error-delta PMF *plus* MRED and bias in one enumeration.
+
+    The strongest oracle for the engine's distribution kinds: one pass
+    over all ``2^(2N+1)`` cases accumulates the error law and, case by
+    case, the relative error against the exact sum -- which the
+    marginal PMF cannot recover (MRED conditions on the exact value).
+    """
+    cells = resolve_chain(cell, width)
+    n = len(cells)
+    _check_width(n)
+    pa = float_probability_vector(p_a, n, "p_a")
+    pb = float_probability_vector(p_b, n, "p_b")
+    pc = float(validate_probability(p_cin, "p_cin"))
+
+    total_cases = _count_cases(n)
+    reporter = Progress(total_cases, "exhaustive.cases", callback=progress,
+                        logger=_logger)
+    pmf: Dict[int, float] = {}
+    mred = 0.0
+    bias = 0.0
+    with _metrics.timed("simulation.exhaustive.enumerate"), \
+            trace_span("simulation.exhaustive.quality",
+                       width=n, cases=total_cases):
+        for _, a, b, cin in _iter_operand_blocks(n):
+            exact = a + b + cin
+            delta = ripple_add_array(cells, a, b, cin) - exact
+            weights = (
+                _bit_weights(a, pa, n)
+                * _bit_weights(b, pb, n)
+                * np.where(cin == 1, pc, 1.0 - pc)
+            )
+            for d in np.unique(delta):
+                mass = float(weights[delta == d].sum())
+                if mass > 0.0:
+                    pmf[int(d)] = pmf.get(int(d), 0.0) + mass
+            abs_delta = np.abs(delta).astype(np.float64)
+            mred += float((weights * abs_delta
+                           / np.maximum(exact, 1)).sum())
+            bias += float((weights * delta).sum())
+            reporter.update(a.size)
+    reporter.finish()
+    if _metrics.is_enabled():
+        _metrics.get_registry().counter(
+            "simulation.exhaustive.cases"
+        ).add(total_cases)
+    return ExhaustiveQuality(
+        pmf={d: m for d, m in sorted(pmf.items()) if m > 0.0},
+        mred=mred, bias=bias, width=n, cases=total_cases,
+    )

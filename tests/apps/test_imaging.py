@@ -128,3 +128,34 @@ class TestPsnr:
     def test_shape_mismatch(self):
         with pytest.raises(AnalysisError):
             psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestBlendPrediction:
+    def test_prediction_matches_measurement(self):
+        from repro.apps.imaging import blend_quality_experiment
+
+        predicted, measured = blend_quality_experiment("LPAA 5",
+                                                       approx_bits=4)
+        assert abs(predicted - measured) < 2.0
+
+    def test_prediction_tracks_approximation_depth(self):
+        from repro.apps.imaging import predict_blend_psnr
+
+        deeper = [predict_blend_psnr("LPAA 1", 8, bits)
+                  for bits in (2, 4, 6)]
+        assert deeper == sorted(deeper, reverse=True)  # PSNR falls
+
+    def test_exact_chain_predicts_infinite_psnr(self):
+        from repro.apps.imaging import predict_blend_psnr
+
+        assert predict_blend_psnr("accurate", 8, 4) == float("inf")
+
+    def test_predicted_mse_is_a_quarter_of_the_engine_mse(self):
+        from repro import engine
+        from repro.apps.imaging import (lsb_approximate_chain,
+                                        predict_blend_mse)
+
+        chain = lsb_approximate_chain("LPAA 2", 8, 3)
+        expected = engine.run(chain, None, 0.5, 0.5, 0.0, kind="med").mse
+        assert predict_blend_mse("LPAA 2", 8, 3) == pytest.approx(
+            expected / 4.0)

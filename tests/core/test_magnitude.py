@@ -4,8 +4,14 @@ import itertools
 
 import pytest
 
-from repro.core.exceptions import AnalysisError
-from repro.core.magnitude import error_moments, error_pmf
+from repro.core.exceptions import AnalysisError, SupportLimitError
+from repro.core.magnitude import (
+    error_moments,
+    error_pmf,
+    joint_error_pmf,
+    relative_error_from_joint,
+    worst_case_error,
+)
 from repro.core.recursive import error_probability
 from repro.core.truth_table import ACCURATE
 
@@ -116,3 +122,124 @@ class TestErrorMoments:
         mom = error_moments(lpaa_cell, 3, p_a, p_b, 0)
         assert mom.mean == pytest.approx(delta)
         assert mom.second_moment == pytest.approx(delta * delta)
+
+def _enumerate_joint(cell, width, p_a, p_b, p_cin):
+    """Brute-force joint PMF of (approx - exact, exact) for the oracle."""
+    joint = {}
+    for bits in itertools.product((0, 1), repeat=2 * width + 1):
+        a_bits, b_bits, cin = bits[:width], bits[width:2 * width], bits[-1]
+        w = p_cin if cin else 1 - p_cin
+        for i in range(width):
+            w *= p_a[i] if a_bits[i] else 1 - p_a[i]
+            w *= p_b[i] if b_bits[i] else 1 - p_b[i]
+        if w == 0.0:
+            continue
+        approx, carry = 0, cin
+        for i in range(width):
+            s, carry = cell.evaluate(a_bits[i], b_bits[i], carry)
+            approx |= s << i
+        approx |= carry << width
+        a_val = sum(bit << i for i, bit in enumerate(a_bits))
+        b_val = sum(bit << i for i, bit in enumerate(b_bits))
+        exact = a_val + b_val + cin
+        key = (approx - exact, exact)
+        joint[key] = joint.get(key, 0.0) + w
+    return joint
+
+
+class TestWorstCaseError:
+    WIDTH = 5
+    P_A = [0.2, 0.7, 0.5, 0.9, 0.4]
+    P_B = [0.4, 0.1, 0.8, 0.3, 0.6]
+    P_CIN = 0.6
+
+    def test_matches_pmf_extremes(self, lpaa_cell):
+        pmf = error_pmf(lpaa_cell, self.WIDTH, self.P_A, self.P_B, self.P_CIN)
+        wce = worst_case_error(lpaa_cell, self.WIDTH, self.P_A, self.P_B,
+                               self.P_CIN)
+        assert wce.min_delta == min(pmf)
+        assert wce.max_delta == max(pmf)
+        assert wce.wce == max(abs(min(pmf)), abs(max(pmf)))
+
+    def test_exact_big_integers_at_64_bits(self):
+        # Enumeration is hopeless here; the interval DP stays exact
+        # because it composes integer spans, never floats.
+        wce = worst_case_error("LPAA 5", 64)
+        assert wce.wce == 2 ** 63
+        assert isinstance(wce.wce, int)
+
+    def test_deterministic_bits_restrict_the_support(self, lpaa_cell):
+        # With 0/1 probabilities only one input vector is reachable, so
+        # min == max == the single attainable delta.
+        p_a, p_b = [1, 0, 1], [1, 1, 0]
+        wce = worst_case_error(lpaa_cell, 3, p_a, p_b, 0)
+        ((delta, _),) = error_pmf(lpaa_cell, 3, p_a, p_b, 0).items()
+        assert wce.min_delta == wce.max_delta == delta
+
+    def test_accurate_adder_has_zero_wce(self):
+        wce = worst_case_error(ACCURATE, 48)
+        assert wce.min_delta == wce.max_delta == 0
+        assert wce.normalized_wce == 0.0
+
+
+class TestJointErrorPmf:
+    WIDTH = 4
+    P_A = [0.2, 0.7, 0.5, 0.9]
+    P_B = [0.4, 0.1, 0.8, 0.3]
+    P_CIN = 0.6
+
+    def test_matches_enumeration(self, lpaa_cell):
+        ref = _enumerate_joint(lpaa_cell, self.WIDTH, self.P_A, self.P_B,
+                               self.P_CIN)
+        got = joint_error_pmf(lpaa_cell, self.WIDTH, self.P_A, self.P_B,
+                              self.P_CIN)
+        assert set(got) == {k for k, p in ref.items() if p > 0}
+        for key, prob in ref.items():
+            if prob > 0:
+                assert got[key] == pytest.approx(prob, abs=1e-12)
+
+    def test_marginal_recovers_error_pmf(self, lpaa_cell):
+        joint = joint_error_pmf(lpaa_cell, self.WIDTH, self.P_A, self.P_B,
+                                self.P_CIN)
+        marginal = {}
+        for (delta, _), prob in joint.items():
+            marginal[delta] = marginal.get(delta, 0.0) + prob
+        pmf = error_pmf(lpaa_cell, self.WIDTH, self.P_A, self.P_B,
+                        self.P_CIN)
+        assert marginal == pytest.approx(pmf, abs=1e-12)
+
+    def test_mred_matches_enumeration(self, lpaa_cell):
+        ref = _enumerate_joint(lpaa_cell, self.WIDTH, self.P_A, self.P_B,
+                               self.P_CIN)
+        mred_ref = sum(abs(d) / max(v, 1) * p for (d, v), p in ref.items())
+        joint = joint_error_pmf(lpaa_cell, self.WIDTH, self.P_A, self.P_B,
+                                self.P_CIN)
+        assert relative_error_from_joint(joint) == pytest.approx(
+            mred_ref, abs=1e-12)
+
+    def test_accurate_adder_mred_is_zero(self):
+        joint = joint_error_pmf(ACCURATE, 6, 0.3, 0.7, 0.5)
+        assert relative_error_from_joint(joint) == 0.0
+
+
+class TestSupportLimitError:
+    def test_error_pmf_carries_structured_context(self):
+        with pytest.raises(SupportLimitError) as info:
+            error_pmf("LPAA 5", 12, 0.5, 0.5, 0.5, max_entries=10)
+        err = info.value
+        assert err.width == 12
+        assert err.limit == 10
+        assert err.entries > err.limit
+        assert isinstance(err.stage, int)
+
+    def test_joint_pmf_carries_structured_context(self):
+        with pytest.raises(SupportLimitError) as info:
+            joint_error_pmf("LPAA 5", 10, max_entries=50)
+        err = info.value
+        assert err.width == 10
+        assert err.limit == 50
+        assert err.entries > 50
+
+    def test_is_an_analysis_error_for_old_handlers(self):
+        with pytest.raises(AnalysisError, match="max_entries"):
+            error_pmf("LPAA 5", 12, max_entries=10)

@@ -1,0 +1,321 @@
+"""The error-magnitude request kinds, end to end.
+
+Cross-validates every distribution engine against the exhaustive
+oracle over the full cell zoo, pins the router's degradation ladder
+(exact DP -> truncated DP -> Monte-Carlo, with the WCE and MRED
+exceptions), and exercises the kinds through run()/run_batch(), the
+result cache and the serving layer.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import engine
+from repro.core.exceptions import AnalysisError
+from repro.engine.diskcache import (
+    cacheable_result,
+    payload_from_result,
+    request_key,
+    result_from_payload,
+)
+from repro.engine.distribution import (
+    DIST_EXACT_MAX_WIDTH,
+    MRED_EXACT_MAX_WIDTH,
+    exact_width_limit,
+)
+from repro.engine.request import (
+    DISTRIBUTION_KINDS,
+    KIND_ERROR_DISTRIBUTION,
+    KIND_MED,
+    KIND_MRED,
+    KIND_WCE,
+    AnalysisRequest,
+)
+from repro.runtime.budget import RunBudget
+from repro.runtime.router import plan_distribution_engine
+from repro.simulation.exhaustive import exhaustive_quality
+
+
+class TestAnalyticalMatchesExhaustive:
+    """The acceptance bar: DP == enumeration for every zoo cell."""
+
+    WIDTH = 6
+    P_A = [0.2, 0.7, 0.5, 0.9, 0.4, 0.6]
+    P_B = [0.4, 0.1, 0.8, 0.3, 0.55, 0.25]
+    P_CIN = 0.6
+
+    def _run(self, cell, kind, backend):
+        request = AnalysisRequest.distribution(
+            cell, self.WIDTH, self.P_A, self.P_B, self.P_CIN, kind=kind)
+        return engine.run(request, engine=backend)
+
+    @pytest.mark.parametrize("kind", DISTRIBUTION_KINDS)
+    def test_dp_matches_oracle_across_the_zoo(self, lpaa_cell, kind):
+        report = exhaustive_quality(
+            lpaa_cell, self.WIDTH, self.P_A, self.P_B, self.P_CIN)
+        got = self._run(lpaa_cell, kind, "distribution-dp")
+        oracle = self._run(lpaa_cell, kind, "distribution-exhaustive")
+        assert got.exact and oracle.exact
+        if kind == KIND_WCE:
+            assert got.wce == oracle.wce
+            assert got.wce == max((abs(d) for d in report.pmf), default=0)
+        elif kind == KIND_MRED:
+            assert got.mred == pytest.approx(report.mred, abs=1e-12)
+            assert oracle.mred == pytest.approx(report.mred, abs=1e-12)
+        else:
+            assert got.med == pytest.approx(oracle.med, abs=1e-10)
+            assert got.mse == pytest.approx(oracle.mse, abs=1e-8)
+            assert got.p_error == pytest.approx(oracle.p_error, abs=1e-12)
+        if kind == KIND_ERROR_DISTRIBUTION:
+            assert dict(got.distribution) == pytest.approx(
+                {d: p for d, p in report.pmf.items() if p > 0}, abs=1e-12)
+
+    def test_hybrid_chain_matches_oracle(self):
+        chain = ["LPAA 7", "LPAA 3", "LPAA 1", "accurate", "LPAA 5"]
+        report = exhaustive_quality(chain, None, 0.5, 0.5, 0.5)
+        result = engine.run(chain, None, kind="med")
+        assert result.engine == "distribution-dp"
+        med_ref = sum(abs(d) * p for d, p in report.pmf.items())
+        assert result.med == pytest.approx(med_ref, abs=1e-10)
+        assert result.bias == pytest.approx(report.bias, abs=1e-10)
+
+    def test_truncated_dp_is_lossless_at_narrow_width(self):
+        # At width 6 every |delta| < 2^QUANT_BITS, so quantisation is
+        # the identity and the truncated rung must agree bit-for-bit --
+        # while still flagging itself as an estimate.
+        exact = self._run("LPAA 5", KIND_MED, "distribution-dp")
+        trunc = self._run("LPAA 5", KIND_MED, "distribution-dp-truncated")
+        assert trunc.med == pytest.approx(exact.med, abs=1e-12)
+        assert trunc.exact is False and exact.exact is True
+
+
+class TestHypothesisCrossValidation:
+    """Randomised hybrid chains: DP == enumeration wherever both run."""
+
+    chains = st.lists(
+        st.sampled_from([f"LPAA {i}" for i in range(1, 8)] + ["accurate"]),
+        min_size=1, max_size=5)
+    # a 1/20 grid keeps the 0/1 edge cases while avoiding denormal
+    # probabilities whose path weights underflow in the enumeration
+    # oracle (the DP keeps any positive-probability path, however tiny).
+    probabilities = st.integers(0, 20).map(lambda k: k / 20.0)
+
+    @given(chain=chains, p_a=probabilities, p_b=probabilities,
+           p_cin=probabilities)
+    @settings(max_examples=30, deadline=None)
+    def test_med_and_wce_match_enumeration(self, chain, p_a, p_b, p_cin):
+        report = exhaustive_quality(chain, None, p_a, p_b, p_cin)
+        med_ref = sum(abs(d) * p for d, p in report.pmf.items())
+        wce_ref = max((abs(d) for d, p in report.pmf.items() if p > 0),
+                      default=0)
+        med = engine.run(chain, None, p_a, p_b, p_cin, kind=KIND_MED,
+                         engine="distribution-dp")
+        wce = engine.run(chain, None, p_a, p_b, p_cin, kind=KIND_WCE,
+                         engine="distribution-dp")
+        assert med.med == pytest.approx(med_ref, abs=1e-9)
+        assert wce.wce == wce_ref
+
+
+class TestWideWidths:
+    def test_wce_is_exact_at_64_bits(self):
+        result = engine.run("LPAA 5", 64, kind=KIND_WCE)
+        assert result.engine == "distribution-dp"
+        assert result.exact is True
+        assert result.wce == 2 ** 63
+
+    def test_truncated_med_near_exact_moments_at_32_bits(self):
+        # error_moments is an independent exact O(N) computation of
+        # E[|D|]-adjacent quantities; the truncated PMF's E[D^2] must
+        # land within the documented ~width * 2^-11 relative drift.
+        from repro.core.magnitude import error_moments
+
+        result = engine.run("LPAA 1", 32, kind=KIND_MED)
+        assert result.engine == "distribution-dp-truncated"
+        mom = error_moments("LPAA 1", 32, 0.5, 0.5, 0.5)
+        assert result.mse == pytest.approx(mom.second_moment, rel=1e-2)
+
+    def test_mc_interval_contains_truncated_dp_med_at_32_bits(self):
+        dp = engine.run("LPAA 1", 32, kind=KIND_MED)
+        mc = engine.run("LPAA 1", 32, kind=KIND_MED,
+                        engine="distribution-mc", samples=50_000, seed=3)
+        assert mc.engine == "distribution-mc"
+        lo, hi = mc.interval
+        # the normal CI is on the MC estimate; the DP value must be
+        # consistent with it (generous width at 50k samples).
+        assert lo <= dp.med <= hi
+
+
+class TestRouterLadder:
+    def _req(self, width, kind=KIND_MED):
+        return AnalysisRequest.distribution("LPAA 1", width, kind=kind)
+
+    def test_exact_dp_inside_the_guard(self):
+        decision = plan_distribution_engine(self._req(DIST_EXACT_MAX_WIDTH))
+        assert decision.engine == "distribution-dp"
+        assert decision.degraded_from is None
+
+    def test_truncated_rung_past_the_guard(self):
+        decision = plan_distribution_engine(
+            self._req(DIST_EXACT_MAX_WIDTH + 1))
+        assert decision.engine == "distribution-dp-truncated"
+        assert decision.degraded_from == "distribution-dp"
+
+    def test_mc_past_the_truncated_guard(self):
+        decision = plan_distribution_engine(self._req(48))
+        assert decision.engine == "distribution-mc"
+        assert decision.degraded_from == "distribution-dp-truncated"
+        assert decision.samples is not None
+
+    def test_wce_never_degrades(self):
+        for width in (8, 32, 64, 128):
+            decision = plan_distribution_engine(
+                self._req(width, kind=KIND_WCE))
+            assert decision.engine == "distribution-dp"
+
+    def test_mred_skips_the_truncated_rung(self):
+        assert exact_width_limit(KIND_MRED) == MRED_EXACT_MAX_WIDTH
+        decision = plan_distribution_engine(
+            self._req(MRED_EXACT_MAX_WIDTH + 1, kind=KIND_MRED))
+        assert decision.engine == "distribution-mc"
+        assert decision.degraded_from == "distribution-dp"
+
+    def test_tight_deadline_drops_to_sampling(self):
+        decision = plan_distribution_engine(
+            self._req(30), budget=RunBudget(deadline_s=1e-9),
+        )
+        assert decision.engine == "distribution-mc"
+
+    def test_budget_clamps_samples(self):
+        decision = plan_distribution_engine(
+            self._req(48), budget=RunBudget(max_samples=1234))
+        assert decision.samples == 1234
+
+    def test_truncated_engine_refuses_mred(self):
+        with pytest.raises(AnalysisError, match="mass-preserving"):
+            engine.run("LPAA 1", 8, kind=KIND_MRED,
+                       engine="distribution-dp-truncated")
+
+    def test_simulate_forces_the_sampling_backend(self):
+        result = engine.run("LPAA 1", 8, kind=KIND_MED, simulate=True,
+                            samples=5_000, seed=1)
+        assert result.engine == "distribution-mc"
+        assert result.samples == 5_000
+
+
+class TestExecutorSurface:
+    def test_run_rejects_an_unknown_kind(self):
+        with pytest.raises(AnalysisError, match="kind"):
+            engine.run("LPAA 1", 4, kind="medx")
+
+    def test_run_rejects_a_conflicting_prebuilt_kind(self):
+        request = AnalysisRequest.distribution("LPAA 1", 4, kind=KIND_MED)
+        with pytest.raises(AnalysisError):
+            engine.run(request, kind=KIND_WCE)
+
+    def test_run_batch_mixes_chain_and_distribution_kinds(self):
+        requests = [
+            AnalysisRequest.chain("LPAA 1", 6),
+            AnalysisRequest.distribution("LPAA 1", 6, kind=KIND_MED),
+            AnalysisRequest.distribution("LPAA 5", 6, kind=KIND_WCE),
+        ]
+        results = engine.run_batch(requests)
+        assert [r.kind for r in results] == ["chain", KIND_MED, KIND_WCE]
+        assert results[1].med == pytest.approx(
+            engine.run(requests[1]).med, abs=1e-12)
+        assert results[2].wce == engine.run(requests[2]).wce
+
+    def test_distribution_result_carries_provenance(self):
+        result = engine.run("LPAA 1", 20, kind=KIND_MED)
+        assert result.engine == "distribution-dp-truncated"
+        assert result.degraded_from == "distribution-dp"
+        assert "support guard" in result.reason
+
+
+class TestResultCachePayloads:
+    def test_distribution_kinds_are_keyable_and_kind_distinct(self):
+        keys = {
+            request_key(AnalysisRequest.distribution(
+                "LPAA 1", 6, kind=kind))
+            for kind in DISTRIBUTION_KINDS
+        }
+        assert None not in keys
+        assert len(keys) == len(DISTRIBUTION_KINDS)
+
+    @pytest.mark.parametrize("kind", DISTRIBUTION_KINDS)
+    def test_payload_round_trip_preserves_the_metrics(self, kind):
+        result = engine.run(
+            AnalysisRequest.distribution("LPAA 2", 5, kind=kind))
+        restored = result_from_payload(
+            json.loads(json.dumps(payload_from_result(result))))
+        assert restored.kind == kind
+        for field in ("med", "nmed", "mse", "wce", "mred", "bias"):
+            assert getattr(restored, field) == getattr(result, field)
+        assert restored.distribution == result.distribution
+
+    def test_truncated_results_are_never_cached(self):
+        result = engine.run("LPAA 1", 20, kind=KIND_MED)
+        assert result.exact is False
+        assert not cacheable_result(result)
+
+    def test_exact_distribution_results_are_cacheable(self):
+        result = engine.run("LPAA 1", 6, kind=KIND_MED)
+        assert cacheable_result(result)
+
+
+class TestServeDocs:
+    def test_parse_analysis_doc_accepts_a_kind(self):
+        from repro.serve.service import parse_analysis_doc
+
+        request = parse_analysis_doc(
+            {"cell": "LPAA 1", "width": 6, "kind": "med"})
+        assert request.kind == KIND_MED
+        assert request.width == 6
+
+    def test_parse_analysis_doc_rejects_an_unknown_kind(self):
+        from repro.serve.service import RequestParseError, parse_analysis_doc
+
+        with pytest.raises(RequestParseError, match="kind"):
+            parse_analysis_doc({"cell": "LPAA 1", "width": 6,
+                                "kind": "nope"})
+
+    def test_result_to_doc_keeps_the_plain_chain_shape(self):
+        from repro.serve.service import result_to_doc
+
+        doc = result_to_doc(engine.run("LPAA 1", 4))
+        assert "kind" not in doc and "med" not in doc
+
+    def test_result_to_doc_serialises_distribution_results(self):
+        from repro.serve.service import result_to_doc
+
+        doc = result_to_doc(engine.run(
+            "LPAA 2", 4, kind=KIND_ERROR_DISTRIBUTION))
+        assert doc["kind"] == KIND_ERROR_DISTRIBUTION
+        assert doc["wce"] == 15
+        assert doc["med"] == pytest.approx(3.6171875)
+        assert all(len(pair) == 2 for pair in doc["distribution"])
+        json.dumps(doc)  # must be JSON-clean end to end
+
+
+class TestCli:
+    @pytest.mark.parametrize("kind", ["med", "wce", "error_distribution"])
+    def test_distribution_subcommand_prints_the_metrics(self, kind, capsys):
+        from repro.cli import main
+
+        assert main(["distribution", "--cell", "LPAA 1", "--width", "6",
+                     "--kind", kind]) == 0
+        out = capsys.readouterr().out
+        assert "distribution-dp" in out
+        assert kind in out
+
+    def test_distribution_subcommand_reports_mc_interval(self, capsys):
+        from repro.cli import main
+
+        assert main(["distribution", "--cell", "LPAA 1", "--width", "40",
+                     "--kind", "med", "--samples", "20000",
+                     "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "distribution-mc" in out
+        assert "interval" in out
