@@ -1,0 +1,122 @@
+"""Adder-zoo validation matrix and the widened Pareto sweep.
+
+Two claims are pinned here.  First, correctness: at width 8 every
+windowed zoo member's cut DP (``zoo-dp``) answers ER, MED, WCE and MRED
+*bit-identically* to weighted enumeration over all ``4^N`` operand
+pairs (``zoo-exhaustive``) -- at ``p = 0.5`` every probability is
+dyadic, so ER/MED/WCE are compared with *no* tolerance, and MRED (whose
+``|d|/exact`` quotients are not dyadic) within one part in 1e12.  Chain
+members get the same treatment through the established chain ladder.  Second, scale:
+the full catalog sweep at width 16 (every named zoo config measured on
+four request kinds through one ``run_batch`` call, then Pareto-reduced
+over error/delay/area) completes in seconds because everything routes
+to linear- or near-linear-time DPs, never enumeration.
+
+The measured trajectory lands in ``BENCH_zoo.json``
+(``sealpaa-bench-v1``; CI compares it informationally against the
+committed baseline).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro import engine
+from repro.core.adder_zoo import named_zoo
+from repro.engine.request import AnalysisRequest
+from repro.explore import sweep_zoo_space, zoo_pareto_front
+from repro.reporting import ascii_table
+
+from bench_trajectory import metric, write_trajectory
+from conftest import bench_output_path, emit
+
+CROSSVAL_WIDTH = 8
+SWEEP_WIDTH = 16
+CROSSVAL_KINDS = ("chain", "med", "wce", "mred")
+MAX_SWEEP_SECONDS = 60.0
+
+
+def _metrics_of(result, kind):
+    """ER plus the kind's headline metric (engines may add extras)."""
+    out = {"p_error": float(result.p_error)}
+    if kind != "chain":
+        out[kind] = float(getattr(result, kind))
+    return out
+
+
+def test_zoo_cross_validation_matrix(benchmark):
+    """Every zoo member x every kind: DP == exhaustive, no tolerance."""
+    zoo = named_zoo(CROSSVAL_WIDTH)
+    start = time.perf_counter()
+    checked = rows = 0
+    for adder in zoo:
+        for kind in CROSSVAL_KINDS:
+            request = AnalysisRequest.zoo(adder, kind=kind)
+            if request.block is not None:
+                fast = engine.run(request, engine="zoo-dp")
+                oracle = engine.run(request, engine="zoo-exhaustive")
+            else:
+                fast = engine.run(request)
+                oracle = engine.run(
+                    AnalysisRequest.zoo(adder, kind="chain"),
+                    engine="exhaustive",
+                ) if kind == "chain" else engine.run(
+                    request, engine="distribution-exhaustive")
+            want = _metrics_of(oracle, kind)
+            got = _metrics_of(fast, kind)
+            for name, reference in want.items():
+                if name == "mred":
+                    # |d|/exact quotients are not dyadic; only the
+                    # float summation order differs between the DPs
+                    # and enumeration.
+                    assert math.isclose(got[name], reference,
+                                        rel_tol=1e-12, abs_tol=0.0), (
+                        f"{adder.config_string} mred: DP {got[name]!r} "
+                        f"!= oracle {reference!r}"
+                    )
+                else:
+                    assert got[name] == reference, (
+                        f"{adder.config_string} {kind} {name}: "
+                        f"DP {got[name]!r} != oracle {reference!r}"
+                    )
+                checked += 1
+            rows += 1
+    crossval_s = time.perf_counter() - start
+    emit(f"cross-validation: {len(zoo)} adders x {len(CROSSVAL_KINDS)} "
+         f"kinds at width {CROSSVAL_WIDTH} -- {checked} metric values "
+         f"bit-identical to enumeration in {crossval_s:.2f}s")
+
+    # The widened Pareto sweep: the whole catalog at width 16.
+    start = time.perf_counter()
+    points = sweep_zoo_space(SWEEP_WIDTH)
+    sweep_s = time.perf_counter() - start
+    front = zoo_pareto_front(points)
+    assert points, "empty sweep"
+    assert any(p.is_exact_adder for p in front), (
+        "the exact baseline family must survive the error/delay/area front"
+    )
+    assert sweep_s < MAX_SWEEP_SECONDS
+
+    emit(ascii_table(
+        ["Adder", "ER", "MED", "WCE", "Delay", "Area"],
+        [[p.adder, f"{p.p_error:.6f}",
+          "-" if p.med is None else f"{p.med:.4g}",
+          "-" if p.wce is None else f"{p.wce:g}",
+          f"{p.delay_units:g}", f"{p.area_units:g}"]
+         for p in front],
+        title=f"Pareto front (error/delay/area) of {len(points)} zoo "
+              f"configs at N={SWEEP_WIDTH}, swept in {sweep_s:.2f}s",
+    ))
+
+    write_trajectory(bench_output_path("BENCH_zoo.json"), "zoo", [
+        metric("crossval_metric_values", float(checked), unit=""),
+        metric("crossval_s", crossval_s, unit="s",
+               higher_is_better=False),
+        metric("sweep_w16_s", sweep_s, unit="s", higher_is_better=False),
+        metric("sweep_w16_points", float(len(points)), unit=""),
+        metric("pareto_front_size", float(len(front)), unit=""),
+    ])
+
+    benchmark(lambda: sweep_zoo_space(
+        CROSSVAL_WIDTH, adders=["aca1:8:4", "gda:8:2:2", "axppa-ks:8:2"]))

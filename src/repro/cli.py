@@ -114,6 +114,8 @@ def _chain_from_args(args) -> HybridChain:
 
 
 def _cmd_analyze(args) -> int:
+    if getattr(args, "adder", None):
+        return _analyze_adder(args)
     chain = _chain_from_args(args)
     if args.trace:
         result = trace_chain(list(chain.cells), None, args.pa, args.pb, args.pcin)
@@ -138,6 +140,35 @@ def _cmd_analyze(args) -> int:
         print(f"validated  : simulation {report.estimate:.6f} "
               f"in [{lo:.6f}, {hi:.6f}] ({report.samples} samples"
               f"{', truncated' if report.truncated else ''})")
+    return 0
+
+
+def _analyze_adder(args) -> int:
+    """``analyze --adder loa:16:8``: a named zoo config instead of a
+    cell chain."""
+    from .core.adder_zoo import parse_adder
+
+    if args.trace:
+        raise SystemExit("--trace applies to cell chains; named adders "
+                         "have no per-stage trace")
+    adder = parse_adder(args.adder)
+    request = engine.AnalysisRequest.zoo(adder, p_a=args.pa, p_b=args.pb)
+    result = engine.run(request=request, budget=_budget_from_args(args))
+    print(f"adder      : {adder.describe()}")
+    print(f"engine     : {result.engine}")
+    print(f"P(Succ)    : {float(result.p_success):.6f}")
+    print(f"P(Error)   : {float(result.p_error):.6f}")
+    if getattr(args, "validate", False):
+        sim = "zoo-mc" if request.block is not None else "montecarlo"
+        mc = engine.run(request=request, engine=sim,
+                        budget=_budget_from_args(args))
+        line = f"validated  : simulation {float(mc.p_error):.6f}"
+        if mc.interval is not None:
+            lo, hi = mc.interval
+            line += f" in [{lo:.6f}, {hi:.6f}]"
+        if mc.samples:
+            line += f" ({mc.samples} samples)"
+        print(line)
     return 0
 
 
@@ -211,16 +242,26 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_distribution(args) -> int:
     """Error-magnitude analysis: how wrong, not just how often."""
-    chain = _chain_from_args(args)
-    request = engine.AnalysisRequest.distribution(
-        chain, None, args.pa, args.pb, args.pcin, kind=args.kind,
-    )
+    if getattr(args, "adder", None):
+        from .core.adder_zoo import parse_adder
+
+        adder = parse_adder(args.adder)
+        request = engine.AnalysisRequest.zoo(
+            adder, p_a=args.pa, p_b=args.pb, kind=args.kind
+        )
+        described = f"adder      : {adder.describe()}"
+    else:
+        chain = _chain_from_args(args)
+        request = engine.AnalysisRequest.distribution(
+            chain, None, args.pa, args.pb, args.pcin, kind=args.kind,
+        )
+        described = f"chain      : {chain.describe()}"
     result = engine.run(
         request=request, engine=args.engine,
         budget=_budget_from_args(args),
         samples=args.samples, seed=args.seed,
     )
-    print(f"chain      : {chain.describe()}")
+    print(described)
     print(f"kind       : {result.kind}")
     line = f"engine     : {result.engine}"
     if result.reason:
@@ -255,6 +296,62 @@ def _cmd_distribution(args) -> int:
             title=f"top {len(top)} of {len(result.distribution)} "
                   "support points",
         ))
+    return 0
+
+
+def _cmd_zoo(args) -> int:
+    """The adder-family zoo: catalog, quality table, Pareto filter."""
+    from .core.adder_zoo import ZOO_FAMILIES, parse_adder, zoo_cost
+
+    if args.families:
+        rows = [[f.key, f.grammar, f.representation, f.source]
+                for f in sorted(ZOO_FAMILIES.values(),
+                                key=lambda f: f.key)]
+        print(ascii_table(
+            ["Family", "Config grammar", "Served as", "Source"],
+            rows, title="adder-family zoo",
+        ))
+        return 0
+
+    def fmt(value, digits=6):
+        return "-" if value is None else f"{float(value):.{digits}g}"
+
+    from .explore import sweep_zoo_space, zoo_pareto_front
+
+    if args.adder:
+        adder = parse_adder(args.adder)
+        meta = ZOO_FAMILIES[adder.family]
+        cost = zoo_cost(adder)
+        (point,) = sweep_zoo_space(adder.n, adders=[adder], p=args.p,
+                                   budget=_budget_from_args(args))
+        print(f"adder      : {adder.describe()}")
+        print(f"grammar    : {meta.grammar}")
+        print(f"source     : {meta.source}")
+        print(f"served as  : {meta.representation} "
+              f"(engine {point.engine})")
+        print(f"delay      : {cost.delay_units:g} unit-gate levels")
+        print(f"area       : {cost.area_units:g} unit gates")
+        print(f"P(Error)   : {point.p_error:.6f}")
+        print(f"MED        : {fmt(point.med)}")
+        print(f"WCE        : {fmt(point.wce)}")
+        print(f"MRED       : {fmt(point.mred)}")
+        return 0
+
+    points = sweep_zoo_space(args.width, p=args.p,
+                             budget=_budget_from_args(args))
+    title = f"zoo at N={args.width}, p={args.p}"
+    if args.pareto:
+        points = zoo_pareto_front(points, tuple(args.objectives))
+        title += f" (Pareto: {', '.join(args.objectives)})"
+    rows = [[p.adder, p.representation, f"{p.p_error:.6f}",
+             fmt(p.med), fmt(p.wce), fmt(p.mred),
+             f"{p.delay_units:g}", f"{p.area_units:g}", p.engine]
+            for p in points]
+    print(ascii_table(
+        ["Adder", "Repr", "ER", "MED", "WCE", "MRED",
+         "Delay", "Area", "Engine"],
+        rows, title=title,
+    ))
     return 0
 
 
@@ -849,6 +946,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="error probability of one chain")
     _add_chain_arguments(p)
+    p.add_argument("--adder",
+                   help='named zoo config instead of a chain, e.g. '
+                        '"loa:16:8" or "axppa-ks:8:2" (see "sealpaa '
+                        'zoo --families"); adds with carry-in 0')
     _add_point_arguments(p)
     _add_runtime_arguments(p, checkpoint=False, validate=True)
     _add_obs_arguments(p, stage_trace=True)
@@ -900,6 +1001,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "the truncated-support DP, or Monte-Carlo.",
     )
     _add_chain_arguments(p)
+    p.add_argument("--adder",
+                   help='named zoo config instead of a chain, e.g. '
+                        '"aca1:8:4" (see "sealpaa zoo --families"); '
+                        'adds with carry-in 0')
     _add_point_arguments(p)
     p.add_argument(
         "--kind", default="med",
@@ -909,8 +1014,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine", default=None,
         help="force a backend: distribution-dp, "
-             "distribution-dp-truncated, distribution-exhaustive or "
-             "distribution-mc (default: routed)",
+             "distribution-dp-truncated, distribution-exhaustive, "
+             "distribution-mc, or for --adder blocks zoo-dp, "
+             "zoo-dp-truncated, zoo-exhaustive, zoo-mc "
+             "(default: routed)",
     )
     p.add_argument("--samples", type=int, default=None,
                    help="Monte-Carlo sample count (backend default "
@@ -922,6 +1029,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_arguments(p, checkpoint=False)
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_distribution)
+
+    p = sub.add_parser(
+        "zoo",
+        help="the approximate-adder zoo: catalog, quality table, Pareto",
+        description="Browse the adder-family zoo: list the families and "
+                    "their config grammar, describe one named config, or "
+                    "sweep the reference catalog at a width across "
+                    "ER/MED/WCE/MRED plus abstract delay/area, optionally "
+                    "keeping only the Pareto-optimal rows.",
+    )
+    p.add_argument("--families", action="store_true",
+                   help="list the adder families and their config grammar")
+    p.add_argument("--adder",
+                   help='describe one config, e.g. "gda:8:2:2"')
+    p.add_argument("--width", type=int, default=8,
+                   help="sweep the reference catalog at this width "
+                        "(default 8)")
+    p.add_argument("--p", type=_probability, default=0.5,
+                   help="input one-probability for every bit (default 0.5)")
+    p.add_argument("--pareto", action="store_true",
+                   help="keep only the non-dominated rows")
+    p.add_argument("--objectives", nargs="+",
+                   default=["error", "delay", "area"],
+                   choices=["error", "med", "wce", "mred", "delay", "area"],
+                   help="Pareto objectives (default: error delay area)")
+    _add_runtime_arguments(p, checkpoint=False)
+    _add_obs_arguments(p)
+    p.set_defaults(func=_cmd_zoo)
 
     p = sub.add_parser("gear", help="GeAr(N, R, P) error analysis")
     p.add_argument("--n", type=int, required=True)

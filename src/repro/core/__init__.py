@@ -13,6 +13,30 @@ Public surface:
   :mod:`repro.core.hybrid`, :mod:`repro.core.masking`.
 """
 
+from .adder_zoo import (
+    PREFIX_TOPOLOGIES,
+    ZOO_FAMILIES,
+    WindowedAdderSpec,
+    WindowedQualityReport,
+    ZooAdder,
+    ZooCost,
+    ZooFamily,
+    from_gear,
+    named_zoo,
+    parse_adder,
+    prefix_depth,
+    prefix_levels,
+    truncated_prefix_spec,
+    windowed_add,
+    windowed_add_array,
+    windowed_error_moments,
+    windowed_error_pmf,
+    windowed_error_probability,
+    windowed_exhaustive_quality,
+    windowed_joint_error_pmf,
+    windowed_worst_case_error,
+    zoo_cost,
+)
 from .adders import (
     ACCURATE_CELL,
     CELL_CHARACTERISTICS,
@@ -26,6 +50,8 @@ from .adders import (
     PAPER_LPAAS,
     CellCharacteristics,
     CellRegistry,
+    LOA_GEN,
+    LOA_OR,
     get_cell,
     paper_cell,
     registry,
@@ -120,6 +146,31 @@ __all__ = [
     "registry",
     "get_cell",
     "paper_cell",
+    "LOA_OR",
+    "LOA_GEN",
+    # the adder-family zoo
+    "WindowedAdderSpec",
+    "WindowedQualityReport",
+    "ZooAdder",
+    "ZooCost",
+    "ZooFamily",
+    "ZOO_FAMILIES",
+    "PREFIX_TOPOLOGIES",
+    "from_gear",
+    "named_zoo",
+    "parse_adder",
+    "prefix_depth",
+    "prefix_levels",
+    "truncated_prefix_spec",
+    "windowed_add",
+    "windowed_add_array",
+    "windowed_error_moments",
+    "windowed_error_pmf",
+    "windowed_error_probability",
+    "windowed_exhaustive_quality",
+    "windowed_joint_error_pmf",
+    "windowed_worst_case_error",
+    "zoo_cost",
     # masks
     "AnalysisMatrices",
     "TABLE5_MATRICES",

@@ -162,6 +162,24 @@ registry.register(ACCURATE_CELL, aliases=("accurate", "exact", "fa"))
 for _i, _cell in enumerate(PAPER_LPAAS, start=1):
     registry.register(_cell, aliases=(f"lpaa{_i}",))
 
+#: Lower-part-OR cell (``sum = a | b``, no carry out) -- the lower part
+#: of Mahdiani et al.'s LOA, used by the ``loa``/``loawa`` zoo families
+#: (:mod:`repro.core.adder_zoo`).  Rows ordered by ``row_index(a, b, cin)``.
+LOA_OR = FullAdderTruthTable(
+    [(0, 0), (0, 0), (1, 0), (1, 0), (1, 0), (1, 0), (1, 0), (1, 0)],
+    name="LOA-OR",
+)
+
+#: LOA boundary cell: ``sum = a | b`` with the carry-generate
+#: speculation ``cout = a & b`` feeding the accurate upper part.
+LOA_GEN = FullAdderTruthTable(
+    [(0, 0), (0, 0), (1, 0), (1, 0), (1, 0), (1, 0), (1, 1), (1, 1)],
+    name="LOA-GEN",
+)
+
+registry.register(LOA_OR, aliases=("loaor", "or"))
+registry.register(LOA_GEN, aliases=("loagen",))
+
 
 def get_cell(name: str) -> FullAdderTruthTable:
     """Convenience wrapper around ``registry.get`` (the main public entry)."""

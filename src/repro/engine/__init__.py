@@ -106,6 +106,14 @@ from .distribution import (
     register_distribution_engines,
 )
 from .executor import error_curves, run, run_batch, select_engine
+from .zoo import (
+    ZOO_EXACT_MAX_WIDTH,
+    ZOO_MC_MAX_WIDTH,
+    ZOO_MRED_EXACT_MAX_WIDTH,
+    ZOO_TRUNCATED_MAX_WIDTH,
+    register_zoo_engines,
+    zoo_exact_width_limit,
+)
 from .parallel import (
     PARALLEL_EXHAUSTIVE,
     budget_allows_parallel,
@@ -157,8 +165,14 @@ __all__ = [
     "METRIC_P_SUCCESS",
     "METRIC_WCE",
     "PARALLEL_EXHAUSTIVE",
+    "ZOO_EXACT_MAX_WIDTH",
+    "ZOO_MC_MAX_WIDTH",
+    "ZOO_MRED_EXACT_MAX_WIDTH",
+    "ZOO_TRUNCATED_MAX_WIDTH",
     "exact_width_limit",
     "register_distribution_engines",
+    "register_zoo_engines",
+    "zoo_exact_width_limit",
     "REGISTRY",
     "StageMatrixCache",
     "StageTransition",

@@ -454,9 +454,12 @@ def register_builtin_engines() -> None:
             samples if samples else 200_000),
         description="Monte-Carlo over the functional CSA-tree model",
     ))
-    # The error-magnitude family lives in its own module; registering it
-    # here keeps "import repro.engine" the single activation point.
+    # The error-magnitude and zoo families live in their own modules;
+    # registering them here keeps "import repro.engine" the single
+    # activation point.
     from .distribution import register_distribution_engines
+    from .zoo import register_zoo_engines
 
     register_distribution_engines()
+    register_zoo_engines()
     _REGISTERED = True

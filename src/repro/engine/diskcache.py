@@ -98,17 +98,36 @@ def request_key(request: AnalysisRequest) -> Optional[str]:
     ``wce`` question over the same chain.
     """
     if (request.kind not in _CACHEABLE_KINDS or request.joints is not None
-            or request.keep_trace or not request.cells):
+            or request.keep_trace):
         return None
-    doc = {
-        "format": STORE_FORMAT,
-        "kind": request.kind,
-        "cells": [list(map(list, table.rows)) for table in request.cells],
-        "p_a": [round(float(p), QUANT_DIGITS) for p in request.p_a],
-        "p_b": [round(float(p), QUANT_DIGITS) for p in request.p_b],
-        "p_cin": round(float(request.p_cin), QUANT_DIGITS),
-        "check_masking": bool(request.check_masking),
-    }
+    if request.block is not None:
+        # Windowed-block (zoo) questions: the spec's structure is the
+        # identity (zoo adders always add with carry-in 0).
+        doc: Dict[str, object] = {
+            "format": STORE_FORMAT,
+            "kind": request.kind,
+            "block": {
+                "name": request.block.name,  # type: ignore[attr-defined]
+                "lows": list(request.block.lows),  # type: ignore[attr-defined]
+                "carry_low": request.block.carry_low,  # type: ignore[attr-defined]
+            },
+            "p_a": [round(float(p), QUANT_DIGITS) for p in request.p_a],
+            "p_b": [round(float(p), QUANT_DIGITS) for p in request.p_b],
+            "check_masking": bool(request.check_masking),
+        }
+    elif not request.cells:
+        return None
+    else:
+        doc = {
+            "format": STORE_FORMAT,
+            "kind": request.kind,
+            "cells": [list(map(list, table.rows))
+                      for table in request.cells],
+            "p_a": [round(float(p), QUANT_DIGITS) for p in request.p_a],
+            "p_b": [round(float(p), QUANT_DIGITS) for p in request.p_b],
+            "p_cin": round(float(request.p_cin), QUANT_DIGITS),
+            "check_masking": bool(request.check_masking),
+        }
     canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 

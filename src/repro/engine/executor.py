@@ -33,6 +33,7 @@ from ..runtime.router import (
     EngineDecision,
     plan_distribution_engine,
     plan_engine,
+    plan_zoo_engine,
 )
 from . import backends
 from . import diskcache as _diskcache
@@ -75,6 +76,7 @@ def _segment_eligible(request: AnalysisRequest) -> bool:
         and request.kind == KIND_CHAIN
         and request.joints is None
         and not request.keep_trace
+        and request.block is None
     )
 
 
@@ -93,6 +95,10 @@ def select_engine(
     their own ladder,
     :func:`repro.runtime.router.plan_distribution_engine`.
     """
+    if request.block is not None:
+        # Windowed-block (zoo) questions have their own ladder over the
+        # zoo-* engines, whatever the kind.
+        return plan_zoo_engine(request, budget, samples)
     if request.kind in DISTRIBUTION_KINDS:
         return plan_distribution_engine(request, budget, samples)
     if request.kind == KIND_MULTIOP:
@@ -235,7 +241,12 @@ def run(
     decision: Optional[EngineDecision] = None
     if engine is None:
         if simulate:
-            if request.kind in DISTRIBUTION_KINDS:
+            if request.block is not None:
+                decision = EngineDecision(
+                    engine="zoo-mc",
+                    reason="simulate=True forces the sampling backend",
+                )
+            elif request.kind in DISTRIBUTION_KINDS:
                 decision = EngineDecision(
                     engine="distribution-mc",
                     reason="simulate=True forces the sampling backend",
@@ -404,7 +415,7 @@ def run_batch(
     singles: List[int] = []
     for i, request in enumerate(requests):
         if (request.kind == KIND_CHAIN and request.joints is None
-                and not request.keep_trace):
+                and not request.keep_trace and request.block is None):
             if result_cache is not None:
                 cached = result_cache.get_result(request)
                 if cached is not None:

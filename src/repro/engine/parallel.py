@@ -466,7 +466,7 @@ def _request_eligible(
     forced engine whose registration is not ``parallel_safe``.
     """
     if (request.kind != KIND_CHAIN or request.joints is not None
-            or request.keep_trace):
+            or request.keep_trace or request.block is not None):
         return False
     if engine is not None:
         lookup = ("exhaustive"

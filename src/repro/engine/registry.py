@@ -54,6 +54,10 @@ class EngineInfo:
     block_cases: Optional[int] = None   # chunking threshold (exhaustive)
     ops_per_second: float = 2_000_000.0
     default_samples: Optional[int] = None
+    #: Understands windowed-block (``request.block``) zoo adders.  The
+    #: check cuts both ways: block engines answer *only* block requests,
+    #: and cell-chain engines never see a block request.
+    supports_block: bool = False
     description: str = ""
 
     def accepts(self, request: AnalysisRequest) -> bool:
@@ -65,6 +69,9 @@ class EngineInfo:
         if request.joints is not None and not self.supports_correlated:
             return False
         if request.keep_trace and not self.supports_trace:
+            return False
+        block = getattr(request, "block", None)
+        if (block is not None) != self.supports_block:
             return False
         return True
 

@@ -87,10 +87,13 @@ class AnalysisRequest:
     operands: Tuple[Tuple[float, ...], ...] = ()   # rows for KIND_MULTIOP
     compress_cell: Optional[FullAdderTruthTable] = None
     final_adder: Tuple[FullAdderTruthTable, ...] = ()
+    block: Optional[object] = None         # WindowedAdderSpec for zoo adders
 
     @property
     def width(self) -> int:
-        """Stage count (chain), bit width (GeAr) or operand width."""
+        """Stage count (chain), bit width (GeAr/block) or operand width."""
+        if self.block is not None:
+            return len(self.block.lows)  # type: ignore[attr-defined]
         if self.kind == KIND_CHAIN or self.kind in DISTRIBUTION_KINDS:
             return len(self.cells)
         if self.kind == KIND_GEAR:
@@ -99,6 +102,8 @@ class AnalysisRequest:
 
     @property
     def cell_names(self) -> Tuple[str, ...]:
+        if self.block is not None:
+            return (self.block.name,)  # type: ignore[attr-defined]
         return tuple(t.name for t in self.cells)
 
     @classmethod
@@ -180,6 +185,71 @@ class AnalysisRequest:
         wanted = (_KIND_DEFAULT_METRICS[kind] if metrics is None
                   else metrics)
         return replace(base, kind=kind, metrics=_normalise_metrics(wanted))
+
+    @classmethod
+    def zoo(
+        cls,
+        adder: object,
+        p_a: object = 0.5,
+        p_b: object = 0.5,
+        kind: str = KIND_CHAIN,
+        metrics: Optional[Sequence[str]] = None,
+    ) -> "AnalysisRequest":
+        """Normalise a question about a *named zoo adder*.
+
+        *adder* is a config string (``"loa:16:8"``, ``"aca1:16:4"``,
+        ``"axppa-ks:16:2"``), a parsed
+        :class:`~repro.core.adder_zoo.ZooAdder`, or a raw
+        :class:`~repro.core.adder_zoo.WindowedAdderSpec`.  Chain-shaped
+        members (LOA and friends) become ordinary cell-chain requests
+        served by every existing engine; block/prefix members carry the
+        windowed spec in ``block`` and are served by the ``zoo-*``
+        engine family.  Zoo adders always add with carry-in 0 (the
+        reference is ``a + b``), so ``p_cin`` is fixed at 0.
+
+        *kind* may be the plain ``"chain"`` (P(error)) or any
+        error-magnitude kind in :data:`DISTRIBUTION_KINDS`.
+        """
+        from ..core.adder_zoo import WindowedAdderSpec, parse_adder
+
+        if kind != KIND_CHAIN and kind not in DISTRIBUTION_KINDS:
+            raise AnalysisError(
+                f"unknown zoo request kind {kind!r}; known: chain, "
+                f"{', '.join(DISTRIBUTION_KINDS)}"
+            )
+        if isinstance(adder, WindowedAdderSpec):
+            built: object = adder
+        else:
+            built = parse_adder(adder).build()
+        if not isinstance(built, WindowedAdderSpec):
+            # Chain-shaped zoo member: an ordinary hybrid-cell request.
+            if kind == KIND_CHAIN:
+                request = cls.chain(list(built), p_a=p_a, p_b=p_b,
+                                    p_cin=0.0)
+            else:
+                request = cls.distribution(list(built), p_a=p_a, p_b=p_b,
+                                           p_cin=0.0, kind=kind)
+            if metrics is not None:
+                request = replace(request,
+                                  metrics=_normalise_metrics(metrics))
+            return request
+        from ..core.probability import float_probability_vector
+
+        n = built.width
+        if metrics is None:
+            wanted = ((METRIC_P_ERROR,) if kind == KIND_CHAIN
+                      else _KIND_DEFAULT_METRICS[kind])
+        else:
+            wanted = tuple(metrics)
+        return cls(
+            kind=kind,
+            block=built,
+            p_a=tuple(float_probability_vector(p_a, n, "p_a")),
+            p_b=tuple(float_probability_vector(p_b, n, "p_b")),
+            p_cin=0.0,
+            metrics=_normalise_metrics(wanted),
+            check_masking=False,
+        )
 
     @classmethod
     def for_gear(

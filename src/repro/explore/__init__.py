@@ -15,6 +15,12 @@ from .hybrid_search import (
     optimal_hybrid,
 )
 from .pareto import dominates, objective_vector, pareto_front
+from .zoo_space import (
+    ZooDesignPoint,
+    sweep_zoo_space,
+    zoo_objective_vector,
+    zoo_pareto_front,
+)
 
 __all__ = [
     "DesignPoint",
@@ -30,4 +36,8 @@ __all__ = [
     "brute_force_hybrid",
     "greedy_hybrid",
     "hybrid_tradeoff_curve",
+    "ZooDesignPoint",
+    "sweep_zoo_space",
+    "zoo_objective_vector",
+    "zoo_pareto_front",
 ]

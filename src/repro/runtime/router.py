@@ -46,6 +46,12 @@ ENGINE_DISTRIBUTION_DP = "distribution-dp"
 ENGINE_DISTRIBUTION_DP_TRUNCATED = "distribution-dp-truncated"
 ENGINE_DISTRIBUTION_MC = "distribution-mc"
 
+#: The windowed-block (adder zoo) ladder's rungs (see
+#: :mod:`repro.engine.zoo`).
+ENGINE_ZOO_DP = "zoo-dp"
+ENGINE_ZOO_DP_TRUNCATED = "zoo-dp-truncated"
+ENGINE_ZOO_MC = "zoo-mc"
+
 #: Conservative enumeration throughput (cases/second) used to judge
 #: whether a deadline can afford exhaustive enumeration at all.  Kept
 #: for backwards compatibility; the ladder itself now reads the
@@ -257,6 +263,84 @@ def plan_distribution_engine(
                f"{why}; sampling with interval bounds",
         degraded_from=(ENGINE_DISTRIBUTION_DP if kind == KIND_MRED
                        else ENGINE_DISTRIBUTION_DP_TRUNCATED),
+        samples=mc_samples,
+    ))
+
+
+def plan_zoo_engine(
+    request: object,
+    budget: Optional[RunBudget] = None,
+    samples: Optional[int] = None,
+) -> EngineDecision:
+    """Route a windowed-block (adder zoo) question down its ladder.
+
+    The block twin of :func:`plan_distribution_engine`, over the
+    ``zoo-*`` engines of :mod:`repro.engine.zoo`:
+
+    * ``chain`` (P(error)) and ``wce`` never degrade -- the
+      monotone-carry-cut ER DP and the interval DP are linear-time
+      exact at any width;
+    * ``mred`` degrades straight from the exact joint DP to sampling
+      (no mass-preserving joint truncation);
+    * ``med``/``error_distribution`` walk exact DP -> truncated DP ->
+      Monte-Carlo exactly like the distribution ladder.
+    """
+    from ..engine.backends import register_builtin_engines
+    from ..engine.registry import REGISTRY
+    from ..engine.request import KIND_CHAIN, KIND_MRED, KIND_WCE
+    from ..engine.zoo import ZOO_TRUNCATED_MAX_WIDTH, zoo_exact_width_limit
+
+    register_builtin_engines()
+    width = request.width  # type: ignore[attr-defined]
+    kind = request.kind  # type: ignore[attr-defined]
+    if width < 1:
+        raise AnalysisError(f"width must be >= 1, got {width}")
+
+    mc = REGISTRY.get(ENGINE_ZOO_MC)
+    mc_samples = (samples if samples is not None
+                  else mc.default_samples or 1)
+    if budget is not None and budget.max_samples is not None:
+        mc_samples = min(mc_samples, budget.max_samples)
+
+    def affordable(engine_name: str) -> bool:
+        if budget is None or budget.deadline_s is None:
+            return True
+        info = REGISTRY.get(engine_name)
+        cost = info.cost_estimate(width, None)
+        return cost <= budget.deadline_s * info.ops_per_second
+
+    limit = zoo_exact_width_limit(kind)
+    if kind in (KIND_CHAIN, KIND_WCE):
+        # Linear-time exact DPs at any width: nothing to degrade to.
+        return _record_decision(EngineDecision(
+            engine=ENGINE_ZOO_DP,
+            reason="the cut DP answers ER/WCE exactly at any width",
+        ))
+    if (limit is None or width <= limit) and affordable(ENGINE_ZOO_DP):
+        return _record_decision(EngineDecision(
+            engine=ENGINE_ZOO_DP,
+            reason=f"width {width} fits the exact cut DP's support "
+                   f"guard (limit {limit})",
+        ))
+    if kind != KIND_MRED and width <= ZOO_TRUNCATED_MAX_WIDTH \
+            and affordable(ENGINE_ZOO_DP_TRUNCATED):
+        return _record_decision(EngineDecision(
+            engine=ENGINE_ZOO_DP_TRUNCATED,
+            reason=f"width {width} exceeds the exact cut DP's support "
+                   f"guard ({limit}); truncated-support DP keeps ER "
+                   "exact with bounded MED/MSE drift",
+            degraded_from=ENGINE_ZOO_DP,
+        ))
+    why = ("the joint (delta, exact) DP has no mass-preserving "
+           "truncation" if kind == KIND_MRED
+           else "the DP rungs are unaffordable past the truncated "
+                f"guard ({ZOO_TRUNCATED_MAX_WIDTH}) or deadline")
+    return _record_decision(EngineDecision(
+        engine=ENGINE_ZOO_MC,
+        reason=f"width {width} exceeds the exact limit ({limit}) and "
+               f"{why}; sampling with interval bounds",
+        degraded_from=(ENGINE_ZOO_DP if kind == KIND_MRED
+                       else ENGINE_ZOO_DP_TRUNCATED),
         samples=mc_samples,
     ))
 

@@ -89,7 +89,9 @@ def parse_analysis_doc(doc: object) -> AnalysisRequest:
 
     * ``{"cell": "LPAA 1", "width": 8, ...}`` -- uniform chain;
     * ``{"cells": ["LPAA 7", "LPAA 7", "LPAA 1"], ...}`` -- per-stage;
-    * ``{"spec": "LPAA7:4, LPAA1:4", ...}`` -- hybrid spec string.
+    * ``{"spec": "LPAA7:4, LPAA1:4", ...}`` -- hybrid spec string;
+    * ``{"adder": "loa:16:8", ...}`` -- a named zoo adder config
+      (:mod:`repro.core.adder_zoo`); always adds with carry-in 0.
 
     ``p_a`` / ``p_b`` are a scalar or per-stage list (default 0.5),
     ``p_cin`` a scalar (default 0.5).  ``kind`` switches the question
@@ -106,7 +108,7 @@ def parse_analysis_doc(doc: object) -> AnalysisRequest:
         raise RequestParseError(
             f"request body must be a JSON object, got {type(doc).__name__}"
         )
-    unknown = set(doc) - {"cell", "cells", "spec", "width",
+    unknown = set(doc) - {"cell", "cells", "spec", "adder", "width",
                           "p_a", "p_b", "p_cin", "deadline_s", "kind"}
     if unknown:
         raise RequestParseError(
@@ -118,12 +120,29 @@ def parse_analysis_doc(doc: object) -> AnalysisRequest:
             f"unknown kind {kind!r}; known: {KIND_CHAIN}, "
             f"{', '.join(DISTRIBUTION_KINDS)}"
         )
-    spellings = [name for name in ("cell", "cells", "spec") if doc.get(name)]
+    spellings = [name for name in ("cell", "cells", "spec", "adder")
+                 if doc.get(name)]
     if len(spellings) != 1:
         raise RequestParseError(
-            'exactly one of "cell", "cells" or "spec" is required'
+            'exactly one of "cell", "cells", "spec" or "adder" is required'
         )
     spelling = spellings[0]
+    if spelling == "adder":
+        if float(doc.get("p_cin", 0.0) or 0.0) != 0.0:
+            raise RequestParseError(
+                "named adders add with carry-in 0; leave p_cin unset"
+            )
+        try:
+            return AnalysisRequest.zoo(
+                str(doc["adder"]),
+                p_a=doc.get("p_a", 0.5),
+                p_b=doc.get("p_b", 0.5),
+                kind=kind,
+            )
+        except ReproError as exc:
+            raise RequestParseError(str(exc)) from exc
+        except (TypeError, ValueError) as exc:
+            raise RequestParseError(f"malformed request: {exc}") from exc
     width = doc.get("width")
     if spelling == "cell":
         if width is None:

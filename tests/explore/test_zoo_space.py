@@ -1,0 +1,79 @@
+"""Pareto exploration over the adder-family zoo."""
+
+import pytest
+
+from repro.core.adder_zoo import named_zoo
+from repro.core.exceptions import ExplorationError
+from repro.explore import (
+    ZooDesignPoint,
+    sweep_zoo_space,
+    zoo_objective_vector,
+    zoo_pareto_front,
+)
+from repro.runtime.budget import RunBudget
+
+
+class TestSweep:
+    def test_covers_the_reference_catalog(self):
+        points = sweep_zoo_space(8)
+        assert len(points) == len(named_zoo(8))
+        by_name = {p.adder: p for p in points}
+        assert by_name["rca:8"].p_error == 0.0
+        assert by_name["rca:8"].is_exact_adder
+        assert by_name["aca1:8:4"].p_error == 0.125
+        assert by_name["aca1:8:4"].med == 7.5
+        assert by_name["aca1:8:4"].wce == 128
+        assert by_name["gda:8:2:2"].med == 1.5
+
+    def test_custom_adder_subset(self):
+        points = sweep_zoo_space(8, adders=["loa:8:4", "rca:8"])
+        assert [p.adder for p in points] == ["loa:8:4", "rca:8"]
+        assert points[0].p_error == 0.68359375
+        assert points[0].representation == "chain"
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ExplorationError, match="width"):
+            sweep_zoo_space(8, adders=["aca1:16:4"])
+
+    def test_budget_truncation_drops_points_not_crashes(self):
+        points = sweep_zoo_space(
+            8, adders=["aca1:8:4", "gda:8:2:2"],
+            budget=RunBudget(deadline_s=1e-9),
+        )
+        assert isinstance(points, list)  # possibly empty, never an error
+
+
+class TestPareto:
+    def _points(self):
+        return sweep_zoo_space(
+            8, adders=["rca:8", "loa:8:4", "aca1:8:4", "axppa-ks:8:2"])
+
+    def test_front_is_non_dominated(self):
+        points = self._points()
+        front = zoo_pareto_front(points, ("error", "delay"))
+        assert front
+        for point in front:
+            vec = zoo_objective_vector(point, ("error", "delay"))
+            for other in points:
+                ovec = zoo_objective_vector(other, ("error", "delay"))
+                assert not (ovec[0] < vec[0] and ovec[1] < vec[1]) or \
+                    not all(o <= v for o, v in zip(ovec, vec))
+
+    def test_single_objective_reduces_to_min(self):
+        points = self._points()
+        front = zoo_pareto_front(points, ("error",))
+        best = min(p.p_error for p in points)
+        assert all(p.p_error == best for p in front)
+
+    def test_unknown_objective_raises(self):
+        with pytest.raises(ExplorationError, match="unknown zoo objective"):
+            zoo_objective_vector(self._points()[0], ("speed",))
+
+    def test_empty_input_is_empty_front(self):
+        assert zoo_pareto_front([]) == []
+
+    def test_point_is_a_frozen_record(self):
+        point = self._points()[0]
+        assert isinstance(point, ZooDesignPoint)
+        with pytest.raises(Exception):
+            point.p_error = 1.0

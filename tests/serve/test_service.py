@@ -63,6 +63,22 @@ class TestParseAnalysisDoc:
         request = parse_analysis_doc({"spec": "LPAA7:2, LPAA1:2"})
         assert request.width == 4
 
+    def test_named_zoo_adder(self):
+        request = parse_analysis_doc({"adder": "aca1:8:4"})
+        assert request.block is not None
+        assert request.width == 8
+        assert request.p_cin == 0.0
+
+    def test_chain_represented_zoo_adder(self):
+        request = parse_analysis_doc({"adder": "loa:8:4", "p_a": 0.3})
+        assert request.block is None
+        assert request.width == 8
+        assert request.p_a == (0.3,) * 8
+
+    def test_zoo_adder_with_kind(self):
+        request = parse_analysis_doc({"adder": "gda:8:2:2", "kind": "med"})
+        assert request.kind == "med"
+
     @pytest.mark.parametrize("doc,match", [
         ([1, 2], "JSON object"),
         ({}, "exactly one"),
@@ -72,6 +88,10 @@ class TestParseAnalysisDoc:
         ({"cells": "LPAA 1"}, "non-empty list"),
         ({"spec": "NOPE:banana"}, "bad chain spec"),
         ({"cell": "LPAA 1", "width": 4, "sneaky": 1}, "unknown"),
+        ({"adder": "nope:8"}, "unknown adder family"),
+        ({"adder": "aca1:8:4", "cell": "LPAA 1", "width": 4},
+         "exactly one"),
+        ({"adder": "aca1:8:4", "p_cin": 0.5}, "carry-in 0"),
         ({"cell": "LPAA 1", "width": 4, "p_a": 1.5}, "."),
     ])
     def test_malformed_docs_raise_parse_errors(self, doc, match):

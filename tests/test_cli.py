@@ -184,6 +184,52 @@ class TestNewSubcommands:
         assert "replica usage" in out
 
 
+class TestZoo:
+    def test_analyze_named_adder(self, capsys):
+        code, out = run_cli(capsys, "analyze", "--adder", "aca1:8:4")
+        assert code == 0
+        assert "zoo-dp" in out
+        assert "0.125000" in out
+
+    def test_analyze_chain_represented_adder(self, capsys):
+        code, out = run_cli(capsys, "analyze", "--adder", "loa:8:4")
+        assert code == 0
+        assert "0.683594" in out
+
+    def test_analyze_adder_rejects_trace(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--adder", "aca1:8:4", "--trace"])
+
+    def test_distribution_named_adder(self, capsys):
+        code, out = run_cli(capsys, "distribution", "--adder", "gda:8:2:2",
+                            "--kind", "med")
+        assert code == 0
+        assert "MED" in out and "1.5" in out
+
+    def test_zoo_families_table(self, capsys):
+        code, out = run_cli(capsys, "zoo", "--families")
+        assert code == 0
+        for family in ("loa", "aca1", "gda", "axppa-ks"):
+            assert family in out
+
+    def test_zoo_describe_one_config(self, capsys):
+        code, out = run_cli(capsys, "zoo", "--adder", "eta:8:2")
+        assert code == 0
+        assert "eta:<N>:<X>" in out
+        assert "P(Error)   : 0.187500" in out
+
+    def test_zoo_width_sweep_with_pareto(self, capsys):
+        code, out = run_cli(capsys, "zoo", "--width", "6", "--pareto")
+        assert code == 0
+        assert "rca:6" not in out or "Pareto" in out
+        assert "Delay" in out and "Engine" in out
+
+    def test_zoo_bad_config_is_actionable(self, capsys):
+        code = main(["zoo", "--adder", "martian:8"])
+        assert code != 0
+        assert "unknown adder family" in capsys.readouterr().err
+
+
 class TestExport:
     def test_csv_export(self, capsys, tmp_path):
         out_file = tmp_path / "points.csv"

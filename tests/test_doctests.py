@@ -9,6 +9,7 @@ import doctest
 import pytest
 
 import repro.ant
+import repro.core.adder_zoo
 import repro.core.correlated
 import repro.core.magnitude
 import repro.core.masking
@@ -38,6 +39,7 @@ MODULES = [
     repro.core.metrics,
     repro.core.symbolic,
     repro.core.correlated,
+    repro.core.adder_zoo,
     repro.circuits.qm,
     repro.gear.config,
     repro.gear.functional,
